@@ -1,0 +1,475 @@
+(* Experiments E10-E18: the Appendix B counterexample, contrasts with
+   prior bounds and baselines, and the paper's §5 open questions /
+   discussed variants. *)
+
+open Rbb_core
+module Table = Rbb_sim.Table
+module Replicate = Rbb_sim.Replicate
+module Summary = Rbb_stats.Summary
+module Regression = Rbb_stats.Regression
+
+let fi = float_of_int
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Appendix B: no negative association                            *)
+(* ------------------------------------------------------------------ *)
+
+let e10 ~quick =
+  let trials = if quick then 50_000 else 500_000 in
+  let exact = Rbb_markov.Exact.appendix_b () in
+  (* Simulation of the same three probabilities. *)
+  let rng = Rbb_prng.Rng.create ~seed:1010L () in
+  let x1 = ref 0 and x2 = ref 0 and joint = ref 0 in
+  for _ = 1 to trials do
+    let loads = [| 1; 1 |] in
+    let round () =
+      let arrivals = [| 0; 0 |] in
+      for u = 0 to 1 do
+        if loads.(u) > 0 then begin
+          let v = Rbb_prng.Rng.int_below rng 2 in
+          arrivals.(v) <- arrivals.(v) + 1
+        end
+      done;
+      for u = 0 to 1 do
+        loads.(u) <- (if loads.(u) > 0 then loads.(u) - 1 else 0) + arrivals.(u)
+      done;
+      arrivals.(0)
+    in
+    let a1 = round () and a2 = round () in
+    if a1 = 0 then incr x1;
+    if a2 = 0 then incr x2;
+    if a1 = 0 && a2 = 0 then incr joint
+  done;
+  let p r = fi !r /. fi trials in
+  let table = Table.create ~headers:[ "quantity"; "paper"; "exact chain"; "simulated" ] in
+  Table.add_row table
+    [ "P(X1=0)"; "1/4 = 0.25"; Table.cell_float ~decimals:6 exact.p_x1_zero;
+      Table.cell_float ~decimals:6 (p x1) ];
+  Table.add_row table
+    [ "P(X2=0)"; "3/8 = 0.375"; Table.cell_float ~decimals:6 exact.p_x2_zero;
+      Table.cell_float ~decimals:6 (p x2) ];
+  Table.add_row table
+    [ "P(X1=0, X2=0)"; "1/8 = 0.125"; Table.cell_float ~decimals:6 exact.p_joint_zero;
+      Table.cell_float ~decimals:6 (p joint) ];
+  Table.add_row table
+    [ "P(X1=0)*P(X2=0)"; "3/32 = 0.09375"; Table.cell_float ~decimals:6 exact.product;
+      Table.cell_float ~decimals:6 (p x1 *. p x2) ];
+  Table.print ~caption:"Appendix B (n = 2): arrivals at bin 1 in rounds 1 and 2" table;
+  Printf.printf
+    "joint > product in the exact chain: %b  => X1, X2 are NOT negatively associated (as the paper proves)\n"
+    exact.violates_negative_association
+
+(* ------------------------------------------------------------------ *)
+(* E11 — contrast with [12]: O(sqrt t) vs flat O(log n)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e11 ~quick =
+  let n = if quick then 128 else 256 in
+  let checkpoints = [ 1; 4; 16; 64; 256 ] |> List.map (fun k -> k * n) in
+  let trials = if quick then 3 else 6 in
+  let table =
+    Table.create
+      ~headers:[ "t"; "running max M_t"; "sqrt(t)"; "M_t/sqrt(t)"; "M_t/ln n" ]
+  in
+  let last = List.fold_left Stdlib.max 0 checkpoints in
+  let sums = Hashtbl.create 8 in
+  let _ =
+    Replicate.run ~base_seed:1111L ~trials (fun rng ->
+        let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+        let worst = ref 0 in
+        for t = 1 to last do
+          Process.step p;
+          if Process.max_load p > !worst then worst := Process.max_load p;
+          if List.mem t checkpoints then begin
+            let prev = Option.value ~default:0. (Hashtbl.find_opt sums t) in
+            Hashtbl.replace sums t (prev +. fi !worst)
+          end
+        done)
+  in
+  List.iter
+    (fun t ->
+      let mean = Hashtbl.find sums t /. fi trials in
+      Table.add_row table
+        [
+          Table.cell_int t;
+          Table.cell_float mean;
+          Table.cell_float (Float.sqrt (fi t));
+          Table.cell_float ~decimals:4 (mean /. Float.sqrt (fi t));
+          Table.cell_float ~decimals:3 (mean /. Float.log (fi n));
+        ])
+    checkpoints;
+  Table.print
+    ~caption:
+      (Printf.sprintf
+         "Running max load vs window length (n = %d): flat in t, unlike the earlier O(sqrt t) bound"
+         n)
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E12 — one-shot baseline vs repeated process                          *)
+(* ------------------------------------------------------------------ *)
+
+let e12 ~quick =
+  let ns = if quick then [ 256; 1024 ] else [ 256; 1024; 4096 ] in
+  let trials = if quick then 50 else 200 in
+  let table =
+    Table.create
+      ~headers:
+        [ "n"; "one-shot mean max"; "ln n/ln ln n"; "repeated mean M(t)";
+          "repeated running max" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rbb_prng.Rng.create ~seed:1212L () in
+      let one_shot =
+        Summary.of_array (Rbb_queueing.One_shot.max_load_samples rng ~n ~m:n ~trials)
+      in
+      let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+      Process.run p ~rounds:n;
+      let w = Rbb_stats.Welford.create () in
+      let worst = ref 0 in
+      for _ = 1 to 4 * n do
+        Process.step p;
+        Rbb_stats.Welford.add w (fi (Process.max_load p));
+        if Process.max_load p > !worst then worst := Process.max_load p
+      done;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float one_shot.Summary.mean;
+          Table.cell_float (Rbb_queueing.One_shot.theoretical_max_load n);
+          Table.cell_float (Rbb_stats.Welford.mean w);
+          Table.cell_int !worst;
+        ])
+    ns;
+  Table.print
+    ~caption:
+      "One-shot balls-into-bins (Theta(log n/log log n)) vs the repeated process's stationary max load"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E13 — §5 open question: m != n balls                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e13 ~quick =
+  let n = if quick then 256 else 512 in
+  let ratios =
+    let log_n = int_of_float (Float.log (fi n)) in
+    [ (1, 2); (1, 1); (2, 1); (4, 1); (log_n, 1) ]
+  in
+  let trials = if quick then 3 else 5 in
+  let table =
+    Table.create
+      ~headers:
+        [ "m"; "m/n"; "running max"; "mean M(t)"; "mean empty frac"; "thr(4 ln n)" ]
+  in
+  List.iter
+    (fun (num, den) ->
+      let m = n * num / den in
+      let window = 16 * n in
+      let running = Rbb_stats.Welford.create () in
+      let mean_m = Rbb_stats.Welford.create () in
+      let empty = Rbb_stats.Welford.create () in
+      let _ =
+        Replicate.run ~base_seed:1313L ~trials (fun rng ->
+            let p = Process.create ~rng ~init:(Config.balanced ~n ~m) () in
+            let worst = ref 0 in
+            for _ = 1 to window do
+              Process.step p;
+              if Process.max_load p > !worst then worst := Process.max_load p;
+              Rbb_stats.Welford.add mean_m (fi (Process.max_load p));
+              Rbb_stats.Welford.add empty (fi (Process.empty_bins p) /. fi n)
+            done;
+            Rbb_stats.Welford.add running (fi !worst))
+      in
+      Table.add_row table
+        [
+          Table.cell_int m;
+          Printf.sprintf "%d/%d" num den;
+          Table.cell_float (Rbb_stats.Welford.mean running);
+          Table.cell_float (Rbb_stats.Welford.mean mean_m);
+          Table.cell_float ~decimals:4 (Rbb_stats.Welford.mean empty);
+          Table.cell_int (Config.legitimacy_threshold n);
+        ])
+    ratios;
+  Table.print
+    ~caption:
+      (Printf.sprintf
+         "Max load with m balls in n = %d bins (open question: does O(log n) persist for m = O(n log n)?)"
+         n)
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E14 — §5 conjecture: regular graphs                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e14 ~quick =
+  let n = 256 in
+  let trials = if quick then 2 else 5 in
+  let rng0 = Rbb_prng.Rng.create ~seed:1414L () in
+  let graphs =
+    [
+      ("clique", Rbb_graph.Csr.complete n);
+      ("cycle", Rbb_graph.Build.cycle n);
+      ("torus 16x16", Rbb_graph.Build.torus2d ~rows:16 ~cols:16);
+      ("hypercube d=8", Rbb_graph.Build.hypercube 8);
+      ("random 4-reg", Rbb_graph.Build.random_regular rng0 ~n ~d:4);
+      ("star", Rbb_graph.Build.star n);
+    ]
+  in
+  let window = (if quick then 8 else 32) * n in
+  let table =
+    Table.create
+      ~headers:[ "graph"; "degree"; "running max"; "mean M(t)"; "mean empty frac" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let running = Rbb_stats.Welford.create () in
+      let mean_m = Rbb_stats.Welford.create () in
+      let empty = Rbb_stats.Welford.create () in
+      let _ =
+        Replicate.run ~base_seed:1415L ~trials (fun rng ->
+            let w = Walks.create ~rng ~graph:g ~init:(Config.uniform ~n) () in
+            let worst = ref 0 in
+            for _ = 1 to window do
+              Walks.step w;
+              if Walks.max_load w > !worst then worst := Walks.max_load w;
+              Rbb_stats.Welford.add mean_m (fi (Walks.max_load w));
+              Rbb_stats.Welford.add empty (fi (Walks.empty_bins w) /. fi n)
+            done;
+            Rbb_stats.Welford.add running (fi !worst))
+      in
+      let deg =
+        match Rbb_graph.Check.is_regular g with
+        | Some d -> string_of_int d
+        | None ->
+            Printf.sprintf "%d..%d" (Rbb_graph.Check.min_degree g)
+              (Rbb_graph.Check.max_degree g)
+      in
+      Table.add_row table
+        [
+          name;
+          deg;
+          Table.cell_float (Rbb_stats.Welford.mean running);
+          Table.cell_float (Rbb_stats.Welford.mean mean_m);
+          Table.cell_float ~decimals:4 (Rbb_stats.Welford.mean empty);
+        ])
+    graphs;
+  Table.print
+    ~caption:
+      (Printf.sprintf
+         "Constrained parallel walks on different topologies (n = %d, window %d; conjecture: regular graphs stay logarithmic)"
+         n window)
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E15 — d-choices variant ([36])                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e15 ~quick =
+  let ns = if quick then [ 128; 512 ] else [ 128; 512; 2048 ] in
+  let trials = if quick then 3 else 4 in
+  let table =
+    Table.create
+      ~headers:[ "n"; "d=1 running max"; "d=2 running max"; "d=1 mean"; "d=2 mean" ]
+  in
+  List.iter
+    (fun n ->
+      let window = 8 * n in
+      let measure d =
+        let running = Rbb_stats.Welford.create () in
+        let mean_m = Rbb_stats.Welford.create () in
+        let _ =
+          Replicate.run ~base_seed:1515L ~trials (fun rng ->
+              let p = Process.create ~d_choices:d ~rng ~init:(Config.uniform ~n) () in
+              let worst = ref 0 in
+              for _ = 1 to window do
+                Process.step p;
+                if Process.max_load p > !worst then worst := Process.max_load p;
+                Rbb_stats.Welford.add mean_m (fi (Process.max_load p))
+              done;
+              Rbb_stats.Welford.add running (fi !worst))
+        in
+        (Rbb_stats.Welford.mean running, Rbb_stats.Welford.mean mean_m)
+      in
+      let r1, m1 = measure 1 and r2, m2 = measure 2 in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float r1;
+          Table.cell_float r2;
+          Table.cell_float m1;
+          Table.cell_float m2;
+        ])
+    ns;
+  Table.print
+    ~caption:"Two-choices re-assignment vs the paper's one-choice process (window 8n)"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E16 — Tetris with random arrivals ([18])                             *)
+(* ------------------------------------------------------------------ *)
+
+let e16 ~quick =
+  let n = if quick then 256 else 512 in
+  let lambdas = [ 0.5; 0.75; 0.9 ] in
+  let trials = if quick then 3 else 5 in
+  let window = 16 * n in
+  let table =
+    Table.create
+      ~headers:
+        [ "lambda"; "running max"; "mean M^(t)"; "mean balls"; "mean balls/n" ]
+  in
+  List.iter
+    (fun lambda ->
+      let running = Rbb_stats.Welford.create () in
+      let mean_m = Rbb_stats.Welford.create () in
+      let balls = Rbb_stats.Welford.create () in
+      let _ =
+        Replicate.run ~base_seed:1616L ~trials (fun rng ->
+            let t =
+              Tetris.create ~arrivals:(Tetris.Binomial_rate lambda) ~rng
+                ~init:(Config.uniform ~n) ()
+            in
+            let worst = ref 0 in
+            for _ = 1 to window do
+              Tetris.step t;
+              if Tetris.max_load t > !worst then worst := Tetris.max_load t;
+              Rbb_stats.Welford.add mean_m (fi (Tetris.max_load t));
+              Rbb_stats.Welford.add balls (fi (Tetris.total_balls t))
+            done;
+            Rbb_stats.Welford.add running (fi !worst))
+      in
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:2 lambda;
+          Table.cell_float (Rbb_stats.Welford.mean running);
+          Table.cell_float (Rbb_stats.Welford.mean mean_m);
+          Table.cell_float ~decimals:1 (Rbb_stats.Welford.mean balls);
+          Table.cell_float ~decimals:3 (Rbb_stats.Welford.mean balls /. fi n);
+        ])
+    lambdas;
+  Table.print
+    ~caption:
+      (Printf.sprintf
+         "Tetris with Bin(n, lambda) arrivals per round (n = %d): the 'leaky bins' variant stays stable for lambda < 1"
+         n)
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E17 — closed Jackson network baseline                                *)
+(* ------------------------------------------------------------------ *)
+
+let e17 ~quick =
+  let ns = if quick then [ 4; 8 ] else [ 4; 8; 16; 64 ] in
+  let events = if quick then 100_000 else 400_000 in
+  let table =
+    Table.create
+      ~headers:
+        [ "n"; "product-form E[M] (exact)"; "Jackson time-avg M"; "RBB mean M(t)" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rbb_prng.Rng.create ~seed:1717L () in
+      let j = Rbb_queueing.Jackson.create ~rng ~init:(Config.uniform ~n) () in
+      Rbb_queueing.Jackson.run_events j ~count:events;
+      let exact =
+        if n <= 16 then
+          Printf.sprintf "%.3f"
+            (Rbb_queueing.Jackson.stationary_max_load_expectation ~n ~m:n)
+        else "-"
+      in
+      let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+      Process.run p ~rounds:n (* warm up *);
+      let w = Rbb_stats.Welford.create () in
+      for _ = 1 to 16 * n do
+        Process.step p;
+        Rbb_stats.Welford.add w (fi (Process.max_load p))
+      done;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          exact;
+          Table.cell_float ~decimals:3 (Rbb_queueing.Jackson.time_average_max_load j);
+          Table.cell_float ~decimals:3 (Rbb_stats.Welford.mean w);
+        ])
+    ns;
+  Table.print
+    ~caption:
+      "Closed Jackson network (continuous time, product form) vs the parallel RBB chain at m = n"
+    table
+
+(* ------------------------------------------------------------------ *)
+(* E18 — exact-chain validation of the simulator                        *)
+(* ------------------------------------------------------------------ *)
+
+let e18 ~quick =
+  let cases = [ (2, 2); (3, 3); (4, 4); (5, 5) ] in
+  let trials = if quick then 20_000 else 100_000 in
+  let rounds_list = [ 1; 4; 8 ] in
+  let table = Table.create ~headers:[ "n"; "m"; "t"; "TV(sim, exact)"; "trials" ] in
+  List.iter
+    (fun (n, m) ->
+      let chain = Rbb_markov.Chain.create ~n ~m in
+      let init = Array.make n 0 in
+      init.(0) <- m;
+      List.iter
+        (fun rounds ->
+          let exact = Rbb_markov.Chain.distribution_at chain ~init ~rounds in
+          let counts = Array.make (Rbb_markov.Chain.num_states chain) 0 in
+          let rng = Rbb_prng.Rng.create ~seed:1818L () in
+          for _ = 1 to trials do
+            let p = Process.create ~rng ~init:(Config.of_array init) () in
+            Process.run p ~rounds;
+            let s =
+              Rbb_markov.Chain.state_index chain (Config.loads (Process.config p))
+            in
+            counts.(s) <- counts.(s) + 1
+          done;
+          let empirical = Array.map (fun c -> fi c /. fi trials) counts in
+          Table.add_row table
+            [
+              Table.cell_int n;
+              Table.cell_int m;
+              Table.cell_int rounds;
+              Table.cell_float ~decimals:5
+                (Rbb_markov.Chain.total_variation exact empirical);
+              Table.cell_int trials;
+            ])
+        rounds_list)
+    cases;
+  Table.print
+    ~caption:
+      "Simulator round-t distribution vs the exact Markov chain (TV distance; sampling noise ~ sqrt(states/trials))"
+    table
+
+let all =
+  [
+    Rbb_sim.Experiment.make ~id:"e10" ~title:"Appendix B counterexample"
+      ~claim:"Appendix B: arrival counts are not negatively associated (P(X1=0,X2=0)=1/8 > 3/32)."
+      (fun ~quick -> e10 ~quick);
+    Rbb_sim.Experiment.make ~id:"e11" ~title:"Flat max load vs O(sqrt t)"
+      ~claim:"Section 1.3: the previous bound grew as sqrt(t); the true max load is flat in t."
+      (fun ~quick -> e11 ~quick);
+    Rbb_sim.Experiment.make ~id:"e12" ~title:"One-shot vs repeated max load"
+      ~claim:"The repeated process pays only a log log n factor over the one-shot maximum load."
+      (fun ~quick -> e12 ~quick);
+    Rbb_sim.Experiment.make ~id:"e13" ~title:"m balls in n bins"
+      ~claim:"Section 5 open question: behaviour of the max load for m != n."
+      (fun ~quick -> e13 ~quick);
+    Rbb_sim.Experiment.make ~id:"e14" ~title:"General graphs"
+      ~claim:"Section 5 conjecture: the max load remains logarithmic on regular graphs."
+      (fun ~quick -> e14 ~quick);
+    Rbb_sim.Experiment.make ~id:"e15" ~title:"d-choices variant"
+      ~claim:"Reference [36]: re-assigning to the least loaded of d sampled bins lowers the max load."
+      (fun ~quick -> e15 ~quick);
+    Rbb_sim.Experiment.make ~id:"e16" ~title:"Tetris with random arrivals"
+      ~claim:"Reference [18]: Tetris with Bin(n, lambda) arrivals stays stable for lambda < 1."
+      (fun ~quick -> e16 ~quick);
+    Rbb_sim.Experiment.make ~id:"e17" ~title:"Closed Jackson network baseline"
+      ~claim:"Section 1.3: the classical product-form relative of the RBB chain."
+      (fun ~quick -> e17 ~quick);
+    Rbb_sim.Experiment.make ~id:"e18" ~title:"Exact-chain validation"
+      ~claim:"The simulator's round-t law matches the exact chain (TV -> sampling noise)."
+      (fun ~quick -> e18 ~quick);
+  ]

@@ -1,0 +1,43 @@
+(* Benchmark driver.
+
+   Usage:
+     main.exe                 run all experiments (full size) + microbenches
+     main.exe quick           run everything at smoke-test sizes
+     main.exe e1 e4 ...       run selected experiments (full size)
+     main.exe micro           run only the Bechamel kernel benchmarks
+     main.exe list            list experiment ids and claims
+
+   Every experiment id maps to a row of the per-experiment index in
+   DESIGN.md section 4; outputs are recorded in EXPERIMENTS.md. *)
+
+let experiments =
+  Experiments_core.all @ Experiments_ext.all @ Experiments_abl.all
+  @ Experiments_proto.all @ Experiments_var.all
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (e : Rbb_sim.Experiment.t) ->
+      Printf.printf "  %-4s %s\n       %s\n" e.id e.title e.claim)
+    experiments;
+  print_endline "  micro  Bechamel kernel benchmarks"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.exists (fun a -> a = "quick" || a = "--quick") args in
+  let args = List.filter (fun a -> a <> "quick" && a <> "--quick") args in
+  match args with
+  | [ "list" ] -> list_experiments ()
+  | [ "micro" ] -> Micro.run ()
+  | [] ->
+      Printf.printf
+        "Repeated balls-into-bins: full experiment suite%s (use 'list' for ids)\n"
+        (if quick then " [quick]" else "");
+      Rbb_sim.Experiment.run_all experiments ~quick;
+      Micro.run ()
+  | ids ->
+      (try Rbb_sim.Experiment.run_selected experiments ~ids ~quick
+       with Invalid_argument msg ->
+         prerr_endline msg;
+         list_experiments ();
+         exit 1)

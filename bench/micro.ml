@@ -1,0 +1,120 @@
+(* Bechamel microbenchmarks of the simulation kernels (B1-B6 in
+   DESIGN.md).  These measure the per-operation cost of each hot loop;
+   the experiment tables in experiments_*.ml measure the science. *)
+
+open Bechamel
+open Toolkit
+open Rbb_core
+
+let n = 1024
+
+let process_step_test ~d =
+  let rng = Rbb_prng.Rng.create ~seed:1L () in
+  let p = Process.create ~d_choices:d ~rng ~init:(Config.uniform ~n) () in
+  Test.make
+    ~name:(Printf.sprintf "process_step d=%d n=%d" d n)
+    (Staged.stage (fun () -> Process.step p))
+
+let token_step_test ~strategy ~name =
+  let rng = Rbb_prng.Rng.create ~seed:2L () in
+  let t = Token_process.create ~strategy ~rng ~init:(Config.uniform ~n) () in
+  Test.make
+    ~name:(Printf.sprintf "token_step %s n=%d" name n)
+    (Staged.stage (fun () -> Token_process.step t))
+
+let tetris_step_test () =
+  let rng = Rbb_prng.Rng.create ~seed:3L () in
+  let t = Tetris.create ~rng ~init:(Config.uniform ~n) () in
+  Test.make
+    ~name:(Printf.sprintf "tetris_step n=%d" n)
+    (Staged.stage (fun () -> Tetris.step t))
+
+let coupling_step_test () =
+  let rng = Rbb_prng.Rng.create ~seed:4L () in
+  let init = Config.random rng ~n ~m:n in
+  let c = Coupling.create ~rng ~init () in
+  Test.make
+    ~name:(Printf.sprintf "coupling_step n=%d" n)
+    (Staged.stage (fun () -> Coupling.step c))
+
+let walks_ring_step_test () =
+  let rng = Rbb_prng.Rng.create ~seed:5L () in
+  let w =
+    Walks.create ~rng ~graph:(Rbb_graph.Build.cycle n) ~init:(Config.uniform ~n) ()
+  in
+  Test.make
+    ~name:(Printf.sprintf "walks_step ring n=%d" n)
+    (Staged.stage (fun () -> Walks.step w))
+
+let binomial_draw_test () =
+  let rng = Rbb_prng.Rng.create ~seed:6L () in
+  let table =
+    Rbb_prng.Sampler.Binomial_table.create ~n:(3 * n / 4) ~p:(1. /. float_of_int n)
+  in
+  Test.make ~name:"binomial_table_draw"
+    (Staged.stage (fun () -> ignore (Rbb_prng.Sampler.Binomial_table.draw table rng)))
+
+let rng_draw_test () =
+  let rng = Rbb_prng.Rng.create ~seed:7L () in
+  Test.make ~name:"rng_int_below 1024"
+    (Staged.stage (fun () -> ignore (Rbb_prng.Rng.int_below rng n)))
+
+let jackson_event_test () =
+  let rng = Rbb_prng.Rng.create ~seed:8L () in
+  let j = Rbb_queueing.Jackson.create ~rng ~init:(Config.uniform ~n) () in
+  Test.make
+    ~name:(Printf.sprintf "jackson_event n=%d" n)
+    (Staged.stage (fun () -> Rbb_queueing.Jackson.run_events j ~count:1))
+
+let one_shot_test () =
+  let rng = Rbb_prng.Rng.create ~seed:9L () in
+  Test.make
+    ~name:(Printf.sprintf "one_shot_throw n=%d" n)
+    (Staged.stage (fun () -> ignore (Rbb_queueing.One_shot.max_load rng ~n ~m:n)))
+
+let tests () =
+  [
+    process_step_test ~d:1;
+    process_step_test ~d:2;
+    token_step_test ~strategy:Token_process.Fifo ~name:"fifo";
+    token_step_test ~strategy:Token_process.Random_ball ~name:"random";
+    tetris_step_test ();
+    coupling_step_test ();
+    walks_ring_step_test ();
+    binomial_draw_test ();
+    rng_draw_test ();
+    jackson_event_test ();
+    one_shot_test ();
+  ]
+
+let run () =
+  print_endline "\n=== MICRO: kernel benchmarks (Bechamel, monotonic clock) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rbb" (tests ())) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Rbb_sim.Table.create ~headers:[ "kernel"; "ns/op"; "R^2" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Printf.sprintf "%.1f" est
+        | Some [] | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns, r2) -> Rbb_sim.Table.add_row table [ name; ns; r2 ])
+    (List.sort compare !rows);
+  Rbb_sim.Table.print table

@@ -1,0 +1,669 @@
+(* rbb — command-line front end for the repeated balls-into-bins library.
+
+   Subcommands mirror the library's engines:
+     simulate   run the RBB process and print per-round / summary metrics
+     tetris     run the Tetris process
+     converge   measure rounds-to-legitimate from a worst-case start
+     cover      measure the multi-token traversal cover time
+     adversary  run with periodic adversarial faults
+     markov     exact small-n analysis (stationary law, Appendix B)
+     sweep      max-load scaling across a ladder of n *)
+
+open Cmdliner
+open Rbb_core
+
+let fi = float_of_int
+
+(* Shared options ---------------------------------------------------- *)
+
+let seed_t =
+  let doc = "PRNG seed (runs are deterministic in the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_t =
+  let doc = "Number of bins (and nodes)." in
+  Arg.(value & opt int 1024 & info [ "n"; "bins" ] ~docv:"N" ~doc)
+
+let rng_of_seed seed = Rbb_prng.Rng.create ~seed:(Int64.of_int seed) ()
+
+let init_conv =
+  let parse s =
+    match s with
+    | "uniform" | "pile" | "random" -> Ok s
+    | _ -> Error (`Msg "expected one of: uniform, pile, random")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let init_t =
+  let doc =
+    "Initial configuration: $(b,uniform) (one ball per bin), $(b,pile) (all \
+     balls in bin 0), or $(b,random) (balls thrown u.a.r.)."
+  in
+  Arg.(value & opt init_conv "uniform" & info [ "init" ] ~docv:"INIT" ~doc)
+
+let make_init name rng ~n ~m =
+  match name with
+  | "uniform" when m = n -> Config.uniform ~n
+  | "uniform" -> Config.balanced ~n ~m
+  | "pile" -> Config.all_in_one ~n ~m ()
+  | "random" -> Config.random rng ~n ~m
+  | _ -> assert false
+
+(* simulate ----------------------------------------------------------- *)
+
+let simulate n rounds seed init_name d report_every =
+  let rng = rng_of_seed seed in
+  let init = make_init init_name rng ~n ~m:n in
+  let p = Process.create ~d_choices:d ~rng ~init () in
+  let metrics = Metrics.create ~n in
+  for r = 1 to rounds do
+    Process.step p;
+    Metrics.observe_process metrics p;
+    if report_every > 0 && r mod report_every = 0 then
+      Printf.printf "round %8d: max load %3d, empty bins %d (%.3f)\n" r
+        (Process.max_load p) (Process.empty_bins p)
+        (fi (Process.empty_bins p) /. fi n)
+  done;
+  Printf.printf
+    "\nn=%d rounds=%d d=%d init=%s seed=%d\n\
+     running max load       : %d\n\
+     mean max load          : %.3f\n\
+     legitimacy threshold   : %d (4 ln n)\n\
+     min empty-bin fraction : %.4f\n\
+     rounds below n/4 empty : %d\n"
+    n rounds d init_name seed
+    (Metrics.running_max_load metrics)
+    (Metrics.mean_max_load metrics)
+    (Config.legitimacy_threshold n)
+    (Metrics.min_empty_fraction metrics)
+    (Metrics.rounds_below_quarter metrics)
+
+let simulate_cmd =
+  let rounds_t =
+    Arg.(value & opt int 10_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
+  in
+  let d_t =
+    Arg.(value & opt int 1 & info [ "d" ] ~docv:"D" ~doc:"Number of bin choices per re-assignment.")
+  in
+  let report_t =
+    Arg.(value & opt int 0 & info [ "report-every" ] ~docv:"K" ~doc:"Print a progress line every K rounds (0 = never).")
+  in
+  let doc = "Run the repeated balls-into-bins process and report load metrics." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ report_t)
+
+(* tetris -------------------------------------------------------------- *)
+
+let tetris n rounds seed init_name lambda =
+  let rng = rng_of_seed seed in
+  let init = make_init init_name rng ~n ~m:n in
+  let arrivals =
+    match lambda with
+    | None -> Tetris.Three_quarters
+    | Some l -> Tetris.Binomial_rate l
+  in
+  let t = Tetris.create ~arrivals ~rng ~init () in
+  let worst = ref 0 in
+  for _ = 1 to rounds do
+    Tetris.step t;
+    if Tetris.max_load t > !worst then worst := Tetris.max_load t
+  done;
+  Printf.printf
+    "tetris n=%d rounds=%d arrivals=%s\n\
+     running max load : %d\n\
+     final max load   : %d\n\
+     final balls      : %d\n\
+     all bins emptied : %s\n"
+    n rounds
+    (match lambda with None -> "3n/4" | Some l -> Printf.sprintf "Bin(n, %.2f)" l)
+    !worst (Tetris.max_load t) (Tetris.total_balls t)
+    (match Tetris.all_bins_emptied_by t with
+    | Some r -> Printf.sprintf "by round %d" r
+    | None -> "not yet")
+
+let tetris_cmd =
+  let rounds_t =
+    Arg.(value & opt int 10_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
+  in
+  let lambda_t =
+    Arg.(value & opt (some float) None
+         & info [ "lambda" ] ~docv:"L" ~doc:"Use Bin(n, L) random arrivals instead of the fixed 3n/4 batch.")
+  in
+  let doc = "Run the auxiliary Tetris process." in
+  Cmd.v (Cmd.info "tetris" ~doc)
+    Term.(const tetris $ n_t $ rounds_t $ seed_t $ init_t $ lambda_t)
+
+(* converge ------------------------------------------------------------ *)
+
+let converge n trials seed domains =
+  let measure rng =
+    let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
+    match Process.run_until_legitimate p ~max_rounds:(100 * n) with
+    | Some r -> fi r
+    | None -> failwith "no convergence within 100n rounds"
+  in
+  (* Parallel and sequential runners produce identical results; domains
+     only change wall-clock time. *)
+  let samples =
+    if domains > 1 then
+      Rbb_sim.Parallel.run_floats ~domains ~base_seed:(Int64.of_int seed) ~trials
+        measure
+    else
+      Rbb_sim.Replicate.run_floats ~base_seed:(Int64.of_int seed) ~trials measure
+  in
+  Printf.printf
+    "convergence from the worst configuration (all %d balls in one bin), %d trials\n\
+     mean rounds : %.1f  (%.3f n)\n\
+     max rounds  : %.0f  (%.3f n)\n\
+     threshold   : max load <= %d\n"
+    n trials samples.Rbb_stats.Summary.mean
+    (samples.Rbb_stats.Summary.mean /. fi n)
+    samples.Rbb_stats.Summary.max
+    (samples.Rbb_stats.Summary.max /. fi n)
+    (Config.legitimacy_threshold n)
+
+let converge_cmd =
+  let trials_t =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"K" ~doc:"Independent trials.")
+  in
+  let domains_t =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D" ~doc:"Run trials across D domains (results are identical).")
+  in
+  let doc = "Measure Theorem 1's O(n) convergence time from the worst start." in
+  Cmd.v (Cmd.info "converge" ~doc)
+    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t)
+
+(* cover --------------------------------------------------------------- *)
+
+let cover n seed strategy_name =
+  let strategy =
+    match strategy_name with
+    | "fifo" -> Token_process.Fifo
+    | "lifo" -> Token_process.Lifo
+    | "random" -> Token_process.Random_ball
+    | _ -> assert false
+  in
+  let rng = rng_of_seed seed in
+  let t =
+    Token_process.create ~strategy ~track_cover:true ~rng
+      ~init:(Config.uniform ~n) ()
+  in
+  (match Token_process.run_until_covered t ~max_rounds:max_int with
+  | Some r ->
+      let ln = Float.log (fi n) in
+      Printf.printf
+        "multi-token traversal on the clique, n=%d, strategy=%s\n\
+         cover time        : %d rounds\n\
+         n ln^2 n          : %.0f  (ratio %.3f)\n\
+         single-walk nH_n  : %.0f  (slowdown %.2f)\n\
+         min ball progress : %d walk steps\n"
+        n strategy_name r
+        (fi n *. ln *. ln)
+        (fi r /. (fi n *. ln *. ln))
+        (Walks.clique_single_cover_expectation n)
+        (fi r /. Walks.clique_single_cover_expectation n)
+        (Token_process.min_progress t)
+  | None -> print_endline "cover incomplete (cap reached)")
+
+let strategy_conv =
+  let parse s =
+    match s with
+    | "fifo" | "lifo" | "random" -> Ok s
+    | _ -> Error (`Msg "expected one of: fifo, lifo, random")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let cover_cmd =
+  let strategy_t =
+    Arg.(value & opt strategy_conv "fifo"
+         & info [ "strategy" ] ~docv:"S" ~doc:"Queueing strategy: fifo, lifo or random.")
+  in
+  let doc = "Measure the parallel cover time of the n-token traversal (Corollary 1)." in
+  Cmd.v (Cmd.info "cover" ~doc) Term.(const cover $ n_t $ seed_t $ strategy_t)
+
+(* adversary ------------------------------------------------------------ *)
+
+let adversary n rounds seed gamma =
+  let rng = rng_of_seed seed in
+  let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+  let metrics =
+    Adversary.run_with_faults
+      ~schedule:(Adversary.Every (gamma * n))
+      ~action:(Adversary.Pile_into 0) ~rounds p
+  in
+  Printf.printf
+    "adversarial run: n=%d rounds=%d fault period=%dn\n\
+     running max load   : %d (faults pile all balls into bin 0)\n\
+     mean max load      : %.2f\n\
+     final max load     : %d (threshold %d)\n\
+     final is legitimate: %b\n"
+    n rounds gamma
+    (Metrics.running_max_load metrics)
+    (Metrics.mean_max_load metrics)
+    (Process.max_load p)
+    (Config.legitimacy_threshold n)
+    (Process.max_load p <= Config.legitimacy_threshold n)
+
+let adversary_cmd =
+  let rounds_t =
+    Arg.(value & opt int 100_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
+  in
+  let gamma_t =
+    Arg.(value & opt int 6 & info [ "gamma" ] ~docv:"G" ~doc:"Fault period in multiples of n (paper: gamma >= 6).")
+  in
+  let doc = "Run under the Section 4.1 transient-fault adversary." in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(const adversary $ n_t $ rounds_t $ seed_t $ gamma_t)
+
+(* markov ---------------------------------------------------------------- *)
+
+let markov n m =
+  let chain = Rbb_markov.Chain.create ~n ~m in
+  Printf.printf "exact chain: n=%d bins, m=%d balls, %d states\n" n m
+    (Rbb_markov.Chain.num_states chain);
+  let pi = Rbb_markov.Chain.stationary chain in
+  let pmf = Rbb_markov.Chain.max_load_pmf chain pi in
+  print_endline "stationary max-load distribution:";
+  Array.iteri
+    (fun k p -> if p > 1e-12 then Printf.printf "  P(M = %d) = %.6f\n" k p)
+    pmf;
+  Printf.printf "stationary E[max load] = %.6f\n"
+    (Rbb_markov.Chain.expected_max_load chain pi);
+  if n = 2 && m = 2 then begin
+    let r = Rbb_markov.Exact.appendix_b () in
+    Printf.printf
+      "\nAppendix B (exact): P(X1=0)=%.4f P(X2=0)=%.4f joint=%.4f product=%.4f -> not negatively associated: %b\n"
+      r.p_x1_zero r.p_x2_zero r.p_joint_zero r.product
+      r.violates_negative_association
+  end
+
+let markov_cmd =
+  let n_small =
+    Arg.(value & opt int 4 & info [ "n"; "bins" ] ~docv:"N" ~doc:"Bins (small: the state space is C(m+n-1, n-1)).")
+  in
+  let m_small =
+    Arg.(value & opt int 4 & info [ "m"; "balls" ] ~docv:"M" ~doc:"Balls.")
+  in
+  let doc = "Exact Markov-chain analysis for small systems." in
+  Cmd.v (Cmd.info "markov" ~doc) Term.(const markov $ n_small $ m_small)
+
+(* sweep ------------------------------------------------------------------ *)
+
+let sweep n_min n_max trials seed csv_path =
+  let table =
+    Rbb_sim.Table.create
+      ~headers:[ "n"; "threshold"; "mean running max"; "worst"; "mean rounds-to-legit" ]
+  in
+  let rows = ref [] in
+  let n = ref n_min in
+  while !n <= n_max do
+    let n0 = !n in
+    let maxes =
+      Rbb_sim.Replicate.run ~base_seed:(Int64.of_int seed) ~trials (fun rng ->
+          let p = Process.create ~rng ~init:(Config.uniform ~n:n0) () in
+          let worst = ref 0 in
+          for _ = 1 to 16 * n0 do
+            Process.step p;
+            if Process.max_load p > !worst then worst := Process.max_load p
+          done;
+          fi !worst)
+    in
+    let conv =
+      Rbb_sim.Replicate.run_floats ~base_seed:(Int64.of_int (seed + 1)) ~trials
+        (fun rng ->
+          let p = Process.create ~rng ~init:(Config.all_in_one ~n:n0 ~m:n0 ()) () in
+          match Process.run_until_legitimate p ~max_rounds:(100 * n0) with
+          | Some r -> fi r
+          | None -> failwith "no convergence")
+    in
+    let summary = Rbb_stats.Summary.of_array maxes in
+    Rbb_sim.Table.add_row table
+      [
+        string_of_int n0;
+        string_of_int (Config.legitimacy_threshold n0);
+        Printf.sprintf "%.2f" summary.Rbb_stats.Summary.mean;
+        Printf.sprintf "%.0f" summary.Rbb_stats.Summary.max;
+        Printf.sprintf "%.1f" conv.Rbb_stats.Summary.mean;
+      ];
+    rows :=
+      [
+        string_of_int n0;
+        Printf.sprintf "%.4f" summary.Rbb_stats.Summary.mean;
+        Printf.sprintf "%.4f" conv.Rbb_stats.Summary.mean;
+      ]
+      :: !rows;
+    n := 2 * n0
+  done;
+  Rbb_sim.Table.print ~caption:"Max-load and convergence scaling (window 16n)" table;
+  match csv_path with
+  | None -> ()
+  | Some path ->
+      Rbb_sim.Csv.write_file ~path
+        ~header:[ "n"; "mean_running_max"; "mean_convergence_rounds" ]
+        (List.rev !rows);
+      Printf.printf "wrote %s\n" path
+
+let sweep_cmd =
+  let n_min_t =
+    Arg.(value & opt int 64 & info [ "n-min" ] ~docv:"N" ~doc:"Smallest n (doubles up to n-max).")
+  in
+  let n_max_t =
+    Arg.(value & opt int 1024 & info [ "n-max" ] ~docv:"N" ~doc:"Largest n.")
+  in
+  let trials_t =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"K" ~doc:"Trials per size.")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the series as CSV.")
+  in
+  let doc = "Sweep the max-load and convergence scaling across a ladder of n." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ n_min_t $ n_max_t $ trials_t $ seed_t $ csv_t)
+
+(* Graph specifications ----------------------------------------------------- *)
+
+(* "complete" | "cycle" | "torus" | "hypercube" | "star" | "grid" |
+   "tree" | "barbell" | "regular:D" | "circulant:J1,J2,..." — sized to
+   (roughly) n vertices. *)
+let build_graph rng spec n =
+  let fail msg = raise (Invalid_argument msg) in
+  let side () =
+    let s = int_of_float (Float.sqrt (float_of_int n)) in
+    if s * s <> n then fail "torus/grid need a square n" else s
+  in
+  match String.split_on_char ':' spec with
+  | [ "complete" ] -> Rbb_graph.Csr.complete n
+  | [ "cycle" ] -> Rbb_graph.Build.cycle n
+  | [ "torus" ] ->
+      let s = side () in
+      Rbb_graph.Build.torus2d ~rows:s ~cols:s
+  | [ "grid" ] ->
+      let s = side () in
+      Rbb_graph.Build.grid2d ~rows:s ~cols:s
+  | [ "hypercube" ] ->
+      let d = int_of_float (Float.round (Float.log (float_of_int n) /. Float.log 2.)) in
+      if 1 lsl d <> n then fail "hypercube needs n = 2^d"
+      else Rbb_graph.Build.hypercube d
+  | [ "star" ] -> Rbb_graph.Build.star n
+  | [ "tree" ] -> Rbb_graph.Build.binary_tree n
+  | [ "barbell" ] ->
+      if n mod 2 <> 0 then fail "barbell needs even n"
+      else Rbb_graph.Build.barbell (n / 2)
+  | [ "regular"; d ] -> (
+      match int_of_string_opt d with
+      | Some d -> Rbb_graph.Build.random_regular rng ~n ~d
+      | None -> fail "regular:D needs an integer degree")
+  | [ "circulant"; jumps ] ->
+      let jumps =
+        List.map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some j -> j
+            | None -> fail "circulant:J1,J2 needs integer jumps")
+          (String.split_on_char ',' jumps)
+      in
+      Rbb_graph.Build.circulant ~n ~jumps
+  | _ ->
+      fail
+        (Printf.sprintf
+           "unknown graph %S (try complete, cycle, torus, grid, hypercube, star, tree, barbell, regular:D, circulant:J1,J2)"
+           spec)
+
+let graph_t =
+  let doc =
+    "Topology: complete, cycle, torus, grid, hypercube, star, tree, barbell, \
+     regular:D or circulant:J1,J2,..."
+  in
+  Arg.(value & opt string "complete" & info [ "graph" ] ~docv:"G" ~doc)
+
+(* rumor --------------------------------------------------------------------- *)
+
+let rumor n seed mode_name graph_spec =
+  let mode =
+    match mode_name with
+    | "push" -> Rumor.Push
+    | "pull" -> Rumor.Pull
+    | "push-pull" -> Rumor.Push_pull
+    | _ -> assert false
+  in
+  let rng = rng_of_seed seed in
+  let graph = build_graph rng graph_spec n in
+  let r = Rumor.create ~graph ~mode ~rng ~n ~source:0 () in
+  let series = ref [] in
+  (match
+     let rec go k =
+       if Rumor.all_informed r then Some (Rumor.round r)
+       else if k > 1_000_000 then None
+       else begin
+         Rumor.step r;
+         series := fi (Rumor.informed r) :: !series;
+         go (k + 1)
+       end
+     in
+     go 0
+   with
+  | Some t ->
+      Printf.printf "rumor (%s) informed all %d nodes in %d rounds" mode_name n t;
+      if graph_spec = "complete" then
+        Printf.printf " (log2 n + ln n = %.1f)" (Rumor.push_time_estimate n);
+      print_newline ();
+      print_endline "informed nodes per round:";
+      print_string
+        (Rbb_sim.Plot.line_plot ~rows:10 ~cols:60 ~x_label:"round" ~y_label:"informed"
+           (Array.of_list (List.rev !series)))
+  | None -> print_endline "rumor did not spread (disconnected graph?)")
+
+let rumor_mode_conv =
+  let parse s =
+    match s with
+    | "push" | "pull" | "push-pull" -> Ok s
+    | _ -> Error (`Msg "expected push, pull or push-pull")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let rumor_cmd =
+  let mode_t =
+    Arg.(value & opt rumor_mode_conv "push" & info [ "mode" ] ~docv:"M" ~doc:"push, pull or push-pull.")
+  in
+  let doc = "Spread a rumor in the random phone-call model (gossip baseline)." in
+  Cmd.v (Cmd.info "rumor" ~doc) Term.(const rumor $ n_t $ seed_t $ mode_t $ graph_t)
+
+(* ij ------------------------------------------------------------------------ *)
+
+let ij n seed graph_spec =
+  let rng = rng_of_seed seed in
+  let graph = build_graph rng graph_spec n in
+  let t = Israeli_jalfon.create_full ~graph ~rng ~n () in
+  let series = ref [ fi n ] in
+  let rec go () =
+    if Israeli_jalfon.token_count t <= 1 then Israeli_jalfon.round t
+    else begin
+      Israeli_jalfon.step t;
+      series := fi (Israeli_jalfon.token_count t) :: !series;
+      go ()
+    end
+  in
+  let merged = go () in
+  Printf.printf
+    "Israeli-Jalfon on %s (n = %d): single token after %d rounds (%.2f n)\n"
+    graph_spec n merged (fi merged /. fi n);
+  print_endline "token count per round:";
+  print_string
+    (Rbb_sim.Plot.line_plot ~rows:10 ~cols:60 ~x_label:"round" ~y_label:"tokens"
+       (Array.of_list (List.rev !series)))
+
+let ij_cmd =
+  let doc = "Run Israeli-Jalfon token management until one token survives." in
+  Cmd.v (Cmd.info "ij" ~doc) Term.(const ij $ n_t $ seed_t $ graph_t)
+
+(* profile ------------------------------------------------------------------- *)
+
+let profile n rounds seed init_name =
+  let rng = rng_of_seed seed in
+  let init = make_init init_name rng ~n ~m:n in
+  let p = Process.create ~rng ~init () in
+  let trace = Trace.create ~capacity:4096 () in
+  let metrics = Metrics.create ~n in
+  for _ = 1 to rounds do
+    Process.step p;
+    Trace.record_process trace p;
+    Metrics.observe_process metrics p
+  done;
+  Printf.printf "max load M(t) over %d rounds (n = %d, init = %s):\n" rounds n
+    init_name;
+  print_string
+    (Rbb_sim.Plot.line_plot ~rows:12 ~cols:64 ~x_label:"round (downsampled)"
+       ~y_label:"M(t)"
+       (Trace.max_load_series trace));
+  let series = Trace.max_load_series trace in
+  let condensed =
+    (* Cap the sparkline at ~100 glyphs. *)
+    let len = Array.length series in
+    if len <= 100 then series
+    else
+      Array.init 100 (fun c ->
+          let lo = c * len / 100 and hi = Stdlib.max ((c * len / 100) + 1) ((c + 1) * len / 100) in
+          let acc = ref 0. in
+          for i = lo to hi - 1 do
+            acc := !acc +. series.(i)
+          done;
+          !acc /. float_of_int (hi - lo))
+  in
+  Printf.printf "\nsparkline: %s\n\n" (Rbb_sim.Plot.sparkline condensed);
+  print_endline "distribution of M(t) over the window:";
+  print_string
+    (Rbb_sim.Plot.histogram_of_int_hist ~width:50 (Metrics.max_load_histogram metrics));
+  Printf.printf "\nrunning max %d, threshold 4 ln n = %d, min empty fraction %.3f\n"
+    (Metrics.running_max_load metrics)
+    (Config.legitimacy_threshold n)
+    (Metrics.min_empty_fraction metrics)
+
+let profile_cmd =
+  let rounds_t =
+    Arg.(value & opt int 20_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
+  in
+  let doc = "Run the process and draw terminal plots of the max-load profile." in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile $ n_t $ rounds_t $ seed_t $ init_t)
+
+(* spectral ------------------------------------------------------------------ *)
+
+let spectral n seed graph_spec =
+  let rng = rng_of_seed seed in
+  let graph = build_graph rng graph_spec n in
+  let l2 = Rbb_graph.Spectral.lambda2_lazy_walk graph in
+  Printf.printf
+    "%s on %d vertices (%d edges)\n\
+     lambda2 (lazy walk)   : %.6f\n\
+     spectral gap          : %.6f\n\
+     relaxation time       : %.1f\n\
+     regular               : %s\n\
+     connected             : %b\n"
+    graph_spec (Rbb_graph.Csr.n graph)
+    (Rbb_graph.Csr.edge_count graph)
+    l2 (1. -. l2)
+    (Rbb_graph.Spectral.relaxation_time graph)
+    (match Rbb_graph.Check.is_regular graph with
+    | Some d -> Printf.sprintf "yes (d = %d)" d
+    | None -> "no")
+    (Rbb_graph.Check.is_connected graph)
+
+let spectral_cmd =
+  let doc = "Spectral analysis of a topology's lazy random walk." in
+  Cmd.v (Cmd.info "spectral" ~doc) Term.(const spectral $ n_t $ seed_t $ graph_t)
+
+(* trace -------------------------------------------------------------------- *)
+
+let trace n rounds seed init_name csv_path =
+  let rng = rng_of_seed seed in
+  let init = make_init init_name rng ~n ~m:n in
+  let p = Process.create ~rng ~init () in
+  let trace = Trace.create ~capacity:8192 () in
+  for _ = 1 to rounds do
+    Process.step p;
+    Trace.record_process trace p
+      ~extra:(Potential.log_exponential ~alpha:1.0 (Process.config p))
+  done;
+  Rbb_sim.Csv.write_file ~path:csv_path ~header:Trace.csv_header (Trace.to_rows trace);
+  let series = Trace.max_load_series trace in
+  let geweke = Rbb_stats.Geweke.diagnose series in
+  Printf.printf
+    "wrote %d samples (stride %d) to %s\n\
+     columns: round, max_load, empty_bins, extra = ln Phi_1 (exp. potential)\n\
+     M(t) series: mean %.3f, integrated autocorrelation time %.1f, ESS %.0f\n\
+     Geweke stationarity: z = %.2f (%s); suggested warm-up: %d samples\n"
+    (Trace.length trace) (Trace.stride trace) csv_path
+    (Array.fold_left ( +. ) 0. series /. float_of_int (Array.length series))
+    (Rbb_stats.Autocorr.integrated_time series)
+    (Rbb_stats.Autocorr.effective_sample_size series)
+    geweke.Rbb_stats.Geweke.z_score
+    (if geweke.Rbb_stats.Geweke.stationary then "stationary" else "still in transient")
+    (Rbb_stats.Geweke.warmup_estimate series)
+
+let trace_cmd =
+  let rounds_t =
+    Arg.(value & opt int 100_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
+  in
+  let csv_t =
+    Arg.(value & opt string "trace.csv"
+         & info [ "csv" ] ~docv:"PATH" ~doc:"Output CSV path.")
+  in
+  let doc = "Record a downsampled time series (max load, empty bins, potential) to CSV." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace $ n_t $ rounds_t $ seed_t $ init_t $ csv_t)
+
+(* mixing -------------------------------------------------------------------- *)
+
+let mixing n m epsilon =
+  let chain = Rbb_markov.Chain.create ~n ~m in
+  let pi = Rbb_markov.Chain.stationary chain in
+  Printf.printf "exact chain n=%d m=%d (%d states), stationary E[M] = %.4f\n" n m
+    (Rbb_markov.Chain.num_states chain)
+    (Rbb_markov.Chain.expected_max_load chain pi);
+  let worst_t, worst_cfg = Rbb_markov.Mixing.worst_init_mixing_time ~epsilon chain ~pi in
+  Printf.printf "worst-start mixing time (TV < %.2f): %d rounds, from [%s]\n" epsilon
+    worst_t
+    (String.concat "; " (Array.to_list (Array.map string_of_int worst_cfg)));
+  let pile = Array.make n 0 in
+  pile.(0) <- m;
+  let curve = Rbb_markov.Mixing.tv_curve chain ~init:pile ~rounds:(4 * n) ~pi in
+  print_endline "TV from the one-pile start:";
+  Array.iteri
+    (fun t d -> if t <= 10 || t mod n = 0 then Printf.printf "  t = %3d: %.6f\n" t d)
+    curve
+
+let mixing_cmd =
+  let n_small =
+    Arg.(value & opt int 4 & info [ "n"; "bins" ] ~docv:"N" ~doc:"Bins (small).")
+  in
+  let m_small =
+    Arg.(value & opt int 4 & info [ "m"; "balls" ] ~docv:"M" ~doc:"Balls.")
+  in
+  let eps_t =
+    Arg.(value & opt float 0.25 & info [ "epsilon" ] ~docv:"E" ~doc:"Mixing threshold.")
+  in
+  let doc = "Exact mixing-time analysis of the small chain." in
+  Cmd.v (Cmd.info "mixing" ~doc) Term.(const mixing $ n_small $ m_small $ eps_t)
+
+(* main ------------------------------------------------------------------- *)
+
+let () =
+  let doc = "self-stabilizing repeated balls-into-bins: simulation and analysis" in
+  let info = Cmd.info "rbb" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let group =
+    Cmd.group ~default info
+      [
+        simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
+        markov_cmd; sweep_cmd; trace_cmd; mixing_cmd; rumor_cmd; ij_cmd;
+        profile_cmd; spectral_cmd;
+      ]
+  in
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok () | `Help | `Version) -> exit 0
+  | Error `Parse -> exit 124
+  | Error (`Term | `Exn) -> exit 125
+  | exception (Invalid_argument msg | Failure msg) ->
+      Printf.eprintf "rbb: error: %s\n" msg;
+      exit 2

@@ -1,0 +1,48 @@
+(* Exact analysis of small systems: everything the Markov library can
+   say without sampling.
+
+   Run with:  dune exec examples/exact_analysis.exe *)
+
+let () =
+  let n = 4 and m = 4 in
+  let chain = Rbb_markov.Chain.create ~n ~m in
+  Printf.printf "The exact RBB chain for n = %d bins, m = %d balls: %d states\n\n" n m
+    (Rbb_markov.Chain.num_states chain);
+
+  (* Stationary law and its max-load distribution. *)
+  let pi = Rbb_markov.Chain.stationary chain in
+  print_endline "stationary max-load distribution:";
+  Array.iteri
+    (fun k p -> if p > 1e-9 then Printf.printf "  P(M = %d) = %.6f\n" k p)
+    (Rbb_markov.Chain.max_load_pmf chain pi);
+  Printf.printf "stationary E[M] = %.6f\n\n"
+    (Rbb_markov.Chain.expected_max_load chain pi);
+
+  (* How fast does the chain forget the worst start? *)
+  let pile = [| m; 0; 0; 0 |] in
+  let curve = Rbb_markov.Mixing.tv_curve chain ~init:pile ~rounds:12 ~pi in
+  print_endline "distance to stationarity from the one-pile start:";
+  Array.iteri (fun t d -> Printf.printf "  t = %2d: TV = %.6f\n" t d) curve;
+  let worst_t, worst_cfg = Rbb_markov.Mixing.worst_init_mixing_time chain ~pi in
+  Printf.printf "worst-start mixing time (TV < 1/4): %d rounds, achieved by [%s]\n\n"
+    worst_t
+    (String.concat "; " (Array.to_list (Array.map string_of_int worst_cfg)));
+
+  (* The exact convergence curve of E[M(t)]. *)
+  let em = Rbb_markov.Mixing.expected_max_load_curve chain ~init:pile ~rounds:8 in
+  print_endline "exact E[M(t)] from the pile (the shadow of Theorem 1's O(n) recovery):";
+  Array.iteri (fun t v -> Printf.printf "  t = %d: E[M] = %.4f\n" t v) em;
+  print_newline ();
+
+  (* Appendix B, exactly. *)
+  let r = Rbb_markov.Exact.appendix_b () in
+  print_endline "Appendix B (n = 2), computed exactly on the chain:";
+  Printf.printf "  P(X1=0)         = %.6f   (paper: 1/4)\n" r.p_x1_zero;
+  Printf.printf "  P(X2=0)         = %.6f   (paper: 3/8)\n" r.p_x2_zero;
+  Printf.printf "  P(X1=0, X2=0)   = %.6f   (paper: 1/8)\n" r.p_joint_zero;
+  Printf.printf "  product          = %.6f   (paper: 3/32)\n" r.product;
+  Printf.printf "  negative association violated: %b\n" r.violates_negative_association;
+  let chain2 = Rbb_markov.Chain.create ~n:2 ~m:2 in
+  Printf.printf "  Cov(1{X1=0}, 1{X2=0}) = %.6f (= 1/32 > 0)\n"
+    (Rbb_markov.Exact.covariance_of_zero_indicators chain2 ~init:[| 1; 1 |] ~bin:0
+       ~round_a:1 ~round_b:2)

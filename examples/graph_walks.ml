@@ -1,0 +1,62 @@
+(* Beyond the clique: constrained parallel random walks on general
+   graphs (the paper's §5 open question).
+
+   The paper conjectures the max load stays logarithmic on every
+   regular graph and notes that even rings are technically hard.  This
+   example runs the one-token-per-node-per-round walk protocol on a
+   menu of topologies and prints the load profile of each, including
+   the star — an irregular graph where the protocol visibly collapses.
+
+   Run with:  dune exec examples/graph_walks.exe *)
+
+open Rbb_core
+
+let fi = float_of_int
+
+let profile name graph rounds =
+  let n = Rbb_graph.Csr.n graph in
+  let rng = Rbb_prng.Rng.create ~seed:2718L () in
+  let w = Walks.create ~rng ~graph ~init:(Config.uniform ~n) () in
+  let running = ref 0 in
+  let mean = Rbb_stats.Welford.create () in
+  let empty = Rbb_stats.Welford.create () in
+  for _ = 1 to rounds do
+    Walks.step w;
+    if Walks.max_load w > !running then running := Walks.max_load w;
+    Rbb_stats.Welford.add mean (fi (Walks.max_load w));
+    Rbb_stats.Welford.add empty (fi (Walks.empty_bins w) /. fi n)
+  done;
+  let degree =
+    match Rbb_graph.Check.is_regular graph with
+    | Some d -> Printf.sprintf "%d-regular" d
+    | None ->
+        Printf.sprintf "degree %d..%d"
+          (Rbb_graph.Check.min_degree graph)
+          (Rbb_graph.Check.max_degree graph)
+  in
+  Printf.printf "%-14s %-12s max load %3d (mean %6.2f), empty frac %.3f\n" name
+    degree !running (Rbb_stats.Welford.mean mean)
+    (Rbb_stats.Welford.mean empty)
+
+let () =
+  let n = 256 in
+  let rounds = 16 * n in
+  let rng = Rbb_prng.Rng.create ~seed:31415L () in
+  Printf.printf
+    "Constrained parallel walks: %d tokens, %d rounds per topology (4 ln n = %d)\n\n"
+    n rounds
+    (Config.legitimacy_threshold n);
+  profile "clique" (Rbb_graph.Csr.complete n) rounds;
+  profile "hypercube" (Rbb_graph.Build.hypercube 8) rounds;
+  profile "torus 16x16" (Rbb_graph.Build.torus2d ~rows:16 ~cols:16) rounds;
+  profile "random 4-reg" (Rbb_graph.Build.random_regular rng ~n ~d:4) rounds;
+  profile "random 3-reg" (Rbb_graph.Build.random_regular rng ~n ~d:3) rounds;
+  profile "ring" (Rbb_graph.Build.cycle n) rounds;
+  profile "star" (Rbb_graph.Build.star n) rounds;
+  print_newline ();
+  print_endline
+    "reading: every regular topology keeps the max load near the clique's logarithmic";
+  print_endline
+    "band (the paper's conjecture); the star's hub is a 1-token-per-round bottleneck,";
+  print_endline
+    "so all n tokens pile up behind it — regularity genuinely matters."

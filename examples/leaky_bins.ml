@@ -1,0 +1,60 @@
+(* Leaky bins, two ways (paper reference [18]).
+
+   The probabilistic Tetris variant drops one ball per non-empty bin
+   per round and receives Bin(n, λ) fresh balls; its continuous-time
+   relative is an open network of n parallel M/M/1 queues, which has an
+   exact product-form stationary law.  This example runs both and puts
+   the closed forms next to the measurements.
+
+   Run with:  dune exec examples/leaky_bins.exe *)
+
+let fi = float_of_int
+
+let () =
+  let n = 512 in
+  let lambdas = [ 0.5; 0.75; 0.9 ] in
+  Printf.printf
+    "Leaky bins at n = %d: synchronous Tetris(Bin(n,l)) vs open M/M/1 network\n\n" n;
+  Printf.printf
+    "%-7s | %-28s | %-36s\n" "" "Tetris (synchronous rounds)" "open network (exponential clocks)";
+  Printf.printf "%-7s | %12s %15s | %12s %11s %11s\n" "lambda" "mean balls/n"
+    "running max" "avg tokens/n" "avg max" "E[max] M/M/1";
+  print_endline (String.make 92 '-');
+  List.iter
+    (fun lambda ->
+      (* Synchronous: Tetris with Bin(n, lambda) arrivals. *)
+      let rng = Rbb_prng.Rng.create ~seed:11L () in
+      let t =
+        Rbb_core.Tetris.create
+          ~arrivals:(Rbb_core.Tetris.Binomial_rate lambda)
+          ~rng
+          ~init:(Rbb_core.Config.uniform ~n)
+          ()
+      in
+      let balls = Rbb_stats.Welford.create () in
+      let worst = ref 0 in
+      for _ = 1 to 16 * n do
+        Rbb_core.Tetris.step t;
+        Rbb_stats.Welford.add balls (fi (Rbb_core.Tetris.total_balls t));
+        if Rbb_core.Tetris.max_load t > !worst then worst := Rbb_core.Tetris.max_load t
+      done;
+      (* Continuous time: the open network. *)
+      let rng2 = Rbb_prng.Rng.create ~seed:12L () in
+      let w = Rbb_queueing.Open_network.create ~lambda ~n ~rng:rng2 () in
+      Rbb_queueing.Open_network.run_until w ~time:(16. *. fi n /. 8.);
+      Printf.printf "%-7.2f | %12.3f %15d | %12.3f %11.2f %11.2f\n" lambda
+        (Rbb_stats.Welford.mean balls /. fi n)
+        !worst
+        (Rbb_queueing.Open_network.time_average_total w /. fi n)
+        (Rbb_queueing.Open_network.time_average_max_load w)
+        (Rbb_queueing.Mm1.expected_max_of_n ~lambda ~mu:1. ~n))
+    lambdas;
+  print_newline ();
+  print_endline "reading: both systems are stable for every lambda < 1.  The open network sits";
+  Printf.printf
+    "exactly on the M/M/1 law rho/(1-rho) per bin (= %.2f, %.2f, %.2f) and on the\n"
+    (0.5 /. 0.5) (0.75 /. 0.25) (0.9 /. 0.1);
+  print_endline "product-form E[max]; the synchronous Tetris variant holds roughly half that";
+  print_endline "occupancy at high lambda — draining every non-empty bin each round is a";
+  print_endline "stronger regulator than exponential clocks.  This synchronous variant is the";
+  print_endline "'leaky bins' process that followed the paper (PODC 2016)."

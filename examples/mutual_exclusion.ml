@@ -1,0 +1,58 @@
+(* From token management to multi-token traversal.
+
+   The paper's protocol lineage starts at Israeli-Jalfon (PODC 1990):
+   tokens performing random walks, merging on contact, until a single
+   token provides self-stabilizing mutual exclusion.  The paper keeps
+   all n tokens alive instead — every token is a distinct resource that
+   must visit every node — and shows the resulting congestion stays
+   logarithmic.  This example runs both protocols side by side.
+
+   Run with:  dune exec examples/mutual_exclusion.exe *)
+
+open Rbb_core
+
+let fi = float_of_int
+
+let () =
+  let n = 256 in
+  Printf.printf "n = %d nodes, complete graph\n\n" n;
+
+  (* Phase 1: Israeli-Jalfon — merge n tokens down to one. *)
+  print_endline "Israeli-Jalfon (one shared resource): every node starts with a token;";
+  print_endline "tokens walk and merge until a single mutual-exclusion token survives.";
+  let rng = Rbb_prng.Rng.create ~seed:5L () in
+  let ij = Israeli_jalfon.create_full ~rng ~n () in
+  let checkpoints = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  List.iter
+    (fun r ->
+      while Israeli_jalfon.round ij < r && Israeli_jalfon.token_count ij > 1 do
+        Israeli_jalfon.step ij
+      done;
+      Printf.printf "  round %3d: %3d tokens left\n" (Israeli_jalfon.round ij)
+        (Israeli_jalfon.token_count ij))
+    checkpoints;
+  (match Israeli_jalfon.run_until_single ij ~max_rounds:1_000_000 with
+  | Some r -> Printf.printf "  single token after %d rounds (~O(n))\n\n" r
+  | None -> print_endline "  (did not converge)\n");
+
+  (* Phase 2: the paper's process — all n tokens stay alive. *)
+  print_endline "Repeated balls-into-bins (n distinct resources): every token must visit";
+  print_endline "every node, one token processed per node per round.";
+  let rng2 = Rbb_prng.Rng.create ~seed:6L () in
+  let t =
+    Token_process.create ~track_cover:true ~rng:rng2 ~init:(Config.uniform ~n) ()
+  in
+  (match Token_process.run_until_covered t ~max_rounds:max_int with
+  | Some r ->
+      let ln = Float.log (fi n) in
+      Printf.printf
+        "  all %d tokens visited all %d nodes in %d rounds (n ln^2 n = %.0f)\n" n n r
+        (fi n *. ln *. ln);
+      Printf.printf "  peak congestion: max queue %d vs 4 ln n = %d\n"
+        (Token_process.max_load t)
+        (Config.legitimacy_threshold n)
+  | None -> print_endline "  (cover incomplete)");
+  print_newline ();
+  print_endline "reading: merging tokens is the classic way to get ONE mutual-exclusion token;";
+  print_endline "the paper shows that keeping ALL n tokens alive still works — the queueing";
+  print_endline "correlation they create never pushes congestion past O(log n)."

@@ -1,0 +1,36 @@
+(* Quickstart: the repeated balls-into-bins process in a dozen lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Rbb_core
+
+let () =
+  (* 1. A deterministic source of randomness. *)
+  let rng = Rbb_prng.Rng.create ~seed:42L () in
+
+  (* 2. n balls in n bins, one per bin (a legitimate configuration). *)
+  let n = 1024 in
+  let process = Process.create ~rng ~init:(Config.uniform ~n) () in
+
+  (* 3. Run the process: every round each non-empty bin re-assigns one
+     ball to a uniformly random bin. *)
+  let rounds = 50_000 in
+  let worst = ref 0 in
+  for _ = 1 to rounds do
+    Process.step process;
+    if Process.max_load process > !worst then worst := Process.max_load process
+  done;
+
+  (* 4. Theorem 1: the max load stays O(log n) — compare with 4 ln n. *)
+  Printf.printf "n = %d, rounds = %d\n" n rounds;
+  Printf.printf "max load ever seen : %d\n" !worst;
+  Printf.printf "4 ln n             : %d\n" (Config.legitimacy_threshold n);
+  Printf.printf "still legitimate?  : %b\n"
+    (Config.is_legitimate (Process.config process));
+
+  (* 5. Self-stabilization: start from the worst configuration (all
+     balls in one bin) and watch it recover in O(n) rounds. *)
+  let pile = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
+  match Process.run_until_legitimate pile ~max_rounds:(20 * n) with
+  | Some r -> Printf.printf "recovery from the worst start: %d rounds (%.2f n)\n" r (float_of_int r /. float_of_int n)
+  | None -> print_endline "no recovery within 20n rounds (should not happen)"

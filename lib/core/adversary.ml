@@ -1,0 +1,38 @@
+type action =
+  | Pile_into of int
+  | Reshuffle
+  | Rotate of int
+
+type schedule =
+  | Never
+  | Every of int
+  | At_rounds of int list
+
+let is_faulty_round s r =
+  match s with
+  | Never -> false
+  | Every k ->
+      if k < 1 then invalid_arg "Adversary.is_faulty_round: Every k with k < 1";
+      r > 0 && r mod k = 0
+  | At_rounds rs -> List.mem r rs
+
+let perturb action rng q =
+  let n = Config.n q and m = Config.balls q in
+  match action with
+  | Pile_into bin -> Config.all_in_one ~bin ~n ~m ()
+  | Reshuffle -> Config.random rng ~n ~m
+  | Rotate k ->
+      let src = Config.unsafe_loads q in
+      let shift = ((k mod n) + n) mod n in
+      Config.of_array (Array.init n (fun u -> src.((u - shift + n) mod n)))
+
+let run_with_faults ~schedule ~action ~rounds process =
+  let metrics = Metrics.create ~n:(Process.n process) in
+  for r = 1 to rounds do
+    if is_faulty_round schedule r then
+      Process.set_config process
+        (perturb action (Process.rng process) (Process.config process));
+    Process.step process;
+    Metrics.observe_process metrics process
+  done;
+  metrics

@@ -1,0 +1,84 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  loads : int array;
+  m : int;
+  mutable ticks : int;
+  mutable max_load : int;
+  mutable empty : int;
+  mutable max_dirty : bool;  (* max_load may be stale after a decrement *)
+}
+
+let create ~rng ~init () =
+  let loads = Config.loads init in
+  {
+    rng;
+    loads;
+    m = Config.balls init;
+    ticks = 0;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+    max_dirty = false;
+  }
+
+let n t = Array.length t.loads
+let balls t = t.m
+let ticks t = t.ticks
+let rounds t = t.ticks / Array.length t.loads
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then
+    invalid_arg "Async_process.load: out of range";
+  t.loads.(u)
+
+let refresh_max t =
+  if t.max_dirty then begin
+    t.max_load <- Array.fold_left Stdlib.max 0 t.loads;
+    t.max_dirty <- false
+  end
+
+let max_load t =
+  refresh_max t;
+  t.max_load
+
+let empty_bins t = t.empty
+let config t = Config.of_array t.loads
+
+let tick t =
+  let bins = Array.length t.loads in
+  let u = Rbb_prng.Rng.int_below t.rng bins in
+  if t.loads.(u) > 0 then begin
+    let v = Rbb_prng.Rng.int_below t.rng bins in
+    let lu = t.loads.(u) in
+    t.loads.(u) <- lu - 1;
+    if lu = 1 then t.empty <- t.empty + 1;
+    (* Only a decrement of the unique maximum can lower the max; mark
+       stale lazily instead of rescanning every tick. *)
+    if lu = t.max_load && not t.max_dirty then t.max_dirty <- true;
+    if t.loads.(v) = 0 then t.empty <- t.empty - 1;
+    t.loads.(v) <- t.loads.(v) + 1;
+    refresh_max t;
+    if t.loads.(v) > t.max_load then t.max_load <- t.loads.(v)
+  end;
+  t.ticks <- t.ticks + 1
+
+let step_round t =
+  for _ = 1 to Array.length t.loads do
+    tick t
+  done
+
+let run_rounds t ~rounds =
+  for _ = 1 to rounds do
+    step_round t
+  done
+
+let run_until_legitimate ?beta t ~max_rounds =
+  let threshold = Config.legitimacy_threshold ?beta (Array.length t.loads) in
+  let rec go r =
+    if max_load t <= threshold then Some r
+    else if r >= max_rounds then None
+    else begin
+      step_round t;
+      go (r + 1)
+    end
+  in
+  go 0

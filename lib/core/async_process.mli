@@ -1,0 +1,44 @@
+(** Asynchronous repeated balls-into-bins.
+
+    The paper's process is synchronous: all non-empty bins fire in
+    lockstep.  The asynchronous variant (cf. the paper's reference [35]
+    on recovery of dynamic allocation processes) activates {e one}
+    uniformly random bin per tick; if non-empty it re-assigns one ball
+    to a uniformly random bin.  [n] ticks are the workload analogue of
+    one synchronous round.
+
+    The correlation structure differs — at most one queue changes per
+    tick, so the "everyone fires at once" congestion mechanism is gone —
+    and experiment E25 checks that the stability/convergence shapes of
+    Theorem 1 survive the scheduler change. *)
+
+type t
+
+val create : rng:Rbb_prng.Rng.t -> init:Config.t -> unit -> t
+
+val tick : t -> unit
+(** Activate one uniformly random bin. *)
+
+val step_round : t -> unit
+(** [n] ticks. *)
+
+val run_rounds : t -> rounds:int -> unit
+
+val ticks : t -> int
+(** Total ticks so far. *)
+
+val rounds : t -> int
+(** [ticks / n]. *)
+
+val n : t -> int
+val balls : t -> int
+val load : t -> int -> int
+val max_load : t -> int
+(** Maintained incrementally. *)
+
+val empty_bins : t -> int
+val config : t -> Config.t
+
+val run_until_legitimate : ?beta:float -> t -> max_rounds:int -> int option
+(** Rounds (of [n] ticks) until the configuration is legitimate;
+    checked once per round. *)

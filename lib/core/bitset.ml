@@ -1,0 +1,47 @@
+type t = { words : Bytes.t; n : int; mutable cardinal : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative size";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n; cardinal = 0 }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.unsafe_get t.words byte) in
+  if old land bit = 0 then begin
+    Bytes.unsafe_set t.words byte (Char.chr (old lor bit));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.unsafe_get t.words byte) in
+  if old land bit <> 0 then begin
+    Bytes.unsafe_set t.words byte (Char.chr (old land lnot bit));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+let is_full t = t.cardinal = t.n
+
+let clear t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\000';
+  t.cardinal <- 0
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+    then f i
+  done
+
+let copy t = { words = Bytes.copy t.words; n = t.n; cardinal = t.cardinal }

@@ -1,0 +1,30 @@
+(** Dense fixed-size bitsets.
+
+    The parallel cover-time experiment tracks, for each of [n] balls,
+    which of [n] bins it has visited: [n²] bits total.  A packed bitset
+    keeps that at [n²/8] bytes and makes "visit" and "all visited?"
+    cheap. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [[0, n)].
+    @raise Invalid_argument if [n < 0]. *)
+
+val length : t -> int
+(** Universe size. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+(** Idempotent. @raise Invalid_argument if out of range. *)
+
+val remove : t -> int -> unit
+val cardinal : t -> int
+(** Number of members, maintained incrementally (O(1)). *)
+
+val is_full : t -> bool
+(** Whether every element of the universe is a member. *)
+
+val clear : t -> unit
+val iter : t -> (int -> unit) -> unit
+val copy : t -> t

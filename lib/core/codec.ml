@@ -1,0 +1,59 @@
+let config_to_string q =
+  String.concat " "
+    (Array.to_list (Array.map string_of_int (Config.unsafe_loads q)))
+
+let config_of_string line =
+  let fields =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  if fields = [] then invalid_arg "Codec.config_of_string: empty configuration";
+  let loads =
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v -> v
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Codec.config_of_string: %S is not an integer" s))
+      fields
+  in
+  Config.of_array (Array.of_list loads)
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let nonblank lines = List.filter (fun l -> String.trim l <> "") lines
+
+let write_config ~path q = write_lines path [ config_to_string q ]
+
+let read_config ~path =
+  match nonblank (read_lines path) with
+  | [ line ] -> config_of_string line
+  | lines ->
+      invalid_arg
+        (Printf.sprintf "Codec.read_config: expected 1 configuration, found %d"
+           (List.length lines))
+
+let write_configs ~path qs = write_lines path (List.map config_to_string qs)
+let read_configs ~path = List.map config_of_string (nonblank (read_lines path))

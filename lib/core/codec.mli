@@ -1,0 +1,23 @@
+(** Plain-text serialization of configurations and traces.
+
+    Format: space-separated bin loads ("1 0 3 0"), one configuration per
+    line in multi-configuration files.  Used by the CLI to checkpoint
+    and resume runs, and stable enough to diff in experiments. *)
+
+val config_to_string : Config.t -> string
+(** Space-separated loads. *)
+
+val config_of_string : string -> Config.t
+(** Inverse of {!config_to_string}; tolerates repeated whitespace.
+    @raise Invalid_argument on an empty line, a non-integer field or a
+    negative load. *)
+
+val write_config : path:string -> Config.t -> unit
+val read_config : path:string -> Config.t
+(** @raise Invalid_argument if the file does not contain exactly one
+    valid configuration line (trailing blank lines are tolerated);
+    @raise Sys_error on I/O failure. *)
+
+val write_configs : path:string -> Config.t list -> unit
+val read_configs : path:string -> Config.t list
+(** One configuration per non-blank line. *)

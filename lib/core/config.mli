@@ -1,0 +1,67 @@
+(** Load configurations of the balls-into-bins system.
+
+    A configuration is the vector [q = (q_1, ..., q_n)] of bin loads
+    (paper §2); the total number of balls [m] is an invariant of the
+    process ([m = n] in the paper's main setting, but the library
+    supports any [m] for the §5 open question). *)
+
+type t
+
+val of_array : int array -> t
+(** [of_array loads] copies and validates [loads].
+    @raise Invalid_argument if empty or any load is negative. *)
+
+val uniform : n:int -> t
+(** One ball per bin: the canonical legitimate start.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val all_in_one : ?bin:int -> n:int -> m:int -> unit -> t
+(** All [m] balls stacked in a single bin — the worst case for
+    convergence (Theorem 1's "any configuration").
+    @raise Invalid_argument on bad sizes. *)
+
+val balanced : n:int -> m:int -> t
+(** [m] balls spread as evenly as possible ([⌈m/n⌉] or [⌊m/n⌋] each). *)
+
+val random : Rbb_prng.Rng.t -> n:int -> m:int -> t
+(** [m] balls thrown independently and u.a.r. into [n] bins (the one-shot
+    balls-into-bins configuration). *)
+
+val n : t -> int
+(** Number of bins. *)
+
+val balls : t -> int
+(** Total number of balls [m]. *)
+
+val load : t -> int -> int
+(** [load q u] is the load of bin [u].
+    @raise Invalid_argument if [u] out of range. *)
+
+val max_load : t -> int
+(** [M(q)] of the paper. *)
+
+val empty_bins : t -> int
+val nonempty_bins : t -> int
+
+val legitimacy_threshold : ?beta:float -> int -> int
+(** [legitimacy_threshold ~beta n] is [⌈beta · ln n⌉] (at least 1): the
+    concrete [β log n] cut-off used by all experiments.  The default
+    [beta = 4.0] is calibrated so that legitimate configurations
+    regenerate themselves (Theorem 1) at the simulated sizes. *)
+
+val is_legitimate : ?beta:float -> t -> bool
+(** Whether [max_load q <= legitimacy_threshold ~beta (n q)]. *)
+
+val loads : t -> int array
+(** A fresh copy of the load vector. *)
+
+val unsafe_loads : t -> int array
+(** The underlying array, shared — read-only use in hot loops.
+    Mutating it breaks the ball-count invariant. *)
+
+val load_histogram : t -> Rbb_stats.Histogram.Int_hist.t
+(** How many bins carry each load value. *)
+
+val equal : t -> t -> bool
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

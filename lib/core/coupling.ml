@@ -1,0 +1,98 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  rbb : int array;
+  tet : int array;
+  rbb_arr : int array;
+  tet_arr : int array;
+  mutable round : int;
+  mutable rbb_max : int;
+  mutable tet_max : int;
+  mutable rbb_running_max : int;
+  mutable tet_running_max : int;
+  mutable dominated_rounds : int;
+  mutable case_ii_rounds : int;
+  mutable dominated_now : bool;
+}
+
+let create ~rng ~init () =
+  let rbb = Config.loads init in
+  let tet = Config.loads init in
+  let n = Array.length rbb in
+  let m = Config.max_load init in
+  {
+    rng;
+    rbb;
+    tet;
+    rbb_arr = Array.make n 0;
+    tet_arr = Array.make n 0;
+    round = 0;
+    rbb_max = m;
+    tet_max = m;
+    rbb_running_max = m;
+    tet_running_max = m;
+    dominated_rounds = 0;
+    case_ii_rounds = 0;
+    dominated_now = true;
+  }
+
+let n t = Array.length t.rbb
+let round t = t.round
+let rbb_max_load t = t.rbb_max
+let tetris_max_load t = t.tet_max
+let rbb_config t = Config.of_array t.rbb
+let tetris_config t = Config.of_array t.tet
+let dominated_now t = t.dominated_now
+let dominated_rounds t = t.dominated_rounds
+let case_ii_rounds t = t.case_ii_rounds
+let rbb_running_max t = t.rbb_running_max
+let tetris_running_max t = t.tet_running_max
+
+let step t =
+  let bins = Array.length t.rbb in
+  let batch = 3 * bins / 4 in
+  Array.fill t.rbb_arr 0 bins 0;
+  Array.fill t.tet_arr 0 bins 0;
+  let h = ref 0 in
+  for u = 0 to bins - 1 do
+    if t.rbb.(u) > 0 then incr h
+  done;
+  let case_i = !h <= batch in
+  if not case_i then t.case_ii_rounds <- t.case_ii_rounds + 1;
+  (* RBB extractions; in case (i) each doubles as a coupled Tetris ball. *)
+  for u = 0 to bins - 1 do
+    if t.rbb.(u) > 0 then begin
+      let v = Rbb_prng.Rng.int_below t.rng bins in
+      t.rbb_arr.(v) <- t.rbb_arr.(v) + 1;
+      if case_i then t.tet_arr.(v) <- t.tet_arr.(v) + 1
+    end
+  done;
+  (* Tetris' remaining fresh balls (all of them in case (ii)). *)
+  let independent = if case_i then batch - !h else batch in
+  for _ = 1 to independent do
+    let v = Rbb_prng.Rng.int_below t.rng bins in
+    t.tet_arr.(v) <- t.tet_arr.(v) + 1
+  done;
+  let rbb_max = ref 0 and tet_max = ref 0 and dominated = ref true in
+  for u = 0 to bins - 1 do
+    let q = t.rbb.(u) in
+    let q' = (if q > 0 then q - 1 else 0) + t.rbb_arr.(u) in
+    t.rbb.(u) <- q';
+    if q' > !rbb_max then rbb_max := q';
+    let p = t.tet.(u) in
+    let p' = (if p > 0 then p - 1 else 0) + t.tet_arr.(u) in
+    t.tet.(u) <- p';
+    if p' > !tet_max then tet_max := p';
+    if p' < q' then dominated := false
+  done;
+  t.rbb_max <- !rbb_max;
+  t.tet_max <- !tet_max;
+  if !rbb_max > t.rbb_running_max then t.rbb_running_max <- !rbb_max;
+  if !tet_max > t.tet_running_max then t.tet_running_max <- !tet_max;
+  t.dominated_now <- !dominated;
+  if !dominated then t.dominated_rounds <- t.dominated_rounds + 1;
+  t.round <- t.round + 1
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done

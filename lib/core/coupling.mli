@@ -1,0 +1,47 @@
+(** Round-by-round monotone coupling of the RBB process with Tetris
+    (paper §3.3, proof of Lemma 3).
+
+    Both processes run on one probability space.  Every round, with
+    [W] the set of non-empty RBB bins and [h = |W|]:
+
+    - {b case (i)} [h <= 3n/4]: each of the [h] balls extracted by the
+      RBB process is paired with one of Tetris' fresh balls, which lands
+      in the {e same} uniformly random bin; Tetris' remaining
+      [3n/4 - h] balls land independently u.a.r.
+    - {b case (ii)} [h > 3n/4]: the Tetris round runs independently.
+
+    As long as case (ii) never fires (Lemma 2 says it does not, w.h.p.,
+    after round 1), per-bin domination [Q̂_u(t) >= Q_u(t)] is an
+    invariant, hence the Tetris max load dominates the RBB max load.
+    Experiment E4 measures how often domination and case (ii) actually
+    occur. *)
+
+type t
+
+val create : rng:Rbb_prng.Rng.t -> init:Config.t -> unit -> t
+(** Starts both processes from the same configuration [init]. *)
+
+val step : t -> unit
+val run : t -> rounds:int -> unit
+val round : t -> int
+val n : t -> int
+
+val rbb_max_load : t -> int
+val tetris_max_load : t -> int
+val rbb_config : t -> Config.t
+val tetris_config : t -> Config.t
+
+val dominated_now : t -> bool
+(** Per-bin domination [∀u, Q̂_u >= Q_u] in the current round. *)
+
+val dominated_rounds : t -> int
+(** Rounds (so far) in which per-bin domination held. *)
+
+val case_ii_rounds : t -> int
+(** Rounds in which the independent fallback fired ([h > 3n/4]). *)
+
+val rbb_running_max : t -> int
+(** [max_t M(t)] over the run, the [M_T] of Lemma 3. *)
+
+val tetris_running_max : t -> int
+(** [max_t M̂(t)] over the run, the [M̂_T] of Lemma 3. *)

@@ -1,0 +1,21 @@
+type t = { table : Rbb_prng.Sampler.Binomial_table.t; rng : Rbb_prng.Rng.t }
+
+let create ~n rng =
+  if n < 2 then invalid_arg "Drift_chain.create: n < 2";
+  let table =
+    Rbb_prng.Sampler.Binomial_table.create ~n:(3 * n / 4) ~p:(1. /. float_of_int n)
+  in
+  { table; rng }
+
+let step t z =
+  if z = 0 then 0
+  else z - 1 + Rbb_prng.Sampler.Binomial_table.draw t.table t.rng
+
+let absorption_time t ~start ~cap =
+  if start < 0 then invalid_arg "Drift_chain.absorption_time: negative start";
+  let rec go z tau = if z = 0 then Some tau else if tau >= cap then None else go (step t z) (tau + 1) in
+  go start 0
+
+let tail_bound ~t_rounds = Float.exp (-.float_of_int t_rounds /. 144.)
+
+let mean_increment t = Rbb_prng.Sampler.Binomial_table.mean t.table

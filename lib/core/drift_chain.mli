@@ -1,0 +1,27 @@
+(** The absorbing drift chain of Lemma 5.
+
+    [Z_t = 0] if [Z_{t-1} = 0], else [Z_t = Z_{t-1} - 1 + X_t] with
+    [X_t ~ Bin(⌊3n/4⌋, 1/n)] i.i.d.  The lemma proves
+    [P_k(τ > t) <= e^{-t/144}] for every [t >= 8k], where [τ] is the
+    absorption time at 0; this module samples [τ] so experiment E6 can
+    compare the empirical tail against the analytic bound. *)
+
+type t
+
+val create : n:int -> Rbb_prng.Rng.t -> t
+(** Precomputes the [Bin(⌊3n/4⌋, 1/n)] inverse-CDF table.
+    @raise Invalid_argument if [n < 2]. *)
+
+val step : t -> int -> int
+(** [step t z] is one transition from state [z]. *)
+
+val absorption_time : t -> start:int -> cap:int -> int option
+(** [absorption_time t ~start ~cap] simulates from [Z_0 = start] and
+    returns [Some tau] if the chain hits 0 within [cap] rounds, [None]
+    otherwise.  [start = 0] gives [Some 0]. *)
+
+val tail_bound : t_rounds:int -> float
+(** The analytic Lemma 5 bound [e^{-t/144}]. *)
+
+val mean_increment : t -> float
+(** [E[X_t] = ⌊3n/4⌋ / n], strictly below 1: the negative drift. *)

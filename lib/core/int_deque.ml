@@ -1,0 +1,60 @@
+type t = {
+  mutable buf : int array;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 4) () =
+  { buf = Array.make (Stdlib.max 1 capacity) 0; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) 0 in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.head + t.len) mod cap) <- x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then invalid_arg "Int_deque.pop_front: empty";
+  let x = t.buf.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  x
+
+let pop_back t =
+  if t.len = 0 then invalid_arg "Int_deque.pop_back: empty";
+  let cap = Array.length t.buf in
+  let x = t.buf.((t.head + t.len - 1) mod cap) in
+  t.len <- t.len - 1;
+  x
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_deque.get: out of range";
+  t.buf.((t.head + i) mod Array.length t.buf)
+
+let swap_remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Int_deque.swap_remove: out of range";
+  let cap = Array.length t.buf in
+  let pos = (t.head + i) mod cap in
+  let last = (t.head + t.len - 1) mod cap in
+  let x = t.buf.(pos) in
+  t.buf.(pos) <- t.buf.(last);
+  t.len <- t.len - 1;
+  x
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let to_list t = List.init t.len (get t)

@@ -1,0 +1,32 @@
+(** Growable circular-buffer deque of ints.
+
+    Bin queues hold ball identifiers; FIFO pops the front, LIFO pops the
+    back, and the random strategy removes an arbitrary position by
+    swapping it with the back.  All operations are amortized O(1) except
+    [remove_at] which is O(1) by swap (order inside a bin is only
+    meaningful for FIFO/LIFO, where [remove_at] is never used). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push_back : t -> int -> unit
+val pop_front : t -> int
+(** @raise Invalid_argument on an empty deque. *)
+
+val pop_back : t -> int
+(** @raise Invalid_argument on an empty deque. *)
+
+val get : t -> int -> int
+(** [get t i] is the i-th element from the front.
+    @raise Invalid_argument if out of range. *)
+
+val swap_remove : t -> int -> int
+(** [swap_remove t i] removes and returns the i-th element by swapping
+    it with the back element (order not preserved).
+    @raise Invalid_argument if out of range. *)
+
+val clear : t -> unit
+val to_list : t -> int list
+(** Front to back. *)

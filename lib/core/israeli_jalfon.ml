@@ -1,0 +1,78 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  graph : Rbb_graph.Csr.t;
+  mutable occupied : Bitset.t;
+  mutable scratch : Bitset.t;
+  mutable round : int;
+}
+
+let of_nodes graph nodes =
+  let n = Rbb_graph.Csr.n graph in
+  let set = Bitset.create n in
+  List.iter
+    (fun u ->
+      if u < 0 || u >= n then
+        invalid_arg "Israeli_jalfon: token node out of range";
+      Bitset.add set u)
+    nodes;
+  set
+
+let create ?graph ~rng ~initial_tokens () =
+  if initial_tokens = [] then invalid_arg "Israeli_jalfon.create: no tokens";
+  let graph =
+    match graph with
+    | Some g -> g
+    | None ->
+        let top = List.fold_left Stdlib.max 0 initial_tokens in
+        Rbb_graph.Csr.complete (top + 1)
+  in
+  let occupied = of_nodes graph initial_tokens in
+  {
+    rng;
+    graph;
+    occupied;
+    scratch = Bitset.create (Rbb_graph.Csr.n graph);
+    round = 0;
+  }
+
+let create_full ?graph ~rng ~n () =
+  let graph = match graph with Some g -> g | None -> Rbb_graph.Csr.complete n in
+  if Rbb_graph.Csr.n graph <> n then
+    invalid_arg "Israeli_jalfon.create_full: graph size differs from n";
+  create ~graph ~rng ~initial_tokens:(List.init n Fun.id) ()
+
+let round t = t.round
+let n t = Rbb_graph.Csr.n t.graph
+let token_count t = Bitset.cardinal t.occupied
+let has_token t u = Bitset.mem t.occupied u
+
+let step t =
+  Bitset.clear t.scratch;
+  Bitset.iter t.occupied (fun u ->
+      let v =
+        if Rbb_graph.Csr.is_complete_repr t.graph then
+          Rbb_prng.Rng.int_below t.rng (Rbb_graph.Csr.n t.graph)
+        else if Rbb_prng.Rng.bool t.rng then
+          (* Lazy step: on bipartite graphs (even cycles, grids) the
+             synchronous non-lazy walk is periodic and tokens in opposite
+             parity classes would never meet. *)
+          u
+        else Rbb_graph.Csr.random_neighbor t.graph t.rng u
+      in
+      (* Adding an already-set bit IS the merge. *)
+      Bitset.add t.scratch v);
+  let previous = t.occupied in
+  t.occupied <- t.scratch;
+  t.scratch <- previous;
+  t.round <- t.round + 1
+
+let run_until_single t ~max_rounds =
+  let rec go k =
+    if token_count t <= 1 then Some t.round
+    else if k >= max_rounds then None
+    else begin
+      step t;
+      go (k + 1)
+    end
+  in
+  if token_count t <= 1 then Some 0 else go 0

@@ -1,0 +1,50 @@
+(** Israeli–Jalfon self-stabilizing token management (paper reference
+    [5], PODC 1990) — the protocol lineage the paper's multi-token
+    traversal descends from.
+
+    Tokens perform random walks; whenever two or more tokens meet at a
+    node they {e merge} into one.  From any initial token placement the
+    system converges to exactly one circulating token, which yields
+    self-stabilizing mutual exclusion.  Contrast with the paper's
+    process, where tokens never merge and the interesting quantity is
+    congestion; here the interesting quantity is the merge time.
+
+    Synchronous variant: every round, every token takes one step of a
+    {e lazy} random walk — stay with probability 1/2, else move to a
+    uniformly random neighbour (on the implicit complete graph the step
+    is uniform over all nodes, which is already aperiodic) — then
+    co-located tokens merge.  Laziness is essential: on a bipartite
+    graph the non-lazy synchronous walk preserves parity, so two tokens
+    in opposite classes would never meet. *)
+
+type t
+
+val create :
+  ?graph:Rbb_graph.Csr.t ->
+  rng:Rbb_prng.Rng.t ->
+  initial_tokens:int list ->
+  unit ->
+  t
+(** [create ~rng ~initial_tokens ()] places one token at each listed
+    node (duplicates merge immediately).  [graph] defaults to the
+    complete graph over [max node + 1] vertices — pass it explicitly for
+    anything else.
+    @raise Invalid_argument on an empty token list or a node out of
+    range. *)
+
+val create_full : ?graph:Rbb_graph.Csr.t -> rng:Rbb_prng.Rng.t -> n:int -> unit -> t
+(** One token on every node of an [n]-vertex graph: the canonical
+    worst-case start. *)
+
+val step : t -> unit
+val round : t -> int
+val n : t -> int
+
+val token_count : t -> int
+(** Monotonically non-increasing over rounds. *)
+
+val has_token : t -> int -> bool
+
+val run_until_single : t -> max_rounds:int -> int option
+(** Rounds until exactly one token remains ([Some 0] if already
+    single), or [None] at the cap. *)

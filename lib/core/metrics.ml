@@ -1,0 +1,43 @@
+type t = {
+  n : int;
+  max_load_stats : Rbb_stats.Welford.t;
+  empty_frac_stats : Rbb_stats.Welford.t;
+  hist : Rbb_stats.Histogram.Int_hist.t;
+  mutable running_max : int;
+  mutable min_empty_frac : float;
+  mutable below_quarter : int;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Metrics.create: n <= 0";
+  {
+    n;
+    max_load_stats = Rbb_stats.Welford.create ();
+    empty_frac_stats = Rbb_stats.Welford.create ();
+    hist = Rbb_stats.Histogram.Int_hist.create ();
+    running_max = 0;
+    min_empty_frac = 1.;
+    below_quarter = 0;
+  }
+
+let observe t ~max_load ~empty_bins =
+  Rbb_stats.Welford.add t.max_load_stats (float_of_int max_load);
+  let frac = float_of_int empty_bins /. float_of_int t.n in
+  Rbb_stats.Welford.add t.empty_frac_stats frac;
+  Rbb_stats.Histogram.Int_hist.add t.hist max_load;
+  if max_load > t.running_max then t.running_max <- max_load;
+  if frac < t.min_empty_frac then t.min_empty_frac <- frac;
+  if 4 * empty_bins < t.n then t.below_quarter <- t.below_quarter + 1
+
+let observe_process t p =
+  observe t ~max_load:(Process.max_load p) ~empty_bins:(Process.empty_bins p)
+
+let rounds t = Rbb_stats.Welford.count t.max_load_stats
+let running_max_load t = t.running_max
+let mean_max_load t = Rbb_stats.Welford.mean t.max_load_stats
+let max_load_stats t = t.max_load_stats
+let min_empty_fraction t = if rounds t = 0 then 1. else t.min_empty_frac
+let mean_empty_fraction t = Rbb_stats.Welford.mean t.empty_frac_stats
+let empty_fraction_stats t = t.empty_frac_stats
+let rounds_below_quarter t = t.below_quarter
+let max_load_histogram t = t.hist

@@ -1,0 +1,39 @@
+(** Per-round metric recorder.
+
+    Streams the two quantities the paper's analysis revolves around —
+    the max load [M(t)] and the number of empty bins — into constant
+    memory, so a [poly(n)]-round window never needs its series kept. *)
+
+type t
+
+val create : n:int -> t
+(** [n] is the number of bins (to normalize empty-bin fractions). *)
+
+val observe : t -> max_load:int -> empty_bins:int -> unit
+(** Record one round. *)
+
+val observe_process : t -> Process.t -> unit
+(** Convenience: record the current round of a {!Process}. *)
+
+val rounds : t -> int
+(** Number of observations. *)
+
+val running_max_load : t -> int
+(** [max_t M(t)] — the quantity bounded by Theorem 1. *)
+
+val mean_max_load : t -> float
+val max_load_stats : t -> Rbb_stats.Welford.t
+
+val min_empty_fraction : t -> float
+(** [min_t (empty bins at t) / n] — Lemma 2 claims this stays >= 1/4
+    after round 1. *)
+
+val mean_empty_fraction : t -> float
+val empty_fraction_stats : t -> Rbb_stats.Welford.t
+
+val rounds_below_quarter : t -> int
+(** Rounds with strictly fewer than [n/4] empty bins (Lemma 2
+    violations). *)
+
+val max_load_histogram : t -> Rbb_stats.Histogram.Int_hist.t
+(** Distribution of [M(t)] over the observed window. *)

@@ -1,0 +1,31 @@
+let quadratic q =
+  Array.fold_left
+    (fun acc x -> acc +. (float_of_int x *. float_of_int x))
+    0. (Config.unsafe_loads q)
+
+let check_alpha alpha =
+  if not (alpha > 0.) then invalid_arg "Potential: alpha must be > 0"
+
+let exponential ~alpha q =
+  check_alpha alpha;
+  Array.fold_left
+    (fun acc x -> acc +. Float.exp (alpha *. float_of_int x))
+    0. (Config.unsafe_loads q)
+
+let log_exponential ~alpha q =
+  check_alpha alpha;
+  let loads = Config.unsafe_loads q in
+  (* log-sum-exp anchored at the max load. *)
+  let m = float_of_int (Config.max_load q) in
+  let acc =
+    Array.fold_left
+      (fun acc x -> acc +. Float.exp (alpha *. (float_of_int x -. m)))
+      0. loads
+  in
+  (alpha *. m) +. Float.log acc
+
+let max_load_bound_from_potential ~alpha ~log_phi =
+  check_alpha alpha;
+  log_phi /. alpha
+
+let drift phi ~before ~after = phi after -. phi before

@@ -1,0 +1,28 @@
+(** Potential functions over load configurations.
+
+    The drift of a potential function is the engine behind most
+    balls-into-bins analyses: the paper's own argument goes through the
+    Tetris coupling, but the exponential potential
+    [Φ_α(q) = Σ_u e^{α·q_u}] (used by the follow-up literature, e.g.
+    the "leaky bins" paper [18]) and the quadratic potential
+    [Σ_u q_u²] both contract in the legitimate regime.  The ablation
+    bench E22 measures these drifts directly. *)
+
+val quadratic : Config.t -> float
+(** [Σ_u q_u²] — minimized by the perfectly balanced configuration. *)
+
+val exponential : alpha:float -> Config.t -> float
+(** [Σ_u e^{α·q_u}].  With [α = Θ(1)], legitimacy [M = O(log n)] is
+    equivalent to [Φ_α = poly(n)].
+    @raise Invalid_argument if [alpha <= 0]. *)
+
+val log_exponential : alpha:float -> Config.t -> float
+(** [ln Φ_α], computed stably (log-sum-exp): usable even when the
+    potential itself overflows, e.g. at the one-pile configuration. *)
+
+val max_load_bound_from_potential : alpha:float -> log_phi:float -> float
+(** The deterministic implication [M ≤ (ln Φ_α)/α]: converts a measured
+    (log-)potential into a max-load certificate. *)
+
+val drift : (Config.t -> float) -> before:Config.t -> after:Config.t -> float
+(** [phi after - phi before] — one-step drift of any potential. *)

@@ -1,0 +1,130 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  d : int;
+  weights : Rbb_prng.Alias.t option;  (* non-uniform destination law *)
+  capacity : int;  (* balls released per bin per round *)
+  loads : int array;
+  arrivals : int array;  (* reused scratch buffer *)
+  m : int;
+  mutable round : int;
+  mutable max_load : int;
+  mutable empty : int;
+}
+
+let create ?(d_choices = 1) ?weights ?(capacity = 1) ~rng ~init () =
+  if d_choices < 1 then invalid_arg "Process.create: d_choices < 1";
+  if capacity < 1 then invalid_arg "Process.create: capacity < 1";
+  let loads = Config.loads init in
+  let weights =
+    match weights with
+    | None -> None
+    | Some w ->
+        if d_choices > 1 then
+          invalid_arg "Process.create: weights and d_choices cannot be combined";
+        if Array.length w <> Array.length loads then
+          invalid_arg "Process.create: weights length differs from bin count";
+        Some (Rbb_prng.Alias.create w)
+  in
+  {
+    rng;
+    d = d_choices;
+    weights;
+    capacity;
+    loads;
+    arrivals = Array.make (Array.length loads) 0;
+    m = Config.balls init;
+    round = 0;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+  }
+
+let n t = Array.length t.loads
+let balls t = t.m
+let round t = t.round
+let rng t = t.rng
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then invalid_arg "Process.load: out of range";
+  t.loads.(u)
+
+let max_load t = t.max_load
+let empty_bins t = t.empty
+
+let last_arrivals t u =
+  if u < 0 || u >= Array.length t.arrivals then
+    invalid_arg "Process.last_arrivals: out of range";
+  if t.round = 0 then 0 else t.arrivals.(u)
+let config t = Config.of_array t.loads
+
+let set_config t q =
+  if Config.n q <> Array.length t.loads then
+    invalid_arg "Process.set_config: bin count differs";
+  if Config.balls q <> t.m then
+    invalid_arg "Process.set_config: ball count differs";
+  Array.blit (Config.unsafe_loads q) 0 t.loads 0 (Array.length t.loads);
+  t.max_load <- Config.max_load q;
+  t.empty <- Config.empty_bins q
+
+(* Destination of one re-assigned ball: uniform for d = 1 (or weighted
+   when a bias is installed), least loaded of d independent uniform
+   picks otherwise (ties to the first drawn). *)
+let destination t =
+  match t.weights with
+  | Some alias -> Rbb_prng.Alias.draw alias t.rng
+  | None ->
+  if t.d = 1 then Rbb_prng.Rng.int_below t.rng (Array.length t.loads)
+  else begin
+    let best = ref (Rbb_prng.Rng.int_below t.rng (Array.length t.loads)) in
+    for _ = 2 to t.d do
+      let v = Rbb_prng.Rng.int_below t.rng (Array.length t.loads) in
+      if t.loads.(v) < t.loads.(!best) then best := v
+    done;
+    !best
+  end
+
+let step t =
+  let bins = Array.length t.loads in
+  Array.fill t.arrivals 0 bins 0;
+  (* Phase 1: each non-empty bin launches up to [capacity] balls. *)
+  for u = 0 to bins - 1 do
+    let k = Stdlib.min t.loads.(u) t.capacity in
+    for _ = 1 to k do
+      let v = destination t in
+      t.arrivals.(v) <- t.arrivals.(v) + 1
+    done
+  done;
+  (* Phase 2: apply departures and arrivals; refresh the incremental
+     max-load and empty-bin counters in the same pass. *)
+  let max_l = ref 0 and empty = ref 0 in
+  for u = 0 to bins - 1 do
+    let q = t.loads.(u) in
+    let q' = q - Stdlib.min q t.capacity + t.arrivals.(u) in
+    t.loads.(u) <- q';
+    if q' > !max_l then max_l := q';
+    if q' = 0 then incr empty
+  done;
+  t.max_load <- !max_l;
+  t.empty <- !empty;
+  t.round <- t.round + 1
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let run_until t ~max_rounds ~stop =
+  if stop t then Some t.round
+  else begin
+    let rec go k =
+      if k >= max_rounds then None
+      else begin
+        step t;
+        if stop t then Some t.round else go (k + 1)
+      end
+    in
+    go 0
+  end
+
+let run_until_legitimate ?beta t ~max_rounds =
+  let threshold = Config.legitimacy_threshold ?beta (n t) in
+  run_until t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)

@@ -1,0 +1,93 @@
+(** The repeated balls-into-bins process (paper §2), loads-only engine.
+
+    Each round, synchronously: one ball is extracted from every
+    non-empty bin and re-assigned to one of the [n] bins uniformly at
+    random.  Ball identities are irrelevant to the load vector — the
+    extraction strategy only permutes which ball moves — so this engine
+    tracks loads only and is the fast path for every max-load experiment
+    (E1–E3, E11, E13, E15).  Use {!Token_process} when ball identities
+    matter (cover time, progress, FIFO delays).
+
+    Generalizations exposed here: any number of balls [m]
+    (§5 open question) and [d]-choices re-assignment (the ball goes to
+    the least loaded of [d] sampled bins; reference [36] of the paper). *)
+
+type t
+
+val create :
+  ?d_choices:int ->
+  ?weights:float array ->
+  ?capacity:int ->
+  rng:Rbb_prng.Rng.t ->
+  init:Config.t ->
+  unit ->
+  t
+(** [create ~rng ~init ()] starts the process at configuration [init].
+    [d_choices] defaults to 1 (the paper's process).
+
+    [weights] selects a {e non-uniform} re-assignment law: a ball lands
+    in bin [u] with probability proportional to [weights.(u)] (sampled
+    through an alias table).  The paper's analysis leans on uniformity
+    — each bin receives at most one expected ball per round — and the
+    heterogeneity ablation E30 shows how skew breaks the logarithmic
+    band.  Incompatible with [d_choices > 1].
+
+    [capacity] (default 1) is the per-bin service capacity: each round
+    every bin re-assigns [min(load, capacity)] balls.  The paper's
+    one-ball-per-round constraint is the unit-capacity case — it is the
+    whole source of correlation between the walks; with
+    [capacity >= m] the process degenerates to independent one-shot
+    throws every round.
+    @raise Invalid_argument if [d_choices < 1], [capacity < 1], the
+    weights length differs from the bin count, weights are invalid, or
+    weights are combined with [d_choices > 1]. *)
+
+val step : t -> unit
+(** Advance one synchronous round. *)
+
+val run : t -> rounds:int -> unit
+(** [run t ~rounds] advances [rounds] rounds. *)
+
+val run_until : t -> max_rounds:int -> stop:(t -> bool) -> int option
+(** Steps until [stop t] holds (checked after each round, and before the
+    first); returns the round number at which it first held, or [None]
+    after [max_rounds] additional rounds. *)
+
+val run_until_legitimate : ?beta:float -> t -> max_rounds:int -> int option
+(** Rounds until the configuration becomes legitimate (Theorem 1
+    convergence measurement). *)
+
+val round : t -> int
+(** Rounds executed so far. *)
+
+val n : t -> int
+val balls : t -> int
+
+val load : t -> int -> int
+(** Current load of a bin. *)
+
+val max_load : t -> int
+(** [M(t)] — maintained incrementally, O(1) amortized per round. *)
+
+val empty_bins : t -> int
+(** Number of empty bins, maintained incrementally. *)
+
+val last_arrivals : t -> int -> int
+(** [last_arrivals t u] is the number of balls that entered bin [u] in
+    the most recent round (0 before the first step).  This is the
+    random variable [Z_u^(t)] whose failure of negative association the
+    paper's Appendix B exhibits; experiment E26 measures its
+    correlation structure at scale. *)
+
+val config : t -> Config.t
+(** Snapshot of the current configuration. *)
+
+val set_config : t -> Config.t -> unit
+(** [set_config t q] overwrites the load vector with [q] (round counter
+    and generator state are kept): the §4.1 adversary's move.  The
+    paper's adversary conserves the number of balls, and so does this
+    function.
+    @raise Invalid_argument if [q] has a different bin count or ball
+    count. *)
+
+val rng : t -> Rbb_prng.Rng.t

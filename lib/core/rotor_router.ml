@@ -1,0 +1,152 @@
+type cover = {
+  visited : Bitset.t array;
+  mutable covered : int;
+  mutable cover_round : int option;
+}
+
+type t = {
+  graph : Rbb_graph.Csr.t;
+  queues : Int_deque.t array;
+  rotor : int array;  (* per node: next neighbour index *)
+  position : int array;
+  movers_ball : int array;
+  movers_dest : int array;
+  cover : cover option;
+  mutable round : int;
+}
+
+let record_visit t ball bin =
+  match t.cover with
+  | None -> ()
+  | Some c ->
+      let set = c.visited.(ball) in
+      let was_full = Bitset.is_full set in
+      Bitset.add set bin;
+      if (not was_full) && Bitset.is_full set then begin
+        c.covered <- c.covered + 1;
+        if c.covered = Array.length t.position && c.cover_round = None then
+          c.cover_round <- Some t.round
+      end
+
+let create ?graph ?(track_cover = false) ~init () =
+  let bins = Config.n init in
+  let graph =
+    match graph with Some g -> g | None -> Rbb_graph.Csr.complete bins
+  in
+  if Rbb_graph.Csr.n graph <> bins then
+    invalid_arg "Rotor_router.create: graph size differs from bin count";
+  let m = Config.balls init in
+  let queues = Array.init bins (fun _ -> Int_deque.create ()) in
+  let position = Array.make (Stdlib.max 1 m) 0 in
+  let ball = ref 0 in
+  for u = 0 to bins - 1 do
+    for _ = 1 to Config.load init u do
+      position.(!ball) <- u;
+      Int_deque.push_back queues.(u) !ball;
+      incr ball
+    done
+  done;
+  let cover =
+    if track_cover then
+      Some
+        {
+          visited = Array.init m (fun _ -> Bitset.create bins);
+          covered = 0;
+          cover_round = None;
+        }
+    else None
+  in
+  (* Stagger rotors by node id: with every rotor at 0, all nodes of the
+     complete graph would forward to the same one or two nodes in round
+     one — a deterministic worst case.  Offsetting by id keeps the
+     machine deterministic but spreads the first sweep. *)
+  let rotor =
+    Array.init bins (fun u ->
+        let deg = Rbb_graph.Csr.degree graph u in
+        if deg = 0 then 0 else u mod deg)
+  in
+  let t =
+    {
+      graph;
+      queues;
+      rotor;
+      position;
+      movers_ball = Array.make bins 0;
+      movers_dest = Array.make bins 0;
+      cover;
+      round = 0;
+    }
+  in
+  for b = 0 to m - 1 do
+    record_visit t b position.(b)
+  done;
+  t
+
+let n t = Rbb_graph.Csr.n t.graph
+let balls t = Array.length t.position
+let round t = t.round
+
+let position t ball =
+  if ball < 0 || ball >= Array.length t.position then
+    invalid_arg "Rotor_router.position: ball out of range";
+  t.position.(ball)
+
+let load t u =
+  if u < 0 || u >= Array.length t.queues then
+    invalid_arg "Rotor_router.load: bin out of range";
+  Int_deque.length t.queues.(u)
+
+let max_load t =
+  Array.fold_left (fun acc q -> Stdlib.max acc (Int_deque.length q)) 0 t.queues
+
+let config t = Config.of_array (Array.map Int_deque.length t.queues)
+
+let advance_rotor t u =
+  let deg = Rbb_graph.Csr.degree t.graph u in
+  let dest = Rbb_graph.Csr.neighbor t.graph u t.rotor.(u) in
+  t.rotor.(u) <- (t.rotor.(u) + 1) mod deg;
+  dest
+
+let step t =
+  let bins = Array.length t.queues in
+  let k = ref 0 in
+  for u = 0 to bins - 1 do
+    (* An isolated node cannot forward; its tokens are simply stuck. *)
+    if (not (Int_deque.is_empty t.queues.(u))) && Rbb_graph.Csr.degree t.graph u > 0
+    then begin
+      let ball = Int_deque.pop_front t.queues.(u) in
+      t.movers_ball.(!k) <- ball;
+      t.movers_dest.(!k) <- advance_rotor t u;
+      incr k
+    end
+  done;
+  t.round <- t.round + 1;
+  for i = 0 to !k - 1 do
+    let ball = t.movers_ball.(i) and dest = t.movers_dest.(i) in
+    t.position.(ball) <- dest;
+    Int_deque.push_back t.queues.(dest) ball;
+    record_visit t ball dest
+  done
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let require_cover t =
+  match t.cover with
+  | Some c -> c
+  | None -> invalid_arg "Rotor_router: cover tracking is disabled"
+
+let covered_balls t = (require_cover t).covered
+let all_covered t = covered_balls t = balls t
+let cover_time t = (require_cover t).cover_round
+
+let run_until_covered t ~max_rounds =
+  let c = require_cover t in
+  let rec go k =
+    match c.cover_round with
+    | Some r -> Some r
+    | None -> if k >= max_rounds then None else (step t; go (k + 1))
+  in
+  go 0

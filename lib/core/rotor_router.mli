@@ -1,0 +1,39 @@
+(** Rotor-router (Propp machine) multi-token traversal: the
+    derandomized cousin of the paper's protocol.
+
+    Each node carries a rotor that cycles deterministically through its
+    neighbours; each round every non-empty node forwards the token at
+    the front of its FIFO queue along the rotor and advances the rotor.
+    No randomness at all — yet rotor walks are known to cover graphs in
+    O(mD) steps and to emulate random-walk behaviour remarkably well.
+    Experiment E27 compares its cover time and congestion against the
+    randomized protocol.
+
+    On the implicit complete graph the rotor sweeps destinations
+    [0, 1, ..., n-1] cyclically (skipping the node itself). *)
+
+type t
+
+val create : ?graph:Rbb_graph.Csr.t -> ?track_cover:bool -> init:Config.t -> unit -> t
+(** Deterministic: no generator.  Balls and rotors start as in
+    {!Token_process.create} (consecutive ids per bin; rotors at
+    position 0).
+    @raise Invalid_argument on a graph/configuration size mismatch. *)
+
+val step : t -> unit
+val run : t -> rounds:int -> unit
+val round : t -> int
+val n : t -> int
+val balls : t -> int
+
+val position : t -> int -> int
+val load : t -> int -> int
+val max_load : t -> int
+val config : t -> Config.t
+
+val covered_balls : t -> int
+val all_covered : t -> bool
+val cover_time : t -> int option
+val run_until_covered : t -> max_rounds:int -> int option
+(** All require [~track_cover:true].
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,72 @@
+type mode = Push | Pull | Push_pull
+
+type t = {
+  rng : Rbb_prng.Rng.t;
+  graph : Rbb_graph.Csr.t;
+  mode : mode;
+  informed : Bitset.t;
+  calls : int array;  (* scratch: callee chosen by each node this round *)
+  mutable round : int;
+}
+
+let create ?graph ?(mode = Push) ~rng ~n ~source () =
+  let graph = match graph with Some g -> g | None -> Rbb_graph.Csr.complete n in
+  if Rbb_graph.Csr.n graph <> n then
+    invalid_arg "Rumor.create: graph size differs from n";
+  if source < 0 || source >= n then invalid_arg "Rumor.create: source out of range";
+  let informed = Bitset.create n in
+  Bitset.add informed source;
+  { rng; graph; mode; informed; calls = Array.make n 0; round = 0 }
+
+let round t = t.round
+let n t = Rbb_graph.Csr.n t.graph
+let mode t = t.mode
+let informed t = Bitset.cardinal t.informed
+let is_informed t u = Bitset.mem t.informed u
+let all_informed t = Bitset.is_full t.informed
+
+(* Standard phone-call model: call a uniform neighbour (on the clique,
+   a uniform OTHER node). *)
+let callee t u = Rbb_graph.Csr.random_neighbor t.graph t.rng u
+
+let step t =
+  let nodes = Rbb_graph.Csr.n t.graph in
+  (* All calls are placed simultaneously, based on this round's
+     knowledge; infections land after every call is fixed. *)
+  for u = 0 to nodes - 1 do
+    t.calls.(u) <- callee t u
+  done;
+  let newly = ref [] in
+  for u = 0 to nodes - 1 do
+    let v = t.calls.(u) in
+    (match t.mode with
+    | Push ->
+        if Bitset.mem t.informed u && not (Bitset.mem t.informed v) then
+          newly := v :: !newly
+    | Pull ->
+        if Bitset.mem t.informed v && not (Bitset.mem t.informed u) then
+          newly := u :: !newly
+    | Push_pull ->
+        if Bitset.mem t.informed u && not (Bitset.mem t.informed v) then
+          newly := v :: !newly;
+        if Bitset.mem t.informed v && not (Bitset.mem t.informed u) then
+          newly := u :: !newly)
+  done;
+  List.iter (Bitset.add t.informed) !newly;
+  t.round <- t.round + 1
+
+let run_until_informed t ~max_rounds =
+  let rec go k =
+    if all_informed t then Some t.round
+    else if k >= max_rounds then None
+    else begin
+      step t;
+      go (k + 1)
+    end
+  in
+  if all_informed t then Some 0 else go 0
+
+let push_time_estimate n =
+  if n < 2 then invalid_arg "Rumor.push_time_estimate: n < 2";
+  let fn = float_of_int n in
+  (Float.log fn /. Float.log 2.) +. Float.log fn

@@ -1,0 +1,43 @@
+(** Randomized rumor spreading in the random phone-call model
+    (paper references [13, 15, 16]) — the setting in which repeated
+    balls-into-bins first appeared, as the congestion pattern of
+    parallel random walks piggy-backed on gossip.
+
+    Synchronous push / pull / push–pull on a graph: every round each
+    node calls one uniformly random neighbour; an informed caller
+    pushes the rumor, an informed callee answers a pull.  On the clique
+    the classic bounds are [log2 n + ln n + o(log n)] rounds for push
+    and [~log3 n] for push–pull. *)
+
+type mode = Push | Pull | Push_pull
+
+type t
+
+val create :
+  ?graph:Rbb_graph.Csr.t ->
+  ?mode:mode ->
+  rng:Rbb_prng.Rng.t ->
+  n:int ->
+  source:int ->
+  unit ->
+  t
+(** [mode] defaults to [Push]; [graph] to the complete graph.
+    @raise Invalid_argument on a size mismatch or out-of-range
+    source. *)
+
+val step : t -> unit
+val round : t -> int
+val n : t -> int
+val mode : t -> mode
+
+val informed : t -> int
+(** Number of informed nodes (monotone non-decreasing). *)
+
+val is_informed : t -> int -> bool
+val all_informed : t -> bool
+
+val run_until_informed : t -> max_rounds:int -> int option
+(** Rounds until every node knows the rumor. *)
+
+val push_time_estimate : int -> float
+(** The classic clique estimate [log2 n + ln n] for push. *)

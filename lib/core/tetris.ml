@@ -1,0 +1,99 @@
+type arrivals =
+  | Three_quarters
+  | Fixed of int
+  | Binomial_rate of float
+
+type t = {
+  rng : Rbb_prng.Rng.t;
+  arrivals : arrivals;
+  loads : int array;
+  incoming : int array;  (* scratch *)
+  mutable round : int;
+  mutable max_load : int;
+  mutable empty : int;
+  mutable balls : int;
+  mutable last_batch : int;
+  first_empty : int array;
+}
+
+let create ?(arrivals = Three_quarters) ~rng ~init () =
+  (match arrivals with
+  | Fixed k when k < 0 -> invalid_arg "Tetris.create: negative batch size"
+  | Binomial_rate l when not (l >= 0. && l <= 1.) ->
+      invalid_arg "Tetris.create: rate not in [0,1]"
+  | Three_quarters | Fixed _ | Binomial_rate _ -> ());
+  let loads = Config.loads init in
+  let n = Array.length loads in
+  let first_empty =
+    Array.init n (fun u -> if loads.(u) = 0 then 0 else max_int)
+  in
+  {
+    rng;
+    arrivals;
+    loads;
+    incoming = Array.make n 0;
+    round = 0;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+    balls = Config.balls init;
+    last_batch = 0;
+    first_empty;
+  }
+
+let n t = Array.length t.loads
+let round t = t.round
+let max_load t = t.max_load
+let empty_bins t = t.empty
+let total_balls t = t.balls
+let arrivals_this_round t = t.last_batch
+let config t = Config.of_array t.loads
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then invalid_arg "Tetris.load: out of range";
+  t.loads.(u)
+
+let batch_size t =
+  match t.arrivals with
+  | Three_quarters -> 3 * Array.length t.loads / 4
+  | Fixed k -> k
+  | Binomial_rate lambda ->
+      Rbb_prng.Sampler.binomial t.rng ~n:(Array.length t.loads) ~p:lambda
+
+let step t =
+  let bins = Array.length t.loads in
+  Array.fill t.incoming 0 bins 0;
+  let batch = batch_size t in
+  t.last_batch <- batch;
+  for _ = 1 to batch do
+    let v = Rbb_prng.Rng.int_below t.rng bins in
+    t.incoming.(v) <- t.incoming.(v) + 1
+  done;
+  let discarded = ref 0 in
+  let max_l = ref 0 and empty = ref 0 in
+  let next_round = t.round + 1 in
+  for u = 0 to bins - 1 do
+    let q = t.loads.(u) in
+    if q > 0 then incr discarded;
+    let q' = (if q > 0 then q - 1 else 0) + t.incoming.(u) in
+    t.loads.(u) <- q';
+    if q' > !max_l then max_l := q';
+    if q' = 0 then begin
+      incr empty;
+      if t.first_empty.(u) = max_int then t.first_empty.(u) <- next_round
+    end
+  done;
+  t.balls <- t.balls - !discarded + batch;
+  t.max_load <- !max_l;
+  t.empty <- !empty;
+  t.round <- next_round
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let first_empty_rounds t = Array.copy t.first_empty
+
+let all_bins_emptied_by t =
+  let worst = Array.fold_left Stdlib.max 0 t.first_empty in
+  if worst = max_int then None else Some worst

@@ -1,0 +1,52 @@
+(** The Tetris process (paper §3.1, step (ii)).
+
+    Each round, from every non-empty bin one ball is picked and
+    {e thrown away}; then a batch of new balls is thrown, each landing
+    independently and uniformly at random.  The paper's Tetris uses a
+    deterministic batch of [(3/4)n] new balls; the probabilistic variant
+    of Berenbrink et al. (PODC 2016, reference [18]) draws the batch
+    size as [Bin(n, lambda)]. *)
+
+type arrivals =
+  | Three_quarters
+      (** Exactly [⌊3n/4⌋] new balls per round — the paper's process
+          (for [n] divisible by 4 this is exactly [(3/4)n]). *)
+  | Fixed of int  (** Exactly [k] new balls per round. *)
+  | Binomial_rate of float
+      (** [Bin(n, lambda)] new balls per round (the "leaky bins"
+          variant, paper reference [18]). *)
+
+type t
+
+val create : ?arrivals:arrivals -> rng:Rbb_prng.Rng.t -> init:Config.t -> unit -> t
+(** Starts from [init]; [arrivals] defaults to [Three_quarters].
+    @raise Invalid_argument on a negative [Fixed] count or a
+    [Binomial_rate] outside [[0, 1]]. *)
+
+val step : t -> unit
+val run : t -> rounds:int -> unit
+val round : t -> int
+val n : t -> int
+val load : t -> int -> int
+val max_load : t -> int
+(** Maintained incrementally. *)
+
+val empty_bins : t -> int
+val total_balls : t -> int
+(** Current number of balls in the system (Tetris does not conserve
+    them). *)
+
+val config : t -> Config.t
+(** Snapshot. *)
+
+val arrivals_this_round : t -> int
+(** Batch size used in the most recent round (0 before any step). *)
+
+val first_empty_rounds : t -> int array
+(** For each bin, the first round at which it was observed empty
+    ([max_int] if never yet) — the Lemma 4 measurement.  Bins empty in
+    the initial configuration report round 0. *)
+
+val all_bins_emptied_by : t -> int option
+(** [Some r] when every bin has been empty at least once, where [r] is
+    the earliest such round; [None] otherwise. *)

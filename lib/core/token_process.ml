@@ -1,0 +1,217 @@
+type strategy = Random_ball | Fifo | Lifo
+
+type cover = {
+  visited : Bitset.t array;  (* per ball *)
+  mutable covered : int;     (* balls with a full visited set *)
+  mutable cover_round : int option;
+}
+
+type t = {
+  rng : Rbb_prng.Rng.t;
+  graph : Rbb_graph.Csr.t;
+  strategy : strategy;
+  queues : Int_deque.t array;
+  position : int array;       (* ball -> bin *)
+  progress : int array;       (* ball -> completed walk steps *)
+  arrived_at : int array;     (* ball -> round it entered its current bin *)
+  delays : Rbb_stats.Histogram.Int_hist.t;
+  movers_ball : int array;    (* scratch: balls selected this round *)
+  movers_dest : int array;
+  cover : cover option;
+  mutable round : int;
+}
+
+let record_visit t ball bin =
+  match t.cover with
+  | None -> ()
+  | Some c ->
+      let set = c.visited.(ball) in
+      let was_full = Bitset.is_full set in
+      Bitset.add set bin;
+      if (not was_full) && Bitset.is_full set then begin
+        c.covered <- c.covered + 1;
+        if c.covered = Array.length t.position && c.cover_round = None then
+          c.cover_round <- Some t.round
+      end
+
+let create ?(strategy = Fifo) ?graph ?(track_cover = false) ~rng ~init () =
+  let bins = Config.n init in
+  let graph =
+    match graph with Some g -> g | None -> Rbb_graph.Csr.complete bins
+  in
+  if Rbb_graph.Csr.n graph <> bins then
+    invalid_arg "Token_process.create: graph size differs from bin count";
+  let m = Config.balls init in
+  let queues = Array.init bins (fun _ -> Int_deque.create ()) in
+  let position = Array.make (Stdlib.max 1 m) 0 in
+  let ball = ref 0 in
+  for u = 0 to bins - 1 do
+    for _ = 1 to Config.load init u do
+      position.(!ball) <- u;
+      Int_deque.push_back queues.(u) !ball;
+      incr ball
+    done
+  done;
+  let cover =
+    if track_cover then
+      Some
+        {
+          visited = Array.init m (fun _ -> Bitset.create bins);
+          covered = 0;
+          cover_round = None;
+        }
+    else None
+  in
+  let t =
+    {
+      rng;
+      graph;
+      strategy;
+      queues;
+      position;
+      progress = Array.make (Stdlib.max 1 m) 0;
+      arrived_at = Array.make (Stdlib.max 1 m) 0;
+      delays = Rbb_stats.Histogram.Int_hist.create ();
+      movers_ball = Array.make bins 0;
+      movers_dest = Array.make bins 0;
+      cover;
+      round = 0;
+    }
+  in
+  for b = 0 to m - 1 do
+    record_visit t b position.(b)
+  done;
+  t
+
+let n t = Rbb_graph.Csr.n t.graph
+let balls t = Array.length t.progress
+let round t = t.round
+let strategy t = t.strategy
+
+let position t ball =
+  if ball < 0 || ball >= Array.length t.position then
+    invalid_arg "Token_process.position: ball out of range";
+  t.position.(ball)
+
+let load t u =
+  if u < 0 || u >= Array.length t.queues then
+    invalid_arg "Token_process.load: bin out of range";
+  Int_deque.length t.queues.(u)
+
+let queue_contents t u =
+  if u < 0 || u >= Array.length t.queues then
+    invalid_arg "Token_process.queue_contents: bin out of range";
+  Int_deque.to_list t.queues.(u)
+
+let max_load t =
+  Array.fold_left (fun acc q -> Stdlib.max acc (Int_deque.length q)) 0 t.queues
+
+let empty_bins t =
+  Array.fold_left
+    (fun acc q -> if Int_deque.is_empty q then acc + 1 else acc)
+    0 t.queues
+
+let config t =
+  Config.of_array (Array.map Int_deque.length t.queues)
+
+let select t q =
+  match t.strategy with
+  | Fifo -> Int_deque.pop_front q
+  | Lifo -> Int_deque.pop_back q
+  | Random_ball -> Int_deque.swap_remove q (Rbb_prng.Rng.int_below t.rng (Int_deque.length q))
+
+let destination t u =
+  if Rbb_graph.Csr.is_complete_repr t.graph then
+    (* The paper's law: uniform over all n bins, current one included. *)
+    Rbb_prng.Rng.int_below t.rng (Rbb_graph.Csr.n t.graph)
+  else Rbb_graph.Csr.random_neighbor t.graph t.rng u
+
+let step t =
+  let bins = Array.length t.queues in
+  (* Phase 1: every non-empty bin selects one ball and draws its
+     destination; nothing lands until all selections are done, matching
+     the synchronous semantics of the paper. *)
+  let k = ref 0 in
+  for u = 0 to bins - 1 do
+    if not (Int_deque.is_empty t.queues.(u)) then begin
+      let ball = select t t.queues.(u) in
+      t.movers_ball.(!k) <- ball;
+      t.movers_dest.(!k) <- destination t u;
+      incr k
+    end
+  done;
+  let next_round = t.round + 1 in
+  (* Phase 2: deliveries. *)
+  for i = 0 to !k - 1 do
+    let ball = t.movers_ball.(i) and dest = t.movers_dest.(i) in
+    Rbb_stats.Histogram.Int_hist.add t.delays (t.round - t.arrived_at.(ball));
+    t.position.(ball) <- dest;
+    t.progress.(ball) <- t.progress.(ball) + 1;
+    t.arrived_at.(ball) <- next_round;
+    Int_deque.push_back t.queues.(dest) ball
+  done;
+  t.round <- next_round;
+  for i = 0 to !k - 1 do
+    record_visit t t.movers_ball.(i) t.movers_dest.(i)
+  done
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let progress t ball =
+  if ball < 0 || ball >= Array.length t.progress then
+    invalid_arg "Token_process.progress: ball out of range";
+  t.progress.(ball)
+
+let min_progress t = Array.fold_left Stdlib.min max_int t.progress
+let delay_histogram t = t.delays
+
+let require_cover t =
+  match t.cover with
+  | Some c -> c
+  | None -> invalid_arg "Token_process: cover tracking is disabled"
+
+let visited_count t ball =
+  let c = require_cover t in
+  if ball < 0 || ball >= Array.length c.visited then
+    invalid_arg "Token_process.visited_count: ball out of range";
+  Bitset.cardinal c.visited.(ball)
+
+let covered_balls t = (require_cover t).covered
+let all_covered t = covered_balls t = balls t
+let cover_time t = (require_cover t).cover_round
+
+let run_until_covered t ~max_rounds =
+  let c = require_cover t in
+  let rec go k =
+    match c.cover_round with
+    | Some r -> Some r
+    | None -> if k >= max_rounds then None else (step t; go (k + 1))
+  in
+  go 0
+
+let adversary_place t f =
+  let bins = Array.length t.queues in
+  let m = balls t in
+  let targets = Array.init m f in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= bins then
+        invalid_arg "Token_process.adversary_place: target bin out of range")
+    targets;
+  Array.iter Int_deque.clear t.queues;
+  for b = 0 to m - 1 do
+    let v = targets.(b) in
+    t.position.(b) <- v;
+    t.arrived_at.(b) <- t.round;
+    Int_deque.push_back t.queues.(v) b;
+    record_visit t b v
+  done
+
+let adversary_pile t ~bin = adversary_place t (fun _ -> bin)
+
+let adversary_reshuffle t =
+  let bins = Array.length t.queues in
+  adversary_place t (fun _ -> Rbb_prng.Rng.int_below t.rng bins)

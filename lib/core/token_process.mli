@@ -1,0 +1,110 @@
+(** Token-level repeated balls-into-bins: the multi-token traversal
+    protocol of paper §1.1/§4.
+
+    Balls carry identities and live in per-bin queues; each round every
+    non-empty bin selects one ball according to the queueing strategy
+    and forwards it.  On the complete graph the destination is uniform
+    over all [n] bins (the paper's process); on any other graph it is a
+    uniformly random neighbour (the constrained-parallel-random-walks
+    generalization of §5).
+
+    This engine is what the cover-time (Corollary 1), per-ball progress
+    and adversarial (§4.1) experiments run on.  Load-only experiments
+    should prefer the faster {!Process}. *)
+
+type strategy =
+  | Random_ball  (** extract a uniformly random ball of the queue *)
+  | Fifo         (** extract the oldest ball *)
+  | Lifo         (** extract the newest ball *)
+
+type t
+
+val create :
+  ?strategy:strategy ->
+  ?graph:Rbb_graph.Csr.t ->
+  ?track_cover:bool ->
+  rng:Rbb_prng.Rng.t ->
+  init:Config.t ->
+  unit ->
+  t
+(** [create ~rng ~init ()] places balls [0 .. m-1] into bins following
+    [init] (consecutive ids fill each bin in bin order).  [strategy]
+    defaults to [Fifo] (the strategy under which the paper derives
+    progress bounds); [graph] defaults to the complete graph on
+    [Config.n init] vertices; [track_cover] (default [false]) enables
+    per-ball visited-set tracking (Θ(m·n) bits).
+    @raise Invalid_argument if the graph's vertex count differs from the
+    configuration's bin count. *)
+
+val step : t -> unit
+val run : t -> rounds:int -> unit
+val round : t -> int
+val n : t -> int
+val balls : t -> int
+val strategy : t -> strategy
+
+val position : t -> int -> int
+(** [position t ball] is the bin currently holding [ball]. *)
+
+val load : t -> int -> int
+(** Queue length of a bin. *)
+
+val queue_contents : t -> int -> int list
+(** [queue_contents t u] is bin [u]'s queue, front (oldest) first — the
+    full token-level state, used to validate against the exact chain. *)
+
+val max_load : t -> int
+(** Computed on demand, O(n). *)
+
+val empty_bins : t -> int
+(** Computed on demand, O(n). *)
+
+val config : t -> Config.t
+(** Snapshot of the load vector. *)
+
+val progress : t -> int -> int
+(** [progress t ball] is how many random-walk steps [ball] has actually
+    performed (times it was selected and re-assigned).  The paper shows
+    this is [Ω(t / log n)] for every ball under FIFO, w.h.p. *)
+
+val min_progress : t -> int
+(** Minimum progress over all balls. *)
+
+val delay_histogram : t -> Rbb_stats.Histogram.Int_hist.t
+(** Distribution of queueing delays: for each completed wait, the number
+    of rounds between a ball's arrival in a bin and its extraction.
+    Under FIFO, Theorem 1 caps these at O(log n) in legitimate
+    windows. *)
+
+(** {2 Cover tracking} (requires [~track_cover:true]) *)
+
+val visited_count : t -> int -> int
+(** [visited_count t ball] is how many distinct bins [ball] has been
+    assigned to (including its initial bin).
+    @raise Invalid_argument if cover tracking is off. *)
+
+val covered_balls : t -> int
+(** Balls that have visited every bin. *)
+
+val all_covered : t -> bool
+
+val cover_time : t -> int option
+(** [Some r] once every ball has visited every bin, where [r] is the
+    round at which the last ball completed; [None] before that. *)
+
+val run_until_covered : t -> max_rounds:int -> int option
+(** Steps until all balls have covered all bins; [None] if the cap is
+    hit first. *)
+
+(** {2 Adversarial faults (paper §4.1)} *)
+
+val adversary_pile : t -> bin:int -> unit
+(** Re-assigns {e every} ball to [bin]: the harshest legal fault.
+    Queue order after the fault is ball-id order. *)
+
+val adversary_reshuffle : t -> unit
+(** Re-assigns every ball to an independent uniformly random bin. *)
+
+val adversary_place : t -> (int -> int) -> unit
+(** [adversary_place t f] moves each ball [b] to bin [f b].
+    @raise Invalid_argument if any target is out of range. *)

@@ -1,0 +1,56 @@
+type sample = { round : int; max_load : int; empty_bins : int; extra : float }
+
+type t = {
+  capacity : int;
+  mutable buf : sample array;
+  mutable len : int;
+  mutable stride : int;
+  mutable countdown : int;  (* calls to skip before the next retained one *)
+}
+
+let dummy = { round = 0; max_load = 0; empty_bins = 0; extra = 0. }
+
+let create ?(capacity = 4096) () =
+  let capacity = Stdlib.max 16 capacity in
+  { capacity; buf = Array.make capacity dummy; len = 0; stride = 1; countdown = 0 }
+
+let compact t =
+  (* Keep every other sample; double the stride. *)
+  let kept = (t.len + 1) / 2 in
+  for i = 0 to kept - 1 do
+    t.buf.(i) <- t.buf.(2 * i)
+  done;
+  t.len <- kept;
+  t.stride <- 2 * t.stride
+
+let record ?(extra = 0.) t ~round ~max_load ~empty_bins =
+  if t.countdown > 0 then t.countdown <- t.countdown - 1
+  else begin
+    if t.len = t.capacity then compact t;
+    t.buf.(t.len) <- { round; max_load; empty_bins; extra };
+    t.len <- t.len + 1;
+    t.countdown <- t.stride - 1
+  end
+
+let record_process ?extra t p =
+  record ?extra t ~round:(Process.round p) ~max_load:(Process.max_load p)
+    ~empty_bins:(Process.empty_bins p)
+
+let stride t = t.stride
+let length t = t.len
+let samples t = Array.sub t.buf 0 t.len
+
+let csv_header = [ "round"; "max_load"; "empty_bins"; "extra" ]
+
+let to_rows t =
+  List.init t.len (fun i ->
+      let s = t.buf.(i) in
+      [
+        string_of_int s.round;
+        string_of_int s.max_load;
+        string_of_int s.empty_bins;
+        Printf.sprintf "%.6g" s.extra;
+      ])
+
+let max_load_series t =
+  Array.init t.len (fun i -> float_of_int t.buf.(i).max_load)

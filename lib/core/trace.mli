@@ -1,0 +1,45 @@
+(** Time-series recording with bounded memory.
+
+    Captures per-round observations (round, max load, empty bins, and an
+    optional user metric) for export to CSV or plotting, with uniform
+    downsampling so a 10⁷-round run still fits in a fixed budget of
+    rows: whenever the buffer fills, every other sample is dropped and
+    the sampling stride doubles. *)
+
+type sample = {
+  round : int;
+  max_load : int;
+  empty_bins : int;
+  extra : float;  (** user metric; 0 when not supplied *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096, minimum 16) bounds the number of retained
+    samples. *)
+
+val record : ?extra:float -> t -> round:int -> max_load:int -> empty_bins:int -> unit
+(** Record one round.  Rounds should be passed in increasing order; the
+    recorder keeps every [stride]-th call. *)
+
+val record_process : ?extra:float -> t -> Process.t -> unit
+(** Record the current round of a {!Process}. *)
+
+val stride : t -> int
+(** Current downsampling stride (1 until the first compaction). *)
+
+val length : t -> int
+(** Number of retained samples. *)
+
+val samples : t -> sample array
+(** Retained samples in chronological order. *)
+
+val to_rows : t -> string list list
+(** CSV-ready rows [round; max_load; empty_bins; extra].  Pair with
+    header [Trace.csv_header]. *)
+
+val csv_header : string list
+
+val max_load_series : t -> float array
+(** The retained M(t) values, for autocorrelation analysis. *)

@@ -1,0 +1,95 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  graph : Rbb_graph.Csr.t;
+  loads : int array;
+  arrivals : int array;
+  mutable round : int;
+  mutable max_load : int;
+  mutable empty : int;
+}
+
+let create ~rng ~graph ~init () =
+  if Rbb_graph.Csr.n graph <> Config.n init then
+    invalid_arg "Walks.create: graph size differs from configuration size";
+  let loads = Config.loads init in
+  {
+    rng;
+    graph;
+    loads;
+    arrivals = Array.make (Array.length loads) 0;
+    round = 0;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+  }
+
+let n t = Array.length t.loads
+let round t = t.round
+let max_load t = t.max_load
+let empty_bins t = t.empty
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then invalid_arg "Walks.load: out of range";
+  t.loads.(u)
+
+let config t = Config.of_array t.loads
+
+let dest t u =
+  if Rbb_graph.Csr.is_complete_repr t.graph then
+    Rbb_prng.Rng.int_below t.rng (Array.length t.loads)
+  else Rbb_graph.Csr.random_neighbor t.graph t.rng u
+
+let step t =
+  let bins = Array.length t.loads in
+  Array.fill t.arrivals 0 bins 0;
+  for u = 0 to bins - 1 do
+    if t.loads.(u) > 0 then begin
+      let v = dest t u in
+      t.arrivals.(v) <- t.arrivals.(v) + 1
+    end
+  done;
+  let max_l = ref 0 and empty = ref 0 in
+  for u = 0 to bins - 1 do
+    let q = t.loads.(u) in
+    let q' = (if q > 0 then q - 1 else 0) + t.arrivals.(u) in
+    t.loads.(u) <- q';
+    if q' > !max_l then max_l := q';
+    if q' = 0 then incr empty
+  done;
+  t.max_load <- !max_l;
+  t.empty <- !empty;
+  t.round <- t.round + 1
+
+let run t ~rounds =
+  for _ = 1 to rounds do
+    step t
+  done
+
+let single_walk_cover_time ~rng ~graph ~start ~max_rounds =
+  let nodes = Rbb_graph.Csr.n graph in
+  if start < 0 || start >= nodes then
+    invalid_arg "Walks.single_walk_cover_time: start out of range";
+  let visited = Bitset.create nodes in
+  Bitset.add visited start;
+  let pos = ref start in
+  let rec go r =
+    if Bitset.is_full visited then Some r
+    else if r >= max_rounds then None
+    else begin
+      let next =
+        if Rbb_graph.Csr.is_complete_repr graph then
+          Rbb_prng.Rng.int_below rng nodes
+        else Rbb_graph.Csr.random_neighbor graph rng !pos
+      in
+      pos := next;
+      Bitset.add visited next;
+      go (r + 1)
+    end
+  in
+  go 0
+
+let clique_single_cover_expectation n =
+  let acc = ref 0. in
+  for k = 1 to n do
+    acc := !acc +. (1. /. float_of_int k)
+  done;
+  float_of_int n *. !acc

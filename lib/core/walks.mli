@@ -1,0 +1,34 @@
+(** Constrained parallel random walks on arbitrary graphs, loads only
+    (paper §5 / conjecture about regular graphs), plus the single-walk
+    baseline used by Corollary 1.
+
+    Each round every non-empty node forwards one anonymous token to a
+    uniformly random neighbour (on the implicit complete graph: to a
+    uniformly random node, which is the balls-into-bins law).  This is
+    {!Process} generalized to a topology; it tracks loads only, so it is
+    the engine for the max-load-on-graphs experiment (E14). *)
+
+type t
+
+val create : rng:Rbb_prng.Rng.t -> graph:Rbb_graph.Csr.t -> init:Config.t -> unit -> t
+(** @raise Invalid_argument if graph size and configuration size
+    differ. *)
+
+val step : t -> unit
+val run : t -> rounds:int -> unit
+val round : t -> int
+val n : t -> int
+val max_load : t -> int
+val empty_bins : t -> int
+val load : t -> int -> int
+val config : t -> Config.t
+
+val single_walk_cover_time :
+  rng:Rbb_prng.Rng.t -> graph:Rbb_graph.Csr.t -> start:int -> max_rounds:int -> int option
+(** Cover time of one unconstrained random walk (uniform over all nodes
+    per step on the complete graph, uniform neighbour otherwise): the
+    single-token baseline of Corollary 1. *)
+
+val clique_single_cover_expectation : int -> float
+(** Coupon-collector expectation [n·H_n] for the complete graph — the
+    analytic reference line printed next to the measured values. *)

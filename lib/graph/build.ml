@@ -1,0 +1,201 @@
+let complete n = Csr.complete n
+
+let cycle n =
+  if n < 3 then invalid_arg "Build.cycle: n < 3";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Csr.of_edges ~n edges
+
+let path n =
+  if n < 2 then invalid_arg "Build.path: n < 2";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Csr.of_edges ~n edges
+
+let torus2d ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Build.torus2d: sides must be >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Csr.of_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 1 || d > 20 then invalid_arg "Build.hypercube: d out of [1,20]";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Csr.of_edges ~n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Build.star: n < 2";
+  Csr.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Build.complete_bipartite: sides must be >= 1";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = 0 to b - 1 do
+      edges := (u, a + v) :: !edges
+    done
+  done;
+  Csr.of_edges ~n:(a + b) !edges
+
+let random_regular rng ~n ~d =
+  if d <= 0 || d >= n then invalid_arg "Build.random_regular: need 0 < d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Build.random_regular: n*d must be even";
+  (* Steger–Wormald pairing: repeatedly match two random remaining
+     stubs, rejecting only the offending pair on a loop or duplicate.
+     Whole-graph rejection would need e^{Θ(d²)} restarts, hopeless
+     beyond d ~ 4; local retries make d up to ~n^(1/3) practical and
+     stay asymptotically uniform. *)
+  let total = n * d in
+  let max_restarts = 1000 in
+  let rec attempt restart =
+    if restart > max_restarts then
+      failwith "Build.random_regular: too many restarts (d too close to n?)";
+    let stubs = Array.make total 0 in
+    let idx = ref 0 in
+    for u = 0 to n - 1 do
+      for _ = 1 to d do
+        stubs.(!idx) <- u;
+        incr idx
+      done
+    done;
+    let remaining = ref total in
+    let seen = Hashtbl.create (2 * total) in
+    let edges = ref [] in
+    let stuck = ref 0 in
+    let failed = ref false in
+    (* Draw a stub by swapping it to the tail, so live stubs stay in a
+       prefix. *)
+    let draw_at i =
+      let j = Rbb_prng.Rng.int_below rng i in
+      let v = stubs.(j) in
+      stubs.(j) <- stubs.(i - 1);
+      stubs.(i - 1) <- v;
+      v
+    in
+    while (not !failed) && !remaining > 0 do
+      let u = draw_at !remaining in
+      let v = draw_at (!remaining - 1) in
+      let key = if u < v then (u, v) else (v, u) in
+      if u = v || Hashtbl.mem seen key then begin
+        (* Put both stubs back in play (they sit at the tail): just do
+           not shrink [remaining]; count consecutive failures so a
+           hopeless tail (e.g. all remaining stubs on one vertex)
+           triggers a restart. *)
+        incr stuck;
+        if !stuck > 200 then failed := true
+      end
+      else begin
+        stuck := 0;
+        Hashtbl.replace seen key ();
+        edges := (u, v) :: !edges;
+        remaining := !remaining - 2
+      end
+    done;
+    if !failed then attempt (restart + 1) else Csr.of_edges ~n !edges
+  in
+  attempt 1
+
+let binary_tree n =
+  if n < 2 then invalid_arg "Build.binary_tree: n < 2";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    if l < n then edges := (i, l) :: !edges;
+    if r < n then edges := (i, r) :: !edges
+  done;
+  Csr.of_edges ~n !edges
+
+let grid2d ~rows ~cols =
+  if rows < 2 || cols < 2 then invalid_arg "Build.grid2d: sides must be >= 2";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Csr.of_edges ~n:(rows * cols) !edges
+
+let barbell k =
+  if k < 2 then invalid_arg "Build.barbell: k < 2";
+  let edges = ref [] in
+  let clique offset =
+    for u = 0 to k - 1 do
+      for v = u + 1 to k - 1 do
+        edges := (offset + u, offset + v) :: !edges
+      done
+    done
+  in
+  clique 0;
+  clique k;
+  (* Bridge between the last vertex of the left clique and the first of
+     the right one. *)
+  edges := (k - 1, k) :: !edges;
+  Csr.of_edges ~n:(2 * k) !edges
+
+let circulant ~n ~jumps =
+  if jumps = [] then invalid_arg "Build.circulant: no jumps";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      if j < 1 || 2 * j > n then
+        invalid_arg "Build.circulant: jump outside [1, n/2]";
+      if Hashtbl.mem seen j then invalid_arg "Build.circulant: duplicate jump";
+      Hashtbl.replace seen j ())
+    jumps;
+  let edges = ref [] in
+  List.iter
+    (fun j ->
+      (* For j = n/2 each chord appears once; otherwise iterate all i. *)
+      let upto = if 2 * j = n then (n / 2) - 1 else n - 1 in
+      for i = 0 to upto do
+        edges := (i, (i + j) mod n) :: !edges
+      done)
+    jumps;
+  Csr.of_edges ~n !edges
+
+let erdos_renyi rng ~n ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Build.erdos_renyi: p not in [0,1]";
+  if n < 1 then invalid_arg "Build.erdos_renyi: n < 1";
+  (* Geometric edge skipping: O(n + m) instead of O(n²) for sparse p. *)
+  let edges = ref [] in
+  if p > 0. then begin
+    if p = 1. then
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          edges := (u, v) :: !edges
+        done
+      done
+    else begin
+      let total = n * (n - 1) / 2 in
+      let pos = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let skip = Rbb_prng.Sampler.geometric rng ~p in
+        pos := !pos + 1 + skip;
+        if !pos >= total then continue := false
+        else begin
+          (* Invert the linear index into the (u, v) pair, u < v. *)
+          let k = ref !pos and u = ref 0 in
+          while !k >= n - 1 - !u do
+            k := !k - (n - 1 - !u);
+            incr u
+          done;
+          edges := (!u, !u + 1 + !k) :: !edges
+        end
+      done
+    end
+  end;
+  Csr.of_edges ~n !edges

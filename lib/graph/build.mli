@@ -1,0 +1,60 @@
+(** Standard graph families for the general-graph experiments (§5 of the
+    paper: the open question about regular topologies). *)
+
+val complete : int -> Csr.t
+(** K_n (implicit representation). *)
+
+val cycle : int -> Csr.t
+(** The n-cycle (ring); the paper singles out rings as already hard.
+    @raise Invalid_argument if [n < 3]. *)
+
+val path : int -> Csr.t
+(** The path on [n] vertices. @raise Invalid_argument if [n < 2]. *)
+
+val torus2d : rows:int -> cols:int -> Csr.t
+(** 2-D torus (grid with wraparound); 4-regular when both sides ≥ 3.
+    @raise Invalid_argument if [rows < 3] or [cols < 3]. *)
+
+val hypercube : int -> Csr.t
+(** [hypercube d] is the d-dimensional Boolean hypercube on [2^d]
+    vertices. @raise Invalid_argument unless [1 <= d <= 20]. *)
+
+val star : int -> Csr.t
+(** Star with one hub and [n - 1] leaves: the extreme irregular case.
+    @raise Invalid_argument if [n < 2]. *)
+
+val complete_bipartite : int -> int -> Csr.t
+(** [complete_bipartite a b] is K_{a,b}.
+    @raise Invalid_argument if [a < 1] or [b < 1]. *)
+
+val random_regular : Rbb_prng.Rng.t -> n:int -> d:int -> Csr.t
+(** [random_regular rng ~n ~d] samples a simple d-regular graph by
+    Steger–Wormald stub pairing (local retry on loops/duplicates,
+    asymptotically uniform; practical for [d] up to about [n^(1/3)]).
+    @raise Invalid_argument unless [n*d] even, [0 < d < n]. *)
+
+val erdos_renyi : Rbb_prng.Rng.t -> n:int -> p:float -> Csr.t
+(** [erdos_renyi rng ~n ~p] samples G(n, p).
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val binary_tree : int -> Csr.t
+(** [binary_tree n] is the complete binary tree on vertices [0..n-1]
+    (vertex [i]'s children are [2i+1], [2i+2]).
+    @raise Invalid_argument if [n < 2]. *)
+
+val grid2d : rows:int -> cols:int -> Csr.t
+(** Rectangular grid without wraparound (boundary vertices have lower
+    degree — a mildly irregular topology).
+    @raise Invalid_argument if either side is < 2. *)
+
+val barbell : int -> Csr.t
+(** [barbell k] is two k-cliques joined by a single bridge edge
+    (n = 2k): the classic bottleneck graph for walk-based protocols.
+    @raise Invalid_argument if [k < 2]. *)
+
+val circulant : n:int -> jumps:int list -> Csr.t
+(** [circulant ~n ~jumps] connects [i] to [i ± j mod n] for each jump
+    [j]: a cheap family of regular graphs with tunable degree (the ring
+    is [circulant ~jumps:[1]]).
+    @raise Invalid_argument on empty jumps, a jump outside
+    [1 .. n/2], or duplicate jumps. *)

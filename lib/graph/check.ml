@@ -1,0 +1,67 @@
+let bfs_depths g start =
+  let n = Csr.n g in
+  let depth = Array.make n (-1) in
+  let queue = Queue.create () in
+  depth.(start) <- 0;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Csr.iter_neighbors g u (fun v ->
+        if depth.(v) < 0 then begin
+          depth.(v) <- depth.(u) + 1;
+          Queue.push v queue
+        end)
+  done;
+  depth
+
+let is_connected g =
+  let n = Csr.n g in
+  n = 0
+  || begin
+       let depth = bfs_depths g 0 in
+       Array.for_all (fun d -> d >= 0) depth
+     end
+
+let is_regular g =
+  let n = Csr.n g in
+  if n = 0 then Some 0
+  else begin
+    let d = Csr.degree g 0 in
+    let rec check u = if u >= n then Some d else if Csr.degree g u = d then check (u + 1) else None in
+    check 1
+  end
+
+let fold_degrees g ~init ~f =
+  let acc = ref init in
+  for u = 0 to Csr.n g - 1 do
+    acc := f !acc (Csr.degree g u)
+  done;
+  !acc
+
+let min_degree g =
+  if Csr.n g = 0 then 0 else fold_degrees g ~init:max_int ~f:Stdlib.min
+
+let max_degree g = fold_degrees g ~init:0 ~f:Stdlib.max
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for u = 0 to Csr.n g - 1 do
+    let d = Csr.degree g u in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+  |> List.sort compare
+
+let diameter_upper_bound g =
+  if Csr.n g = 0 then 0
+  else begin
+    let depth = bfs_depths g 0 in
+    let ecc =
+      Array.fold_left
+        (fun acc d ->
+          if d < 0 then invalid_arg "Check.diameter_upper_bound: disconnected graph"
+          else Stdlib.max acc d)
+        0 depth
+    in
+    2 * ecc
+  end

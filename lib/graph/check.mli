@@ -1,0 +1,19 @@
+(** Structural sanity checks on graphs; used both in tests and to
+    validate randomly generated topologies before an experiment runs. *)
+
+val is_connected : Csr.t -> bool
+(** BFS reachability from vertex 0; a 0-vertex graph is connected. *)
+
+val is_regular : Csr.t -> int option
+(** [Some d] if every vertex has degree [d], else [None]. *)
+
+val min_degree : Csr.t -> int
+val max_degree : Csr.t -> int
+
+val degree_histogram : Csr.t -> (int * int) list
+(** [(degree, multiplicity)] pairs, ascending by degree. *)
+
+val diameter_upper_bound : Csr.t -> int
+(** Eccentricity of vertex 0 doubled — a cheap upper bound on the
+    diameter, enough for scaling sanity checks.
+    @raise Invalid_argument on a disconnected graph. *)

@@ -1,0 +1,121 @@
+type repr =
+  | Explicit of { offsets : int array; targets : int array }
+  | Complete  (* K_n without materialized edges *)
+
+type t = { n : int; edges : int; repr : repr }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Csr.of_edges: negative n";
+  let seen = Hashtbl.create (2 * List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Csr.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Csr.of_edges: self-loop";
+      let key = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen key then invalid_arg "Csr.of_edges: duplicate edge";
+      Hashtbl.replace seen key ())
+    edges;
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      targets.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  (* Sorted adjacency enables binary-search membership tests. *)
+  for u = 0 to n - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    let slice = Array.sub targets lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 targets lo (hi - lo)
+  done;
+  { n; edges = List.length edges; repr = Explicit { offsets; targets } }
+
+let complete n =
+  if n < 1 then invalid_arg "Csr.complete: n < 1";
+  { n; edges = n * (n - 1) / 2; repr = Complete }
+
+let n t = t.n
+let edge_count t = t.edges
+
+let degree t u =
+  if u < 0 || u >= t.n then invalid_arg "Csr.degree: vertex out of range";
+  match t.repr with
+  | Complete -> t.n - 1
+  | Explicit { offsets; _ } -> offsets.(u + 1) - offsets.(u)
+
+let is_complete_repr t = match t.repr with Complete -> true | Explicit _ -> false
+
+let iter_neighbors t u f =
+  match t.repr with
+  | Complete ->
+      for v = 0 to t.n - 1 do
+        if v <> u then f v
+      done
+  | Explicit { offsets; targets } ->
+      for i = offsets.(u) to offsets.(u + 1) - 1 do
+        f targets.(i)
+      done
+
+let fold_neighbors t u ~init ~f =
+  let acc = ref init in
+  iter_neighbors t u (fun v -> acc := f !acc v);
+  !acc
+
+let neighbor t u i =
+  match t.repr with
+  | Complete ->
+      if i < 0 || i >= t.n - 1 then invalid_arg "Csr.neighbor: index out of range";
+      if i < u then i else i + 1
+  | Explicit { offsets; targets } ->
+      let lo = offsets.(u) in
+      if i < 0 || lo + i >= offsets.(u + 1) then
+        invalid_arg "Csr.neighbor: index out of range";
+      targets.(lo + i)
+
+let random_neighbor t rng u =
+  let d = degree t u in
+  if d = 0 then invalid_arg "Csr.random_neighbor: isolated vertex";
+  neighbor t u (Rbb_prng.Rng.int_below rng d)
+
+let random_vertex_including_self t rng u =
+  match t.repr with
+  | Complete -> Rbb_prng.Rng.int_below rng t.n
+  | Explicit _ ->
+      let d = degree t u in
+      let i = Rbb_prng.Rng.int_below rng (d + 1) in
+      if i = d then u else neighbor t u i
+
+let has_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then false
+  else if u = v then false
+  else
+    match t.repr with
+    | Complete -> true
+    | Explicit { offsets; targets } ->
+        let lo = ref offsets.(u) and hi = ref (offsets.(u + 1) - 1) in
+        let found = ref false in
+        while (not !found) && !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if targets.(mid) = v then found := true
+          else if targets.(mid) < v then lo := mid + 1
+          else hi := mid - 1
+        done;
+        !found
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d%s)" t.n t.edges
+    (if is_complete_repr t then ", complete" else "")

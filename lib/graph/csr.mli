@@ -1,0 +1,60 @@
+(** Immutable graphs in compressed-sparse-row form.
+
+    Undirected simple graphs over vertices [0 .. n-1]; each undirected
+    edge is stored in both directions.  CSR keeps neighbour scans and
+    uniform neighbour sampling cache-friendly, which matters because the
+    constrained-random-walk experiments sample millions of neighbours
+    per run.
+
+    The complete graph is special-cased ({!complete}) so the
+    balls-into-bins workloads never materialize Θ(n²) edges. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the undirected graph on [n] vertices with
+    the given edge list.  Self-loops and duplicate edges are rejected.
+    @raise Invalid_argument on out-of-range endpoints, self-loops or
+    duplicates. *)
+
+val complete : int -> t
+(** [complete n] is K_n, represented implicitly in O(1) space.
+    @raise Invalid_argument if [n < 1]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of neighbours of [u]. *)
+
+val is_complete_repr : t -> bool
+(** Whether [t] uses the implicit K_n representation. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g u f] applies [f] to every neighbour of [u]. *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g u i] is the [i]-th neighbour of [u] in storage order.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val random_neighbor : t -> Rbb_prng.Rng.t -> int -> int
+(** [random_neighbor g rng u] is a uniformly random neighbour of [u].
+    For the implicit complete graph this draws uniformly from
+    [[0, n) \ {u}].
+    @raise Invalid_argument if [u] has no neighbour. *)
+
+val random_vertex_including_self : t -> Rbb_prng.Rng.t -> int -> int
+(** [random_vertex_including_self g rng u] is uniform over the closed
+    neighbourhood of [u] when [g] is the implicit complete graph —
+    i.e. uniform over all of [[0, n)], the balls-into-bins law — and
+    uniform over neighbours-plus-self otherwise. *)
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v]: adjacency test (binary search; O(log deg)). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+(* Power iteration for the lazy walk P = (I + D^-1 A)/2.
+
+   The walk is reversible with stationary weight pi(u) proportional to
+   deg(u).  We work in the pi-weighted inner product, where P is
+   self-adjoint, and deflate the top eigenvector (the constant function)
+   so the iteration converges to lambda_2. *)
+
+let lambda2_lazy_walk ?(iterations = 10_000) ?(tol = 1e-10) g =
+  let n = Csr.n g in
+  if n = 0 then invalid_arg "Spectral.lambda2_lazy_walk: empty graph";
+  if n = 1 then 0.
+  else begin
+    let deg = Array.init n (Csr.degree g) in
+    Array.iteri
+      (fun u d ->
+        if d = 0 then
+          invalid_arg
+            (Printf.sprintf "Spectral.lambda2_lazy_walk: vertex %d is isolated" u))
+      deg;
+    let total_degree = float_of_int (Array.fold_left ( + ) 0 deg) in
+    let pi = Array.map (fun d -> float_of_int d /. total_degree) deg in
+    (* Apply the lazy walk matrix to a function on vertices:
+       (Pf)(u) = f(u)/2 + (1/(2 deg u)) sum_{v ~ u} f(v). *)
+    let apply f =
+      Array.init n (fun u ->
+          let acc = ref 0. in
+          Csr.iter_neighbors g u (fun v -> acc := !acc +. f.(v));
+          (0.5 *. f.(u)) +. (0.5 *. !acc /. float_of_int deg.(u)))
+    in
+    let dot_pi a b =
+      let acc = ref 0. in
+      for u = 0 to n - 1 do
+        acc := !acc +. (pi.(u) *. a.(u) *. b.(u))
+      done;
+      !acc
+    in
+    let deflate f =
+      (* Subtract the pi-projection onto the constant eigenvector. *)
+      let mean = dot_pi f (Array.make n 1.) in
+      Array.map (fun x -> x -. mean) f
+    in
+    let normalize f =
+      let norm = Float.sqrt (dot_pi f f) in
+      if norm = 0. then None else Some (Array.map (fun x -> x /. norm) f)
+    in
+    (* Deterministic, aperiodic start vector. *)
+    let v0 = Array.init n (fun u -> Float.sin (float_of_int (u + 1))) in
+    let rec iterate v estimate k =
+      if k >= iterations then estimate
+      else begin
+        let w = deflate (apply v) in
+        match normalize w with
+        | None -> 0. (* the deflated space is annihilated: lambda2 = 0 *)
+        | Some w' ->
+            (* Rayleigh quotient of the normalized iterate. *)
+            let next = dot_pi w' (apply w') in
+            if Float.abs (next -. estimate) < tol then next
+            else iterate w' next (k + 1)
+      end
+    in
+    match normalize (deflate v0) with
+    | None -> 0.
+    | Some v -> Stdlib.max 0. (Stdlib.min 1. (iterate v 2. 0))
+  end
+
+let spectral_gap ?iterations ?tol g = 1. -. lambda2_lazy_walk ?iterations ?tol g
+
+let relaxation_time ?iterations ?tol g =
+  let gap = spectral_gap ?iterations ?tol g in
+  if gap <= 0. then infinity else 1. /. gap

@@ -1,0 +1,26 @@
+(** Spectral estimates for random walks on graphs.
+
+    The paper's §5 conjecture concerns regular graphs, where the mixing
+    of the underlying walks — governed by the spectral gap of the walk
+    matrix — is the natural structural parameter.  This module
+    estimates the second-largest eigenvalue modulus of the {e lazy}
+    random-walk matrix [P = (I + D⁻¹A)/2] by power iteration on the
+    space orthogonal to the stationary distribution, and derives the
+    relaxation-time scale experiment E28 correlates with max loads. *)
+
+val lambda2_lazy_walk : ?iterations:int -> ?tol:float -> Csr.t -> float
+(** [lambda2_lazy_walk g] estimates the second-largest eigenvalue of the
+    lazy walk matrix of [g] (all eigenvalues of the lazy walk are
+    non-negative, so this is also the SLEM).  Deterministic power
+    iteration from a fixed start vector, deflating the stationary
+    direction each step; at most [iterations] (default 10 000) rounds or
+    until successive estimates differ by less than [tol] (default
+    1e-10).
+    @raise Invalid_argument on an empty graph or a graph with an
+    isolated vertex. *)
+
+val spectral_gap : ?iterations:int -> ?tol:float -> Csr.t -> float
+(** [1 - lambda2]. *)
+
+val relaxation_time : ?iterations:int -> ?tol:float -> Csr.t -> float
+(** [1 / gap] — the walk's intrinsic time scale. *)

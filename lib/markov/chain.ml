@@ -1,0 +1,109 @@
+type t = {
+  n : int;
+  m : int;
+  states : int array array;
+  index : (int array, int) Hashtbl.t;
+  fact : float array;  (* factorials up to m + n *)
+}
+
+let max_states = 100_000
+
+let create ~n ~m =
+  if n <= 0 then invalid_arg "Chain.create: n <= 0";
+  if m < 0 then invalid_arg "Chain.create: m < 0";
+  let size = Compositions.count ~total:m ~parts:n in
+  if size > max_states then
+    invalid_arg
+      (Printf.sprintf "Chain.create: %d states exceed the cap of %d" size max_states);
+  let states = Compositions.enumerate ~total:m ~parts:n in
+  let index = Hashtbl.create (2 * size) in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) states;
+  let fact = Array.make (m + n + 1) 1. in
+  for i = 1 to m + n do
+    fact.(i) <- fact.(i - 1) *. float_of_int i
+  done;
+  { n; m; states; index; fact }
+
+let n t = t.n
+let m t = t.m
+let num_states t = Array.length t.states
+let config_of_index t i = Array.copy t.states.(i)
+
+let state_index t c =
+  match Hashtbl.find_opt t.index c with
+  | Some i -> i
+  | None -> raise Not_found
+
+let iter_transitions t s f =
+  let q = t.states.(s) in
+  let h = Array.fold_left (fun acc x -> if x > 0 then acc + 1 else acc) 0 q in
+  let base = Array.map (fun x -> if x > 0 then x - 1 else 0) q in
+  let next = Array.make t.n 0 in
+  let inv_nh = float_of_int t.n ** float_of_int h in
+  Compositions.iter ~total:h ~parts:t.n (fun a ->
+      (* multinomial(h; a) / n^h *)
+      let denom = ref 1. in
+      Array.iter (fun ai -> denom := !denom *. t.fact.(ai)) a;
+      let prob = t.fact.(h) /. !denom /. inv_nh in
+      for u = 0 to t.n - 1 do
+        next.(u) <- base.(u) + a.(u)
+      done;
+      let ns = Hashtbl.find t.index next in
+      f a prob ns)
+
+let step t dist =
+  let out = Array.make (num_states t) 0. in
+  Array.iteri
+    (fun s p ->
+      if p > 0. then
+        iter_transitions t s (fun _a prob ns -> out.(ns) <- out.(ns) +. (p *. prob)))
+    dist;
+  out
+
+let distribution_at t ~init ~rounds =
+  let dist = Array.make (num_states t) 0. in
+  dist.(state_index t init) <- 1.;
+  let d = ref dist in
+  for _ = 1 to rounds do
+    d := step t !d
+  done;
+  !d
+
+let total_variation p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Chain.total_variation: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  !acc /. 2.
+
+let stationary ?(tol = 1e-12) ?(max_iters = 100_000) t =
+  let size = num_states t in
+  let dist = Array.make size (1. /. float_of_int size) in
+  let rec go d k =
+    if k >= max_iters then d
+    else begin
+      let d' = step t d in
+      if total_variation d d' < tol then d' else go d' (k + 1)
+    end
+  in
+  go dist 0
+
+let max_load_pmf t dist =
+  let pmf = Array.make (t.m + 1) 0. in
+  Array.iteri
+    (fun s p ->
+      let ml = Array.fold_left Stdlib.max 0 t.states.(s) in
+      pmf.(ml) <- pmf.(ml) +. p)
+    dist;
+  pmf
+
+let expected_max_load t dist =
+  let pmf = max_load_pmf t dist in
+  let acc = ref 0. in
+  Array.iteri (fun k p -> acc := !acc +. (float_of_int k *. p)) pmf;
+  !acc
+
+let expectation t dist ~f =
+  let acc = ref 0. in
+  Array.iteri (fun s p -> if p > 0. then acc := !acc +. (p *. f t.states.(s))) dist;
+  !acc

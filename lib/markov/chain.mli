@@ -1,0 +1,66 @@
+(** The exact Markov chain of the repeated balls-into-bins process for
+    small [n] and [m].
+
+    States are load configurations (weak compositions of [m] into [n]);
+    one round moves every non-empty bin's departing ball to an
+    independent uniform bin, so the arrival vector [a] (summing to the
+    number [h] of non-empty bins) has multinomial probability
+    [h! / (∏ a_u!) · n^{-h}].  The chain is the ground truth the
+    simulator is validated against (experiment E18) and the engine
+    behind the Appendix B counterexample ({!Exact}).
+
+    State counts grow as [C(m+n-1, n-1)]: n = m = 6 gives 462 states,
+    comfortably exact; the constructor refuses anything above
+    [max_states]. *)
+
+type t
+
+val max_states : int
+(** Hard cap on the state-space size (100 000). *)
+
+val create : n:int -> m:int -> t
+(** @raise Invalid_argument if [n <= 0], [m < 0] or the state space
+    exceeds {!max_states}. *)
+
+val n : t -> int
+val m : t -> int
+val num_states : t -> int
+
+val config_of_index : t -> int -> int array
+(** Fresh copy of the state's load vector. *)
+
+val state_index : t -> int array -> int
+(** @raise Not_found for a vector that is not a state of this chain. *)
+
+val iter_transitions : t -> int -> (int array -> float -> int -> unit) -> unit
+(** [iter_transitions t s f] calls [f arrivals prob next_state] for each
+    distinct arrival vector from state [s].  Probabilities sum to 1.
+    The [arrivals] array is reused — copy if kept. *)
+
+val step : t -> float array -> float array
+(** One exact round applied to a distribution over states. *)
+
+val distribution_at : t -> init:int array -> rounds:int -> float array
+(** Exact distribution after [rounds] rounds started from the point mass
+    on [init]. *)
+
+val stationary : ?tol:float -> ?max_iters:int -> t -> float array
+(** Power iteration until successive iterates differ by less than [tol]
+    in total variation (default [1e-12], at most [max_iters] = 100 000
+    iterations).  The chain is finite and aperiodic (the empty-arrival
+    outcome has positive probability), so this converges. *)
+
+val total_variation : float array -> float array -> float
+(** [½ Σ |p_i - q_i|].
+    @raise Invalid_argument on length mismatch. *)
+
+val max_load_pmf : t -> float array -> float array
+(** [max_load_pmf t dist] maps a distribution over states to the exact
+    pmf of the max load (index k = probability the max load is k). *)
+
+val expected_max_load : t -> float array -> float
+
+val expectation : t -> float array -> f:(int array -> float) -> float
+(** [expectation t dist ~f] is [E[f(Q)]] under a distribution over
+    states: the generic functional behind exact empty-bin fractions,
+    potential values, etc. *)

@@ -1,0 +1,40 @@
+let binomial_coefficient n k =
+  if k < 0 || n < 0 || k > n then invalid_arg "binomial_coefficient: bad arguments";
+  let k = Stdlib.min k (n - k) in
+  let acc = ref 1 in
+  for i = 1 to k do
+    (* Multiply before dividing keeps the intermediate integral; check
+       for overflow on the multiply. *)
+    let next = !acc * (n - k + i) in
+    if next / (n - k + i) <> !acc then
+      invalid_arg "binomial_coefficient: overflow";
+    acc := next / i
+  done;
+  !acc
+
+let count ~total ~parts =
+  if total < 0 || parts <= 0 then invalid_arg "Compositions.count: bad arguments";
+  binomial_coefficient (total + parts - 1) (parts - 1)
+
+let iter ~total ~parts f =
+  if total < 0 || parts <= 0 then invalid_arg "Compositions.iter: bad arguments";
+  let buf = Array.make parts 0 in
+  (* Fill position i with every value 0..remaining; the last position
+     takes whatever is left, giving lexicographic order. *)
+  let rec fill i remaining =
+    if i = parts - 1 then begin
+      buf.(i) <- remaining;
+      f buf
+    end
+    else
+      for v = 0 to remaining do
+        buf.(i) <- v;
+        fill (i + 1) (remaining - v)
+      done
+  in
+  fill 0 total
+
+let enumerate ~total ~parts =
+  let out = ref [] in
+  iter ~total ~parts (fun c -> out := Array.copy c :: !out);
+  Array.of_list (List.rev !out)

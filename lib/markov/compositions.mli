@@ -1,0 +1,21 @@
+(** Weak compositions: vectors of [parts] non-negative integers summing
+    to [total].  These are exactly the load configurations of [total]
+    balls in [parts] bins, and also the arrival vectors of a round — the
+    two enumerations the exact chain is built from. *)
+
+val count : total:int -> parts:int -> int
+(** [C(total + parts - 1, parts - 1)], computed exactly.
+    @raise Invalid_argument on negative arguments or [parts = 0], or on
+    overflow. *)
+
+val iter : total:int -> parts:int -> (int array -> unit) -> unit
+(** [iter ~total ~parts f] calls [f] on every weak composition in
+    lexicographic order.  The array passed to [f] is reused between
+    calls — copy it if you keep it. *)
+
+val enumerate : total:int -> parts:int -> int array array
+(** All compositions, each a fresh array, lexicographic order. *)
+
+val binomial_coefficient : int -> int -> int
+(** [binomial_coefficient n k] is [C(n, k)] exactly.
+    @raise Invalid_argument on overflow or bad arguments. *)

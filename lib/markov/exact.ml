@@ -1,0 +1,53 @@
+let prob_zero_arrivals chain ~init ~bin ~zero_rounds =
+  if bin < 0 || bin >= Chain.n chain then
+    invalid_arg "Exact.prob_zero_arrivals: bin out of range";
+  List.iter
+    (fun r -> if r <= 0 then invalid_arg "Exact.prob_zero_arrivals: rounds are 1-based")
+    zero_rounds;
+  let max_round = List.fold_left Stdlib.max 0 zero_rounds in
+  let size = Chain.num_states chain in
+  let dist = Array.make size 0. in
+  dist.(Chain.state_index chain init) <- 1.;
+  let current = ref dist in
+  for round = 1 to max_round do
+    let constrained = List.mem round zero_rounds in
+    let out = Array.make size 0. in
+    Array.iteri
+      (fun s p ->
+        if p > 0. then
+          Chain.iter_transitions chain s (fun a prob ns ->
+              if (not constrained) || a.(bin) = 0 then
+                out.(ns) <- out.(ns) +. (p *. prob)))
+      !current;
+    current := out
+  done;
+  Array.fold_left ( +. ) 0. !current
+
+type appendix_b = {
+  p_x1_zero : float;
+  p_x2_zero : float;
+  p_joint_zero : float;
+  product : float;
+  violates_negative_association : bool;
+}
+
+let appendix_b () =
+  let chain = Chain.create ~n:2 ~m:2 in
+  let init = [| 1; 1 |] in
+  let p1 = prob_zero_arrivals chain ~init ~bin:0 ~zero_rounds:[ 1 ] in
+  let p2 = prob_zero_arrivals chain ~init ~bin:0 ~zero_rounds:[ 2 ] in
+  let joint = prob_zero_arrivals chain ~init ~bin:0 ~zero_rounds:[ 1; 2 ] in
+  let product = p1 *. p2 in
+  {
+    p_x1_zero = p1;
+    p_x2_zero = p2;
+    p_joint_zero = joint;
+    product;
+    violates_negative_association = joint > product;
+  }
+
+let covariance_of_zero_indicators chain ~init ~bin ~round_a ~round_b =
+  let pa = prob_zero_arrivals chain ~init ~bin ~zero_rounds:[ round_a ] in
+  let pb = prob_zero_arrivals chain ~init ~bin ~zero_rounds:[ round_b ] in
+  let joint = prob_zero_arrivals chain ~init ~bin ~zero_rounds:[ round_a; round_b ] in
+  joint -. (pa *. pb)

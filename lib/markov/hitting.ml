@@ -1,0 +1,36 @@
+let expected_hitting_times ?(tol = 1e-10) ?(max_iters = 1_000_000) chain ~target =
+  let size = Chain.num_states chain in
+  let in_target =
+    Array.init size (fun s -> target (Chain.config_of_index chain s))
+  in
+  if not (Array.exists Fun.id in_target) then
+    invalid_arg "Hitting.expected_hitting_times: empty target set";
+  let h = Array.make size 0. in
+  let next = Array.make size 0. in
+  let rec iterate k =
+    let delta = ref 0. in
+    for s = 0 to size - 1 do
+      if in_target.(s) then next.(s) <- 0.
+      else begin
+        let acc = ref 1. in
+        Chain.iter_transitions chain s (fun _a p ns -> acc := !acc +. (p *. h.(ns)));
+        next.(s) <- !acc
+      end
+    done;
+    for s = 0 to size - 1 do
+      let d = Float.abs (next.(s) -. h.(s)) in
+      if d > !delta then delta := d;
+      h.(s) <- next.(s)
+    done;
+    if !delta < tol then ()
+    else if k >= max_iters then
+      failwith "Hitting.expected_hitting_times: value iteration did not converge"
+    else iterate (k + 1)
+  in
+  iterate 0;
+  h
+
+let expected_rounds_to_max_load ?tol chain ~threshold ~from =
+  let target config = Array.fold_left Stdlib.max 0 config <= threshold in
+  let h = expected_hitting_times ?tol chain ~target in
+  h.(Chain.state_index chain from)

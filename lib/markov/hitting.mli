@@ -1,0 +1,24 @@
+(** Exact expected hitting times on the small chains.
+
+    First-step analysis: for a target set [A],
+    [h(s) = 0] for [s ∈ A] and [h(s) = 1 + Σ_s' P(s,s') h(s')]
+    otherwise.  Solved by value iteration (the chain reaches any
+    reasonable target with probability 1, so iteration converges).
+    Gives the exact finite-size counterpart of Theorem 1's O(n)
+    convergence: [E[rounds to a legitimate configuration]] from the
+    worst start, with no sampling error. *)
+
+val expected_hitting_times :
+  ?tol:float -> ?max_iters:int -> Chain.t -> target:(int array -> bool) -> float array
+(** [expected_hitting_times chain ~target] returns [h] indexed by state
+    ([h.(s) = 0] when [target (config s)]).  [tol] (default 1e-10) is
+    the sup-norm convergence threshold of value iteration, [max_iters]
+    defaults to 1 000 000.
+    @raise Invalid_argument if no state satisfies [target].
+    @raise Failure if value iteration has not converged (target not
+    almost-surely reachable, or iteration cap hit). *)
+
+val expected_rounds_to_max_load :
+  ?tol:float -> Chain.t -> threshold:int -> from:int array -> float
+(** Expected rounds until [max load <= threshold] starting from [from]:
+    the exact convergence time of Theorem 1 at small n. *)

@@ -1,0 +1,49 @@
+let tv_curve chain ~init ~rounds ~pi =
+  if rounds < 0 then invalid_arg "Mixing.tv_curve: negative rounds";
+  let out = Array.make (rounds + 1) 0. in
+  let dist = Array.make (Chain.num_states chain) 0. in
+  dist.(Chain.state_index chain init) <- 1.;
+  let current = ref dist in
+  out.(0) <- Chain.total_variation !current pi;
+  for t = 1 to rounds do
+    current := Chain.step chain !current;
+    out.(t) <- Chain.total_variation !current pi
+  done;
+  out
+
+let mixing_time ?(epsilon = 0.25) ?(max_rounds = 10_000) chain ~init ~pi =
+  let dist = Array.make (Chain.num_states chain) 0. in
+  dist.(Chain.state_index chain init) <- 1.;
+  let rec go current t =
+    if Chain.total_variation current pi < epsilon then Some t
+    else if t >= max_rounds then None
+    else go (Chain.step chain current) (t + 1)
+  in
+  go dist 0
+
+let worst_init_mixing_time ?epsilon ?max_rounds chain ~pi =
+  let worst = ref (-1) and arg = ref [||] in
+  for s = 0 to Chain.num_states chain - 1 do
+    let init = Chain.config_of_index chain s in
+    match mixing_time ?epsilon ?max_rounds chain ~init ~pi with
+    | None -> failwith "Mixing.worst_init_mixing_time: a start did not mix"
+    | Some t ->
+        if t > !worst then begin
+          worst := t;
+          arg := init
+        end
+  done;
+  (!worst, !arg)
+
+let expected_max_load_curve chain ~init ~rounds =
+  if rounds < 0 then invalid_arg "Mixing.expected_max_load_curve: negative rounds";
+  let out = Array.make (rounds + 1) 0. in
+  let dist = Array.make (Chain.num_states chain) 0. in
+  dist.(Chain.state_index chain init) <- 1.;
+  let current = ref dist in
+  out.(0) <- Chain.expected_max_load chain !current;
+  for t = 1 to rounds do
+    current := Chain.step chain !current;
+    out.(t) <- Chain.expected_max_load chain !current
+  done;
+  out

@@ -1,0 +1,32 @@
+(** Mixing analysis of the exact chain.
+
+    The paper remarks (§1.3) that its chain is non-reversible and very
+    likely has no product-form stationary law, unlike the closed
+    Jackson network.  For small systems we can nevertheless compute the
+    stationary distribution and the exact distance-to-stationarity
+    curve, which quantifies how fast "any configuration" forgets its
+    start — the finite-size face of self-stabilization (experiment
+    E19). *)
+
+val tv_curve :
+  Chain.t -> init:int array -> rounds:int -> pi:float array -> float array
+(** [tv_curve chain ~init ~rounds ~pi] is the exact total-variation
+    distance to [pi] after 0, 1, ..., [rounds] rounds starting from the
+    point mass on [init] (length [rounds + 1]). *)
+
+val mixing_time :
+  ?epsilon:float -> ?max_rounds:int -> Chain.t -> init:int array -> pi:float array -> int option
+(** First round at which the TV distance from [init] drops below
+    [epsilon] (default 0.25, the standard mixing threshold), or [None]
+    within [max_rounds] (default 10 000). *)
+
+val worst_init_mixing_time :
+  ?epsilon:float -> ?max_rounds:int -> Chain.t -> pi:float array -> int * int array
+(** Mixing time maximized over all starting states (the real t_mix),
+    with the maximizing configuration.
+    @raise Failure if some start has not mixed within [max_rounds]. *)
+
+val expected_max_load_curve :
+  Chain.t -> init:int array -> rounds:int -> float array
+(** Exact [E[M(t)]] for t = 0..rounds: the deterministic shadow of the
+    simulated convergence curves. *)

@@ -1,0 +1,197 @@
+type strategy = Fifo | Lifo
+
+type t = {
+  n : int;
+  m : int;
+  strategy : strategy;
+  states : int list array array;  (* state -> queues, front first *)
+  index : (int list array, int) Hashtbl.t;
+}
+
+let max_states = 200_000
+
+(* All placements of balls [0..m-1] into n ordered queues: choose a bin
+   for each ball, then all interleavings per bin.  We build states by
+   inserting balls one at a time at every possible queue position. *)
+let enumerate_states n m =
+  let empty = Array.make n [] in
+  let insert_everywhere queues ball =
+    let out = ref [] in
+    for u = 0 to n - 1 do
+      let q = queues.(u) in
+      let rec positions prefix = function
+        | [] ->
+            let next = Array.copy queues in
+            next.(u) <- List.rev (ball :: prefix);
+            out := next :: !out
+        | x :: rest ->
+            let next = Array.copy queues in
+            next.(u) <- List.rev_append prefix (ball :: x :: rest);
+            out := next :: !out;
+            positions (x :: prefix) rest
+      in
+      positions [] q
+    done;
+    !out
+  in
+  let current = ref [ empty ] in
+  for ball = 0 to m - 1 do
+    current := List.concat_map (fun qs -> insert_everywhere qs ball) !current
+  done;
+  !current
+
+let count_states n m =
+  (* m! * C(m+n-1, n-1) *)
+  let fact = ref 1 in
+  for i = 2 to m do
+    fact := !fact * i
+  done;
+  !fact * Compositions.count ~total:m ~parts:n
+
+let create ~n ~m ~strategy =
+  if n <= 0 then invalid_arg "Token_chain.create: n <= 0";
+  if m < 0 then invalid_arg "Token_chain.create: m < 0";
+  let size = count_states n m in
+  if size > max_states then
+    invalid_arg
+      (Printf.sprintf "Token_chain.create: %d states exceed the cap of %d" size
+         max_states);
+  let states = Array.of_list (enumerate_states n m) in
+  assert (Array.length states = size);
+  let index = Hashtbl.create (2 * size) in
+  Array.iteri (fun i s -> Hashtbl.replace index s i) states;
+  { n; m; strategy; states; index }
+
+let n t = t.n
+let m t = t.m
+let num_states t = Array.length t.states
+let strategy t = t.strategy
+
+let state_of_queues t queues =
+  match Hashtbl.find_opt t.index queues with
+  | Some i -> i
+  | None -> raise Not_found
+
+let queues_of_state t i = Array.copy t.states.(i)
+
+let initial_state t config =
+  if Rbb_core.Config.n config <> t.n then
+    invalid_arg "Token_chain.initial_state: bin count mismatch";
+  if Rbb_core.Config.balls config <> t.m then
+    invalid_arg "Token_chain.initial_state: ball count mismatch";
+  let queues = Array.make t.n [] in
+  let ball = ref 0 in
+  for u = 0 to t.n - 1 do
+    let ids = List.init (Rbb_core.Config.load config u) (fun k -> !ball + k) in
+    queues.(u) <- ids;
+    ball := !ball + Rbb_core.Config.load config u
+  done;
+  state_of_queues t queues
+
+(* One round from state [s]: enumerate destination assignments of the
+   extracted balls (n^h outcomes, uniform). *)
+let iter_transitions t s f =
+  let queues = t.states.(s) in
+  (* Phase 1: extractions, in bin order. *)
+  let movers = ref [] in
+  let stripped = Array.copy queues in
+  for u = 0 to t.n - 1 do
+    match queues.(u) with
+    | [] -> ()
+    | q ->
+        (match t.strategy with
+        | Fifo ->
+            (match q with
+            | head :: rest ->
+                movers := head :: !movers;
+                stripped.(u) <- rest
+            | [] -> assert false)
+        | Lifo ->
+            let rec split acc = function
+              | [ last ] -> (List.rev acc, last)
+              | x :: rest -> split (x :: acc) rest
+              | [] -> assert false
+            in
+            let body, last = split [] q in
+            movers := last :: !movers;
+            stripped.(u) <- body)
+  done;
+  let movers = Array.of_list (List.rev !movers) in
+  let h = Array.length movers in
+  let prob = 1. /. (float_of_int t.n ** float_of_int h) in
+  (* Phase 2: every destination assignment; deliveries appended in mover
+     (= bin) order, matching Token_process. *)
+  let dests = Array.make h 0 in
+  let rec assign i =
+    if i = h then begin
+      let next = Array.map (fun q -> q) stripped in
+      for k = 0 to h - 1 do
+        next.(dests.(k)) <- next.(dests.(k)) @ [ movers.(k) ]
+      done;
+      f prob (Hashtbl.find t.index next)
+    end
+    else
+      for v = 0 to t.n - 1 do
+        dests.(i) <- v;
+        assign (i + 1)
+      done
+  in
+  assign 0
+
+let step t dist =
+  let out = Array.make (num_states t) 0. in
+  Array.iteri
+    (fun s p ->
+      if p > 0. then iter_transitions t s (fun prob ns -> out.(ns) <- out.(ns) +. (p *. prob)))
+    dist;
+  out
+
+let distribution_at t ~init ~rounds =
+  if init < 0 || init >= num_states t then
+    invalid_arg "Token_chain.distribution_at: bad initial state";
+  let dist = Array.make (num_states t) 0. in
+  dist.(init) <- 1.;
+  let d = ref dist in
+  for _ = 1 to rounds do
+    d := step t !d
+  done;
+  !d
+
+let total_variation p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Token_chain.total_variation: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  !acc /. 2.
+
+let ball_position_marginal t dist ~ball =
+  if ball < 0 || ball >= t.m then
+    invalid_arg "Token_chain.ball_position_marginal: ball out of range";
+  let out = Array.make t.n 0. in
+  Array.iteri
+    (fun s p ->
+      if p > 0. then begin
+        let queues = t.states.(s) in
+        let found = ref false in
+        for u = 0 to t.n - 1 do
+          if (not !found) && List.mem ball queues.(u) then begin
+            out.(u) <- out.(u) +. p;
+            found := true
+          end
+        done
+      end)
+    dist;
+  out
+
+let load_vector_distribution t dist =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun s p ->
+      if p > 0. then begin
+        let loads = Array.map List.length t.states.(s) in
+        let prev = Option.value ~default:0. (Hashtbl.find_opt tbl loads) in
+        Hashtbl.replace tbl loads (prev +. p)
+      end)
+    dist;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

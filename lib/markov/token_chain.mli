@@ -1,0 +1,59 @@
+(** Exact token-level chain: the repeated balls-into-bins process with
+    {e distinguishable} balls and explicit queue order.
+
+    {!Chain} analyzes the load vector (all the paper's theorems need);
+    this module analyzes the full state — which ball sits where in which
+    queue — for tiny systems, under FIFO or LIFO extraction.  It is the
+    ground truth for {!Rbb_core.Token_process} (experiment E23): the
+    simulator's distribution over complete queue states must match this
+    chain's in total variation.
+
+    States are placements of [m] labelled balls into [n] ordered queues;
+    there are [m! · C(m+n-1, n-1)] of them (e.g. 840 for n = m = 4).
+    One round: every non-empty bin extracts its head (FIFO) or tail
+    (LIFO) ball; the extracted balls, taken in bin order, each draw an
+    independent uniform destination and are appended in that same order
+    — exactly the simulator's two-phase semantics. *)
+
+type strategy = Fifo | Lifo
+
+type t
+
+val max_states : int
+(** Cap on the state-space size (200 000). *)
+
+val create : n:int -> m:int -> strategy:strategy -> t
+(** @raise Invalid_argument if [n <= 0], [m < 0], or the space exceeds
+    {!max_states}. *)
+
+val n : t -> int
+val m : t -> int
+val num_states : t -> int
+val strategy : t -> strategy
+
+val state_of_queues : t -> int list array -> int
+(** Index of the state with the given queues (front first).
+    @raise Not_found if the queues are not a valid state (wrong ball
+    set, wrong bin count). *)
+
+val queues_of_state : t -> int -> int list array
+(** Fresh copy of a state's queues. *)
+
+val initial_state : t -> Rbb_core.Config.t -> int
+(** The state {!Rbb_core.Token_process.create} builds from a
+    configuration: consecutive ball ids fill each bin in bin order.
+    @raise Invalid_argument on a size/ball-count mismatch. *)
+
+val distribution_at : t -> init:int -> rounds:int -> float array
+(** Exact distribution over full states after [rounds] rounds. *)
+
+val step : t -> float array -> float array
+
+val total_variation : float array -> float array -> float
+
+val ball_position_marginal : t -> float array -> ball:int -> float array
+(** [P(ball at bin u)] under a state distribution. *)
+
+val load_vector_distribution : t -> float array -> (int array * float) list
+(** Collapses a state distribution onto load vectors (the {!Chain}
+    view); pairs are sorted by load vector. *)

@@ -1,0 +1,44 @@
+type t = {
+  prob : float array;  (* acceptance threshold per column *)
+  alias : int array;   (* fallback category per column *)
+  normalized : float array;
+}
+
+let create weights =
+  let k = Array.length weights in
+  if k = 0 then invalid_arg "Alias.create: empty weight array";
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg "Alias.create: weights must be finite and non-negative")
+    weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Alias.create: weights sum to zero";
+  let normalized = Array.map (fun w -> w /. total) weights in
+  (* Vose's stable two-worklist construction. *)
+  let scaled = Array.map (fun p -> p *. float_of_int k) normalized in
+  let prob = Array.make k 1. in
+  let alias = Array.init k (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri
+    (fun i s -> if s < 1. then Queue.push i small else Queue.push i large)
+    scaled;
+  while not (Queue.is_empty small) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Queue.push l small else Queue.push l large
+  done;
+  (* Leftovers are 1.0 up to round-off. *)
+  Queue.iter (fun i -> prob.(i) <- 1.) small;
+  Queue.iter (fun i -> prob.(i) <- 1.) large;
+  { prob; alias; normalized }
+
+let draw t rng =
+  let k = Array.length t.prob in
+  let column = Rng.int_below rng k in
+  if Rng.float_unit rng < t.prob.(column) then column else t.alias.(column)
+
+let size t = Array.length t.prob
+let probability t i = t.normalized.(i)

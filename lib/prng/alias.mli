@@ -1,0 +1,24 @@
+(** Walker/Vose alias method: O(1) sampling from a fixed discrete
+    distribution after O(k) preprocessing.
+
+    Used for non-uniform bin-choice experiments (e.g. heterogeneous-rate
+    Jackson networks) where the same categorical distribution is drawn
+    from millions of times. *)
+
+type t
+
+val create : float array -> t
+(** [create weights] preprocesses a distribution proportional to
+    [weights].
+    @raise Invalid_argument if [weights] is empty, contains a negative or
+    non-finite entry, or sums to zero. *)
+
+val draw : t -> Rng.t -> int
+(** [draw t rng] returns index [i] with probability
+    [weights.(i) / sum weights], in O(1). *)
+
+val size : t -> int
+(** Number of categories. *)
+
+val probability : t -> int -> float
+(** [probability t i] is the normalized probability of category [i]. *)

@@ -1,0 +1,41 @@
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let step g = g.state <- Int64.add (Int64.mul g.state multiplier) g.inc
+
+let create_stream ~seed ~stream =
+  (* The increment must be odd; [2*stream + 1] maps each stream id to a
+     distinct odd increment, the construction from the reference pcg32. *)
+  let inc = Int64.logor (Int64.shift_left stream 1) 1L in
+  let g = { state = 0L; inc } in
+  step g;
+  g.state <- Int64.add g.state seed;
+  step g;
+  g
+
+let create ~seed = create_stream ~seed ~stream:0xDA3E39CB94B95BDBL
+let copy g = { state = g.state; inc = g.inc }
+
+let rotr32 x r =
+  if r = 0 then x
+  else
+    Int32.logor
+      (Int32.shift_right_logical x r)
+      (Int32.shift_left x (32 - r))
+
+let next_u32 g =
+  let old = g.state in
+  step g;
+  let xorshifted =
+    Int64.to_int32
+      (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  rotr32 xorshifted rot
+
+let next_u64 g =
+  let hi = Int64.of_int32 (next_u32 g) in
+  let lo = Int64.of_int32 (next_u32 g) in
+  let mask32 = 0xFFFFFFFFL in
+  Int64.logor (Int64.shift_left (Int64.logand hi mask32) 32) (Int64.logand lo mask32)

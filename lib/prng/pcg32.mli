@@ -1,0 +1,26 @@
+(** PCG32 pseudo-random generator (O'Neill, 2014): the [PCG-XSH-RR]
+    variant with 64-bit state and 32-bit output.
+
+    Included as an alternative engine so that statistical results can be
+    cross-checked against a generator from an unrelated family (see the
+    sampler-independence ablation in DESIGN.md §7). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator on the default stream. *)
+
+val create_stream : seed:int64 -> stream:int64 -> t
+(** [create_stream ~seed ~stream] selects one of [2^63] independent
+    streams (distinct [stream] values give statistically independent
+    sequences). *)
+
+val copy : t -> t
+(** [copy g] is an independent snapshot of [g]'s current state. *)
+
+val next_u32 : t -> int32
+(** [next_u32 g] advances [g] and returns 32 uniformly random bits. *)
+
+val next_u64 : t -> int64
+(** [next_u64 g] concatenates two 32-bit outputs into 64 random bits. *)

@@ -1,0 +1,85 @@
+type engine = Xoshiro | Pcg | Splitmix
+
+type state =
+  | Sx of Xoshiro256.t
+  | Sp of Pcg32.t
+  | Ss of Splitmix64.t
+
+type t = { state : state; engine : engine; seed : int64 }
+
+let create ?(engine = Xoshiro) ~seed () =
+  let state =
+    match engine with
+    | Xoshiro -> Sx (Xoshiro256.create ~seed)
+    | Pcg -> Sp (Pcg32.create ~seed)
+    | Splitmix -> Ss (Splitmix64.create ~seed)
+  in
+  { state; engine; seed }
+
+let engine t = t.engine
+let seed t = t.seed
+
+let copy t =
+  let state =
+    match t.state with
+    | Sx g -> Sx (Xoshiro256.copy g)
+    | Sp g -> Sp (Pcg32.copy g)
+    | Ss g -> Ss (Splitmix64.copy g)
+  in
+  { t with state }
+
+let next_u64 t =
+  match t.state with
+  | Sx g -> Xoshiro256.next_u64 g
+  | Sp g -> Pcg32.next_u64 g
+  | Ss g -> Splitmix64.next_u64 g
+
+let split t =
+  match t.state with
+  | Sx g ->
+      (* Jumped copy: non-overlapping for 2^128 draws; then scramble the
+         parent so repeated splits give distinct children. *)
+      let child = Xoshiro256.copy g in
+      Xoshiro256.jump child;
+      ignore (Xoshiro256.next_u64 g);
+      { state = Sx child; engine = Xoshiro; seed = Splitmix64.mix t.seed }
+  | Sp _ | Ss _ ->
+      let child_seed = Splitmix64.mix (next_u64 t) in
+      create ~engine:t.engine ~seed:child_seed ()
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next_u64 t) 34)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  if n = 1 then 0
+  else begin
+    (* Smallest all-ones mask covering [n - 1], then rejection: unbiased
+       and at most one expected retry. *)
+    let m = n - 1 in
+    let mask = ref m in
+    List.iter (fun s -> mask := !mask lor (!mask lsr s)) [ 1; 2; 4; 8; 16; 32 ];
+    let mask = !mask in
+    let rec draw () =
+      let v = Int64.to_int (Int64.shift_right_logical (next_u64 t) 2) land mask in
+      if v < n then v else draw ()
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int_below t (hi - lo + 1)
+
+let float_unit t =
+  (* 53 high bits of the draw, scaled by 2^-53: uniform on [0,1). *)
+  let bits = Int64.shift_right_logical (next_u64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L
+
+let engine_name = function
+  | Xoshiro -> "xoshiro256**"
+  | Pcg -> "pcg32"
+  | Splitmix -> "splitmix64"
+
+let pp ppf t = Format.fprintf ppf "%s(seed=%Ld)" (engine_name t.engine) t.seed

@@ -1,0 +1,189 @@
+let check_prob name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Sampler.%s: probability %g not in [0,1]" name p)
+
+let bernoulli rng ~p =
+  check_prob "bernoulli" p;
+  Rng.float_unit rng < p
+
+(* Inversion by sequential search (BINV).  Numerically safe only while
+   [n*p] is moderate, which [binomial] guarantees by chunking. *)
+let binv rng n p =
+  if p = 0. || n = 0 then 0
+  else if p = 1. then n
+  else begin
+    let q = 1. -. p in
+    let s = p /. q in
+    let a = float_of_int (n + 1) *. s in
+    let r0 = q ** float_of_int n in
+    let rec attempt () =
+      let u = ref (Rng.float_unit rng) in
+      let x = ref 0 in
+      let r = ref r0 in
+      let rec walk () =
+        if !u <= !r then !x
+        else begin
+          u := !u -. !r;
+          incr x;
+          if !x > n then
+            (* Floating round-off pushed the search past the support:
+               restart the draw; this has probability ~2^-52. *)
+            attempt ()
+          else begin
+            r := !r *. (a /. float_of_int !x -. s);
+            walk ()
+          end
+        end
+      in
+      walk ()
+    in
+    attempt ()
+  end
+
+let binv_chunked rng n p =
+  (* Bin(n,p) = sum of independent Bin(n_i, p): exact decomposition that
+     keeps every chunk's mean below [max_mean] so BINV stays stable. *)
+  let max_mean = 32. in
+  if p = 0. || n = 0 then 0
+  else begin
+    let chunk =
+      let c = int_of_float (max_mean /. p) in
+      if c < 1 then 1 else if c > n then n else c
+    in
+    let rec go remaining acc =
+      if remaining = 0 then acc
+      else begin
+        let m = if remaining > chunk then chunk else remaining in
+        go (remaining - m) (acc + binv rng m p)
+      end
+    in
+    go n 0
+  end
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampler.binomial: negative n";
+  check_prob "binomial" p;
+  (* Symmetry keeps the inner inversion on the light side. *)
+  if p > 0.5 then n - binv_chunked rng n (1. -. p) else binv_chunked rng n p
+
+let geometric rng ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Sampler.geometric: p not in (0,1]";
+  if p = 1. then 0
+  else begin
+    let u = 1. -. Rng.float_unit rng in
+    (* u in (0,1]: log is finite. *)
+    int_of_float (Float.log u /. Float.log1p (-.p))
+  end
+
+let rec poisson rng ~lambda =
+  if lambda < 0. then invalid_arg "Sampler.poisson: negative lambda";
+  if lambda = 0. then 0
+  else if lambda <= 30. then begin
+    (* Knuth multiplication method: exact for small lambda. *)
+    let limit = Float.exp (-.lambda) in
+    let rec go k prod =
+      let prod = prod *. Rng.float_unit rng in
+      if prod <= limit then k else go (k + 1) prod
+    in
+    go 0 1.
+  end
+  else
+    (* Exact additive split of the Poisson law. *)
+    poisson rng ~lambda:(lambda /. 2.) + poisson rng ~lambda:(lambda /. 2.)
+
+let exponential rng ~rate =
+  if not (rate > 0.) then invalid_arg "Sampler.exponential: rate must be > 0";
+  -.Float.log (1. -. Rng.float_unit rng) /. rate
+
+let gaussian rng ~mu ~sigma =
+  let rec polar () =
+    let u = (2. *. Rng.float_unit rng) -. 1. in
+    let v = (2. *. Rng.float_unit rng) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then polar ()
+    else u *. Float.sqrt (-2. *. Float.log s /. s)
+  in
+  mu +. (sigma *. polar ())
+
+let shuffle_in_place rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int_below rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place rng a;
+  a
+
+let sample_distinct rng ~k ~n =
+  if k < 0 || k > n then invalid_arg "Sampler.sample_distinct: need 0 <= k <= n";
+  (* Floyd's algorithm: k iterations, no O(n) scratch. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = Array.make k 0 in
+  let idx = ref 0 in
+  for j = n - k to n - 1 do
+    let t = Rng.int_below rng (j + 1) in
+    let v = if Hashtbl.mem seen t then j else t in
+    Hashtbl.replace seen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  out
+
+module Binomial_table = struct
+  type t = { n : int; p : float; pmf : float array; cdf : float array }
+
+  let create ~n ~p =
+    if n < 0 then invalid_arg "Binomial_table.create: negative n";
+    check_prob "Binomial_table.create" p;
+    let pmf = Array.make (n + 1) 0. in
+    if p = 0. then pmf.(0) <- 1.
+    else if p = 1. then pmf.(n) <- 1.
+    else begin
+      (* Recurrence outward from the mode avoids underflow for every k
+         with non-negligible mass; renormalize at the end. *)
+      let mode =
+        let m = int_of_float (float_of_int (n + 1) *. p) in
+        if m > n then n else m
+      in
+      let q = 1. -. p in
+      pmf.(mode) <- 1.;
+      (* pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q *)
+      for k = mode to n - 1 do
+        pmf.(k + 1) <-
+          pmf.(k) *. (float_of_int (n - k) /. float_of_int (k + 1)) *. (p /. q)
+      done;
+      (* pmf(k-1)/pmf(k) = k/(n-k+1) * q/p *)
+      for k = mode downto 1 do
+        pmf.(k - 1) <-
+          pmf.(k) *. (float_of_int k /. float_of_int (n - k + 1)) *. (q /. p)
+      done;
+      let total = Array.fold_left ( +. ) 0. pmf in
+      Array.iteri (fun i v -> pmf.(i) <- v /. total) pmf
+    end;
+    let cdf = Array.make (n + 1) 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i v ->
+        acc := !acc +. v;
+        cdf.(i) <- !acc)
+      pmf;
+    cdf.(n) <- 1.;
+    { n; p; pmf; cdf }
+
+  let draw t rng =
+    let u = Rng.float_unit rng in
+    (* Smallest k with cdf.(k) > u. *)
+    let lo = ref 0 and hi = ref t.n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let mean t = float_of_int t.n *. t.p
+  let pmf t k = if k < 0 || k > t.n then 0. else t.pmf.(k)
+end

@@ -1,0 +1,70 @@
+(** Exact samplers for the distributions used throughout the library.
+
+    All samplers are exact (no normal approximations): the binomial and
+    Poisson samplers use inversion for small means and exact
+    divide-and-conquer decompositions for large ones, so tail experiments
+    such as the Lemma 5 drift-chain bound are not polluted by sampler
+    bias. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** [bernoulli rng ~p] is [true] with probability [p].
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** [binomial rng ~n ~p] draws from [Bin(n, p)] exactly.  Inversion
+    (BINV) when [n*p] is small; otherwise the draw is decomposed into
+    independent binomial chunks of small mean and summed, which is an
+    exact decomposition of the distribution.
+    @raise Invalid_argument unless [n >= 0] and [0 <= p <= 1]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** [geometric rng ~p] is the number of failures before the first success
+    in Bernoulli([p]) trials (support [0, 1, 2, ...]).
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** [poisson rng ~lambda] draws from Poisson([lambda]) exactly, by
+    inversion for small [lambda] and by the exact additive split
+    [Poisson(l) = Poisson(l/2) + Poisson(l/2)] for large [lambda].
+    @raise Invalid_argument if [lambda < 0]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential rng ~rate] draws from Exp([rate]) by inversion.
+    @raise Invalid_argument unless [rate > 0]. *)
+
+val gaussian : Rng.t -> mu:float -> sigma:float -> float
+(** [gaussian rng ~mu ~sigma] draws from N([mu], [sigma²]) by the
+    Marsaglia polar method. *)
+
+val shuffle_in_place : Rng.t -> 'a array -> unit
+(** [shuffle_in_place rng a] applies a uniform Fisher–Yates shuffle. *)
+
+val permutation : Rng.t -> int -> int array
+(** [permutation rng n] is a uniformly random permutation of [0..n-1]. *)
+
+val sample_distinct : Rng.t -> k:int -> n:int -> int array
+(** [sample_distinct rng ~k ~n] draws [k] distinct values uniformly from
+    [[0, n)] (Floyd's algorithm), in undefined order.
+    @raise Invalid_argument unless [0 <= k <= n]. *)
+
+module Binomial_table : sig
+  (** Precomputed inverse-CDF sampler for repeated draws from a fixed
+      [Bin(n, p)] — the hot path of the Tetris drift chain, which draws
+      [Bin(3n/4, 1/n)] once per round. *)
+
+  type t
+
+  val create : n:int -> p:float -> t
+  (** Builds the full CDF over the support [0..n] (computed with a
+      mode-centred recurrence so no term underflows).
+      @raise Invalid_argument unless [n >= 0] and [0 <= p <= 1]. *)
+
+  val draw : t -> Rng.t -> int
+  (** [draw tbl rng] samples by binary search over the CDF. *)
+
+  val mean : t -> float
+  (** [n * p]. *)
+
+  val pmf : t -> int -> float
+  (** [pmf tbl k] is [P(Bin(n,p) = k)] (0 outside the support). *)
+end

@@ -1,0 +1,23 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+
+    A 64-bit state generator with period [2^64] whose output function is a
+    strong avalanche mixer.  It is primarily used here to seed the larger
+    generators ({!Xoshiro256}, {!Pcg32}) and to derive independent child
+    seeds, which is the standard, recommended way to bootstrap the xoshiro
+    family. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent snapshot of [g]'s current state. *)
+
+val next_u64 : t -> int64
+(** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer: a bijective avalanche
+    mixer on 64-bit values.  Useful for hashing seeds. *)

@@ -1,0 +1,20 @@
+(* FNV-1a over the key bytes, then SplitMix64 finalization mixed with
+   the master seed. *)
+let fnv1a key =
+  let offset = 0xCBF29CE484222325L in
+  let prime = 0x100000001B3L in
+  let h = ref offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    key;
+  !h
+
+let seed_of_key ~master ~key =
+  Splitmix64.mix (Int64.add (Splitmix64.mix (fnv1a key)) master)
+
+let derive ~master ~key = Rng.create ~seed:(seed_of_key ~master ~key) ()
+
+let derive_indexed ~master ~key ~index =
+  derive ~master ~key:(Printf.sprintf "%s/%d" key index)

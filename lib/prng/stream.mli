@@ -1,0 +1,20 @@
+(** Keyed substreams: named, order-independent derivation of independent
+    generators from one master seed.
+
+    [Rng.split] is positional — the k-th split depends on how many
+    splits happened before it.  Keyed derivation makes a component's
+    randomness depend only on [(master seed, key)], so adding a new
+    component to an experiment never perturbs the streams of existing
+    ones (the "random number creep" problem in simulation codebases). *)
+
+val derive : master:int64 -> key:string -> Rng.t
+(** [derive ~master ~key] builds a generator whose seed is a 64-bit hash
+    (FNV-1a folded through SplitMix64) of [key] mixed with [master].
+    Same pair, same stream; distinct keys give statistically independent
+    streams. *)
+
+val derive_indexed : master:int64 -> key:string -> index:int -> Rng.t
+(** [derive ~key:(key ^ "/" ^ index)], for families of streams. *)
+
+val seed_of_key : master:int64 -> key:string -> int64
+(** The derived seed itself (for logging / reproduction). *)

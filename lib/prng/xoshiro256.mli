@@ -1,0 +1,24 @@
+(** xoshiro256** pseudo-random generator (Blackman & Vigna, 2018).
+
+    256-bit state, period [2^256 - 1], excellent statistical quality and
+    a cheap [jump] function that advances the stream by [2^128] steps,
+    giving up to [2^128] provably non-overlapping parallel substreams.
+    This is the default engine of {!Rng}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] expands [seed] into a full 256-bit state through
+    SplitMix64, as recommended by the authors. *)
+
+val copy : t -> t
+(** [copy g] is an independent snapshot of [g]'s current state. *)
+
+val next_u64 : t -> int64
+(** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by [2^128] steps in place.  Calling [jump] on a
+    copy yields a stream guaranteed not to overlap the original for
+    [2^128] draws. *)

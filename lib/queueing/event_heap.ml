@@ -1,0 +1,80 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  {
+    prio = Array.make (Stdlib.max 1 capacity) 0.;
+    data = Array.make (Stdlib.max 1 capacity) None;
+    len = 0;
+  }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.prio in
+  let prio = Array.make (2 * cap) 0. in
+  let data = Array.make (2 * cap) None in
+  Array.blit t.prio 0 prio 0 t.len;
+  Array.blit t.data 0 data 0 t.len;
+  t.prio <- prio;
+  t.data <- data
+
+let swap t i j =
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let d = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.len && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~priority v =
+  if t.len = Array.length t.prio then grow t;
+  t.prio.(t.len) <- priority;
+  t.data.(t.len) <- Some v;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let p = t.prio.(0) in
+    let v = match t.data.(0) with Some v -> v | None -> assert false in
+    t.len <- t.len - 1;
+    t.prio.(0) <- t.prio.(t.len);
+    t.data.(0) <- t.data.(t.len);
+    t.data.(t.len) <- None;
+    if t.len > 0 then sift_down t 0;
+    Some (p, v)
+  end
+
+let peek_min t =
+  if t.len = 0 then None
+  else
+    match t.data.(0) with Some v -> Some (t.prio.(0), v) | None -> assert false
+
+let clear t =
+  Array.fill t.data 0 t.len None;
+  t.len <- 0

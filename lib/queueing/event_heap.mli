@@ -1,0 +1,19 @@
+(** Binary min-heap keyed by float priorities: the event queue of the
+    discrete-event Jackson simulator. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** O(log n). *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority entry; ties broken
+    arbitrarily.  O(log n). *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

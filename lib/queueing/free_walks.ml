@@ -1,0 +1,85 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  n : int;
+  positions : int array;
+  loads : int array;
+  visited : Rbb_core.Bitset.t array;  (* empty array when not tracking *)
+  mutable covered : int;
+  mutable cover_round : int option;
+  mutable round : int;
+  mutable max_load : int;
+}
+
+let recount t =
+  Array.fill t.loads 0 t.n 0;
+  let best = ref 0 in
+  Array.iter
+    (fun p ->
+      t.loads.(p) <- t.loads.(p) + 1;
+      if t.loads.(p) > !best then best := t.loads.(p))
+    t.positions;
+  t.max_load <- !best
+
+let create ~rng ~n ~m ~track_cover =
+  if n <= 0 || m < 0 then invalid_arg "Free_walks.create: bad arguments";
+  let positions = Array.init m (fun b -> b mod n) in
+  let visited =
+    if track_cover then Array.init m (fun _ -> Rbb_core.Bitset.create n)
+    else [||]
+  in
+  let t =
+    {
+      rng;
+      n;
+      positions;
+      loads = Array.make n 0;
+      visited;
+      covered = 0;
+      cover_round = None;
+      round = 0;
+      max_load = 0;
+    }
+  in
+  if track_cover then
+    Array.iteri
+      (fun b p ->
+        Rbb_core.Bitset.add visited.(b) p;
+        if Rbb_core.Bitset.is_full visited.(b) then t.covered <- t.covered + 1)
+      positions;
+  if track_cover && t.covered = m && m > 0 then t.cover_round <- Some 0;
+  recount t;
+  t
+
+let step t =
+  t.round <- t.round + 1;
+  let m = Array.length t.positions in
+  for b = 0 to m - 1 do
+    let v = Rbb_prng.Rng.int_below t.rng t.n in
+    t.positions.(b) <- v;
+    if Array.length t.visited > 0 then begin
+      let set = t.visited.(b) in
+      if not (Rbb_core.Bitset.is_full set) then begin
+        Rbb_core.Bitset.add set v;
+        if Rbb_core.Bitset.is_full set then begin
+          t.covered <- t.covered + 1;
+          if t.covered = m && t.cover_round = None then
+            t.cover_round <- Some t.round
+        end
+      end
+    end
+  done;
+  recount t
+
+let round t = t.round
+let max_load t = t.max_load
+let covered_walkers t = t.covered
+let all_covered t = t.covered = Array.length t.positions
+let cover_time t = t.cover_round
+
+let run_until_covered t ~max_rounds =
+  let rec go k =
+    match t.cover_round with
+    | Some r -> Some r
+    | None -> if k >= max_rounds then None else (step t; go (k + 1))
+  in
+  go 0

@@ -1,0 +1,26 @@
+(** Unconstrained independent parallel random walks: every token moves
+    {e every} round (no one-token-per-bin release constraint).
+
+    This is what the RBB process would be without queueing: per-round
+    loads are a fresh multinomial throw, so the max load per round is
+    the one-shot law and the m-walker cover time is a simple parallel
+    coupon collector.  Used as the "no correlation" baseline in the
+    cover-time and max-load comparisons (E8, E12). *)
+
+type t
+
+val create : rng:Rbb_prng.Rng.t -> n:int -> m:int -> track_cover:bool -> t
+(** Walkers start at bins [0, 1, ..., m-1 mod n]. *)
+
+val step : t -> unit
+(** Every walker re-assigns to a uniform bin simultaneously. *)
+
+val round : t -> int
+val max_load : t -> int
+val covered_walkers : t -> int
+(** Walkers that have visited every bin (requires [track_cover]). *)
+
+val all_covered : t -> bool
+val cover_time : t -> int option
+
+val run_until_covered : t -> max_rounds:int -> int option

@@ -1,0 +1,208 @@
+type t = {
+  rng : Rbb_prng.Rng.t;
+  rates : float array;  (* per-node service rates *)
+  loads : int array;
+  epoch : int array;  (* invalidates stale completion events *)
+  heap : (int * int) Event_heap.t;  (* (node, epoch at scheduling) *)
+  mutable now : float;
+  mutable events : int;
+  mutable max_load : int;
+  mutable empty : int;
+  (* time-weighted max-load integral *)
+  mutable weighted_max : float;
+  mutable last_change : float;
+}
+
+let schedule t u =
+  let dt = Rbb_prng.Sampler.exponential t.rng ~rate:t.rates.(u) in
+  Event_heap.add t.heap ~priority:(t.now +. dt) (u, t.epoch.(u))
+
+let create_with_rates ~rates ~rng ~init =
+  let loads = Rbb_core.Config.loads init in
+  let n = Array.length loads in
+  if Array.length rates <> n then
+    invalid_arg "Jackson.create_heterogeneous: rates length differs from bin count";
+  Array.iter
+    (fun r -> if not (r > 0.) then invalid_arg "Jackson: service rate <= 0")
+    rates;
+  let t =
+    {
+      rng;
+      rates = Array.copy rates;
+      loads;
+      epoch = Array.make n 0;
+      heap = Event_heap.create ~capacity:(2 * n) ();
+      now = 0.;
+      events = 0;
+      max_load = Rbb_core.Config.max_load init;
+      empty = Rbb_core.Config.empty_bins init;
+      weighted_max = 0.;
+      last_change = 0.;
+    }
+  in
+  for u = 0 to n - 1 do
+    if loads.(u) > 0 then schedule t u
+  done;
+  t
+
+let create ?(mu = 1.0) ~rng ~init () =
+  if not (mu > 0.) then invalid_arg "Jackson.create: mu <= 0";
+  create_with_rates ~rates:(Array.make (Rbb_core.Config.n init) mu) ~rng ~init
+
+let create_heterogeneous ~rates ~rng ~init () = create_with_rates ~rates ~rng ~init
+
+let stationary_weights_reference ~rates ~m =
+  let n = Array.length rates in
+  if n = 0 then invalid_arg "Jackson.stationary_weights_reference: no nodes";
+  Array.iter
+    (fun r -> if not (r > 0.) then invalid_arg "Jackson: service rate <= 0")
+    rates;
+  let states = ref 1 in
+  (* C(m+n-1, n-1) guard without materializing anything yet. *)
+  let () =
+    let acc = ref 1. in
+    for i = 1 to n - 1 do
+      acc := !acc *. float_of_int (m + i) /. float_of_int i
+    done;
+    if !acc > 2_000_000. then
+      invalid_arg "Jackson.stationary_weights_reference: state space too large";
+    states := int_of_float !acc
+  in
+  ignore !states;
+  (* Enumerate compositions of m into n parts; weight prod (1/mu_u)^q_u. *)
+  let expected = Array.make n 0. in
+  let total_weight = ref 0. in
+  let q = Array.make n 0 in
+  let rec fill i remaining =
+    if i = n - 1 then begin
+      q.(i) <- remaining;
+      let w = ref 1. in
+      for u = 0 to n - 1 do
+        w := !w *. ((1. /. rates.(u)) ** float_of_int q.(u))
+      done;
+      total_weight := !total_weight +. !w;
+      for u = 0 to n - 1 do
+        expected.(u) <- expected.(u) +. (!w *. float_of_int q.(u))
+      done
+    end
+    else
+      for v = 0 to remaining do
+        q.(i) <- v;
+        fill (i + 1) (remaining - v)
+      done
+  in
+  fill 0 m;
+  Array.map (fun e -> e /. !total_weight) expected
+
+let now t = t.now
+let events_processed t = t.events
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then invalid_arg "Jackson.load: out of range";
+  t.loads.(u)
+
+let max_load t = t.max_load
+let empty_bins t = t.empty
+let config t = Rbb_core.Config.of_array t.loads
+
+let recompute_max t =
+  t.max_load <- Array.fold_left Stdlib.max 0 t.loads
+
+let advance_clock t time =
+  t.weighted_max <- t.weighted_max +. (float_of_int t.max_load *. (time -. t.last_change));
+  t.last_change <- time;
+  t.now <- time
+
+(* Process one valid completion event; returns false if the heap is
+   empty (m = 0). *)
+let process_one t =
+  let rec next () =
+    match Event_heap.pop_min t.heap with
+    | None -> None
+    | Some (time, (u, ep)) ->
+        (* A node's epoch advances when its queue empties; completions
+           scheduled before that are stale. *)
+        if t.epoch.(u) = ep && t.loads.(u) > 0 then Some (time, u) else next ()
+  in
+  match next () with
+  | None -> false
+  | Some (time, u) ->
+      advance_clock t time;
+      t.events <- t.events + 1;
+      let n = Array.length t.loads in
+      let v = Rbb_prng.Rng.int_below t.rng n in
+      t.loads.(u) <- t.loads.(u) - 1;
+      if t.loads.(u) = 0 then begin
+        t.empty <- t.empty + 1;
+        t.epoch.(u) <- t.epoch.(u) + 1
+      end
+      else schedule t u;
+      if t.loads.(v) = 0 then begin
+        t.empty <- t.empty - 1;
+        schedule t v
+      end;
+      t.loads.(v) <- t.loads.(v) + 1;
+      if t.loads.(v) > t.max_load then t.max_load <- t.loads.(v)
+      else if t.loads.(u) + 1 = t.max_load then recompute_max t;
+      true
+
+let run_events t ~count =
+  let k = ref 0 in
+  while !k < count && process_one t do
+    incr k
+  done
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_min t.heap with
+    | Some (next_time, _) when next_time <= time ->
+        if not (process_one t) then continue := false
+    | Some _ | None -> continue := false
+  done;
+  if time > t.now then advance_clock t time
+
+let time_average_max_load t =
+  if t.now = 0. then float_of_int t.max_load
+  else begin
+    let total = t.weighted_max +. (float_of_int t.max_load *. (t.now -. t.last_change)) in
+    total /. t.now
+  end
+
+(* Number of compositions of [m] into [n] parts with every part <= k,
+   by inclusion-exclusion; float-valued to postpone overflow. *)
+let compositions_bounded ~n ~m ~k =
+  let choose a b =
+    if b < 0 || b > a then 0.
+    else begin
+      let acc = ref 1. in
+      for i = 1 to b do
+        acc := !acc *. float_of_int (a - b + i) /. float_of_int i
+      done;
+      !acc
+    end
+  in
+  let acc = ref 0. in
+  let j = ref 0 in
+  while !j <= n && m - (!j * (k + 1)) >= 0 do
+    let term =
+      choose n !j *. choose (m - (!j * (k + 1)) + n - 1) (n - 1)
+    in
+    acc := !acc +. (if !j mod 2 = 0 then term else -.term);
+    incr j
+  done;
+  !acc
+
+let stationary_max_load_expectation ~n ~m =
+  if n <= 0 || m < 0 then
+    invalid_arg "Jackson.stationary_max_load_expectation: bad arguments";
+  let total = compositions_bounded ~n ~m ~k:m in
+  if not (Float.is_finite total) || total <= 0. then
+    invalid_arg "Jackson.stationary_max_load_expectation: overflow";
+  (* E[M] = sum_{k>=1} P(M >= k) = sum_k (1 - #bounded(k-1)/total). *)
+  let acc = ref 0. in
+  for k = 1 to m do
+    let p_le = compositions_bounded ~n ~m ~k:(k - 1) /. total in
+    acc := !acc +. (1. -. p_le)
+  done;
+  !acc

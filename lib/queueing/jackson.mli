@@ -1,0 +1,63 @@
+(** Closed Jackson network on the clique: the classical-queueing-theory
+    relative of the RBB process (paper §1.3).
+
+    [n] identical exponential-service nodes, [m] circulating tokens,
+    uniform routing over all [n] nodes.  Time is continuous, so events
+    are sequential and the chain is reversible enough to have the
+    textbook product-form stationary law: with identical rates, the
+    stationary distribution is uniform over all load configurations.
+    The paper contrasts this analytical tractability with its own
+    (parallel, non-product-form) chain; experiment E17 compares their
+    stationary max loads.
+
+    Implementation: discrete-event simulation over an {!Event_heap}.
+    Each busy node has exactly one scheduled completion; stale events
+    (from a node whose service was restarted) are filtered with a
+    per-node epoch counter. *)
+
+type t
+
+val create :
+  ?mu:float -> rng:Rbb_prng.Rng.t -> init:Rbb_core.Config.t -> unit -> t
+(** [mu] is the per-node service rate (default 1.0).
+    @raise Invalid_argument if [mu <= 0]. *)
+
+val create_heterogeneous :
+  rates:float array -> rng:Rbb_prng.Rng.t -> init:Rbb_core.Config.t -> unit -> t
+(** Per-node service rates.  With uniform routing the product-form
+    stationary law becomes [π(q) ∝ ∏_u (1/rates.(u))^{q_u}]; slow nodes
+    accumulate geometrically more tokens ({!stationary_weights_reference}).
+    @raise Invalid_argument on a length mismatch or a non-positive
+    rate. *)
+
+val stationary_weights_reference : rates:float array -> m:int -> float array
+(** Exact stationary expected load per node for the heterogeneous
+    closed network on [n = length rates] nodes with [m] tokens, by
+    direct enumeration of the product-form law over all compositions
+    (small systems only: the state count is [C(m+n-1, n-1)]).
+    @raise Invalid_argument if the state space exceeds 2 million. *)
+
+val now : t -> float
+(** Simulated time. *)
+
+val events_processed : t -> int
+
+val load : t -> int -> int
+val max_load : t -> int
+val empty_bins : t -> int
+val config : t -> Rbb_core.Config.t
+
+val run_events : t -> count:int -> unit
+(** Process the next [count] service completions. *)
+
+val run_until : t -> time:float -> unit
+(** Advance simulated time to [time]. *)
+
+val time_average_max_load : t -> float
+(** Time-weighted average of the max load since creation. *)
+
+val stationary_max_load_expectation : n:int -> m:int -> float
+(** Exact expected max load under the product-form stationary law
+    (uniform over compositions of [m] into [n] parts), by
+    inclusion–exclusion counting — the analytic line E17 prints.
+    @raise Invalid_argument when the counts overflow. *)

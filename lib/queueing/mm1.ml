@@ -1,0 +1,35 @@
+let utilization ~lambda ~mu =
+  if not (lambda >= 0. && mu > 0. && lambda < mu) then
+    invalid_arg "Mm1: need 0 <= lambda < mu";
+  lambda /. mu
+
+let queue_length_pmf ~lambda ~mu k =
+  let rho = utilization ~lambda ~mu in
+  if k < 0 then 0. else (1. -. rho) *. (rho ** float_of_int k)
+
+let mean_queue_length ~lambda ~mu =
+  let rho = utilization ~lambda ~mu in
+  rho /. (1. -. rho)
+
+let mean_sojourn_time ~lambda ~mu =
+  ignore (utilization ~lambda ~mu);
+  1. /. (mu -. lambda)
+
+let expected_max_of_n ~lambda ~mu ~n =
+  if n <= 0 then invalid_arg "Mm1.expected_max_of_n: n <= 0";
+  let rho = utilization ~lambda ~mu in
+  if rho = 0. then 0.
+  else begin
+    (* E[max] = sum_k P(max >= k) = sum_k 1 - (1 - rho^k)^n; terms decay
+       geometrically, stop below 1e-12. *)
+    let acc = ref 0. in
+    let k = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let term = 1. -. ((1. -. (rho ** float_of_int !k)) ** float_of_int n) in
+      acc := !acc +. term;
+      incr k;
+      if term < 1e-12 || !k > 1_000_000 then continue := false
+    done;
+    !acc
+  end

@@ -1,0 +1,24 @@
+(** Closed-form M/M/1 quantities.
+
+    In the open network ({!Open_network}) every node is an independent
+    M/M/1 queue, so these formulas are exact references for the
+    continuous-time analogue of the "leaky bins" Tetris variant
+    (experiment E16/E19 cross-check). *)
+
+val utilization : lambda:float -> mu:float -> float
+(** [rho = lambda / mu].  @raise Invalid_argument unless
+    [0 <= lambda < mu]. *)
+
+val queue_length_pmf : lambda:float -> mu:float -> int -> float
+(** Stationary [P(Q = k) = (1 - rho) rho^k] (number in system). *)
+
+val mean_queue_length : lambda:float -> mu:float -> float
+(** [rho / (1 - rho)]. *)
+
+val mean_sojourn_time : lambda:float -> mu:float -> float
+(** [1 / (mu - lambda)] (Little's law over the system). *)
+
+val expected_max_of_n : lambda:float -> mu:float -> n:int -> float
+(** Exact [E[max of n i.i.d. stationary queues]
+    = Σ_{k≥1} (1 − (1 − rho^k)^n)], summed to convergence — the
+    product-form prediction of the open network's max load. *)

@@ -1,0 +1,65 @@
+let offered_load ~lambda ~mu =
+  if not (lambda >= 0. && mu > 0.) then
+    invalid_arg "Mmc: need lambda >= 0 and mu > 0";
+  lambda /. mu
+
+let utilization ~lambda ~mu ~c =
+  if c < 1 then invalid_arg "Mmc: c < 1";
+  let rho = offered_load ~lambda ~mu /. float_of_int c in
+  if rho >= 1. then invalid_arg "Mmc: unstable (lambda >= c*mu)";
+  rho
+
+(* P0 and the a^k/k! ladder, computed with a running term to avoid
+   factorial overflow. *)
+let p0_and_term_c ~lambda ~mu ~c =
+  let a = offered_load ~lambda ~mu in
+  let rho = utilization ~lambda ~mu ~c in
+  let sum = ref 0. in
+  let term = ref 1. in
+  (* term_k = a^k / k! *)
+  for k = 0 to c - 1 do
+    sum := !sum +. !term;
+    term := !term *. a /. float_of_int (k + 1)
+  done;
+  (* term now = a^c / c! *)
+  let tail = !term /. (1. -. rho) in
+  let p0 = 1. /. (!sum +. tail) in
+  (p0, !term)
+
+let erlang_c ~lambda ~mu ~c =
+  if lambda = 0. then 0.
+  else begin
+    let rho = utilization ~lambda ~mu ~c in
+    let p0, term_c = p0_and_term_c ~lambda ~mu ~c in
+    p0 *. term_c /. (1. -. rho)
+  end
+
+let mean_queue_length ~lambda ~mu ~c =
+  if lambda = 0. then 0.
+  else begin
+    let rho = utilization ~lambda ~mu ~c in
+    erlang_c ~lambda ~mu ~c *. rho /. (1. -. rho)
+  end
+
+let mean_number_in_system ~lambda ~mu ~c =
+  mean_queue_length ~lambda ~mu ~c +. offered_load ~lambda ~mu
+
+let mean_waiting_time ~lambda ~mu ~c =
+  if lambda = 0. then 0. else mean_queue_length ~lambda ~mu ~c /. lambda
+
+let stationary_pmf ~lambda ~mu ~c k =
+  if k < 0 then 0.
+  else begin
+    let a = offered_load ~lambda ~mu in
+    let rho = utilization ~lambda ~mu ~c in
+    let p0, term_c = p0_and_term_c ~lambda ~mu ~c in
+    if k < c then begin
+      (* a^k / k! computed iteratively. *)
+      let term = ref 1. in
+      for i = 1 to k do
+        term := !term *. a /. float_of_int i
+      done;
+      p0 *. !term
+    end
+    else p0 *. term_c *. (rho ** float_of_int (k - c))
+  end

@@ -1,0 +1,31 @@
+(** Closed-form M/M/c quantities (Erlang-C).
+
+    The continuous-time companion of the service-capacity ablation E31:
+    a bin that releases up to [c] balls per round corresponds to a
+    [c]-server queue.  All formulas are the textbook ones for arrival
+    rate [lambda], per-server rate [mu], [c] servers, stable when
+    [lambda < c·mu]. *)
+
+val offered_load : lambda:float -> mu:float -> float
+(** [a = lambda / mu] (in Erlangs).
+    @raise Invalid_argument unless [lambda >= 0] and [mu > 0]. *)
+
+val utilization : lambda:float -> mu:float -> c:int -> float
+(** [rho = a / c].  @raise Invalid_argument unless [c >= 1] and
+    [rho < 1]. *)
+
+val erlang_c : lambda:float -> mu:float -> c:int -> float
+(** Probability an arriving customer waits (all servers busy). *)
+
+val mean_queue_length : lambda:float -> mu:float -> c:int -> float
+(** Expected number waiting (excluding those in service):
+    [Lq = C · rho / (1 - rho)]. *)
+
+val mean_number_in_system : lambda:float -> mu:float -> c:int -> float
+(** [L = Lq + a]. *)
+
+val mean_waiting_time : lambda:float -> mu:float -> c:int -> float
+(** [Wq = Lq / lambda] (0 when [lambda = 0]). *)
+
+val stationary_pmf : lambda:float -> mu:float -> c:int -> int -> float
+(** [P(N = k)] for the number in system. *)

@@ -1,0 +1,18 @@
+let max_load rng ~n ~m =
+  if n <= 0 || m < 0 then invalid_arg "One_shot.max_load: bad arguments";
+  let loads = Array.make n 0 in
+  let best = ref 0 in
+  for _ = 1 to m do
+    let u = Rbb_prng.Rng.int_below rng n in
+    loads.(u) <- loads.(u) + 1;
+    if loads.(u) > !best then best := loads.(u)
+  done;
+  !best
+
+let max_load_samples rng ~n ~m ~trials =
+  Array.init trials (fun _ -> float_of_int (max_load rng ~n ~m))
+
+let theoretical_max_load n =
+  if n < 3 then invalid_arg "One_shot.theoretical_max_load: n < 3";
+  let ln = Float.log (float_of_int n) in
+  ln /. Float.log ln

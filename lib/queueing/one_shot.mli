@@ -1,0 +1,15 @@
+(** Classical one-shot balls-into-bins: throw [m] balls u.a.r. into [n]
+    bins once.  Its max load is the famous [Θ(log n / log log n)]
+    (for m = n), the baseline the paper's O(log n) repeated bound is
+    compared against (experiment E12), and also the law of the
+    configuration after any single round of reassigning all balls. *)
+
+val max_load : Rbb_prng.Rng.t -> n:int -> m:int -> int
+(** Max load of one throw of [m] balls into [n] bins. *)
+
+val max_load_samples : Rbb_prng.Rng.t -> n:int -> m:int -> trials:int -> float array
+(** [trials] independent max loads, as floats for direct summary. *)
+
+val theoretical_max_load : int -> float
+(** The leading-order [ln n / ln ln n] reference for [m = n] (meaningful
+    for [n >= 3]). *)

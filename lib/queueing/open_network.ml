@@ -1,0 +1,137 @@
+type event = Arrival | Completion of int * int  (* node, epoch *)
+
+type t = {
+  rng : Rbb_prng.Rng.t;
+  lambda_total : float;  (* global arrival rate = lambda * n *)
+  mu : float;
+  loads : int array;
+  epoch : int array;
+  heap : event Event_heap.t;
+  mutable now : float;
+  mutable events : int;
+  mutable max_load : int;
+  mutable empty : int;
+  mutable total : int;
+  mutable weighted_max : float;
+  mutable weighted_total : float;
+  mutable last_change : float;
+}
+
+let schedule_arrival t =
+  let dt = Rbb_prng.Sampler.exponential t.rng ~rate:t.lambda_total in
+  Event_heap.add t.heap ~priority:(t.now +. dt) Arrival
+
+let schedule_completion t u =
+  let dt = Rbb_prng.Sampler.exponential t.rng ~rate:t.mu in
+  Event_heap.add t.heap ~priority:(t.now +. dt) (Completion (u, t.epoch.(u)))
+
+let create ?(mu = 1.0) ~lambda ~n ~rng () =
+  if n <= 0 then invalid_arg "Open_network.create: n <= 0";
+  if not (lambda >= 0. && mu > 0. && lambda < mu) then
+    invalid_arg "Open_network.create: need 0 <= lambda < mu";
+  let t =
+    {
+      rng;
+      lambda_total = lambda *. float_of_int n;
+      mu;
+      loads = Array.make n 0;
+      epoch = Array.make n 0;
+      heap = Event_heap.create ~capacity:(2 * n) ();
+      now = 0.;
+      events = 0;
+      max_load = 0;
+      empty = n;
+      total = 0;
+      weighted_max = 0.;
+      weighted_total = 0.;
+      last_change = 0.;
+    }
+  in
+  if lambda > 0. then schedule_arrival t;
+  t
+
+let now t = t.now
+let events_processed t = t.events
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then
+    invalid_arg "Open_network.load: out of range";
+  t.loads.(u)
+
+let max_load t = t.max_load
+let empty_nodes t = t.empty
+let total_tokens t = t.total
+
+let advance_clock t time =
+  let dt = time -. t.last_change in
+  t.weighted_max <- t.weighted_max +. (float_of_int t.max_load *. dt);
+  t.weighted_total <- t.weighted_total +. (float_of_int t.total *. dt);
+  t.last_change <- time;
+  t.now <- time
+
+let recompute_max t = t.max_load <- Array.fold_left Stdlib.max 0 t.loads
+
+let process_one t =
+  let rec next () =
+    match Event_heap.pop_min t.heap with
+    | None -> None
+    | Some (time, Arrival) -> Some (time, Arrival)
+    | Some (time, Completion (u, ep)) ->
+        if t.epoch.(u) = ep && t.loads.(u) > 0 then Some (time, Completion (u, ep))
+        else next ()
+  in
+  match next () with
+  | None -> false
+  | Some (time, ev) ->
+      advance_clock t time;
+      t.events <- t.events + 1;
+      (match ev with
+      | Arrival ->
+          let v = Rbb_prng.Rng.int_below t.rng (Array.length t.loads) in
+          if t.loads.(v) = 0 then begin
+            t.empty <- t.empty - 1;
+            schedule_completion t v
+          end;
+          t.loads.(v) <- t.loads.(v) + 1;
+          t.total <- t.total + 1;
+          if t.loads.(v) > t.max_load then t.max_load <- t.loads.(v);
+          schedule_arrival t
+      | Completion (u, _) ->
+          let was_max = t.loads.(u) = t.max_load in
+          t.loads.(u) <- t.loads.(u) - 1;
+          t.total <- t.total - 1;
+          if t.loads.(u) = 0 then begin
+            t.empty <- t.empty + 1;
+            t.epoch.(u) <- t.epoch.(u) + 1
+          end
+          else schedule_completion t u;
+          if was_max then recompute_max t);
+      true
+
+let run_events t ~count =
+  let k = ref 0 in
+  while !k < count && process_one t do
+    incr k
+  done
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_min t.heap with
+    | Some (next_time, _) when next_time <= time ->
+        if not (process_one t) then continue := false
+    | Some _ | None -> continue := false
+  done;
+  if time > t.now then advance_clock t time
+
+let time_average_max_load t =
+  if t.now = 0. then float_of_int t.max_load
+  else
+    (t.weighted_max +. (float_of_int t.max_load *. (t.now -. t.last_change)))
+    /. t.now
+
+let time_average_total t =
+  if t.now = 0. then float_of_int t.total
+  else
+    (t.weighted_total +. (float_of_int t.total *. (t.now -. t.last_change)))
+    /. t.now

@@ -1,0 +1,35 @@
+(** Open network of parallel M/M/1 queues: the continuous-time analogue
+    of the probabilistic Tetris / "leaky bins" process (paper
+    reference [18]).
+
+    Tokens arrive in a global Poisson stream of rate [lambda * n], each
+    landing at a uniformly random node (equivalently, independent
+    Poisson([lambda]) streams per node); every node serves at rate
+    [mu] and a served token {e leaves the system} — exactly Tetris'
+    discard-one-throw-fresh dynamics with exponential clocks instead of
+    synchronous rounds.  Each node is then an independent M/M/1 queue,
+    so {!Mm1} gives exact stationary references. *)
+
+type t
+
+val create : ?mu:float -> lambda:float -> n:int -> rng:Rbb_prng.Rng.t -> unit -> t
+(** Starts empty.  [mu] defaults to 1.0.
+    @raise Invalid_argument unless [0 <= lambda < mu] and [n > 0]. *)
+
+val now : t -> float
+val events_processed : t -> int
+
+val load : t -> int -> int
+val max_load : t -> int
+val empty_nodes : t -> int
+val total_tokens : t -> int
+
+val run_events : t -> count:int -> unit
+(** Process the next [count] events (arrivals and departures). *)
+
+val run_until : t -> time:float -> unit
+
+val time_average_max_load : t -> float
+val time_average_total : t -> float
+(** Time-weighted mean number of tokens in the system; the M/M/1
+    reference is [n * rho / (1 - rho)]. *)

@@ -1,0 +1,13 @@
+(** Minimal CSV output (RFC-4180-style quoting) for exporting experiment
+    series to external plotting tools. *)
+
+val escape : string -> string
+(** Quotes the field if it contains a comma, quote or newline. *)
+
+val row : string list -> string
+(** One encoded line, without trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Full document with header line. *)
+
+val write_file : path:string -> header:string list -> string list list -> unit

@@ -1,0 +1,29 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : quick:bool -> unit;
+}
+
+let make ~id ~title ~claim run = { id; title; claim; run }
+
+let run t ~quick =
+  Printf.printf "\n=== %s: %s%s ===\n" (String.uppercase_ascii t.id) t.title
+    (if quick then " [quick]" else "");
+  Printf.printf "claim: %s\n\n" t.claim;
+  t.run ~quick;
+  print_newline ()
+
+let find ts id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun t -> String.lowercase_ascii t.id = id) ts
+
+let run_selected ts ~ids ~quick =
+  List.iter
+    (fun id ->
+      match find ts id with
+      | Some t -> run t ~quick
+      | None -> invalid_arg (Printf.sprintf "Experiment.run_selected: unknown id %S" id))
+    ids
+
+let run_all ts ~quick = List.iter (run ~quick) ts

@@ -1,0 +1,27 @@
+(** Experiment registry: the per-claim reproduction targets listed in
+    DESIGN.md §4, addressable by id from the bench driver and the CLI.
+
+    Each experiment prints a self-contained table (plus fit/verdict
+    lines).  [quick] mode shrinks sizes for smoke tests; full mode is
+    what EXPERIMENTS.md records. *)
+
+type t = {
+  id : string;  (** e.g. "e1" *)
+  title : string;
+  claim : string;  (** the paper statement being reproduced *)
+  run : quick:bool -> unit;
+}
+
+val make : id:string -> title:string -> claim:string -> (quick:bool -> unit) -> t
+
+val run : t -> quick:bool -> unit
+(** Prints a banner (id, title, claim), then the experiment's output. *)
+
+val find : t list -> string -> t option
+(** Lookup by case-insensitive id. *)
+
+val run_selected : t list -> ids:string list -> quick:bool -> unit
+(** Runs the listed experiments in order; unknown ids raise
+    [Invalid_argument]. *)
+
+val run_all : t list -> quick:bool -> unit

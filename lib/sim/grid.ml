@@ -1,0 +1,38 @@
+type 'a axis = { name : string; values : (string * 'a) list }
+
+let axis ~name values =
+  if values = [] then invalid_arg "Grid.axis: empty axis";
+  { name; values }
+
+let int_axis ~name values =
+  axis ~name (List.map (fun v -> (string_of_int v, v)) values)
+
+let float_axis ?(fmt = fun v -> Printf.sprintf "%g" v) ~name values =
+  axis ~name (List.map (fun v -> (fmt v, v)) values)
+
+let label axis_name value_label = Printf.sprintf "%s=%s" axis_name value_label
+
+let pairs a b =
+  List.concat_map
+    (fun (la, va) ->
+      List.map
+        (fun (lb, vb) ->
+          (label a.name la ^ " " ^ label b.name lb, (va, vb)))
+        b.values)
+    a.values
+
+let triples a b c =
+  List.concat_map
+    (fun (la, va) ->
+      List.concat_map
+        (fun (lb, vb) ->
+          List.map
+            (fun (lc, vc) ->
+              ( label a.name la ^ " " ^ label b.name lb ^ " " ^ label c.name lc,
+                (va, vb, vc) ))
+            c.values)
+        b.values)
+    a.values
+
+let size2 a b = List.length a.values * List.length b.values
+let size3 a b c = size2 a b * List.length c.values

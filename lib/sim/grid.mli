@@ -1,0 +1,24 @@
+(** Cartesian parameter grids for sweeps.
+
+    A tiny combinator layer that turns named axes into the list of
+    labelled parameter combinations an experiment iterates over, so
+    sweep code never hand-rolls nested loops. *)
+
+type 'a axis = { name : string; values : (string * 'a) list }
+
+val axis : name:string -> (string * 'a) list -> 'a axis
+(** @raise Invalid_argument on an empty value list. *)
+
+val int_axis : name:string -> int list -> int axis
+(** Labels are the decimal representations. *)
+
+val float_axis : ?fmt:(float -> string) -> name:string -> float list -> float axis
+
+val pairs : 'a axis -> 'b axis -> (string * ('a * 'b)) list
+(** All combinations, labelled ["name1=v1 name2=v2"], first axis
+    outermost. *)
+
+val triples : 'a axis -> 'b axis -> 'c axis -> (string * ('a * 'b * 'c)) list
+
+val size2 : 'a axis -> 'b axis -> int
+val size3 : 'a axis -> 'b axis -> 'c axis -> int

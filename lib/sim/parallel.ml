@@ -1,0 +1,36 @@
+let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let run ?engine ?domains ~base_seed ~trials f =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if domains < 1 then invalid_arg "Parallel.run: domains < 1";
+  if trials < 0 then invalid_arg "Parallel.run: negative trials";
+  let seeds = Replicate.seeds ~base:base_seed ~count:trials in
+  if trials = 0 then [||]
+  else begin
+    let results = Array.make trials None in
+    let failure = Atomic.make None in
+    let work lo hi () =
+      try
+        for i = lo to hi - 1 do
+          let rng = Rbb_prng.Rng.create ?engine ~seed:seeds.(i) () in
+          results.(i) <- Some (f rng)
+        done
+      with exn -> Atomic.set failure (Some exn)
+    in
+    let domains = Stdlib.min domains trials in
+    let chunk = (trials + domains - 1) / domains in
+    let handles =
+      List.init domains (fun d ->
+          let lo = d * chunk in
+          let hi = Stdlib.min trials (lo + chunk) in
+          Domain.spawn (work lo hi))
+    in
+    List.iter Domain.join handles;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    Array.map
+      (function Some v -> v | None -> failwith "Parallel.run: missing result")
+      results
+  end
+
+let run_floats ?engine ?domains ~base_seed ~trials f =
+  Rbb_stats.Summary.of_array (run ?engine ?domains ~base_seed ~trials f)

@@ -1,0 +1,34 @@
+(** Parallel replication across OCaml 5 domains.
+
+    Trials are embarrassingly parallel: each runs on its own
+    deterministically derived seed, so the result array is {e identical}
+    to {!Replicate.run}'s regardless of the number of domains —
+    parallelism changes wall-clock time only, never results.
+
+    Each domain works on a contiguous chunk of the trial indices; no
+    state is shared beyond the pre-allocated result array (distinct
+    cells per trial, so unsynchronized writes are safe). *)
+
+val default_domains : unit -> int
+(** [max 1 (recommended_domain_count () - 1)]. *)
+
+val run :
+  ?engine:Rbb_prng.Rng.engine ->
+  ?domains:int ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> 'a) ->
+  'a array
+(** [run ~base_seed ~trials f] evaluates [f] on [trials] independent
+    generators using [domains] domains (default
+    {!default_domains}).  Seed derivation matches {!Replicate.run}.
+    Exceptions raised by [f] are re-raised after all domains join.
+    @raise Invalid_argument if [domains < 1] or [trials < 0]. *)
+
+val run_floats :
+  ?engine:Rbb_prng.Rng.engine ->
+  ?domains:int ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> float) ->
+  Rbb_stats.Summary.t

@@ -1,0 +1,120 @@
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline xs =
+  let n = Array.length xs in
+  if n = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min infinity xs in
+    let hi = Array.fold_left Float.max neg_infinity xs in
+    let buf = Buffer.create (3 * n) in
+    Array.iter
+      (fun x ->
+        let level =
+          if hi = lo then 3
+          else begin
+            let t = (x -. lo) /. (hi -. lo) in
+            Stdlib.min 7 (int_of_float (t *. 8.))
+          end
+        in
+        Buffer.add_string buf blocks.(level))
+      xs;
+    Buffer.contents buf
+  end
+
+let default_value_fmt v = Printf.sprintf "%.4g" v
+
+let bar_chart ?(width = 40) ?(value_fmt = default_value_fmt) entries =
+  if entries = [] then ""
+  else begin
+    let label_width =
+      List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 entries
+    in
+    let top = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. entries in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (label, v) ->
+        let cells =
+          if top <= 0. then 0
+          else
+            int_of_float (Float.max 0. v /. top *. float_of_int width +. 0.5)
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.make (label_width - String.length label) ' ');
+        Buffer.add_string buf " |";
+        for _ = 1 to cells do
+          Buffer.add_string buf "\xe2\x96\x88"
+        done;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (value_fmt v);
+        Buffer.add_char buf '\n')
+      entries;
+    Buffer.contents buf
+  end
+
+let resample xs cols =
+  let n = Array.length xs in
+  if n <= cols then Array.copy xs
+  else
+    Array.init cols (fun c ->
+        (* Mean of the source slice mapping to this column. *)
+        let lo = c * n / cols and hi = Stdlib.max (c * n / cols + 1) ((c + 1) * n / cols) in
+        let acc = ref 0. in
+        for i = lo to hi - 1 do
+          acc := !acc +. xs.(i)
+        done;
+        !acc /. float_of_int (hi - lo))
+
+let line_plot ?(rows = 16) ?(cols = 60) ?(x_label = "") ?(y_label = "") xs =
+  if Array.length xs = 0 then ""
+  else begin
+    let rows = Stdlib.max 2 rows and cols = Stdlib.max 2 cols in
+    let ys = resample xs cols in
+    let lo = Array.fold_left Float.min infinity ys in
+    let hi = Array.fold_left Float.max neg_infinity ys in
+    let canvas = Array.make_matrix rows cols ' ' in
+    Array.iteri
+      (fun c y ->
+        let r =
+          if hi = lo then rows / 2
+          else begin
+            let t = (y -. lo) /. (hi -. lo) in
+            Stdlib.min (rows - 1) (int_of_float (t *. float_of_int rows))
+          end
+        in
+        canvas.(rows - 1 - r).(c) <- '*')
+      ys;
+    let buf = Buffer.create (rows * (cols + 12)) in
+    if y_label <> "" then begin
+      Buffer.add_string buf y_label;
+      Buffer.add_char buf '\n'
+    end;
+    for r = 0 to rows - 1 do
+      let edge =
+        if r = 0 then Printf.sprintf "%10.4g |" hi
+        else if r = rows - 1 then Printf.sprintf "%10.4g |" lo
+        else String.make 11 ' ' ^ "|"
+      in
+      Buffer.add_string buf edge;
+      for c = 0 to cols - 1 do
+        Buffer.add_char buf canvas.(r).(c)
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 11 ' ' ^ "+" ^ String.make cols '-');
+    Buffer.add_char buf '\n';
+    if x_label <> "" then begin
+      Buffer.add_string buf (String.make 12 ' ');
+      Buffer.add_string buf x_label;
+      Buffer.add_char buf '\n'
+    end;
+    Buffer.contents buf
+  end
+
+let histogram_of_int_hist ?width h =
+  let entries =
+    List.map
+      (fun (v, c) -> (string_of_int v, float_of_int c))
+      (Rbb_stats.Histogram.Int_hist.to_list h)
+  in
+  bar_chart ?width entries

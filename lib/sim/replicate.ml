@@ -1,0 +1,20 @@
+let seeds ~base ~count =
+  Array.init count (fun i ->
+      Rbb_prng.Splitmix64.mix (Int64.add base (Int64.of_int (1 + i))))
+
+let run ?engine ~base_seed ~trials f =
+  Array.map
+    (fun seed -> f (Rbb_prng.Rng.create ?engine ~seed ()))
+    (seeds ~base:base_seed ~count:trials)
+
+let run_floats ?engine ~base_seed ~trials f =
+  Rbb_stats.Summary.of_array (run ?engine ~base_seed ~trials f)
+
+let fraction ?engine ~base_seed ~trials f =
+  let hits =
+    Array.fold_left
+      (fun acc b -> if b then acc + 1 else acc)
+      0
+      (run ?engine ~base_seed ~trials f)
+  in
+  float_of_int hits /. float_of_int trials

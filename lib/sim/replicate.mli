@@ -1,0 +1,34 @@
+(** Replication across independent seeds.
+
+    Every "w.h.p." claim is checked by running the same measurement
+    under several independent generators and summarizing the cross-seed
+    distribution (mean, CI, and worst seed). *)
+
+val seeds : base:int64 -> count:int -> int64 array
+(** [count] derived seeds, deterministic in [base] (SplitMix64
+    mixing). *)
+
+val run :
+  ?engine:Rbb_prng.Rng.engine ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> 'a) ->
+  'a array
+(** [run ~base_seed ~trials f] calls [f] with [trials] independently
+    seeded generators. *)
+
+val run_floats :
+  ?engine:Rbb_prng.Rng.engine ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> float) ->
+  Rbb_stats.Summary.t
+(** Same, summarized. *)
+
+val fraction :
+  ?engine:Rbb_prng.Rng.engine ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> bool) ->
+  float
+(** Empirical probability of a predicate across seeds. *)

@@ -1,0 +1,46 @@
+type result = {
+  summary : Rbb_stats.Summary.t;
+  trials : int;
+  converged : bool;
+}
+
+let run_until_precision ?engine ?(min_trials = 8) ?(max_trials = 1000) ?(batch = 8)
+    ~base_seed ~rel_precision f =
+  if rel_precision <= 0. then
+    invalid_arg "Stopping.run_until_precision: precision must be positive";
+  if min_trials < 2 || max_trials < min_trials || batch < 1 then
+    invalid_arg "Stopping.run_until_precision: inconsistent trial bounds";
+  let samples = ref [] in
+  let count = ref 0 in
+  (* Same derivation as Replicate.seeds, generated incrementally. *)
+  let next_seed () =
+    incr count;
+    Rbb_prng.Splitmix64.mix (Int64.add base_seed (Int64.of_int !count))
+  in
+  let run_one () =
+    let rng = Rbb_prng.Rng.create ?engine ~seed:(next_seed ()) () in
+    samples := f rng :: !samples
+  in
+  for _ = 1 to min_trials do
+    run_one ()
+  done;
+  let precise () =
+    let s = Rbb_stats.Summary.of_list !samples in
+    let half = (s.Rbb_stats.Summary.ci95_high -. s.Rbb_stats.Summary.ci95_low) /. 2. in
+    (* A zero mean with zero spread is as precise as it gets. *)
+    (s, half <= rel_precision *. Float.abs s.Rbb_stats.Summary.mean
+        || (s.Rbb_stats.Summary.mean = 0. && half = 0.))
+  in
+  let rec loop () =
+    let s, ok = precise () in
+    if ok then { summary = s; trials = !count; converged = true }
+    else if !count >= max_trials then
+      { summary = s; trials = !count; converged = false }
+    else begin
+      for _ = 1 to Stdlib.min batch (max_trials - !count) do
+        run_one ()
+      done;
+      loop ()
+    end
+  in
+  loop ()

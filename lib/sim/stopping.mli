@@ -1,0 +1,29 @@
+(** Adaptive replication: run trials until the confidence interval is
+    tight enough, instead of guessing a trial count.
+
+    Sequential stopping with a Student-t CI re-checked in batches; the
+    usual caveat (repeated looks inflate coverage slightly) is
+    acceptable for experiment sizing. *)
+
+type result = {
+  summary : Rbb_stats.Summary.t;
+  trials : int;
+  converged : bool;  (** whether the precision target was met *)
+}
+
+val run_until_precision :
+  ?engine:Rbb_prng.Rng.engine ->
+  ?min_trials:int ->
+  ?max_trials:int ->
+  ?batch:int ->
+  base_seed:int64 ->
+  rel_precision:float ->
+  (Rbb_prng.Rng.t -> float) ->
+  result
+(** [run_until_precision ~base_seed ~rel_precision f] runs [f] on
+    independently seeded generators, in batches (default 8), starting
+    after [min_trials] (default 8) and stopping once the 95% CI
+    half-width is at most [rel_precision * |mean|], or at [max_trials]
+    (default 1000).
+    @raise Invalid_argument on a non-positive precision or inconsistent
+    bounds. *)

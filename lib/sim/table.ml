@@ -1,0 +1,60 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity differs from header";
+  t.rows <- row :: t.rows
+
+let add_float_row t ~fmt values =
+  add_row t (List.map (fun v -> Printf.sprintf (Scanf.format_from_string fmt "%f") v) values)
+
+let render ?caption t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let arity = List.length t.headers in
+  let widths = Array.make arity 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  (match caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let put_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        (* Right-align all but the first column: numbers read better. *)
+        let pad = widths.(i) - String.length cell in
+        if i = 0 then begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  put_row t.headers;
+  let rule_width =
+    Array.fold_left ( + ) 0 widths + (2 * (arity - 1))
+  in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter put_row rows;
+  Buffer.contents buf
+
+let print ?caption t = print_string (render ?caption t)
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_bool b = if b then "yes" else "no"

@@ -1,0 +1,24 @@
+(** Plain-text result tables.
+
+    Every experiment prints one of these: a header row, aligned columns,
+    and an optional caption — the closest plain-text analogue of a
+    paper table. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from the header. *)
+
+val add_float_row : t -> fmt:string -> float list -> unit
+(** Formats every cell with [fmt] (e.g. ["%.2f"]). *)
+
+val render : ?caption:string -> t -> string
+(** Column-aligned rendering with a rule under the header. *)
+
+val print : ?caption:string -> t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string

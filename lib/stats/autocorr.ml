@@ -1,0 +1,58 @@
+let mean_of xs =
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let autocovariance xs mu k =
+  let n = Array.length xs in
+  let acc = ref 0. in
+  for t = 0 to n - 1 - k do
+    acc := !acc +. ((xs.(t) -. mu) *. (xs.(t + k) -. mu))
+  done;
+  !acc /. float_of_int n
+
+let autocorrelation xs k =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Autocorr.autocorrelation: empty series";
+  if k < 0 || k >= n then invalid_arg "Autocorr.autocorrelation: bad lag";
+  if k = 0 then 1.
+  else begin
+    let mu = mean_of xs in
+    let c0 = autocovariance xs mu 0 in
+    if c0 = 0. then 0. else autocovariance xs mu k /. c0
+  end
+
+let autocorrelation_function xs ~max_lag =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Autocorr.autocorrelation_function: empty series";
+  if max_lag < 0 || max_lag >= n then
+    invalid_arg "Autocorr.autocorrelation_function: bad max_lag";
+  let mu = mean_of xs in
+  let c0 = autocovariance xs mu 0 in
+  Array.init (max_lag + 1) (fun k ->
+      if k = 0 then 1.
+      else if c0 = 0. then 0.
+      else autocovariance xs mu k /. c0)
+
+let integrated_time ?max_lag xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Autocorr.integrated_time: empty series";
+  let max_lag =
+    match max_lag with Some l -> Stdlib.min l (n - 1) | None -> Stdlib.max 1 (n / 4)
+  in
+  let acf = autocorrelation_function xs ~max_lag in
+  (* Geyer initial positive sequence: sum pair-blocks rho(2j-1)+rho(2j)
+     while the block sum stays positive. *)
+  let acc = ref 0. in
+  let j = ref 1 in
+  let stop = ref false in
+  while (not !stop) && (2 * !j) <= max_lag do
+    let block = acf.((2 * !j) - 1) +. acf.(2 * !j) in
+    if block > 0. then begin
+      acc := !acc +. block;
+      incr j
+    end
+    else stop := true
+  done;
+  Stdlib.max 1. (1. +. (2. *. !acc))
+
+let effective_sample_size ?max_lag xs =
+  float_of_int (Array.length xs) /. integrated_time ?max_lag xs

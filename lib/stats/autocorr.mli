@@ -1,0 +1,26 @@
+(** Autocorrelation analysis of stationary time series.
+
+    The per-round series M(t) is strongly autocorrelated (loads move by
+    one ball per round), so naive CIs on its time average are wrong.
+    These estimators quantify that: the autocorrelation function, the
+    integrated autocorrelation time, and the effective sample size used
+    to rescale error bars in the stationarity experiments. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs k] is the lag-[k] sample autocorrelation
+    (biased, normalized by the lag-0 variance).  1 at lag 0; 0 for a
+    constant series (by convention).
+    @raise Invalid_argument if [k < 0], [k >= length], or the series is
+    empty. *)
+
+val autocorrelation_function : float array -> max_lag:int -> float array
+(** ACF for lags [0..max_lag] with a single pass per lag. *)
+
+val integrated_time : ?max_lag:int -> float array -> float
+(** Integrated autocorrelation time
+    [tau = 1 + 2 * sum_k rho(k)], summed with Geyer's initial-positive-
+    sequence truncation (stop at the first non-positive pair sum).
+    At least 1.  [max_lag] defaults to [length/4]. *)
+
+val effective_sample_size : ?max_lag:int -> float array -> float
+(** [n / tau]: how many independent samples the series is worth. *)

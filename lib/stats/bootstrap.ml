@@ -1,0 +1,26 @@
+type interval = { low : float; high : float; point : float }
+
+let ci ?(resamples = 2000) ?(confidence = 0.95) ~statistic rng samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Bootstrap.ci: confidence must be in (0,1)";
+  if resamples <= 0 then invalid_arg "Bootstrap.ci: resamples <= 0";
+  let point = statistic samples in
+  let scratch = Array.make n 0. in
+  let stats =
+    Array.init resamples (fun _ ->
+        for i = 0 to n - 1 do
+          scratch.(i) <- samples.(Rbb_prng.Rng.int_below rng n)
+        done;
+        statistic scratch)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  let low = Quantile.quantile stats alpha in
+  let high = Quantile.quantile stats (1. -. alpha) in
+  { low; high; point }
+
+let mean_of a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let mean_ci ?resamples ?confidence rng samples =
+  ci ?resamples ?confidence ~statistic:mean_of rng samples

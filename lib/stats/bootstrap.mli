@@ -1,0 +1,27 @@
+(** Percentile bootstrap confidence intervals.
+
+    The Student-t interval in {!Summary} assumes near-normal sampling
+    distributions; cover times and running maxima are skewed, so the
+    experiment tables cross-check them with a nonparametric bootstrap. *)
+
+type interval = { low : float; high : float; point : float }
+
+val mean_ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  Rbb_prng.Rng.t ->
+  float array ->
+  interval
+(** [mean_ci rng samples] is the percentile bootstrap CI of the mean
+    ([resamples] defaults to 2000, [confidence] to 0.95).
+    @raise Invalid_argument on an empty sample, a confidence outside
+    (0, 1) or non-positive resamples. *)
+
+val ci :
+  ?resamples:int ->
+  ?confidence:float ->
+  statistic:(float array -> float) ->
+  Rbb_prng.Rng.t ->
+  float array ->
+  interval
+(** Bootstrap CI for an arbitrary statistic (median, max, ...). *)

@@ -1,0 +1,49 @@
+let statistic ~observed ~expected =
+  let k = Array.length observed in
+  if Array.length expected <> k then
+    invalid_arg "Chi2.statistic: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    let e = expected.(i) and o = float_of_int observed.(i) in
+    if e < 0. then invalid_arg "Chi2.statistic: negative expectation";
+    if e = 0. then begin
+      if observed.(i) <> 0 then
+        invalid_arg "Chi2.statistic: observation in a zero-expectation cell"
+    end
+    else acc := !acc +. (((o -. e) ** 2.) /. e)
+  done;
+  !acc
+
+(* Standard normal CDF via erf-like rational approximation
+   (Abramowitz & Stegun 7.1.26 applied to the normal). *)
+let normal_cdf x =
+  let t = 1. /. (1. +. (0.2316419 *. Float.abs x)) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t *. (-0.356563782 +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let phi = 1. -. (Float.exp (-.(x *. x) /. 2.) /. Float.sqrt (2. *. Float.pi) *. poly) in
+  if x >= 0. then phi else 1. -. phi
+
+let cdf ~df x =
+  if df <= 0 then invalid_arg "Chi2.cdf: df <= 0";
+  if x <= 0. then 0.
+  else begin
+    (* Wilson-Hilferty: (X/df)^(1/3) ~ N(1 - 2/(9 df), 2/(9 df)). *)
+    let fdf = float_of_int df in
+    let v = 2. /. (9. *. fdf) in
+    let z = (((x /. fdf) ** (1. /. 3.)) -. (1. -. v)) /. Float.sqrt v in
+    normal_cdf z
+  end
+
+let p_value ~df x = 1. -. cdf ~df x
+
+let goodness_of_fit ~observed ~probabilities =
+  let k = Array.length observed in
+  if Array.length probabilities <> k then
+    invalid_arg "Chi2.goodness_of_fit: length mismatch";
+  let total = float_of_int (Array.fold_left ( + ) 0 observed) in
+  let expected = Array.map (fun p -> p *. total) probabilities in
+  let stat = statistic ~observed ~expected in
+  p_value ~df:(Stdlib.max 1 (k - 1)) stat

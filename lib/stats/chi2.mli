@@ -1,0 +1,26 @@
+(** Chi-square goodness-of-fit testing.
+
+    Used to validate samplers against their target pmf with an actual
+    test statistic (the sampler test suite otherwise only checks
+    moments).  The p-value uses the Wilson–Hilferty cube-root normal
+    approximation, accurate to ~1e-3 for k ≥ 3 degrees of freedom. *)
+
+val statistic : observed:int array -> expected:float array -> float
+(** [Σ (O_i − E_i)² / E_i] over cells with [E_i > 0]; cells with zero
+    expectation must have zero observations.
+    @raise Invalid_argument on length mismatch, a negative expectation,
+    or an observation in a zero-expectation cell. *)
+
+val cdf : df:int -> float -> float
+(** Approximate chi-square CDF (Wilson–Hilferty).
+    @raise Invalid_argument if [df <= 0]. *)
+
+val p_value : df:int -> float -> float
+(** [1 − cdf]: probability of a statistic at least this large under the
+    null. *)
+
+val goodness_of_fit :
+  observed:int array -> probabilities:float array -> float
+(** Convenience: scales [probabilities] (which must sum to ~1) by the
+    total observation count and returns the p-value with
+    [k − 1] degrees of freedom. *)

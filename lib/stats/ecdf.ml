@@ -1,0 +1,50 @@
+type t = { sorted : float array }
+
+let of_array samples =
+  if Array.length samples = 0 then invalid_arg "Ecdf.of_array: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+let eval t x =
+  (* Count of samples <= x via binary search for the upper bound. *)
+  let n = Array.length t.sorted in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.sorted.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  float_of_int !lo /. float_of_int n
+
+let quantile t q = Quantile.quantile t.sorted q
+
+let ks_distance a b =
+  (* Merge scan over both sorted samples. *)
+  let na = Array.length a.sorted and nb = Array.length b.sorted in
+  let fa = float_of_int na and fb = float_of_int nb in
+  let i = ref 0 and j = ref 0 in
+  let best = ref 0. in
+  while !i < na || !j < nb do
+    let x =
+      if !i >= na then b.sorted.(!j)
+      else if !j >= nb then a.sorted.(!i)
+      else Float.min a.sorted.(!i) b.sorted.(!j)
+    in
+    while !i < na && a.sorted.(!i) <= x do
+      incr i
+    done;
+    while !j < nb && b.sorted.(!j) <= x do
+      incr j
+    done;
+    let d = Float.abs ((float_of_int !i /. fa) -. (float_of_int !j /. fb)) in
+    if d > !best then best := d
+  done;
+  !best
+
+let ks_critical ~alpha ~n1 ~n2 =
+  if not (alpha > 0. && alpha < 1.) then invalid_arg "Ecdf.ks_critical: bad alpha";
+  if n1 <= 0 || n2 <= 0 then invalid_arg "Ecdf.ks_critical: bad sizes";
+  let c = Float.sqrt (-.Float.log (alpha /. 2.) /. 2.) in
+  c *. Float.sqrt (float_of_int (n1 + n2) /. float_of_int (n1 * n2))

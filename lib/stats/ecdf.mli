@@ -1,0 +1,33 @@
+(** Empirical cumulative distribution functions and two-sample
+    Kolmogorov–Smirnov distances.
+
+    Used to compare whole distributions rather than means: e.g. the
+    cover-time distribution under faults vs without, or a sampler's
+    output against a reference implementation. *)
+
+type t
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty sample. *)
+
+val size : t -> int
+
+val eval : t -> float -> float
+(** [eval t x] is the right-continuous empirical CDF
+    [P̂(X <= x)] (0 below the sample minimum, 1 at and above the
+    maximum). *)
+
+val quantile : t -> float -> float
+(** Inverse CDF by order statistics (type-7 interpolation). *)
+
+val ks_distance : t -> t -> float
+(** Two-sample Kolmogorov–Smirnov statistic
+    [sup_x |F̂₁(x) − F̂₂(x)|], computed exactly by the merge scan. *)
+
+val ks_critical : alpha:float -> n1:int -> n2:int -> float
+(** Large-sample critical value
+    [c(alpha) sqrt((n1+n2)/(n1 n2))] with
+    [c(alpha) = sqrt(-ln(alpha/2)/2)]; the null "same distribution" is
+    rejected at level [alpha] when {!ks_distance} exceeds this.
+    @raise Invalid_argument unless [0 < alpha < 1] and sizes are
+    positive. *)

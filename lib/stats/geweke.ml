@@ -1,0 +1,55 @@
+type result = {
+  z_score : float;
+  early_mean : float;
+  late_mean : float;
+  stationary : bool;
+}
+
+let window_stats xs lo len =
+  let w = Array.sub xs lo len in
+  let mean = Array.fold_left ( +. ) 0. w /. float_of_int len in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. w
+    /. float_of_int (Stdlib.max 1 (len - 1))
+  in
+  let ess = Autocorr.effective_sample_size w in
+  (mean, var, ess)
+
+let diagnose ?(early_fraction = 0.1) ?(late_fraction = 0.5) ?(threshold = 2.)
+    xs =
+  let n = Array.length xs in
+  if n < 20 then invalid_arg "Geweke.diagnose: series too short";
+  if
+    not
+      (early_fraction > 0. && late_fraction > 0.
+      && early_fraction +. late_fraction < 1.)
+  then invalid_arg "Geweke.diagnose: windows must be disjoint";
+  let n_early = Stdlib.max 2 (int_of_float (float_of_int n *. early_fraction)) in
+  let n_late = Stdlib.max 2 (int_of_float (float_of_int n *. late_fraction)) in
+  let early_mean, early_var, early_ess = window_stats xs 0 n_early in
+  let late_mean, late_var, late_ess = window_stats xs (n - n_late) n_late in
+  let se =
+    Float.sqrt ((early_var /. early_ess) +. (late_var /. late_ess))
+  in
+  let z =
+    if se = 0. then if early_mean = late_mean then 0. else infinity
+    else (early_mean -. late_mean) /. se
+  in
+  {
+    z_score = z;
+    early_mean;
+    late_mean;
+    stationary = Float.abs z < threshold;
+  }
+
+let warmup_estimate ?block xs =
+  let n = Array.length xs in
+  let block = match block with Some b -> Stdlib.max 1 b | None -> Stdlib.max 1 (n / 20) in
+  let rec try_drop dropped =
+    if n - dropped < 20 then n
+    else begin
+      let rest = Array.sub xs dropped (n - dropped) in
+      if (diagnose rest).stationary then dropped else try_drop (dropped + block)
+    end
+  in
+  try_drop 0

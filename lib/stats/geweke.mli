@@ -1,0 +1,33 @@
+(** Geweke stationarity diagnostic.
+
+    Compares the mean of an early window of a time series against the
+    mean of a late window, scaled by autocorrelation-corrected standard
+    errors: a |z| beyond ~2 says the series had not reached
+    stationarity.  Used to choose warm-up lengths for the long-window
+    experiments instead of guessing. *)
+
+type result = {
+  z_score : float;
+  early_mean : float;
+  late_mean : float;
+  stationary : bool;  (** |z| < threshold *)
+}
+
+val diagnose :
+  ?early_fraction:float ->
+  ?late_fraction:float ->
+  ?threshold:float ->
+  float array ->
+  result
+(** [diagnose xs] compares the first [early_fraction] (default 0.1) of
+    the series with the last [late_fraction] (default 0.5), using
+    effective sample sizes from {!Autocorr}.  [threshold] defaults to 2.
+    A series with zero variance in both windows is stationary iff the
+    two means coincide.
+    @raise Invalid_argument if the series is shorter than 20 samples or
+    the fractions do not leave disjoint windows. *)
+
+val warmup_estimate : ?block:int -> float array -> int
+(** [warmup_estimate xs] is the smallest multiple of [block] (default
+    [length/20]) such that dropping that prefix makes {!diagnose} pass;
+    [length] (i.e. "never") if none does. *)

@@ -1,0 +1,128 @@
+module Int_hist = struct
+  type t = { mutable counts : int array; mutable total : int; mutable max_v : int }
+
+  let create ?(initial_capacity = 16) () =
+    { counts = Array.make (Stdlib.max 1 initial_capacity) 0; total = 0; max_v = -1 }
+
+  let ensure t v =
+    let n = Array.length t.counts in
+    if v >= n then begin
+      let n' = Stdlib.max (v + 1) (2 * n) in
+      let counts = Array.make n' 0 in
+      Array.blit t.counts 0 counts 0 n;
+      t.counts <- counts
+    end
+
+  let add_many t v k =
+    if v < 0 then invalid_arg "Int_hist.add: negative value";
+    if k < 0 then invalid_arg "Int_hist.add_many: negative count";
+    if k > 0 then begin
+      ensure t v;
+      t.counts.(v) <- t.counts.(v) + k;
+      t.total <- t.total + k;
+      if v > t.max_v then t.max_v <- v
+    end
+
+  let add t v = add_many t v 1
+  let count t v = if v < 0 || v >= Array.length t.counts then 0 else t.counts.(v)
+  let total t = t.total
+  let max_value t = t.max_v
+
+  let mean t =
+    if t.total = 0 then 0.
+    else begin
+      let acc = ref 0. in
+      for v = 0 to t.max_v do
+        acc := !acc +. (float_of_int v *. float_of_int t.counts.(v))
+      done;
+      !acc /. float_of_int t.total
+    end
+
+  let fraction_at_least t v =
+    if t.total = 0 then 0.
+    else begin
+      let acc = ref 0 in
+      for u = Stdlib.max 0 v to t.max_v do
+        acc := !acc + t.counts.(u)
+      done;
+      float_of_int !acc /. float_of_int t.total
+    end
+
+  let to_list t =
+    let rec collect v acc =
+      if v < 0 then acc
+      else if t.counts.(v) > 0 then collect (v - 1) ((v, t.counts.(v)) :: acc)
+      else collect (v - 1) acc
+    in
+    collect t.max_v []
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<h>{";
+    List.iter (fun (v, c) -> Format.fprintf ppf " %d:%d" v c) (to_list t);
+    Format.fprintf ppf " }@]"
+end
+
+module Float_hist = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo then invalid_arg "Float_hist.create: hi <= lo";
+    if buckets <= 0 then invalid_arg "Float_hist.create: buckets <= 0";
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      underflow = 0;
+      overflow = 0;
+      total = 0;
+    }
+
+  let add t x =
+    t.total <- t.total + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = Stdlib.min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let total t = t.total
+  let bucket_count t i = t.counts.(i)
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  let bucket_bounds t i =
+    let lo = t.lo +. (float_of_int i *. t.width) in
+    (lo, lo +. t.width)
+
+  let quantile t q =
+    if not (q >= 0. && q <= 1.) then invalid_arg "Float_hist.quantile: q not in [0,1]";
+    if t.total = 0 then invalid_arg "Float_hist.quantile: empty histogram";
+    let target = q *. float_of_int t.total in
+    let rec scan i acc =
+      if i >= Array.length t.counts then t.hi
+      else begin
+        let acc' = acc + t.counts.(i) in
+        if float_of_int acc' >= target then begin
+          let within =
+            if t.counts.(i) = 0 then 0.
+            else (target -. float_of_int acc) /. float_of_int t.counts.(i)
+          in
+          let lo, _ = bucket_bounds t i in
+          lo +. (within *. t.width)
+        end
+        else scan (i + 1) acc'
+      end
+    in
+    scan 0 t.underflow
+end

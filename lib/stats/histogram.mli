@@ -1,0 +1,59 @@
+(** Histograms over integer and float observations.
+
+    The integer histogram is the workhorse for load distributions: bin
+    loads are small non-negative ints and we want exact counts per value
+    (e.g. "how many bins held load k, summed over all rounds"). *)
+
+module Int_hist : sig
+  type t
+  (** Exact counts per non-negative integer value; grows on demand. *)
+
+  val create : ?initial_capacity:int -> unit -> t
+  val add : t -> int -> unit
+  (** [add t v] counts one observation of value [v].
+      @raise Invalid_argument if [v < 0]. *)
+
+  val add_many : t -> int -> int -> unit
+  (** [add_many t v k] counts [k] observations of value [v]. *)
+
+  val count : t -> int -> int
+  (** Observations of exactly value [v] (0 if never seen). *)
+
+  val total : t -> int
+  (** Total number of observations. *)
+
+  val max_value : t -> int
+  (** Largest value observed; [-1] if empty. *)
+
+  val mean : t -> float
+  val fraction_at_least : t -> int -> float
+  (** [fraction_at_least t v] is the empirical P(X >= v). *)
+
+  val to_list : t -> (int * int) list
+  (** [(value, count)] pairs for non-zero counts, ascending. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float_hist : sig
+  type t
+  (** Fixed-width buckets over [[lo, hi)], plus underflow/overflow. *)
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  (** @raise Invalid_argument if [hi <= lo] or [buckets <= 0]. *)
+
+  val add : t -> float -> unit
+  val total : t -> int
+  val bucket_count : t -> int -> int
+  (** Count in bucket [i] of [[0, buckets)]. *)
+
+  val underflow : t -> int
+  val overflow : t -> int
+  val bucket_bounds : t -> int -> float * float
+  (** Inclusive-exclusive bounds of bucket [i]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] approximates the [q]-quantile by linear
+      interpolation within the containing bucket.
+      @raise Invalid_argument unless [0 <= q <= 1] and [t] non-empty. *)
+end

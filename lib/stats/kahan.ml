@@ -1,0 +1,21 @@
+type t = { mutable sum : float; mutable comp : float; mutable count : int }
+
+let create () = { sum = 0.; comp = 0.; count = 0 }
+
+let add t x =
+  (* Neumaier's variant: also correct when |x| > |sum|. *)
+  let s = t.sum +. x in
+  if Float.abs t.sum >= Float.abs x then
+    t.comp <- t.comp +. ((t.sum -. s) +. x)
+  else t.comp <- t.comp +. ((x -. s) +. t.sum);
+  t.sum <- s;
+  t.count <- t.count + 1
+
+let sum t = t.sum +. t.comp
+let count t = t.count
+let mean t = if t.count = 0 then 0. else sum t /. float_of_int t.count
+
+let sum_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  sum t

@@ -1,0 +1,27 @@
+(** Kahan–Babuška compensated summation.
+
+    Long simulations accumulate millions of small float contributions
+    (per-round fractions, per-ball progress); naive summation loses
+    precision linearly in the number of terms, compensated summation
+    keeps the error O(1) ulps. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** A fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** [add t x] folds [x] into the running sum. *)
+
+val sum : t -> float
+(** Current compensated sum. *)
+
+val count : t -> int
+(** Number of [add] calls so far. *)
+
+val mean : t -> float
+(** [sum / count]; 0 if empty. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)

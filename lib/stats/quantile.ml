@@ -1,0 +1,30 @@
+let of_sorted sorted q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Quantile.quantile: q not in [0,1]";
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Quantile.quantile: empty sample";
+  if n = 1 then sorted.(0)
+  else begin
+    (* Type-7: h = (n-1) q; interpolate between floor and ceil. *)
+    let h = float_of_int (n - 1) *. q in
+    let lo = int_of_float (Float.floor h) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let sorted_copy samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  a
+
+let quantile samples q = of_sorted (sorted_copy samples) q
+let median samples = quantile samples 0.5
+
+let quantiles samples qs =
+  let sorted = sorted_copy samples in
+  List.map (of_sorted sorted) qs
+
+let iqr samples =
+  match quantiles samples [ 0.25; 0.75 ] with
+  | [ q25; q75 ] -> q75 -. q25
+  | _ -> assert false

@@ -1,0 +1,43 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = ref 0. and sy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mx = !sx /. fn and my = !sy /. fn in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx = 0. then invalid_arg "Regression.linear: all x equal";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy = 0. then 1. (* a constant y is fit perfectly *)
+    else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  { slope; intercept; r2 }
+
+let against ~transform points =
+  linear (Array.map (fun (x, y) -> (transform x, y)) points)
+
+let log_log_exponent points =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0. || y <= 0. then
+        invalid_arg "Regression.log_log_exponent: non-positive coordinate")
+    points;
+  linear (Array.map (fun (x, y) -> (Float.log x, Float.log y)) points)
+
+let pp_fit ppf f =
+  Format.fprintf ppf "slope=%.4g intercept=%.4g R2=%.4f" f.slope f.intercept f.r2

@@ -1,0 +1,27 @@
+(** Least-squares fits used to check the paper's growth laws.
+
+    The shape claims — max load ~ O(log n), convergence ~ O(n), cover
+    time ~ O(n log² n) — are verified by fitting measured points to the
+    claimed law and reporting the coefficient and R². *)
+
+type fit = {
+  slope : float;      (** coefficient [a] in [y = a*x + b] *)
+  intercept : float;  (** constant [b] *)
+  r2 : float;         (** coefficient of determination *)
+}
+
+val linear : (float * float) array -> fit
+(** [linear points] is the ordinary least-squares line through
+    [(x, y)] pairs.
+    @raise Invalid_argument with fewer than 2 points or degenerate x. *)
+
+val against : transform:(float -> float) -> (float * float) array -> fit
+(** [against ~transform points] fits [y = a * transform(x) + b]; e.g.
+    [~transform:log] checks a logarithmic growth law. *)
+
+val log_log_exponent : (float * float) array -> fit
+(** Fits [log y = a * log x + b]: [slope] estimates the polynomial
+    exponent of the growth of y in x.  Points with non-positive
+    coordinates are rejected with [Invalid_argument]. *)
+
+val pp_fit : Format.formatter -> fit -> unit

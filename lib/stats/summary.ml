@@ -1,0 +1,61 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q25 : float;
+  q75 : float;
+  ci95_low : float;
+  ci95_high : float;
+}
+
+(* Two-sided 97.5% Student-t critical values; indexed by df, the normal
+   limit 1.96 beyond df = 30. *)
+let t_table =
+  [|
+    nan; 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262;
+    2.228; 2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093;
+    2.086; 2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045;
+    2.042;
+  |]
+
+let t_critical_95 df =
+  if df <= 0 then invalid_arg "Summary.t_critical_95: df <= 0";
+  if df < Array.length t_table then t_table.(df) else 1.96
+
+let of_array samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let w = Welford.create () in
+  Array.iter (Welford.add w) samples;
+  let mean = Welford.mean w and stddev = Welford.stddev w in
+  let median, q25, q75 =
+    match Quantile.quantiles samples [ 0.5; 0.25; 0.75 ] with
+    | [ m; a; b ] -> (m, a, b)
+    | _ -> assert false
+  in
+  let half =
+    if n < 2 then 0.
+    else t_critical_95 (n - 1) *. stddev /. Float.sqrt (float_of_int n)
+  in
+  {
+    n;
+    mean;
+    stddev;
+    min = Welford.min w;
+    max = Welford.max w;
+    median;
+    q25;
+    q75;
+    ci95_low = mean -. half;
+    ci95_high = mean +. half;
+  }
+
+let of_list samples = of_array (Array.of_list samples)
+
+let pp ppf t =
+  Format.fprintf ppf "%.4g ± %.2g [%.4g, %.4g]" t.mean
+    ((t.ci95_high -. t.ci95_low) /. 2.)
+    t.min t.max

@@ -1,0 +1,30 @@
+(** Descriptive summary of a finished sample, with confidence interval.
+
+    This is what every replicated experiment reports per parameter
+    setting: the cross-seed distribution of a scalar outcome. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q25 : float;
+  q75 : float;
+  ci95_low : float;   (** lower end of the 95% CI on the mean *)
+  ci95_high : float;  (** upper end of the 95% CI on the mean *)
+}
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val of_list : float list -> t
+
+val t_critical_95 : int -> float
+(** [t_critical_95 df] is the two-sided 97.5% Student-t critical value
+    for [df] degrees of freedom (tabulated for small [df], normal limit
+    beyond). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [mean ± half-CI [min, max]]. *)

@@ -1,0 +1,42 @@
+(** Welford's online algorithm for mean and variance, with min/max
+    tracking.  Numerically stable for arbitrarily long streams; used for
+    every per-round metric so no experiment needs to retain its full
+    time series. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Empty accumulator. *)
+
+val add : t -> float -> unit
+(** [add t x] folds observation [x] in. *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val mean : t -> float
+(** Running mean; 0 if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (divides by [count - 1]); 0 if fewer than
+    two observations. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val std_error : t -> float
+(** Standard error of the mean, [stddev / sqrt count]; 0 if empty. *)
+
+val min : t -> float
+(** Smallest observation; [infinity] if empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] if empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is the accumulator of the concatenated streams (Chan's
+    parallel update); [a] and [b] are unchanged. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints count, mean and stddev. *)

@@ -1,0 +1,51 @@
+End-to-end CLI tests.  All commands are deterministic (fixed seeds and
+exact computations), so the outputs below are exact expectations.
+
+The Appendix B numbers, computed exactly on the n = 2 chain:
+
+  $ rbb markov --bins 2 --balls 2
+  exact chain: n=2 bins, m=2 balls, 3 states
+  stationary max-load distribution:
+    P(M = 1) = 0.500000
+    P(M = 2) = 0.500000
+  stationary E[max load] = 1.500000
+  
+  Appendix B (exact): P(X1=0)=0.2500 P(X2=0)=0.3750 joint=0.1250 product=0.0938 -> not negatively associated: true
+
+
+Spectral analysis of the 8-cycle ((1 + cos(pi/4))/2 = 0.853553...):
+
+  $ rbb spectral --bins 8 --graph cycle
+  cycle on 8 vertices (8 edges)
+  lambda2 (lazy walk)   : 0.853553
+  spectral gap          : 0.146447
+  relaxation time       : 6.8
+  regular               : yes (d = 2)
+  connected             : true
+
+A short seeded simulation (seed 42 is the default):
+
+  $ rbb simulate --bins 64 --rounds 1000
+  
+  n=64 rounds=1000 d=1 init=uniform seed=42
+  running max load       : 9
+  mean max load          : 4.966
+  legitimacy threshold   : 17 (4 ln n)
+  min empty-bin fraction : 0.2812
+  rounds below n/4 empty : 0
+
+
+Unknown graph specs are rejected with a helpful message:
+
+  $ rbb spectral --bins 8 --graph moebius
+  rbb: error: unknown graph "moebius" (try complete, cycle, torus, grid, hypercube, star, tree, barbell, regular:D, circulant:J1,J2)
+  [2]
+
+
+Convergence measurement from the worst start (deterministic in the seed):
+
+  $ rbb converge --bins 64 --trials 2
+  convergence from the worst configuration (all 64 balls in one bin), 2 trials
+  mean rounds : 59.0  (0.922 n)
+  max rounds  : 62  (0.969 n)
+  threshold   : max load <= 17

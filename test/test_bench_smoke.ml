@@ -1,0 +1,83 @@
+(* Smoke test of the experiment harness: every registered experiment
+   must run to completion at quick size.  Output is redirected to
+   /dev/null so the test log stays readable; any exception fails the
+   test.  This keeps bench/main.ml from bit-rotting silently. *)
+
+let with_muted_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+(* The registry lives in bench/, which tests cannot depend on; mirror
+   the minimal harness contract instead: experiments are pure
+   ~quick-functions, so we smoke-run representative ones through the
+   public libraries the bench uses.  The full registry is exercised by
+   `dune exec bench/main.exe -- quick` (run in CI / final checks); here
+   we guard the pieces with the most moving parts. *)
+
+let smoke name f = Tutil.slow name (fun () -> with_muted_stdout f)
+
+let experiment_registry_roundtrip () =
+  (* The registry machinery itself with a printing experiment. *)
+  let e =
+    Rbb_sim.Experiment.make ~id:"smoke" ~title:"smoke" ~claim:"none"
+      (fun ~quick -> Printf.printf "quick=%b\n" quick)
+  in
+  Rbb_sim.Experiment.run e ~quick:true
+
+let coupled_pipeline () =
+  let rng = Rbb_prng.Rng.create ~seed:1L () in
+  let init = Rbb_core.Config.random rng ~n:128 ~m:128 in
+  let c = Rbb_core.Coupling.create ~rng ~init () in
+  Rbb_core.Coupling.run c ~rounds:512;
+  Printf.printf "dominated %d/%d\n" (Rbb_core.Coupling.dominated_rounds c) 512
+
+let cover_pipeline () =
+  let rng = Rbb_prng.Rng.create ~seed:2L () in
+  let t =
+    Rbb_core.Token_process.create ~track_cover:true ~rng
+      ~init:(Rbb_core.Config.uniform ~n:48) ()
+  in
+  match Rbb_core.Token_process.run_until_covered t ~max_rounds:1_000_000 with
+  | Some r -> Printf.printf "covered in %d\n" r
+  | None -> Alcotest.fail "cover incomplete"
+
+let exact_pipeline () =
+  let chain = Rbb_markov.Chain.create ~n:4 ~m:4 in
+  let pi = Rbb_markov.Chain.stationary chain in
+  Printf.printf "E[M] = %f\n" (Rbb_markov.Chain.expected_max_load chain pi);
+  let tc =
+    Rbb_markov.Token_chain.create ~n:3 ~m:3 ~strategy:Rbb_markov.Token_chain.Fifo
+  in
+  let init = Rbb_markov.Token_chain.initial_state tc (Rbb_core.Config.uniform ~n:3) in
+  let d = Rbb_markov.Token_chain.distribution_at tc ~init ~rounds:3 in
+  Printf.printf "mass %f\n" (Array.fold_left ( +. ) 0. d)
+
+let queueing_pipeline () =
+  let rng = Rbb_prng.Rng.create ~seed:3L () in
+  let j = Rbb_queueing.Jackson.create ~rng ~init:(Rbb_core.Config.uniform ~n:8) () in
+  Rbb_queueing.Jackson.run_events j ~count:20_000;
+  Printf.printf "avg %f\n" (Rbb_queueing.Jackson.time_average_max_load j);
+  let w = Rbb_queueing.Open_network.create ~lambda:0.7 ~n:8 ~rng () in
+  Rbb_queueing.Open_network.run_until w ~time:1000.;
+  Printf.printf "tokens %f\n" (Rbb_queueing.Open_network.time_average_total w)
+
+let suite =
+  [
+    ( "bench.smoke",
+      [
+        smoke "experiment registry" experiment_registry_roundtrip;
+        smoke "coupling pipeline" coupled_pipeline;
+        smoke "cover pipeline" cover_pipeline;
+        smoke "exact pipeline" exact_pipeline;
+        smoke "queueing pipeline" queueing_pipeline;
+      ] );
+  ]

@@ -1,0 +1,163 @@
+(* Tests for the M/M/c formulas and the Geweke stationarity
+   diagnostic. *)
+
+(* ------------------------------------------------------------------ *)
+(* Mmc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mmc_reduces_to_mm1 () =
+  (* c = 1 must reproduce the M/M/1 closed forms. *)
+  let lambda = 0.6 and mu = 1. in
+  Tutil.check_close ~tol:1e-12 "rho" 0.6
+    (Rbb_queueing.Mmc.utilization ~lambda ~mu ~c:1);
+  (* Erlang C with one server = rho. *)
+  Tutil.check_close ~tol:1e-9 "erlang C = rho" 0.6
+    (Rbb_queueing.Mmc.erlang_c ~lambda ~mu ~c:1);
+  (* Lq(M/M/1) = rho^2/(1-rho); L = rho/(1-rho). *)
+  Tutil.check_close ~tol:1e-9 "Lq" (0.36 /. 0.4)
+    (Rbb_queueing.Mmc.mean_queue_length ~lambda ~mu ~c:1);
+  Tutil.check_close ~tol:1e-9 "L matches M/M/1"
+    (Rbb_queueing.Mm1.mean_queue_length ~lambda ~mu)
+    (Rbb_queueing.Mmc.mean_number_in_system ~lambda ~mu ~c:1)
+
+let mmc_known_erlang_value () =
+  (* Classic reference point: a = 2 Erlangs, c = 3 servers ->
+     C(3, 2) = 4/9 ~ 0.4444. *)
+  Tutil.check_close ~tol:1e-9 "Erlang C(3, a=2)" (4. /. 9.)
+    (Rbb_queueing.Mmc.erlang_c ~lambda:2. ~mu:1. ~c:3)
+
+let mmc_pmf_consistency () =
+  let lambda = 2.5 and mu = 1. and c = 4 in
+  (* pmf sums to 1 and reproduces L. *)
+  let acc = ref 0. and l = ref 0. in
+  for k = 0 to 400 do
+    let p = Rbb_queueing.Mmc.stationary_pmf ~lambda ~mu ~c k in
+    Alcotest.(check bool) "p >= 0" true (p >= 0.);
+    acc := !acc +. p;
+    l := !l +. (float_of_int k *. p)
+  done;
+  Tutil.check_close ~tol:1e-9 "normalized" 1. !acc;
+  Tutil.check_close ~tol:1e-6 "E[N] from pmf"
+    (Rbb_queueing.Mmc.mean_number_in_system ~lambda ~mu ~c)
+    !l
+
+let mmc_more_servers_less_waiting () =
+  let lambda = 3. and mu = 1. in
+  let w4 = Rbb_queueing.Mmc.mean_waiting_time ~lambda ~mu ~c:4 in
+  let w8 = Rbb_queueing.Mmc.mean_waiting_time ~lambda ~mu ~c:8 in
+  Alcotest.(check bool) "more servers wait less" true (w8 < w4);
+  Tutil.check_close "no arrivals no wait" 0.
+    (Rbb_queueing.Mmc.mean_waiting_time ~lambda:0. ~mu ~c:2)
+
+let mmc_errors () =
+  Tutil.check_raises_invalid "unstable" (fun () ->
+      ignore (Rbb_queueing.Mmc.utilization ~lambda:4. ~mu:1. ~c:4));
+  Tutil.check_raises_invalid "c = 0" (fun () ->
+      ignore (Rbb_queueing.Mmc.utilization ~lambda:1. ~mu:1. ~c:0));
+  Tutil.check_raises_invalid "mu = 0" (fun () ->
+      ignore (Rbb_queueing.Mmc.offered_load ~lambda:1. ~mu:0.))
+
+let mmc_matches_capacity_simulation_shape () =
+  (* The capacity-c RBB process at m = c*n and the M/M/c queue are
+     different time models, but both must show waiting decreasing in c
+     at fixed utilization; cross-check the direction with the simulator. *)
+  let n = 128 in
+  let mean_load c =
+    let rng = Rbb_prng.Rng.create ~seed:77L () in
+    let p =
+      Rbb_core.Process.create ~capacity:c ~rng
+        ~init:(Rbb_core.Config.balanced ~n ~m:n) ()
+    in
+    let w = Rbb_stats.Welford.create () in
+    for _ = 1 to 2000 do
+      Rbb_core.Process.step p;
+      Rbb_stats.Welford.add w (float_of_int (Rbb_core.Process.max_load p))
+    done;
+    Rbb_stats.Welford.mean w
+  in
+  Alcotest.(check bool) "simulated congestion decreases in capacity" true
+    (mean_load 2 < mean_load 1);
+  Alcotest.(check bool) "analytic Lq decreases in c at fixed a" true
+    (Rbb_queueing.Mmc.mean_queue_length ~lambda:0.9 ~mu:1. ~c:2
+    < Rbb_queueing.Mmc.mean_queue_length ~lambda:0.9 ~mu:1. ~c:1)
+
+(* ------------------------------------------------------------------ *)
+(* Geweke                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let geweke_stationary_series_passes () =
+  let g = Tutil.rng () in
+  let xs = Array.init 10_000 (fun _ -> Rbb_prng.Rng.float_unit g) in
+  let r = Rbb_stats.Geweke.diagnose xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "z = %.2f small" r.z_score)
+    true r.stationary
+
+let geweke_trending_series_fails () =
+  let g = Tutil.rng () in
+  let xs =
+    Array.init 10_000 (fun i ->
+        (float_of_int i /. 1000.) +. Rbb_prng.Rng.float_unit g)
+  in
+  let r = Rbb_stats.Geweke.diagnose xs in
+  Alcotest.(check bool) "trend detected" false r.stationary;
+  Alcotest.(check bool) "early below late" true (r.early_mean < r.late_mean)
+
+let geweke_constant_series () =
+  let xs = Array.make 100 5. in
+  let r = Rbb_stats.Geweke.diagnose xs in
+  Alcotest.(check bool) "constant is stationary" true r.stationary;
+  Tutil.check_close "z = 0" 0. r.z_score
+
+let geweke_warmup_on_recovery () =
+  (* The M(t) series starting from the pile has a long transient; the
+     warm-up estimate should drop (most of) it, and the remainder should
+     pass the diagnostic. *)
+  let n = 256 in
+  let rng = Rbb_prng.Rng.create ~seed:21L () in
+  let p =
+    Rbb_core.Process.create ~rng ~init:(Rbb_core.Config.all_in_one ~n ~m:n ()) ()
+  in
+  let rounds = 8 * n in
+  let series =
+    Array.init rounds (fun _ ->
+        Rbb_core.Process.step p;
+        float_of_int (Rbb_core.Process.max_load p))
+  in
+  let warmup = Rbb_stats.Geweke.warmup_estimate series in
+  Alcotest.(check bool)
+    (Printf.sprintf "warmup %d covers the ~n-round transient" warmup)
+    true
+    (warmup > 0 && warmup < rounds);
+  let rest = Array.sub series warmup (rounds - warmup) in
+  Alcotest.(check bool) "post-warmup stationary" true
+    (Rbb_stats.Geweke.diagnose rest).stationary
+
+let geweke_errors () =
+  Tutil.check_raises_invalid "too short" (fun () ->
+      ignore (Rbb_stats.Geweke.diagnose (Array.make 10 0.)));
+  Tutil.check_raises_invalid "overlapping windows" (fun () ->
+      ignore
+        (Rbb_stats.Geweke.diagnose ~early_fraction:0.6 ~late_fraction:0.6
+           (Array.make 100 0.)))
+
+let suite =
+  [
+    ( "queueing.mmc",
+      [
+        Tutil.quick "reduces to M/M/1" mmc_reduces_to_mm1;
+        Tutil.quick "known Erlang value" mmc_known_erlang_value;
+        Tutil.quick "pmf consistency" mmc_pmf_consistency;
+        Tutil.quick "more servers less waiting" mmc_more_servers_less_waiting;
+        Tutil.quick "errors" mmc_errors;
+        Tutil.slow "capacity simulation shape" mmc_matches_capacity_simulation_shape;
+      ] );
+    ( "stats.geweke",
+      [
+        Tutil.slow "stationary passes" geweke_stationary_series_passes;
+        Tutil.slow "trend fails" geweke_trending_series_fails;
+        Tutil.quick "constant series" geweke_constant_series;
+        Tutil.slow "warm-up on recovery" geweke_warmup_on_recovery;
+        Tutil.quick "errors" geweke_errors;
+      ] );
+  ]

@@ -1,0 +1,265 @@
+open Rbb_graph
+
+(* ------------------------------------------------------------------ *)
+(* Csr                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let csr_of_edges_basic () =
+  let g = Csr.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "n" 4 (Csr.n g);
+  Alcotest.(check int) "m" 3 (Csr.edge_count g);
+  Alcotest.(check int) "deg 0" 1 (Csr.degree g 0);
+  Alcotest.(check int) "deg 1" 2 (Csr.degree g 1);
+  Alcotest.(check bool) "edge 0-1" true (Csr.has_edge g 0 1);
+  Alcotest.(check bool) "edge 1-0 (symmetric)" true (Csr.has_edge g 1 0);
+  Alcotest.(check bool) "no edge 0-2" false (Csr.has_edge g 0 2);
+  Alcotest.(check bool) "no self edge" false (Csr.has_edge g 1 1)
+
+let csr_rejects_bad_edges () =
+  Tutil.check_raises_invalid "self-loop" (fun () -> Csr.of_edges ~n:3 [ (1, 1) ]);
+  Tutil.check_raises_invalid "duplicate" (fun () ->
+      Csr.of_edges ~n:3 [ (0, 1); (1, 0) ]);
+  Tutil.check_raises_invalid "out of range" (fun () -> Csr.of_edges ~n:3 [ (0, 3) ])
+
+let csr_neighbors_sorted_complete_scan () =
+  let g = Csr.of_edges ~n:5 [ (0, 4); (0, 2); (0, 1); (0, 3) ] in
+  let ns = Csr.fold_neighbors g 0 ~init:[] ~f:(fun acc v -> v :: acc) in
+  Alcotest.(check (list int)) "sorted adjacency" [ 4; 3; 2; 1 ] ns
+
+let csr_complete_properties () =
+  let g = Csr.complete 10 in
+  Alcotest.(check bool) "implicit repr" true (Csr.is_complete_repr g);
+  Alcotest.(check int) "n" 10 (Csr.n g);
+  Alcotest.(check int) "edge count" 45 (Csr.edge_count g);
+  Alcotest.(check int) "degree" 9 (Csr.degree g 3);
+  Alcotest.(check bool) "every pair adjacent" true (Csr.has_edge g 2 7);
+  let seen = Array.make 10 false in
+  Csr.iter_neighbors g 4 (fun v -> seen.(v) <- true);
+  Alcotest.(check bool) "self not neighbor" false seen.(4);
+  for v = 0 to 9 do
+    if v <> 4 then Alcotest.(check bool) "neighbor present" true seen.(v)
+  done
+
+let csr_complete_neighbor_indexing () =
+  let g = Csr.complete 5 in
+  (* Neighbors of 2 in storage order: 0 1 3 4. *)
+  Alcotest.(check int) "idx 0" 0 (Csr.neighbor g 2 0);
+  Alcotest.(check int) "idx 1" 1 (Csr.neighbor g 2 1);
+  Alcotest.(check int) "idx 2" 3 (Csr.neighbor g 2 2);
+  Alcotest.(check int) "idx 3" 4 (Csr.neighbor g 2 3);
+  Tutil.check_raises_invalid "idx 4" (fun () -> ignore (Csr.neighbor g 2 4))
+
+let csr_random_neighbor_law () =
+  let rng = Tutil.rng () in
+  let g = Csr.complete 6 in
+  let counts = Array.make 6 0 in
+  let total = 60_000 in
+  for _ = 1 to total do
+    let v = Csr.random_neighbor g rng 2 in
+    Alcotest.(check bool) "never self" true (v <> 2);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* 5 admissible targets, each ~total/5. *)
+  let targets = [ 0; 1; 3; 4; 5 ] in
+  List.iter
+    (fun v ->
+      Tutil.check_rel ~tol:0.1 "uniform over neighbors"
+        (float_of_int total /. 5.)
+        (float_of_int counts.(v)))
+    targets
+
+let csr_random_vertex_including_self () =
+  let rng = Tutil.rng () in
+  let g = Csr.complete 4 in
+  let counts = Array.make 4 0 in
+  let total = 40_000 in
+  for _ = 1 to total do
+    let v = Csr.random_vertex_including_self g rng 1 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Balls-into-bins law: uniform over ALL bins, self included. *)
+  Tutil.check_uniform ~slack:0.08 "uniform incl. self" counts total
+
+let csr_isolated_vertex () =
+  let g = Csr.of_edges ~n:3 [ (0, 1) ] in
+  Tutil.check_raises_invalid "isolated random_neighbor" (fun () ->
+      ignore (Csr.random_neighbor g (Tutil.rng ()) 2))
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_cycle () =
+  let g = Build.cycle 7 in
+  Alcotest.(check (option int)) "2-regular" (Some 2) (Check.is_regular g);
+  Alcotest.(check bool) "connected" true (Check.is_connected g);
+  Alcotest.(check int) "m = n" 7 (Csr.edge_count g);
+  Alcotest.(check bool) "wraparound edge" true (Csr.has_edge g 0 6);
+  Tutil.check_raises_invalid "n<3" (fun () -> ignore (Build.cycle 2))
+
+let build_path () =
+  let g = Build.path 5 in
+  Alcotest.(check int) "m = n-1" 4 (Csr.edge_count g);
+  Alcotest.(check int) "endpoint degree" 1 (Csr.degree g 0);
+  Alcotest.(check int) "inner degree" 2 (Csr.degree g 2);
+  Alcotest.(check bool) "connected" true (Check.is_connected g)
+
+let build_torus () =
+  let g = Build.torus2d ~rows:4 ~cols:5 in
+  Alcotest.(check int) "n" 20 (Csr.n g);
+  Alcotest.(check (option int)) "4-regular" (Some 4) (Check.is_regular g);
+  Alcotest.(check bool) "connected" true (Check.is_connected g);
+  Alcotest.(check int) "m = 2n" 40 (Csr.edge_count g);
+  Tutil.check_raises_invalid "too small" (fun () ->
+      ignore (Build.torus2d ~rows:2 ~cols:5))
+
+let build_hypercube () =
+  let g = Build.hypercube 4 in
+  Alcotest.(check int) "n = 2^d" 16 (Csr.n g);
+  Alcotest.(check (option int)) "d-regular" (Some 4) (Check.is_regular g);
+  Alcotest.(check bool) "connected" true (Check.is_connected g);
+  Alcotest.(check bool) "hamming-1 edge" true (Csr.has_edge g 0b0101 0b0100);
+  Alcotest.(check bool) "no hamming-2 edge" false (Csr.has_edge g 0b0101 0b0110)
+
+let build_star () =
+  let g = Build.star 9 in
+  Alcotest.(check int) "hub degree" 8 (Csr.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Csr.degree g 5);
+  Alcotest.(check int) "min degree" 1 (Check.min_degree g);
+  Alcotest.(check int) "max degree" 8 (Check.max_degree g);
+  Alcotest.(check (option int)) "not regular" None (Check.is_regular g)
+
+let build_complete_bipartite () =
+  let g = Build.complete_bipartite 3 4 in
+  Alcotest.(check int) "n" 7 (Csr.n g);
+  Alcotest.(check int) "m" 12 (Csr.edge_count g);
+  Alcotest.(check int) "left degree" 4 (Csr.degree g 0);
+  Alcotest.(check int) "right degree" 3 (Csr.degree g 5);
+  Alcotest.(check bool) "no intra-side edge" false (Csr.has_edge g 0 1);
+  Alcotest.(check bool) "cross edge" true (Csr.has_edge g 0 3)
+
+let build_random_regular () =
+  let rng = Tutil.rng () in
+  let g = Build.random_regular rng ~n:50 ~d:4 in
+  Alcotest.(check (option int)) "regular" (Some 4) (Check.is_regular g);
+  Alcotest.(check int) "m = nd/2" 100 (Csr.edge_count g);
+  Tutil.check_raises_invalid "odd nd" (fun () ->
+      ignore (Build.random_regular rng ~n:5 ~d:3));
+  Tutil.check_raises_invalid "d >= n" (fun () ->
+      ignore (Build.random_regular rng ~n:4 ~d:4))
+
+let build_random_regular_connected_usually () =
+  (* Random 3-regular graphs on 40 vertices are connected w.h.p.; with
+     our fixed seed this is deterministic. *)
+  let rng = Tutil.rng ~seed:99L () in
+  let g = Build.random_regular rng ~n:40 ~d:3 in
+  Alcotest.(check bool) "connected" true (Check.is_connected g)
+
+let build_erdos_renyi_extremes () =
+  let rng = Tutil.rng () in
+  let g0 = Build.erdos_renyi rng ~n:10 ~p:0. in
+  Alcotest.(check int) "p=0 no edges" 0 (Csr.edge_count g0);
+  let g1 = Build.erdos_renyi rng ~n:10 ~p:1. in
+  Alcotest.(check int) "p=1 complete" 45 (Csr.edge_count g1);
+  Tutil.check_raises_invalid "bad p" (fun () ->
+      ignore (Build.erdos_renyi rng ~n:5 ~p:1.5))
+
+let build_erdos_renyi_density () =
+  let rng = Tutil.rng () in
+  let n = 200 and p = 0.1 in
+  let w = Rbb_stats.Welford.create () in
+  for _ = 1 to 20 do
+    let g = Build.erdos_renyi rng ~n ~p in
+    Rbb_stats.Welford.add w (float_of_int (Csr.edge_count g))
+  done;
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  Tutil.check_rel ~tol:0.05 "mean edge count" expected (Rbb_stats.Welford.mean w)
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_connectivity () =
+  let disconnected = Csr.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "disconnected" false (Check.is_connected disconnected);
+  Alcotest.(check bool) "complete connected" true (Check.is_connected (Csr.complete 5))
+
+let check_degree_histogram () =
+  let g = Build.star 5 in
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 4); (4, 1) ]
+    (Check.degree_histogram g)
+
+let check_diameter_bound () =
+  let g = Build.cycle 10 in
+  let d = Check.diameter_upper_bound g in
+  (* Eccentricity of vertex 0 in C_10 is 5; bound is 10 >= diameter 5. *)
+  Alcotest.(check int) "cycle bound" 10 d;
+  Tutil.check_raises_invalid "disconnected" (fun () ->
+      ignore (Check.diameter_upper_bound (Csr.of_edges ~n:4 [ (0, 1) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_handshake =
+  Tutil.prop "sum of degrees = 2m" ~count:60
+    QCheck2.Gen.(pair (int_range 5 60) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int salt) () in
+      let g = Build.erdos_renyi rng ~n ~p:0.2 in
+      let sum = ref 0 in
+      for u = 0 to n - 1 do
+        sum := !sum + Csr.degree g u
+      done;
+      !sum = 2 * Csr.edge_count g)
+
+let prop_cycle_regular =
+  Tutil.prop "cycles are 2-regular and connected" ~count:30
+    QCheck2.Gen.(int_range 3 200)
+    (fun n ->
+      let g = Build.cycle n in
+      Check.is_regular g = Some 2 && Check.is_connected g)
+
+let prop_hypercube_diameter =
+  Tutil.prop "hypercube BFS bound is <= 2d" ~count:8
+    QCheck2.Gen.(int_range 1 8)
+    (fun d ->
+      let g = Build.hypercube d in
+      Check.diameter_upper_bound g = 2 * d)
+
+let suite =
+  [
+    ( "graph.csr",
+      [
+        Tutil.quick "of_edges basic" csr_of_edges_basic;
+        Tutil.quick "rejects bad edges" csr_rejects_bad_edges;
+        Tutil.quick "sorted adjacency" csr_neighbors_sorted_complete_scan;
+        Tutil.quick "complete graph" csr_complete_properties;
+        Tutil.quick "complete neighbor indexing" csr_complete_neighbor_indexing;
+        Tutil.slow "random neighbor law" csr_random_neighbor_law;
+        Tutil.slow "uniform incl. self" csr_random_vertex_including_self;
+        Tutil.quick "isolated vertex" csr_isolated_vertex;
+      ] );
+    ( "graph.build",
+      [
+        Tutil.quick "cycle" build_cycle;
+        Tutil.quick "path" build_path;
+        Tutil.quick "torus" build_torus;
+        Tutil.quick "hypercube" build_hypercube;
+        Tutil.quick "star" build_star;
+        Tutil.quick "complete bipartite" build_complete_bipartite;
+        Tutil.quick "random regular" build_random_regular;
+        Tutil.quick "random regular connected" build_random_regular_connected_usually;
+        Tutil.quick "erdos-renyi extremes" build_erdos_renyi_extremes;
+        Tutil.slow "erdos-renyi density" build_erdos_renyi_density;
+      ] );
+    ( "graph.check",
+      [
+        Tutil.quick "connectivity" check_connectivity;
+        Tutil.quick "degree histogram" check_degree_histogram;
+        Tutil.quick "diameter bound" check_diameter_bound;
+        prop_handshake;
+        prop_cycle_regular;
+        prop_hypercube_diameter;
+      ] );
+  ]

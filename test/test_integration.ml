@@ -1,0 +1,280 @@
+(* Cross-library integration tests: the simulator against the exact
+   chain, the paper's headline claims end to end, and consistency
+   between the three process engines. *)
+
+open Rbb_core
+
+(* ------------------------------------------------------------------ *)
+(* Appendix B by simulation (exact numbers already verified in          *)
+(* test_markov; here the simulated process must agree).                 *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_appendix_b () =
+  (* n = 2 starting from (1,1).  Simulate two rounds tracking arrivals
+     at bin 0 and estimate the three probabilities of Appendix B. *)
+  let rng = Tutil.rng () in
+  let trials = 200_000 in
+  let x1_zero = ref 0 and x2_zero = ref 0 and joint = ref 0 in
+  for _ = 1 to trials do
+    let loads = [| 1; 1 |] in
+    let round () =
+      let arrivals = [| 0; 0 |] in
+      for u = 0 to 1 do
+        if loads.(u) > 0 then begin
+          let v = Rbb_prng.Rng.int_below rng 2 in
+          arrivals.(v) <- arrivals.(v) + 1
+        end
+      done;
+      for u = 0 to 1 do
+        loads.(u) <- (if loads.(u) > 0 then loads.(u) - 1 else 0) + arrivals.(u)
+      done;
+      arrivals.(0)
+    in
+    let a1 = round () in
+    let a2 = round () in
+    if a1 = 0 then incr x1_zero;
+    if a2 = 0 then incr x2_zero;
+    if a1 = 0 && a2 = 0 then incr joint
+  done;
+  let p k = float_of_int !k /. float_of_int trials in
+  Tutil.check_rel ~tol:0.02 "P(X1=0) ~ 1/4" 0.25 (p x1_zero);
+  Tutil.check_rel ~tol:0.02 "P(X2=0) ~ 3/8" 0.375 (p x2_zero);
+  Tutil.check_rel ~tol:0.03 "joint ~ 1/8" 0.125 (p joint);
+  (* The violation itself: joint > product, with margin. *)
+  Alcotest.(check bool) "not negatively associated" true
+    (p joint > p x1_zero *. p x2_zero *. 1.1)
+
+(* ------------------------------------------------------------------ *)
+(* Engines agree in law                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let engines_agree_on_clique_law () =
+  (* Anonymous Process, Token_process and Walks (complete graph) are
+     three implementations of the same Markov chain; their long-run
+     mean max loads must coincide statistically. *)
+  let n = 64 in
+  let rounds = 2000 in
+  let mean_max run =
+    let w = Rbb_stats.Welford.create () in
+    run w;
+    Rbb_stats.Welford.mean w
+  in
+  let process =
+    mean_max (fun w ->
+        let rng = Rbb_prng.Rng.create ~seed:11L () in
+        let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+        for _ = 1 to rounds do
+          Process.step p;
+          Rbb_stats.Welford.add w (float_of_int (Process.max_load p))
+        done)
+  in
+  let token =
+    mean_max (fun w ->
+        let rng = Rbb_prng.Rng.create ~seed:12L () in
+        let t = Token_process.create ~rng ~init:(Config.uniform ~n) () in
+        for _ = 1 to rounds do
+          Token_process.step t;
+          Rbb_stats.Welford.add w (float_of_int (Token_process.max_load t))
+        done)
+  in
+  let walks =
+    mean_max (fun w ->
+        let rng = Rbb_prng.Rng.create ~seed:13L () in
+        let wk =
+          Walks.create ~rng ~graph:(Rbb_graph.Csr.complete n)
+            ~init:(Config.uniform ~n) ()
+        in
+        for _ = 1 to rounds do
+          Walks.step wk;
+          Rbb_stats.Welford.add w (float_of_int (Walks.max_load wk))
+        done)
+  in
+  Tutil.check_rel ~tol:0.1 "token vs anonymous" process token;
+  Tutil.check_rel ~tol:0.1 "walks vs anonymous" process walks
+
+let strategies_agree_on_load_law () =
+  (* Theorem 1 is strategy-oblivious: FIFO / LIFO / random extraction
+     give the same load process in law. *)
+  let n = 64 and rounds = 2000 in
+  let mean_max strategy seed =
+    let rng = Rbb_prng.Rng.create ~seed () in
+    let t = Token_process.create ~strategy ~rng ~init:(Config.uniform ~n) () in
+    let w = Rbb_stats.Welford.create () in
+    for _ = 1 to rounds do
+      Token_process.step t;
+      Rbb_stats.Welford.add w (float_of_int (Token_process.max_load t))
+    done;
+    Rbb_stats.Welford.mean w
+  in
+  let fifo = mean_max Token_process.Fifo 21L in
+  let lifo = mean_max Token_process.Lifo 22L in
+  let rand = mean_max Token_process.Random_ball 23L in
+  Tutil.check_rel ~tol:0.1 "lifo vs fifo" fifo lifo;
+  Tutil.check_rel ~tol:0.1 "random vs fifo" fifo rand
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 end to end via the experiment harness pieces               *)
+(* ------------------------------------------------------------------ *)
+
+let convergence_scales_linearly () =
+  (* Rounds-to-legitimate from the worst start at two sizes: the ratio
+     should scale roughly like the ratio of n (Theorem 1's O(n)); we
+     allow a generous band since constants are small. *)
+  let measure n =
+    let s =
+      Rbb_sim.Replicate.run_floats ~base_seed:5L ~trials:8 (fun rng ->
+          let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
+          match Process.run_until_legitimate p ~max_rounds:(50 * n) with
+          | Some r -> float_of_int r
+          | None -> Alcotest.failf "n=%d did not converge" n)
+    in
+    s.Rbb_stats.Summary.mean
+  in
+  let t1 = measure 128 and t2 = measure 512 in
+  let ratio = t2 /. t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [2, 8] for 4x n" ratio)
+    true
+    (ratio > 2. && ratio < 8.)
+
+let max_load_grows_logarithmically () =
+  (* Running max of M(t) over a 16n window across a geometric ladder of
+     n fits a*log n + b with decent R² and modest slope. *)
+  let points =
+    Array.map
+      (fun n ->
+        let s =
+          Rbb_sim.Replicate.run_floats ~base_seed:17L ~trials:5 (fun rng ->
+              let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+              let worst = ref 0 in
+              for _ = 1 to 16 * n do
+                Process.step p;
+                if Process.max_load p > !worst then worst := Process.max_load p
+              done;
+              float_of_int !worst)
+        in
+        (float_of_int n, s.Rbb_stats.Summary.mean))
+      [| 64; 128; 256; 512 |]
+  in
+  let fit = Rbb_stats.Regression.against ~transform:Float.log points in
+  Alcotest.(check bool)
+    (Printf.sprintf "log fit R2 %.3f > 0.8" fit.r2)
+    true (fit.r2 > 0.8);
+  (* Against a power law, the exponent should be well below 1/2 (the
+     old sqrt(t) bound would predict >= 1/2 growth in n for t ~ n). *)
+  let power = Rbb_stats.Regression.log_log_exponent points in
+  Alcotest.(check bool)
+    (Printf.sprintf "power-law exponent %.3f < 0.35" power.slope)
+    true (power.slope < 0.35)
+
+let cover_time_ratio_is_logarithmic () =
+  (* Corollary 1: parallel cover O(n log² n) vs single-token
+     O(n log n): the per-n ratio should be ~ c log n, so clearly above
+     1 and below log² n. *)
+  let n = 64 in
+  let parallel =
+    Rbb_sim.Replicate.run_floats ~base_seed:29L ~trials:5 (fun rng ->
+        let t =
+          Token_process.create ~track_cover:true ~rng ~init:(Config.uniform ~n) ()
+        in
+        match Token_process.run_until_covered t ~max_rounds:10_000_000 with
+        | Some r -> float_of_int r
+        | None -> Alcotest.fail "parallel cover incomplete")
+  in
+  let single =
+    Rbb_sim.Replicate.run_floats ~base_seed:31L ~trials:5 (fun rng ->
+        match
+          Walks.single_walk_cover_time ~rng ~graph:(Rbb_graph.Csr.complete n)
+            ~start:0 ~max_rounds:10_000_000
+        with
+        | Some r -> float_of_int r
+        | None -> Alcotest.fail "single cover incomplete")
+  in
+  let ratio = parallel.Rbb_stats.Summary.mean /. single.Rbb_stats.Summary.mean in
+  let ln = Float.log (float_of_int n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [1, log^2 n = %.1f]" ratio (ln *. ln))
+    true
+    (ratio >= 1. && ratio <= ln *. ln)
+
+(* ------------------------------------------------------------------ *)
+(* RBB vs baselines                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rbb_vs_jackson_shapes () =
+  (* Both systems keep the max load small, but they are different
+     chains; this test pins the two pipelines together end to end:
+     simulated Jackson time-average within its product-form prediction,
+     and RBB running max within the legitimate band, at the same n. *)
+  let n = 6 in
+  let rng = Tutil.rng () in
+  let j = Rbb_queueing.Jackson.create ~rng ~init:(Config.uniform ~n) () in
+  Rbb_queueing.Jackson.run_events j ~count:200_000;
+  let predicted = Rbb_queueing.Jackson.stationary_max_load_expectation ~n ~m:n in
+  Tutil.check_rel ~tol:0.1 "jackson matches product form" predicted
+    (Rbb_queueing.Jackson.time_average_max_load j);
+  let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+  let worst = ref 0 in
+  for _ = 1 to 10_000 do
+    Process.step p;
+    if Process.max_load p > !worst then worst := Process.max_load p
+  done;
+  Alcotest.(check bool) "rbb max load bounded" true (!worst <= n)
+
+let one_shot_vs_repeated () =
+  (* The repeated process's stationary max load is comparable to (not
+     wildly above) the one-shot max load: both logarithmic in n.  We
+     check the repeated per-round mean max is within 3x one-shot's. *)
+  let n = 256 in
+  let rng = Tutil.rng () in
+  let one_shot =
+    Rbb_stats.Summary.of_array
+      (Rbb_queueing.One_shot.max_load_samples rng ~n ~m:n ~trials:100)
+  in
+  let p = Process.create ~rng ~init:(Config.uniform ~n) () in
+  Process.run p ~rounds:100 (* warm up *);
+  let w = Rbb_stats.Welford.create () in
+  for _ = 1 to 2000 do
+    Process.step p;
+    Rbb_stats.Welford.add w (float_of_int (Process.max_load p))
+  done;
+  let repeated = Rbb_stats.Welford.mean w in
+  Alcotest.(check bool)
+    (Printf.sprintf "repeated %.2f within 3x one-shot %.2f" repeated
+       one_shot.Rbb_stats.Summary.mean)
+    true
+    (repeated < 3. *. one_shot.Rbb_stats.Summary.mean)
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility across the whole stack                               *)
+(* ------------------------------------------------------------------ *)
+
+let full_stack_reproducible () =
+  let run () =
+    let rng = Rbb_prng.Rng.create ~seed:123L () in
+    let t =
+      Token_process.create ~track_cover:true ~rng
+        ~init:(Config.uniform ~n:32) ()
+    in
+    match Token_process.run_until_covered t ~max_rounds:1_000_000 with
+    | Some r -> (r, Token_process.min_progress t)
+    | None -> Alcotest.fail "cover incomplete"
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair int int)) "identical trajectories" a b
+
+let suite =
+  [
+    ( "integration",
+      [
+        Tutil.slow "Appendix B by simulation" simulate_appendix_b;
+        Tutil.slow "engines agree on clique law" engines_agree_on_clique_law;
+        Tutil.slow "strategies agree on load law" strategies_agree_on_load_law;
+        Tutil.slow "convergence scales linearly (Thm 1)" convergence_scales_linearly;
+        Tutil.slow "max load grows logarithmically (Thm 1)" max_load_grows_logarithmically;
+        Tutil.slow "cover-time ratio logarithmic (Cor 1)" cover_time_ratio_is_logarithmic;
+        Tutil.slow "RBB vs Jackson shapes" rbb_vs_jackson_shapes;
+        Tutil.slow "one-shot vs repeated" one_shot_vs_repeated;
+        Tutil.quick "full-stack reproducibility" full_stack_reproducible;
+      ] );
+  ]

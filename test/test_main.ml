@@ -1,0 +1,24 @@
+(* Aggregated test runner: each Test_* module exports its suites. *)
+
+let () =
+  Alcotest.run "rbb"
+    (List.concat
+       [
+         Test_prng.suite;
+         Test_stats.suite;
+         Test_graph.suite;
+         Test_core.suite;
+         Test_markov.suite;
+         Test_queueing.suite;
+         Test_sim.suite;
+         Test_integration.suite;
+         Test_extensions.suite;
+         Test_extensions2.suite;
+         Test_extensions3.suite;
+         Test_model.suite;
+         Test_tools.suite;
+         Test_extensions4.suite;
+         Test_parallel.suite;
+         Test_bench_smoke.suite;
+         Test_extensions5.suite;
+       ])

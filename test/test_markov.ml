@@ -1,0 +1,247 @@
+open Rbb_markov
+
+(* ------------------------------------------------------------------ *)
+(* Compositions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compositions_count_matches_enumeration () =
+  List.iter
+    (fun (total, parts) ->
+      let listed = Compositions.enumerate ~total ~parts in
+      Alcotest.(check int)
+        (Printf.sprintf "count(%d,%d)" total parts)
+        (Compositions.count ~total ~parts)
+        (Array.length listed))
+    [ (0, 1); (0, 4); (3, 1); (2, 2); (4, 3); (5, 5); (6, 4) ]
+
+let compositions_all_valid () =
+  Compositions.iter ~total:5 ~parts:3 (fun c ->
+      Alcotest.(check int) "sums to total" 5 (Array.fold_left ( + ) 0 c);
+      Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0)) c)
+
+let compositions_lexicographic_and_distinct () =
+  let listed = Compositions.enumerate ~total:4 ~parts:3 in
+  Alcotest.(check int) "count C(6,2)" 15 (Array.length listed);
+  for i = 0 to Array.length listed - 2 do
+    Alcotest.(check bool) "strictly increasing" true (listed.(i) < listed.(i + 1))
+  done;
+  Alcotest.(check (array int)) "first" [| 0; 0; 4 |] listed.(0);
+  Alcotest.(check (array int)) "last" [| 4; 0; 0 |] listed.(Array.length listed - 1)
+
+let compositions_binomial_coefficient () =
+  Alcotest.(check int) "C(10,3)" 120 (Compositions.binomial_coefficient 10 3);
+  Alcotest.(check int) "C(5,0)" 1 (Compositions.binomial_coefficient 5 0);
+  Alcotest.(check int) "C(5,5)" 1 (Compositions.binomial_coefficient 5 5);
+  Alcotest.(check int) "C(52,5)" 2598960 (Compositions.binomial_coefficient 52 5);
+  Tutil.check_raises_invalid "k > n" (fun () ->
+      ignore (Compositions.binomial_coefficient 3 4));
+  Tutil.check_raises_invalid "negative" (fun () ->
+      ignore (Compositions.binomial_coefficient (-1) 0))
+
+let compositions_errors () =
+  Tutil.check_raises_invalid "no parts" (fun () ->
+      ignore (Compositions.count ~total:3 ~parts:0));
+  Tutil.check_raises_invalid "negative total" (fun () ->
+      Compositions.iter ~total:(-1) ~parts:2 ignore)
+
+(* ------------------------------------------------------------------ *)
+(* Chain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chain_state_space () =
+  let c = Chain.create ~n:2 ~m:2 in
+  Alcotest.(check int) "3 states" 3 (Chain.num_states c);
+  Alcotest.(check int) "n" 2 (Chain.n c);
+  Alcotest.(check int) "m" 2 (Chain.m c);
+  let idx = Chain.state_index c [| 1; 1 |] in
+  Alcotest.(check (array int)) "roundtrip" [| 1; 1 |] (Chain.config_of_index c idx);
+  Alcotest.check_raises "unknown state" Not_found (fun () ->
+      ignore (Chain.state_index c [| 3; 0 |]))
+
+let chain_transition_probabilities_sum_to_one () =
+  let c = Chain.create ~n:3 ~m:4 in
+  for s = 0 to Chain.num_states c - 1 do
+    let acc = ref 0. in
+    Chain.iter_transitions c s (fun _a p _ns -> acc := !acc +. p);
+    Tutil.check_close ~tol:1e-12 (Printf.sprintf "state %d" s) 1. !acc
+  done
+
+let chain_transitions_conserve_balls () =
+  let c = Chain.create ~n:3 ~m:3 in
+  for s = 0 to Chain.num_states c - 1 do
+    Chain.iter_transitions c s (fun _a _p ns ->
+        let next = Chain.config_of_index c ns in
+        Alcotest.(check int) "balls conserved" 3 (Array.fold_left ( + ) 0 next))
+  done
+
+let chain_exact_one_round_n2 () =
+  (* From (1,1): both balls re-thrown u.a.r.; lands on (0,2) w.p. 1/4,
+     (1,1) w.p. 1/2, (2,0) w.p. 1/4. *)
+  let c = Chain.create ~n:2 ~m:2 in
+  let d = Chain.distribution_at c ~init:[| 1; 1 |] ~rounds:1 in
+  Tutil.check_close ~tol:1e-12 "P(0,2)" 0.25 d.(Chain.state_index c [| 0; 2 |]);
+  Tutil.check_close ~tol:1e-12 "P(1,1)" 0.5 d.(Chain.state_index c [| 1; 1 |]);
+  Tutil.check_close ~tol:1e-12 "P(2,0)" 0.25 d.(Chain.state_index c [| 2; 0 |])
+
+let chain_exact_one_round_from_pile () =
+  (* From (2,0): one ball leaves the pile and lands u.a.r., giving (2,0)
+     or (1,1) with probability 1/2 each. *)
+  let c = Chain.create ~n:2 ~m:2 in
+  let d = Chain.distribution_at c ~init:[| 2; 0 |] ~rounds:1 in
+  Tutil.check_close ~tol:1e-12 "P(2,0)" 0.5 d.(Chain.state_index c [| 2; 0 |]);
+  Tutil.check_close ~tol:1e-12 "P(1,1)" 0.5 d.(Chain.state_index c [| 1; 1 |]);
+  Tutil.check_close ~tol:1e-12 "P(0,2)" 0. d.(Chain.state_index c [| 0; 2 |])
+
+let chain_step_preserves_mass () =
+  let c = Chain.create ~n:4 ~m:4 in
+  let d = Chain.distribution_at c ~init:[| 4; 0; 0; 0 |] ~rounds:6 in
+  Tutil.check_close ~tol:1e-9 "mass 1" 1. (Array.fold_left ( +. ) 0. d)
+
+let chain_stationary_fixed_point () =
+  let c = Chain.create ~n:3 ~m:3 in
+  let pi = Chain.stationary c in
+  let pi' = Chain.step c pi in
+  Alcotest.(check bool) "TV(pi, P pi) tiny" true (Chain.total_variation pi pi' < 1e-9);
+  Tutil.check_close ~tol:1e-9 "normalized" 1. (Array.fold_left ( +. ) 0. pi)
+
+let chain_stationary_symmetry () =
+  (* The dynamics are bin-symmetric, so the stationary probability of a
+     configuration equals that of any permutation of it. *)
+  let c = Chain.create ~n:2 ~m:3 in
+  let pi = Chain.stationary c in
+  Tutil.check_close ~tol:1e-9 "pi(3,0) = pi(0,3)"
+    pi.(Chain.state_index c [| 3; 0 |])
+    pi.(Chain.state_index c [| 0; 3 |]);
+  Tutil.check_close ~tol:1e-9 "pi(2,1) = pi(1,2)"
+    pi.(Chain.state_index c [| 2; 1 |])
+    pi.(Chain.state_index c [| 1; 2 |])
+
+let chain_max_load_pmf () =
+  let c = Chain.create ~n:2 ~m:2 in
+  let d = Chain.distribution_at c ~init:[| 1; 1 |] ~rounds:1 in
+  let pmf = Chain.max_load_pmf c d in
+  Tutil.check_close ~tol:1e-12 "P(M=1)" 0.5 pmf.(1);
+  Tutil.check_close ~tol:1e-12 "P(M=2)" 0.5 pmf.(2);
+  Tutil.check_close ~tol:1e-12 "expected max" 1.5 (Chain.expected_max_load c d)
+
+let chain_refuses_large_space () =
+  Tutil.check_raises_invalid "too many states" (fun () ->
+      ignore (Chain.create ~n:30 ~m:30))
+
+let chain_tv_properties () =
+  let p = [| 0.5; 0.5; 0. |] and q = [| 0.; 0.5; 0.5 |] in
+  Tutil.check_close "TV" 0.5 (Chain.total_variation p q);
+  Tutil.check_close "TV self" 0. (Chain.total_variation p p);
+  Tutil.check_raises_invalid "length mismatch" (fun () ->
+      ignore (Chain.total_variation [| 1. |] [| 0.5; 0.5 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Exact / Appendix B                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let appendix_b_exact_numbers () =
+  let r = Exact.appendix_b () in
+  Tutil.check_close ~tol:1e-12 "P(X1=0) = 1/4" 0.25 r.p_x1_zero;
+  Tutil.check_close ~tol:1e-12 "P(X2=0) = 3/8" 0.375 r.p_x2_zero;
+  Tutil.check_close ~tol:1e-12 "joint = 1/8" 0.125 r.p_joint_zero;
+  Tutil.check_close ~tol:1e-12 "product = 3/32" 0.09375 r.product;
+  Alcotest.(check bool) "counterexample holds" true r.violates_negative_association
+
+let appendix_b_covariance_positive () =
+  let chain = Chain.create ~n:2 ~m:2 in
+  let cov =
+    Exact.covariance_of_zero_indicators chain ~init:[| 1; 1 |] ~bin:0 ~round_a:1
+      ~round_b:2
+  in
+  Tutil.check_close ~tol:1e-12 "cov = 1/8 - 3/32" (1. /. 32.) cov
+
+let prob_zero_sanity () =
+  let chain = Chain.create ~n:2 ~m:2 in
+  (* From (0,2) only bin 1 throws, so bin 0 receives zero in round 1
+     with probability 1/2. *)
+  let p = Exact.prob_zero_arrivals chain ~init:[| 0; 2 |] ~bin:0 ~zero_rounds:[ 1 ] in
+  Tutil.check_close ~tol:1e-12 "single thrower" 0.5 p;
+  (* Empty constraint list: probability 1. *)
+  let p1 = Exact.prob_zero_arrivals chain ~init:[| 1; 1 |] ~bin:0 ~zero_rounds:[] in
+  Tutil.check_close "no constraint" 1. p1
+
+let prob_zero_errors () =
+  let chain = Chain.create ~n:2 ~m:2 in
+  Tutil.check_raises_invalid "bad bin" (fun () ->
+      ignore (Exact.prob_zero_arrivals chain ~init:[| 1; 1 |] ~bin:2 ~zero_rounds:[ 1 ]));
+  Tutil.check_raises_invalid "round 0" (fun () ->
+      ignore (Exact.prob_zero_arrivals chain ~init:[| 1; 1 |] ~bin:0 ~zero_rounds:[ 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator cross-validation (E18 in miniature)                       *)
+(* ------------------------------------------------------------------ *)
+
+let simulator_matches_exact_chain () =
+  let n = 3 and m = 3 and rounds = 4 in
+  let chain = Chain.create ~n ~m in
+  let init = [| 3; 0; 0 |] in
+  let exact = Chain.distribution_at chain ~init ~rounds in
+  let trials = 60_000 in
+  let counts = Array.make (Chain.num_states chain) 0 in
+  let rng = Tutil.rng () in
+  for _ = 1 to trials do
+    let p =
+      Rbb_core.Process.create ~rng ~init:(Rbb_core.Config.of_array init) ()
+    in
+    Rbb_core.Process.run p ~rounds;
+    let s = Chain.state_index chain (Rbb_core.Config.loads (Rbb_core.Process.config p)) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let empirical =
+    Array.map (fun c -> float_of_int c /. float_of_int trials) counts
+  in
+  let tv = Chain.total_variation exact empirical in
+  Alcotest.(check bool)
+    (Printf.sprintf "TV %.4f < 0.01" tv)
+    true (tv < 0.01)
+
+let prop_distribution_rows_normalized =
+  Tutil.prop "distribution_at stays normalized" ~count:20
+    QCheck2.Gen.(triple (int_range 2 4) (int_range 0 5) (int_range 0 6))
+    (fun (n, m, rounds) ->
+      let chain = Chain.create ~n ~m in
+      let init = Array.make n 0 in
+      init.(0) <- m;
+      let d = Chain.distribution_at chain ~init ~rounds in
+      Float.abs (Array.fold_left ( +. ) 0. d -. 1.) < 1e-9)
+
+let suite =
+  [
+    ( "markov.compositions",
+      [
+        Tutil.quick "count = enumeration" compositions_count_matches_enumeration;
+        Tutil.quick "all valid" compositions_all_valid;
+        Tutil.quick "lexicographic" compositions_lexicographic_and_distinct;
+        Tutil.quick "binomial coefficient" compositions_binomial_coefficient;
+        Tutil.quick "errors" compositions_errors;
+      ] );
+    ( "markov.chain",
+      [
+        Tutil.quick "state space" chain_state_space;
+        Tutil.quick "rows sum to 1" chain_transition_probabilities_sum_to_one;
+        Tutil.quick "transitions conserve balls" chain_transitions_conserve_balls;
+        Tutil.quick "exact round from (1,1)" chain_exact_one_round_n2;
+        Tutil.quick "exact round from (2,0)" chain_exact_one_round_from_pile;
+        Tutil.quick "mass preserved" chain_step_preserves_mass;
+        Tutil.quick "stationary fixed point" chain_stationary_fixed_point;
+        Tutil.quick "stationary symmetry" chain_stationary_symmetry;
+        Tutil.quick "max-load pmf" chain_max_load_pmf;
+        Tutil.quick "refuses large space" chain_refuses_large_space;
+        Tutil.quick "total variation" chain_tv_properties;
+        prop_distribution_rows_normalized;
+      ] );
+    ( "markov.exact",
+      [
+        Tutil.quick "Appendix B numbers" appendix_b_exact_numbers;
+        Tutil.quick "positive covariance" appendix_b_covariance_positive;
+        Tutil.quick "prob_zero sanity" prob_zero_sanity;
+        Tutil.quick "prob_zero errors" prob_zero_errors;
+      ] );
+    ( "markov.validation",
+      [ Tutil.slow "simulator matches exact chain" simulator_matches_exact_chain ] );
+  ]

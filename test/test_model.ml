@@ -1,0 +1,330 @@
+(* Model-based property tests: drive each mutable structure with a
+   random operation sequence and compare every observation against a
+   simple purely-functional reference model. *)
+
+open Rbb_core
+
+(* ------------------------------------------------------------------ *)
+(* Int_deque vs list model                                             *)
+(* ------------------------------------------------------------------ *)
+
+type deque_op =
+  | Push_back of int
+  | Pop_front
+  | Pop_back
+  | Swap_remove of int  (* index modulo current length *)
+  | Clear
+  | Check_get of int
+
+let deque_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map (fun v -> Push_back v) (int_range 0 1000));
+        (2, pure Pop_front);
+        (2, pure Pop_back);
+        (1, map (fun i -> Swap_remove i) (int_range 0 100));
+        (1, pure Clear);
+        (2, map (fun i -> Check_get i) (int_range 0 100));
+      ])
+
+(* The model is (front list); operations return (new model, observed
+   value option) and the deque must agree on both. *)
+let apply_model model = function
+  | Push_back v -> (model @ [ v ], None)
+  | Pop_front -> (
+      match model with [] -> (model, None) | x :: rest -> (rest, Some x))
+  | Pop_back -> (
+      match List.rev model with
+      | [] -> (model, None)
+      | x :: rest -> (List.rev rest, Some x))
+  | Swap_remove i ->
+      if model = [] then (model, None)
+      else begin
+        let idx = i mod List.length model in
+        let v = List.nth model idx in
+        (* swap_remove moves the back element into the hole. *)
+        let without_last = List.filteri (fun j _ -> j < List.length model - 1) model in
+        let next =
+          if idx = List.length model - 1 then without_last
+          else
+            List.mapi
+              (fun j x -> if j = idx then List.nth model (List.length model - 1) else x)
+              without_last
+        in
+        (next, Some v)
+      end
+  | Clear -> ([], None)
+  | Check_get i ->
+      if model = [] then (model, None)
+      else (model, Some (List.nth model (i mod List.length model)))
+
+let apply_deque d op =
+  match op with
+  | Push_back v ->
+      Int_deque.push_back d v;
+      None
+  | Pop_front -> if Int_deque.is_empty d then None else Some (Int_deque.pop_front d)
+  | Pop_back -> if Int_deque.is_empty d then None else Some (Int_deque.pop_back d)
+  | Swap_remove i ->
+      if Int_deque.is_empty d then None
+      else Some (Int_deque.swap_remove d (i mod Int_deque.length d))
+  | Clear ->
+      Int_deque.clear d;
+      None
+  | Check_get i ->
+      if Int_deque.is_empty d then None
+      else Some (Int_deque.get d (i mod Int_deque.length d))
+
+let prop_deque_model =
+  Tutil.prop "Int_deque agrees with list model" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 120) deque_op_gen)
+    (fun ops ->
+      let d = Int_deque.create ~capacity:1 () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          let next, expected = apply_model !model op in
+          let actual = apply_deque d op in
+          model := next;
+          expected = actual
+          && Int_deque.length d = List.length !model
+          && Int_deque.to_list d = !model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs bool-array model                                          *)
+(* ------------------------------------------------------------------ *)
+
+type bitset_op = Add of int | Remove of int | Mem of int | Clear_set
+
+let bitset_op_gen size =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map (fun i -> Add (i mod size)) (int_range 0 (size - 1)));
+        (3, map (fun i -> Remove (i mod size)) (int_range 0 (size - 1)));
+        (3, map (fun i -> Mem (i mod size)) (int_range 0 (size - 1)));
+        (1, pure Clear_set);
+      ])
+
+let prop_bitset_model =
+  Tutil.prop "Bitset agrees with bool-array model" ~count:300
+    QCheck2.Gen.(
+      int_range 1 80 >>= fun size ->
+      list_size (int_range 0 200) (bitset_op_gen size) >|= fun ops -> (size, ops))
+    (fun (size, ops) ->
+      let b = Bitset.create size in
+      let model = Array.make size false in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Add i ->
+              Bitset.add b i;
+              model.(i) <- true
+          | Remove i ->
+              Bitset.remove b i;
+              model.(i) <- false
+          | Mem i -> ignore (Bitset.mem b i)
+          | Clear_set ->
+              Bitset.clear b;
+              Array.fill model 0 size false);
+          let model_card =
+            Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 model
+          in
+          Bitset.cardinal b = model_card
+          && Bitset.is_full b = (model_card = size)
+          && Array.for_all Fun.id (Array.init size (fun i -> Bitset.mem b i = model.(i))))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Event_heap vs sorted-association model                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_heap_model =
+  Tutil.prop "Event_heap drains like a sorted list under mixed ops" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 100)
+        (pair (float_bound_inclusive 100.) bool))
+    (fun ops ->
+      (* bool true = insert the float; false = pop-min and check it is
+         the smallest of the model. *)
+      let h = Rbb_queueing.Event_heap.create ~capacity:1 () in
+      let model = ref [] in
+      List.for_all
+        (fun (prio, is_insert) ->
+          if is_insert then begin
+            Rbb_queueing.Event_heap.add h ~priority:prio ();
+            model := prio :: !model;
+            Rbb_queueing.Event_heap.size h = List.length !model
+          end
+          else
+            match (Rbb_queueing.Event_heap.pop_min h, !model) with
+            | None, [] -> true
+            | Some (p, ()), (_ :: _ as m) ->
+                let smallest = List.fold_left Float.min infinity m in
+                let rec remove_one = function
+                  | [] -> []
+                  | x :: rest -> if x = smallest then rest else x :: remove_one rest
+                in
+                model := remove_one m;
+                p = smallest
+            | None, _ :: _ | Some _, [] -> false)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Config invariants over random constructors                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_config_invariants =
+  Tutil.prop "every constructor yields a consistent configuration" ~count:200
+    QCheck2.Gen.(triple (int_range 1 64) (int_range 0 128) (int_range 0 1_000_000))
+    (fun (n, m, salt) ->
+      let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int salt) () in
+      let candidates =
+        [
+          Config.balanced ~n ~m;
+          Config.all_in_one ~n ~m ();
+          Config.random rng ~n ~m;
+        ]
+      in
+      List.for_all
+        (fun q ->
+          Config.balls q = m
+          && Config.n q = n
+          && Config.empty_bins q + Config.nonempty_bins q = n
+          && Config.max_load q <= m
+          && (m = 0 || Config.max_load q >= (m + n - 1) / n))
+        candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Engine cross-agreement on arbitrary configurations                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_walks_process_same_law_inputs =
+  Tutil.prop "Walks on K_n and Process accept the same inputs and conserve" ~count:60
+    QCheck2.Gen.(pair (int_range 2 32) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int salt) () in
+      let init = Config.random rng ~n ~m:n in
+      let p = Process.create ~rng ~init () in
+      let w = Walks.create ~rng ~graph:(Rbb_graph.Csr.complete n) ~init () in
+      Process.run p ~rounds:20;
+      Walks.run w ~rounds:20;
+      let sum c = Array.fold_left ( + ) 0 (Config.unsafe_loads c) in
+      sum (Process.config p) = n && sum (Walks.config w) = n)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted (non-uniform) re-assignment                                *)
+(* ------------------------------------------------------------------ *)
+
+let weighted_uniform_weights_match_plain () =
+  (* All-equal weights must give exactly the uniform law; compare the
+     stationary mean max load of the two modes statistically. *)
+  let n = 64 in
+  let mean_max create_p =
+    let rng = Rbb_prng.Rng.create ~seed:42L () in
+    let p = create_p rng in
+    let w = Rbb_stats.Welford.create () in
+    for _ = 1 to 3000 do
+      Rbb_core.Process.step p;
+      Rbb_stats.Welford.add w (float_of_int (Rbb_core.Process.max_load p))
+    done;
+    Rbb_stats.Welford.mean w
+  in
+  let plain =
+    mean_max (fun rng ->
+        Rbb_core.Process.create ~rng ~init:(Rbb_core.Config.uniform ~n) ())
+  in
+  let weighted =
+    mean_max (fun rng ->
+        Rbb_core.Process.create ~weights:(Array.make n 1.) ~rng
+          ~init:(Rbb_core.Config.uniform ~n) ())
+  in
+  Tutil.check_rel ~tol:0.1 "equal weights = uniform law" plain weighted
+
+let weighted_skew_overloads_hot_bin () =
+  let n = 64 in
+  let rng = Rbb_prng.Rng.create ~seed:43L () in
+  (* Bin 0 attracts 10% of all throws. *)
+  let weights = Array.make n 1. in
+  weights.(0) <- float_of_int n /. 10.;
+  let p =
+    Rbb_core.Process.create ~weights ~rng ~init:(Rbb_core.Config.uniform ~n) ()
+  in
+  Rbb_core.Process.run p ~rounds:(20 * n);
+  Alcotest.(check bool) "hot bin accumulates" true (Rbb_core.Process.load p 0 > 20);
+  (* Conservation still holds. *)
+  Alcotest.(check int) "conserved" n
+    (Array.fold_left ( + ) 0 (Rbb_core.Config.unsafe_loads (Rbb_core.Process.config p)))
+
+let weighted_invalid_combinations () =
+  let rng = Tutil.rng () in
+  Tutil.check_raises_invalid "weights + d_choices" (fun () ->
+      ignore
+        (Rbb_core.Process.create ~d_choices:2 ~weights:[| 1.; 1. |] ~rng
+           ~init:(Rbb_core.Config.uniform ~n:2) ()));
+  Tutil.check_raises_invalid "wrong length" (fun () ->
+      ignore
+        (Rbb_core.Process.create ~weights:[| 1. |] ~rng
+           ~init:(Rbb_core.Config.uniform ~n:2) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chain.expectation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let expectation_consistency () =
+  let chain = Rbb_markov.Chain.create ~n:3 ~m:3 in
+  let pi = Rbb_markov.Chain.stationary chain in
+  (* E[max load] via the generic functional = the dedicated one. *)
+  Tutil.check_close ~tol:1e-12 "max load agrees"
+    (Rbb_markov.Chain.expected_max_load chain pi)
+    (Rbb_markov.Chain.expectation chain pi ~f:(fun q ->
+         float_of_int (Array.fold_left Stdlib.max 0 q)));
+  (* E[total balls] is exactly m. *)
+  Tutil.check_close ~tol:1e-9 "balls conserved in expectation" 3.
+    (Rbb_markov.Chain.expectation chain pi ~f:(fun q ->
+         float_of_int (Array.fold_left ( + ) 0 q)))
+
+let expectation_empty_fraction_matches_simulation () =
+  let n = 4 in
+  let chain = Rbb_markov.Chain.create ~n ~m:n in
+  let pi = Rbb_markov.Chain.stationary chain in
+  let exact =
+    Rbb_markov.Chain.expectation chain pi ~f:(fun q ->
+        float_of_int (Array.fold_left (fun a x -> if x = 0 then a + 1 else a) 0 q)
+        /. float_of_int n)
+  in
+  let rng = Tutil.rng () in
+  let p = Rbb_core.Process.create ~rng ~init:(Rbb_core.Config.uniform ~n) () in
+  Rbb_core.Process.run p ~rounds:200;
+  let w = Rbb_stats.Welford.create () in
+  for _ = 1 to 100_000 do
+    Rbb_core.Process.step p;
+    Rbb_stats.Welford.add w
+      (float_of_int (Rbb_core.Process.empty_bins p) /. float_of_int n)
+  done;
+  Tutil.check_rel ~tol:0.02 "stationary empty fraction" exact (Rbb_stats.Welford.mean w)
+
+let suite =
+  [
+    ( "model",
+      [
+        prop_deque_model;
+        prop_bitset_model;
+        prop_heap_model;
+        prop_config_invariants;
+        prop_walks_process_same_law_inputs;
+      ] );
+    ( "core.weighted",
+      [
+        Tutil.slow "equal weights = uniform" weighted_uniform_weights_match_plain;
+        Tutil.quick "skew overloads" weighted_skew_overloads_hot_bin;
+        Tutil.quick "invalid combinations" weighted_invalid_combinations;
+      ] );
+    ( "markov.expectation",
+      [
+        Tutil.quick "functional consistency" expectation_consistency;
+        Tutil.slow "empty fraction matches simulation" expectation_empty_fraction_matches_simulation;
+      ] );
+  ]

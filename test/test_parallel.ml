@@ -1,0 +1,79 @@
+(* Tests for the domain-parallel replication runner and the bench
+   harness smoke run. *)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_matches_sequential () =
+  let f rng = Rbb_prng.Rng.int_below rng 1_000_000 in
+  let seq = Rbb_sim.Replicate.run ~base_seed:5L ~trials:40 f in
+  let par = Rbb_sim.Parallel.run ~domains:4 ~base_seed:5L ~trials:40 f in
+  Alcotest.(check (array int)) "identical results" seq par
+
+let parallel_single_domain () =
+  let f rng = Rbb_prng.Rng.float_unit rng in
+  let a = Rbb_sim.Parallel.run ~domains:1 ~base_seed:6L ~trials:10 f in
+  let b = Rbb_sim.Replicate.run ~base_seed:6L ~trials:10 f in
+  Alcotest.(check (array (float 0.))) "one domain = sequential" b a
+
+let parallel_domain_count_does_not_matter () =
+  let f rng = Rbb_prng.Rng.int_below rng 997 in
+  let one = Rbb_sim.Parallel.run ~domains:1 ~base_seed:7L ~trials:23 f in
+  let many = Rbb_sim.Parallel.run ~domains:8 ~base_seed:7L ~trials:23 f in
+  Alcotest.(check (array int)) "domain count irrelevant" one many
+
+let parallel_edge_cases () =
+  let f _ = 1 in
+  Alcotest.(check (array int)) "zero trials" [||]
+    (Rbb_sim.Parallel.run ~domains:4 ~base_seed:1L ~trials:0 f);
+  Alcotest.(check (array int)) "more domains than trials" [| 1; 1 |]
+    (Rbb_sim.Parallel.run ~domains:16 ~base_seed:1L ~trials:2 f);
+  Tutil.check_raises_invalid "zero domains" (fun () ->
+      ignore (Rbb_sim.Parallel.run ~domains:0 ~base_seed:1L ~trials:1 f));
+  Alcotest.(check bool) "default domains >= 1" true
+    (Rbb_sim.Parallel.default_domains () >= 1)
+
+let parallel_propagates_exceptions () =
+  match
+    Rbb_sim.Parallel.run ~domains:2 ~base_seed:1L ~trials:8 (fun _ ->
+        failwith "boom")
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+
+let parallel_runs_simulations () =
+  (* End to end: the E2 measurement parallelized, same summary as the
+     sequential harness. *)
+  let measure run =
+    let s =
+      run (fun rng ->
+          let p =
+            Rbb_core.Process.create ~rng
+              ~init:(Rbb_core.Config.all_in_one ~n:128 ~m:128 ())
+              ()
+          in
+          match Rbb_core.Process.run_until_legitimate p ~max_rounds:5000 with
+          | Some r -> float_of_int r
+          | None -> Alcotest.fail "no convergence")
+    in
+    s.Rbb_stats.Summary.mean
+  in
+  let seq = measure (fun f -> Rbb_sim.Replicate.run_floats ~base_seed:11L ~trials:8 f) in
+  let par =
+    measure (fun f -> Rbb_sim.Parallel.run_floats ~domains:4 ~base_seed:11L ~trials:8 f)
+  in
+  Tutil.check_close "identical means" seq par
+
+let suite =
+  [
+    ( "sim.parallel",
+      [
+        Tutil.quick "matches sequential" parallel_matches_sequential;
+        Tutil.quick "single domain" parallel_single_domain;
+        Tutil.quick "domain count irrelevant" parallel_domain_count_does_not_matter;
+        Tutil.quick "edge cases" parallel_edge_cases;
+        Tutil.quick "exception propagation" parallel_propagates_exceptions;
+        Tutil.slow "parallel simulation" parallel_runs_simulations;
+      ] );
+  ]

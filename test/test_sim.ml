@@ -1,0 +1,170 @@
+open Rbb_sim
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_renders_aligned () =
+  let t = Table.create ~headers:[ "n"; "max load" ] in
+  Table.add_row t [ "128"; "9" ];
+  Table.add_row t [ "1024"; "12" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "n");
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check bool) "rule is dashes" true (String.for_all (( = ) '-') rule);
+      Alcotest.(check int) "rule spans header" (String.length header) (String.length rule)
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.(check bool) "rows present" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '1') lines)
+
+let table_caption_and_rows_in_order () =
+  let t = Table.create ~headers:[ "a" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let s = Table.render ~caption:"CAP" t in
+  Alcotest.(check bool) "caption leads" true (String.sub s 0 3 = "CAP");
+  let first_pos = Tutil.find_substring s "first" in
+  let second_pos = Tutil.find_substring s "second" in
+  Alcotest.(check bool) "both present" true (first_pos >= 0 && second_pos >= 0);
+  Alcotest.(check bool) "insertion order" true (first_pos < second_pos)
+
+let table_arity_error () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Tutil.check_raises_invalid "wrong arity" (fun () -> Table.add_row t [ "only one" ])
+
+let table_float_row_and_cells () =
+  let t = Table.create ~headers:[ "x"; "y" ] in
+  Table.add_float_row t ~fmt:"%.3f" [ 1.5; 2.25 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "formatted" true (Tutil.contains_substring s "1.500");
+  Alcotest.(check string) "cell_int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "cell_float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "cell_bool" "yes" (Table.cell_bool true)
+
+(* ------------------------------------------------------------------ *)
+(* Csv                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let csv_document () =
+  let s = Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,\"4,5\"\n" s
+
+let csv_write_file () =
+  let path = Filename.temp_file "rbb_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file content" "a\n1\n2\n" content)
+
+(* ------------------------------------------------------------------ *)
+(* Replicate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let replicate_deterministic () =
+  let a = Replicate.seeds ~base:1L ~count:5 in
+  let b = Replicate.seeds ~base:1L ~count:5 in
+  Alcotest.(check (array int64)) "same seeds" a b;
+  let c = Replicate.seeds ~base:2L ~count:5 in
+  Alcotest.(check bool) "different base differs" true (a <> c);
+  let distinct = Hashtbl.create 8 in
+  Array.iter (fun s -> Hashtbl.replace distinct s ()) a;
+  Alcotest.(check int) "seeds distinct" 5 (Hashtbl.length distinct)
+
+let replicate_run_count_and_reproducibility () =
+  let f rng = Rbb_prng.Rng.int_below rng 1000 in
+  let r1 = Replicate.run ~base_seed:7L ~trials:10 f in
+  let r2 = Replicate.run ~base_seed:7L ~trials:10 f in
+  Alcotest.(check int) "count" 10 (Array.length r1);
+  Alcotest.(check (array int)) "reproducible" r1 r2
+
+let replicate_floats_summary () =
+  let s =
+    Replicate.run_floats ~base_seed:3L ~trials:50 (fun rng ->
+        Rbb_prng.Rng.float_unit rng)
+  in
+  Alcotest.(check int) "n" 50 s.n;
+  Alcotest.(check bool) "mean plausible" true (s.mean > 0.3 && s.mean < 0.7)
+
+let replicate_fraction () =
+  let f = Replicate.fraction ~base_seed:3L ~trials:400 (fun rng -> Rbb_prng.Rng.bool rng) in
+  Alcotest.(check bool) "fraction in [0,1]" true (f >= 0. && f <= 1.);
+  Tutil.check_rel ~tol:0.15 "fair coin" 0.5 f;
+  let all = Replicate.fraction ~base_seed:3L ~trials:10 (fun _ -> true) in
+  Tutil.check_close "always true" 1. all
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_fixture hits =
+  [
+    Experiment.make ~id:"e1" ~title:"one" ~claim:"c1" (fun ~quick:_ ->
+        hits := "e1" :: !hits);
+    Experiment.make ~id:"e2" ~title:"two" ~claim:"c2" (fun ~quick:_ ->
+        hits := "e2" :: !hits);
+  ]
+
+let experiment_find () =
+  let hits = ref [] in
+  let es = experiments_fixture hits in
+  (match Experiment.find es "E1" with
+  | Some e -> Alcotest.(check string) "case-insensitive find" "e1" e.id
+  | None -> Alcotest.fail "find failed");
+  Alcotest.(check bool) "missing id" true (Experiment.find es "zzz" = None)
+
+let experiment_run_selected () =
+  let hits = ref [] in
+  let es = experiments_fixture hits in
+  Experiment.run_selected es ~ids:[ "e2"; "e1" ] ~quick:true;
+  Alcotest.(check (list string)) "ran in order" [ "e2"; "e1" ] (List.rev !hits);
+  Tutil.check_raises_invalid "unknown id" (fun () ->
+      Experiment.run_selected es ~ids:[ "nope" ] ~quick:true)
+
+let experiment_run_all () =
+  let hits = ref [] in
+  let es = experiments_fixture hits in
+  Experiment.run_all es ~quick:false;
+  Alcotest.(check int) "all ran" 2 (List.length !hits)
+
+let suite =
+  [
+    ( "sim.table",
+      [
+        Tutil.quick "aligned render" table_renders_aligned;
+        Tutil.quick "caption/order" table_caption_and_rows_in_order;
+        Tutil.quick "arity error" table_arity_error;
+        Tutil.quick "float rows and cells" table_float_row_and_cells;
+      ] );
+    ( "sim.csv",
+      [
+        Tutil.quick "escaping" csv_escaping;
+        Tutil.quick "document" csv_document;
+        Tutil.quick "write file" csv_write_file;
+      ] );
+    ( "sim.replicate",
+      [
+        Tutil.quick "deterministic seeds" replicate_deterministic;
+        Tutil.quick "run reproducible" replicate_run_count_and_reproducibility;
+        Tutil.quick "floats summary" replicate_floats_summary;
+        Tutil.quick "fraction" replicate_fraction;
+      ] );
+    ( "sim.experiment",
+      [
+        Tutil.quick "find" experiment_find;
+        Tutil.quick "run_selected" experiment_run_selected;
+        Tutil.quick "run_all" experiment_run_all;
+      ] );
+  ]

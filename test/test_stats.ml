@@ -1,0 +1,379 @@
+open Rbb_stats
+
+(* ------------------------------------------------------------------ *)
+(* Kahan                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kahan_basic () =
+  let k = Kahan.create () in
+  Kahan.add k 1.;
+  Kahan.add k 2.;
+  Kahan.add k 3.;
+  Tutil.check_close "sum" 6. (Kahan.sum k);
+  Alcotest.(check int) "count" 3 (Kahan.count k);
+  Tutil.check_close "mean" 2. (Kahan.mean k)
+
+let kahan_compensation () =
+  (* 1 + 1e-16 added 10^7 times: naive summation in doubles loses the
+     small terms entirely; compensated summation keeps them. *)
+  let k = Kahan.create () in
+  Kahan.add k 1.;
+  for _ = 1 to 10_000_000 do
+    Kahan.add k 1e-16
+  done;
+  Tutil.check_close ~tol:1e-12 "compensated" (1. +. 1e-9) (Kahan.sum k)
+
+let kahan_empty () =
+  let k = Kahan.create () in
+  Tutil.check_close "empty sum" 0. (Kahan.sum k);
+  Tutil.check_close "empty mean" 0. (Kahan.mean k)
+
+let kahan_sum_array () =
+  Tutil.check_close "array" 10. (Kahan.sum_array [| 1.; 2.; 3.; 4. |])
+
+(* ------------------------------------------------------------------ *)
+(* Welford                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let welford_known_values () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Tutil.check_close "mean" 5. (Welford.mean w);
+  (* Sample variance of this classic data set is 32/7. *)
+  Tutil.check_close ~tol:1e-9 "variance" (32. /. 7.) (Welford.variance w);
+  Tutil.check_close "min" 2. (Welford.min w);
+  Tutil.check_close "max" 9. (Welford.max w);
+  Alcotest.(check int) "count" 8 (Welford.count w)
+
+let welford_empty_and_single () =
+  let w = Welford.create () in
+  Tutil.check_close "empty mean" 0. (Welford.mean w);
+  Tutil.check_close "empty variance" 0. (Welford.variance w);
+  Welford.add w 42.;
+  Tutil.check_close "single mean" 42. (Welford.mean w);
+  Tutil.check_close "single variance" 0. (Welford.variance w);
+  Tutil.check_close "single stderr" 0. (Welford.std_error w)
+
+let welford_merge_equals_concat () =
+  let g = Tutil.rng () in
+  let a = Welford.create () and b = Welford.create () and whole = Welford.create () in
+  for i = 1 to 1000 do
+    let x = Rbb_prng.Rng.float_unit g *. 10. in
+    Welford.add whole x;
+    if i <= 400 then Welford.add a x else Welford.add b x
+  done;
+  let merged = Welford.merge a b in
+  Alcotest.(check int) "count" (Welford.count whole) (Welford.count merged);
+  Tutil.check_close ~tol:1e-9 "mean" (Welford.mean whole) (Welford.mean merged);
+  Tutil.check_close ~tol:1e-7 "variance" (Welford.variance whole) (Welford.variance merged);
+  Tutil.check_close "min" (Welford.min whole) (Welford.min merged);
+  Tutil.check_close "max" (Welford.max whole) (Welford.max merged)
+
+let welford_merge_with_empty () =
+  let a = Welford.create () in
+  Welford.add a 1.;
+  Welford.add a 3.;
+  let e = Welford.create () in
+  let m1 = Welford.merge a e and m2 = Welford.merge e a in
+  Tutil.check_close "merge right empty" 2. (Welford.mean m1);
+  Tutil.check_close "merge left empty" 2. (Welford.mean m2)
+
+let welford_numerical_stability () =
+  (* Large offset: naive sum-of-squares would lose the variance. *)
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 1e9 +. 4.; 1e9 +. 7.; 1e9 +. 13.; 1e9 +. 16. ];
+  Tutil.check_close ~tol:1e-6 "variance at offset" 30. (Welford.variance w)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let int_hist_basic () =
+  let open Histogram.Int_hist in
+  let h = create () in
+  add h 3;
+  add h 3;
+  add h 0;
+  add_many h 7 5;
+  Alcotest.(check int) "count 3" 2 (count h 3);
+  Alcotest.(check int) "count 0" 1 (count h 0);
+  Alcotest.(check int) "count 7" 5 (count h 7);
+  Alcotest.(check int) "count unseen" 0 (count h 5);
+  Alcotest.(check int) "total" 8 (total h);
+  Alcotest.(check int) "max value" 7 (max_value h);
+  Tutil.check_close "mean" ((3. +. 3. +. 0. +. 35.) /. 8.) (mean h);
+  Alcotest.(check (list (pair int int))) "to_list" [ (0, 1); (3, 2); (7, 5) ] (to_list h)
+
+let int_hist_fraction_at_least () =
+  let open Histogram.Int_hist in
+  let h = create () in
+  add_many h 1 6;
+  add_many h 5 4;
+  Tutil.check_close "P(X>=0)" 1. (fraction_at_least h 0);
+  Tutil.check_close "P(X>=2)" 0.4 (fraction_at_least h 2);
+  Tutil.check_close "P(X>=6)" 0. (fraction_at_least h 6)
+
+let int_hist_growth_and_errors () =
+  let open Histogram.Int_hist in
+  let h = create ~initial_capacity:1 () in
+  add h 1000;
+  Alcotest.(check int) "grown" 1 (count h 1000);
+  Tutil.check_raises_invalid "negative value" (fun () -> add h (-1));
+  Tutil.check_raises_invalid "negative count" (fun () -> add_many h 1 (-2));
+  Alcotest.(check int) "empty max" (-1) (max_value (create ()))
+
+let float_hist_buckets () =
+  let open Histogram.Float_hist in
+  let h = create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (add h) [ 0.5; 1.5; 1.7; 9.99; -1.; 10.; 11. ];
+  Alcotest.(check int) "bucket 0" 1 (bucket_count h 0);
+  Alcotest.(check int) "bucket 1" 2 (bucket_count h 1);
+  Alcotest.(check int) "bucket 9" 1 (bucket_count h 9);
+  Alcotest.(check int) "underflow" 1 (underflow h);
+  Alcotest.(check int) "overflow" 2 (overflow h);
+  Alcotest.(check int) "total" 7 (total h);
+  let lo, hi = bucket_bounds h 3 in
+  Tutil.check_close "bounds lo" 3. lo;
+  Tutil.check_close "bounds hi" 4. hi
+
+let float_hist_quantile () =
+  let open Histogram.Float_hist in
+  let h = create ~lo:0. ~hi:1. ~buckets:100 in
+  let g = Tutil.rng () in
+  for _ = 1 to 100_000 do
+    add h (Rbb_prng.Rng.float_unit g)
+  done;
+  Tutil.check_rel ~tol:0.05 "median of uniform" 0.5 (quantile h 0.5);
+  Tutil.check_rel ~tol:0.05 "q90 of uniform" 0.9 (quantile h 0.9);
+  Tutil.check_raises_invalid "bad q" (fun () -> ignore (quantile h 1.5));
+  Tutil.check_raises_invalid "empty" (fun () ->
+      ignore (quantile (create ~lo:0. ~hi:1. ~buckets:2) 0.5))
+
+let float_hist_invalid () =
+  Tutil.check_raises_invalid "hi <= lo" (fun () ->
+      ignore (Histogram.Float_hist.create ~lo:1. ~hi:1. ~buckets:4));
+  Tutil.check_raises_invalid "no buckets" (fun () ->
+      ignore (Histogram.Float_hist.create ~lo:0. ~hi:1. ~buckets:0))
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let quantile_exact_values () =
+  let s = [| 1.; 2.; 3.; 4. |] in
+  Tutil.check_close "q0" 1. (Quantile.quantile s 0.);
+  Tutil.check_close "q1" 4. (Quantile.quantile s 1.);
+  Tutil.check_close "median" 2.5 (Quantile.median s);
+  (* Type-7 at q=0.25 over 4 points: h = 0.75 -> 1 + 0.75*(2-1). *)
+  Tutil.check_close "q25" 1.75 (Quantile.quantile s 0.25)
+
+let quantile_single_and_unsorted () =
+  Tutil.check_close "singleton" 5. (Quantile.quantile [| 5. |] 0.7);
+  Tutil.check_close "unsorted median" 3. (Quantile.median [| 5.; 1.; 3. |])
+
+let quantile_errors () =
+  Tutil.check_raises_invalid "empty" (fun () -> ignore (Quantile.quantile [||] 0.5));
+  Tutil.check_raises_invalid "q out of range" (fun () ->
+      ignore (Quantile.quantile [| 1. |] 1.5))
+
+let quantile_iqr () =
+  let s = Array.init 101 float_of_int in
+  Tutil.check_close "iqr of 0..100" 50. (Quantile.iqr s);
+  match Quantile.quantiles s [ 0.25; 0.5; 0.75 ] with
+  | [ a; b; c ] ->
+      Tutil.check_close "q25" 25. a;
+      Tutil.check_close "q50" 50. b;
+      Tutil.check_close "q75" 75. c
+  | _ -> Alcotest.fail "wrong arity"
+
+let quantile_does_not_mutate () =
+  let s = [| 3.; 1.; 2. |] in
+  ignore (Quantile.median s);
+  Alcotest.(check (array (float 0.))) "input unchanged" [| 3.; 1.; 2. |] s
+
+(* ------------------------------------------------------------------ *)
+(* Regression                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let regression_exact_line () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (3. *. float_of_int i) +. 2.)) in
+  let f = Regression.linear points in
+  Tutil.check_close ~tol:1e-9 "slope" 3. f.slope;
+  Tutil.check_close ~tol:1e-9 "intercept" 2. f.intercept;
+  Tutil.check_close ~tol:1e-9 "r2" 1. f.r2
+
+let regression_noise_reduces_r2 () =
+  let g = Tutil.rng () in
+  let points =
+    Array.init 200 (fun i ->
+        let x = float_of_int i in
+        (x, x +. (100. *. (Rbb_prng.Rng.float_unit g -. 0.5))))
+  in
+  let f = Regression.linear points in
+  Alcotest.(check bool) "r2 below 1" true (f.r2 < 0.999);
+  Alcotest.(check bool) "r2 positive" true (f.r2 > 0.5);
+  Tutil.check_rel ~tol:0.15 "slope near 1" 1. f.slope
+
+let regression_log_law () =
+  (* y = 5 ln x + 1 recovered by ~transform:log. *)
+  let points =
+    Array.init 20 (fun i ->
+        let x = float_of_int (i + 2) in
+        (x, (5. *. Float.log x) +. 1.))
+  in
+  let f = Regression.against ~transform:Float.log points in
+  Tutil.check_close ~tol:1e-9 "slope" 5. f.slope;
+  Tutil.check_close ~tol:1e-9 "intercept" 1. f.intercept
+
+let regression_power_law_exponent () =
+  (* y = 2 x^1.5: slope of the log-log fit is the exponent. *)
+  let points =
+    Array.init 20 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, 2. *. (x ** 1.5)))
+  in
+  let f = Regression.log_log_exponent points in
+  Tutil.check_close ~tol:1e-9 "exponent" 1.5 f.slope
+
+let regression_errors () =
+  Tutil.check_raises_invalid "one point" (fun () ->
+      ignore (Regression.linear [| (1., 1.) |]));
+  Tutil.check_raises_invalid "degenerate x" (fun () ->
+      ignore (Regression.linear [| (1., 1.); (1., 2.) |]));
+  Tutil.check_raises_invalid "log-log with zero" (fun () ->
+      ignore (Regression.log_log_exponent [| (0., 1.); (1., 2.) |]))
+
+let regression_constant_y () =
+  let f = Regression.linear [| (1., 7.); (2., 7.); (3., 7.) |] in
+  Tutil.check_close "slope 0" 0. f.slope;
+  Tutil.check_close "intercept 7" 7. f.intercept;
+  Tutil.check_close "r2 of constant" 1. f.r2
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let summary_basic () =
+  let s = Summary.of_array [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "n" 5 s.n;
+  Tutil.check_close "mean" 3. s.mean;
+  Tutil.check_close "median" 3. s.median;
+  Tutil.check_close "min" 1. s.min;
+  Tutil.check_close "max" 5. s.max;
+  Alcotest.(check bool) "ci contains mean" true
+    (s.ci95_low <= s.mean && s.mean <= s.ci95_high)
+
+let summary_ci_width_shrinks () =
+  let g = Tutil.rng () in
+  let sample k = Array.init k (fun _ -> Rbb_prng.Rng.float_unit g) in
+  let s_small = Summary.of_array (sample 10) in
+  let s_big = Summary.of_array (sample 10_000) in
+  Alcotest.(check bool) "wider CI with fewer samples" true
+    (s_small.ci95_high -. s_small.ci95_low > s_big.ci95_high -. s_big.ci95_low)
+
+let summary_single_sample () =
+  let s = Summary.of_array [| 42. |] in
+  Tutil.check_close "mean" 42. s.mean;
+  Tutil.check_close "degenerate CI low" 42. s.ci95_low;
+  Tutil.check_close "degenerate CI high" 42. s.ci95_high
+
+let summary_t_table () =
+  Tutil.check_close ~tol:1e-3 "df=1" 12.706 (Summary.t_critical_95 1);
+  Tutil.check_close ~tol:1e-3 "df=10" 2.228 (Summary.t_critical_95 10);
+  Tutil.check_close ~tol:1e-3 "df large" 1.96 (Summary.t_critical_95 1000);
+  Tutil.check_raises_invalid "df=0" (fun () -> ignore (Summary.t_critical_95 0))
+
+let summary_empty () =
+  Tutil.check_raises_invalid "empty" (fun () -> ignore (Summary.of_array [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_welford_matches_naive =
+  Tutil.prop "welford mean/var match two-pass" ~count:100
+    QCheck2.Gen.(list_size (int_range 2 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let w = Welford.create () in
+      Array.iter (Welford.add w) a;
+      let n = float_of_int (Array.length a) in
+      let mean = Array.fold_left ( +. ) 0. a /. n in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a /. (n -. 1.)
+      in
+      Float.abs (Welford.mean w -. mean) < 1e-6
+      && Float.abs (Welford.variance w -. var) < 1e-6)
+
+let prop_quantile_monotone =
+  Tutil.prop "quantiles are monotone in q" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let q1 = Quantile.quantile a 0.2
+      and q2 = Quantile.quantile a 0.5
+      and q3 = Quantile.quantile a 0.8 in
+      q1 <= q2 && q2 <= q3)
+
+let prop_summary_bounds =
+  Tutil.prop "summary min <= median <= max" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 60) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      s.min <= s.median && s.median <= s.max && s.min <= s.mean && s.mean <= s.max)
+
+let suite =
+  [
+    ( "stats.kahan",
+      [
+        Tutil.quick "basic" kahan_basic;
+        Tutil.slow "compensation" kahan_compensation;
+        Tutil.quick "empty" kahan_empty;
+        Tutil.quick "sum_array" kahan_sum_array;
+      ] );
+    ( "stats.welford",
+      [
+        Tutil.quick "known values" welford_known_values;
+        Tutil.quick "empty and single" welford_empty_and_single;
+        Tutil.quick "merge = concat" welford_merge_equals_concat;
+        Tutil.quick "merge with empty" welford_merge_with_empty;
+        Tutil.quick "numerical stability" welford_numerical_stability;
+        prop_welford_matches_naive;
+      ] );
+    ( "stats.histogram",
+      [
+        Tutil.quick "int basic" int_hist_basic;
+        Tutil.quick "int fraction_at_least" int_hist_fraction_at_least;
+        Tutil.quick "int growth/errors" int_hist_growth_and_errors;
+        Tutil.quick "float buckets" float_hist_buckets;
+        Tutil.slow "float quantile" float_hist_quantile;
+        Tutil.quick "float invalid" float_hist_invalid;
+      ] );
+    ( "stats.quantile",
+      [
+        Tutil.quick "exact values" quantile_exact_values;
+        Tutil.quick "single/unsorted" quantile_single_and_unsorted;
+        Tutil.quick "errors" quantile_errors;
+        Tutil.quick "iqr" quantile_iqr;
+        Tutil.quick "no mutation" quantile_does_not_mutate;
+        prop_quantile_monotone;
+      ] );
+    ( "stats.regression",
+      [
+        Tutil.quick "exact line" regression_exact_line;
+        Tutil.quick "noisy line" regression_noise_reduces_r2;
+        Tutil.quick "log law" regression_log_law;
+        Tutil.quick "power-law exponent" regression_power_law_exponent;
+        Tutil.quick "errors" regression_errors;
+        Tutil.quick "constant y" regression_constant_y;
+      ] );
+    ( "stats.summary",
+      [
+        Tutil.quick "basic" summary_basic;
+        Tutil.slow "CI width shrinks" summary_ci_width_shrinks;
+        Tutil.quick "single sample" summary_single_sample;
+        Tutil.quick "t table" summary_t_table;
+        Tutil.quick "empty" summary_empty;
+        prop_summary_bounds;
+      ] );
+  ]
