@@ -5,6 +5,8 @@
      main.exe quick           run everything at smoke-test sizes
      main.exe e1 e4 ...       run selected experiments (full size)
      main.exe micro           run only the Bechamel kernel benchmarks
+     main.exe speedup         sequential vs sharded engine wall-clock
+                              comparison (emits BENCH_sharded_speedup.json)
      main.exe list            list experiment ids and claims
 
    Every experiment id maps to a row of the per-experiment index in
@@ -20,7 +22,8 @@ let list_experiments () =
     (fun (e : Rbb_sim.Experiment.t) ->
       Printf.printf "  %-4s %s\n       %s\n" e.id e.title e.claim)
     experiments;
-  print_endline "  micro  Bechamel kernel benchmarks"
+  print_endline "  micro  Bechamel kernel benchmarks";
+  print_endline "  speedup  sequential vs sharded wall-clock comparison"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -29,6 +32,7 @@ let () =
   match args with
   | [ "list" ] -> list_experiments ()
   | [ "micro" ] -> Micro.run ()
+  | [ "speedup" ] -> Speedup.run ~quick ()
   | [] ->
       Printf.printf
         "Repeated balls-into-bins: full experiment suite%s (use 'list' for ids)\n"

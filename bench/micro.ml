@@ -54,6 +54,16 @@ let binomial_draw_test () =
   Test.make ~name:"binomial_table_draw"
     (Staged.stage (fun () -> ignore (Rbb_prng.Sampler.Binomial_table.draw table rng)))
 
+let sharded_step_test ~domains =
+  let n = 16_384 in
+  let rng = Rbb_prng.Rng.create ~seed:10L () in
+  let p =
+    Rbb_sim.Sharded.create ~shards:4 ~domains ~rng ~init:(Config.uniform ~n) ()
+  in
+  Test.make
+    ~name:(Printf.sprintf "sharded_step w=%d n=%d" domains n)
+    (Staged.stage (fun () -> Rbb_sim.Sharded.step p))
+
 let rng_draw_test () =
   let rng = Rbb_prng.Rng.create ~seed:7L () in
   Test.make ~name:"rng_int_below 1024"
@@ -76,6 +86,8 @@ let tests () =
   [
     process_step_test ~d:1;
     process_step_test ~d:2;
+    sharded_step_test ~domains:1;
+    sharded_step_test ~domains:2;
     token_step_test ~strategy:Token_process.Fifo ~name:"fifo";
     token_step_test ~strategy:Token_process.Random_ball ~name:"random";
     tetris_step_test ();

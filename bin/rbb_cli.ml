@@ -51,19 +51,38 @@ let make_init name rng ~n ~m =
 
 (* simulate ----------------------------------------------------------- *)
 
-let simulate n rounds seed init_name d report_every =
+let simulate n rounds seed init_name d shards domains report_every =
+  if shards < 1 then invalid_arg "simulate: --shards must be at least 1";
+  if domains < 1 then invalid_arg "simulate: --domains must be at least 1";
   let rng = rng_of_seed seed in
   let init = make_init init_name rng ~n ~m:n in
-  let p = Process.create ~d_choices:d ~rng ~init () in
   let metrics = Metrics.create ~n in
-  for r = 1 to rounds do
-    Process.step p;
-    Metrics.observe_process metrics p;
+  let observe r ~max_load ~empty_bins =
+    Metrics.observe metrics ~max_load ~empty_bins;
     if report_every > 0 && r mod report_every = 0 then
-      Printf.printf "round %8d: max load %3d, empty bins %d (%.3f)\n" r
-        (Process.max_load p) (Process.empty_bins p)
-        (fi (Process.empty_bins p) /. fi n)
-  done;
+      Printf.printf "round %8d: max load %3d, empty bins %d (%.3f)\n" r max_load
+        empty_bins
+        (fi empty_bins /. fi n)
+  in
+  (* Both engines implement the same randomness law, so the output below
+     is identical whichever one runs; sharding only changes wall-clock
+     time. *)
+  if shards > 1 || domains > 1 then begin
+    let p = Rbb_sim.Sharded.create ~d_choices:d ~shards ~domains ~rng ~init () in
+    for r = 1 to rounds do
+      Rbb_sim.Sharded.step p;
+      observe r ~max_load:(Rbb_sim.Sharded.max_load p)
+        ~empty_bins:(Rbb_sim.Sharded.empty_bins p)
+    done
+  end
+  else begin
+    let p = Process.create ~d_choices:d ~rng ~init () in
+    for r = 1 to rounds do
+      Process.step p;
+      observe r ~max_load:(Process.max_load p)
+        ~empty_bins:(Process.empty_bins p)
+    done
+  end;
   Printf.printf
     "\nn=%d rounds=%d d=%d init=%s seed=%d\n\
      running max load       : %d\n\
@@ -83,14 +102,31 @@ let simulate_cmd =
     Arg.(value & opt int 10_000 & info [ "rounds" ] ~docv:"T" ~doc:"Rounds to run.")
   in
   let d_t =
-    Arg.(value & opt int 1 & info [ "d" ] ~docv:"D" ~doc:"Number of bin choices per re-assignment.")
+    (* The long alias also keeps a bare [--d] an ambiguous-prefix error
+       (vs [--domains]) rather than silently meaning [--domains]. *)
+    Arg.(
+      value
+      & opt int 1
+      & info [ "d"; "d-choices" ] ~docv:"D"
+          ~doc:"Number of bin choices per re-assignment.")
   in
   let report_t =
     Arg.(value & opt int 0 & info [ "report-every" ] ~docv:"K" ~doc:"Print a progress line every K rounds (0 = never).")
   in
+  let shards_t =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Scheduling shards for the parallel engine (results are identical for every K).")
+  in
+  let domains_t =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains for the parallel engine (results are identical for every D).")
+  in
   let doc = "Run the repeated balls-into-bins process and report load metrics." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ report_t)
+    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ shards_t
+          $ domains_t $ report_t)
 
 (* tetris -------------------------------------------------------------- *)
 

@@ -1,5 +1,6 @@
 type t = {
   rng : Rbb_prng.Rng.t;
+  master : int64;  (* keys the per-(round, shard) launch streams *)
   d : int;
   weights : Rbb_prng.Alias.t option;  (* non-uniform destination law *)
   capacity : int;  (* balls released per bin per round *)
@@ -10,6 +11,26 @@ type t = {
   mutable max_load : int;
   mutable empty : int;
 }
+
+(* Randomness sharding.  Each round, the launch phase draws from one
+   independent stream per contiguous block of [shard_size] bins, keyed
+   by (master, round, shard).  The block size is a fixed constant of
+   the process law — never a function of how many domains or scheduling
+   shards a parallel engine uses — so every engine that walks the
+   blocks in any order produces the same configuration trajectory. *)
+let shard_size = 4096
+
+let shard_count ~bins =
+  if bins <= 0 then invalid_arg "Process.shard_count: bins <= 0";
+  (bins + shard_size - 1) / shard_size
+
+let shard_bounds ~bins ~shard =
+  if shard < 0 || shard >= shard_count ~bins then
+    invalid_arg "Process.shard_bounds: shard out of range";
+  let lo = shard * shard_size in
+  (lo, Stdlib.min bins (lo + shard_size))
+
+let shard_master rng = Rbb_prng.Splitmix64.mix (Rbb_prng.Rng.next_u64 rng)
 
 let create ?(d_choices = 1) ?weights ?(capacity = 1) ~rng ~init () =
   if d_choices < 1 then invalid_arg "Process.create: d_choices < 1";
@@ -25,8 +46,10 @@ let create ?(d_choices = 1) ?weights ?(capacity = 1) ~rng ~init () =
           invalid_arg "Process.create: weights length differs from bin count";
         Some (Rbb_prng.Alias.create w)
   in
+  let master = shard_master rng in
   {
     rng;
+    master;
     d = d_choices;
     weights;
     capacity;
@@ -67,44 +90,68 @@ let set_config t q =
 
 (* Destination of one re-assigned ball: uniform for d = 1 (or weighted
    when a bias is installed), least loaded of d independent uniform
-   picks otherwise (ties to the first drawn). *)
-let destination t =
-  match t.weights with
-  | Some alias -> Rbb_prng.Alias.draw alias t.rng
+   picks otherwise (ties to the first drawn).  Phase 1 never mutates
+   [loads], so the d-choices comparison always sees the pre-round
+   configuration no matter which shard or engine draws it. *)
+let draw_destination ~rng ~loads ~d ~alias =
+  match alias with
+  | Some a -> Rbb_prng.Alias.draw a rng
   | None ->
-  if t.d = 1 then Rbb_prng.Rng.int_below t.rng (Array.length t.loads)
-  else begin
-    let best = ref (Rbb_prng.Rng.int_below t.rng (Array.length t.loads)) in
-    for _ = 2 to t.d do
-      let v = Rbb_prng.Rng.int_below t.rng (Array.length t.loads) in
-      if t.loads.(v) < t.loads.(!best) then best := v
-    done;
-    !best
-  end
+      if d = 1 then Rbb_prng.Rng.int_below rng (Array.length loads)
+      else begin
+        let best = ref (Rbb_prng.Rng.int_below rng (Array.length loads)) in
+        for _ = 2 to d do
+          let v = Rbb_prng.Rng.int_below rng (Array.length loads) in
+          if loads.(v) < loads.(!best) then best := v
+        done;
+        !best
+      end
+
+let destination t =
+  draw_destination ~rng:t.rng ~loads:t.loads ~d:t.d ~alias:t.weights
+
+let step_launch ~rng ~loads ~arrivals ~capacity ~d ?alias ~lo ~hi () =
+  for u = lo to hi - 1 do
+    let k = Stdlib.min loads.(u) capacity in
+    for _ = 1 to k do
+      let v = draw_destination ~rng ~loads ~d ~alias in
+      arrivals.(v) <- arrivals.(v) + 1
+    done
+  done
+
+let step_settle ~loads ~arrivals ~capacity ~lo ~hi =
+  let max_l = ref 0 and empty = ref 0 in
+  for u = lo to hi - 1 do
+    let q = loads.(u) in
+    let q' = q - Stdlib.min q capacity + arrivals.(u) in
+    loads.(u) <- q';
+    if q' > !max_l then max_l := q';
+    if q' = 0 then incr empty
+  done;
+  (!max_l, !empty)
 
 let step t =
   let bins = Array.length t.loads in
   Array.fill t.arrivals 0 bins 0;
-  (* Phase 1: each non-empty bin launches up to [capacity] balls. *)
-  for u = 0 to bins - 1 do
-    let k = Stdlib.min t.loads.(u) t.capacity in
-    for _ = 1 to k do
-      let v = destination t in
-      t.arrivals.(v) <- t.arrivals.(v) + 1
-    done
+  (* Phase 1: each non-empty bin launches up to [capacity] balls, one
+     derived stream per randomness shard. *)
+  let engine = Rbb_prng.Rng.engine t.rng in
+  for s = 0 to shard_count ~bins - 1 do
+    let lo, hi = shard_bounds ~bins ~shard:s in
+    let rng =
+      Rbb_prng.Stream.for_shard ~engine ~master:t.master ~round:t.round ~shard:s ()
+    in
+    step_launch ~rng ~loads:t.loads ~arrivals:t.arrivals ~capacity:t.capacity
+      ~d:t.d ?alias:t.weights ~lo ~hi ()
   done;
   (* Phase 2: apply departures and arrivals; refresh the incremental
      max-load and empty-bin counters in the same pass. *)
-  let max_l = ref 0 and empty = ref 0 in
-  for u = 0 to bins - 1 do
-    let q = t.loads.(u) in
-    let q' = q - Stdlib.min q t.capacity + t.arrivals.(u) in
-    t.loads.(u) <- q';
-    if q' > !max_l then max_l := q';
-    if q' = 0 then incr empty
-  done;
-  t.max_load <- !max_l;
-  t.empty <- !empty;
+  let max_l, empty =
+    step_settle ~loads:t.loads ~arrivals:t.arrivals ~capacity:t.capacity ~lo:0
+      ~hi:bins
+  in
+  t.max_load <- max_l;
+  t.empty <- empty;
   t.round <- t.round + 1
 
 let run t ~rounds =

@@ -10,7 +10,18 @@
 
     Generalizations exposed here: any number of balls [m]
     (§5 open question) and [d]-choices re-assignment (the ball goes to
-    the least loaded of [d] sampled bins; reference [36] of the paper). *)
+    the least loaded of [d] sampled bins; reference [36] of the paper).
+
+    {2 Randomness law}
+
+    Each round's launch phase draws from one independent PRNG stream
+    per contiguous block of {!shard_size} bins, keyed by
+    [(master, round, shard)] where [master] is derived from one draw of
+    the creation [rng] (see {!Rbb_prng.Stream.for_shard}).  The block
+    size is a fixed constant of the process — it does not depend on any
+    parallel engine's shard or domain count — so the sequential engine
+    here and the domain-parallel [Rbb_sim.Sharded] engine produce
+    bit-identical trajectories from the same creation rng state. *)
 
 type t
 
@@ -81,6 +92,59 @@ val last_arrivals : t -> int -> int
 
 val config : t -> Config.t
 (** Snapshot of the current configuration. *)
+
+val destination : t -> int
+(** [destination t] samples one re-assignment destination from the
+    process' law — uniform, weighted, or least-loaded-of-[d] — drawing
+    from [rng t] (not from the launch streams).  Exposed so the law
+    itself can be tested for goodness of fit. *)
+
+(** {2 Sharded-step kernels}
+
+    The two phases of {!step}, exposed as kernels over raw load /
+    arrival arrays so that parallel engines can run them per shard and
+    reduce the results.  [Rbb_sim.Sharded] is the canonical caller. *)
+
+val shard_size : int
+(** Bins per randomness shard (a constant of the process law). *)
+
+val shard_count : bins:int -> int
+(** [⌈bins / shard_size⌉].
+    @raise Invalid_argument if [bins <= 0]. *)
+
+val shard_bounds : bins:int -> shard:int -> int * int
+(** [(lo, hi)] — the half-open bin range of a shard.
+    @raise Invalid_argument if [shard] is out of range. *)
+
+val shard_master : Rbb_prng.Rng.t -> int64
+(** The master key a process created from [rng] in its current state
+    would use for its launch streams.  Consumes one draw, exactly as
+    {!create} does. *)
+
+val step_launch :
+  rng:Rbb_prng.Rng.t ->
+  loads:int array ->
+  arrivals:int array ->
+  capacity:int ->
+  d:int ->
+  ?alias:Rbb_prng.Alias.t ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  unit
+(** Phase 1 for bins [lo, hi): every non-empty bin launches
+    [min load capacity] balls, incrementing [arrivals] at each sampled
+    destination (destinations range over {e all} bins).  Reads [loads]
+    without mutating it; all randomness comes from [rng], which must be
+    the {!Rbb_prng.Stream.for_shard} stream of this round and shard for
+    engines that want reproducibility. *)
+
+val step_settle :
+  loads:int array -> arrivals:int array -> capacity:int -> lo:int -> hi:int ->
+  int * int
+(** Phase 2 for bins [lo, hi): applies departures and arrivals to
+    [loads] and returns [(max_load, empty_bins)] of the settled slice,
+    ready for a per-shard reduce. *)
 
 val set_config : t -> Config.t -> unit
 (** [set_config t q] overwrites the load vector with [q] (round counter

@@ -18,3 +18,23 @@ let derive ~master ~key = Rng.create ~seed:(seed_of_key ~master ~key) ()
 
 let derive_indexed ~master ~key ~index =
   derive ~master ~key:(Printf.sprintf "%s/%d" key index)
+
+(* Two distinct odd constants give the (round, shard) lattice the same
+   structure as two nested SplitMix64 streams: the round picks a
+   per-round master, the shard indexes a stream under it.  Both steps
+   end in the full avalanche finalizer, so neighbouring rounds and
+   shards are uncorrelated. *)
+let round_gamma = 0x9E3779B97F4A7C15L (* SplitMix64's golden gamma *)
+let shard_gamma = 0xBF58476D1CE4E5B9L
+
+let seed_for_shard ~master ~round ~shard =
+  if round < 0 then invalid_arg "Stream.seed_for_shard: round < 0";
+  if shard < 0 then invalid_arg "Stream.seed_for_shard: shard < 0";
+  let per_round =
+    Splitmix64.mix (Int64.add master (Int64.mul (Int64.of_int round) round_gamma))
+  in
+  Splitmix64.mix
+    (Int64.add per_round (Int64.mul (Int64.of_int shard) shard_gamma))
+
+let for_shard ?engine ~master ~round ~shard () =
+  Rng.create ?engine ~seed:(seed_for_shard ~master ~round ~shard) ()

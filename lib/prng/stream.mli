@@ -18,3 +18,17 @@ val derive_indexed : master:int64 -> key:string -> index:int -> Rng.t
 
 val seed_of_key : master:int64 -> key:string -> int64
 (** The derived seed itself (for logging / reproduction). *)
+
+val for_shard :
+  ?engine:Rng.engine -> master:int64 -> round:int -> shard:int -> unit -> Rng.t
+(** [for_shard ~master ~round ~shard ()] is the generator for one
+    randomness shard of one round of a sharded simulation.  The stream
+    depends only on the triple [(master, round, shard)] — never on how
+    shards are scheduled onto domains — which is what makes a
+    domain-parallel engine bit-reproducible at every domain count.
+    Derivation is purely arithmetic (two SplitMix64 finalizations), so
+    it is cheap enough to call once per shard per round in a hot loop.
+    @raise Invalid_argument if [round] or [shard] is negative. *)
+
+val seed_for_shard : master:int64 -> round:int -> shard:int -> int64
+(** The seed behind {!for_shard} (for logging / reproduction). *)

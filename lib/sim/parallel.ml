@@ -1,36 +1,98 @@
 let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
 
-let run ?engine ?domains ~base_seed ~trials f =
+module Barrier = struct
+  (* Generation-counting barrier on Mutex/Condition: blocking rather
+     than spinning, so oversubscribed configurations (more domains than
+     cores) yield the processor instead of burning their timeslice. *)
+  type t = {
+    lock : Mutex.t;
+    arrived : Condition.t;
+    parties : int;
+    mutable count : int;
+    mutable generation : int;
+  }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Parallel.Barrier.create: parties < 1";
+    {
+      lock = Mutex.create ();
+      arrived = Condition.create ();
+      parties;
+      count = 0;
+      generation = 0;
+    }
+
+  let wait b =
+    Mutex.lock b.lock;
+    let generation = b.generation in
+    b.count <- b.count + 1;
+    if b.count = b.parties then begin
+      b.count <- 0;
+      b.generation <- generation + 1;
+      Condition.broadcast b.arrived
+    end
+    else
+      while b.generation = generation do
+        Condition.wait b.arrived b.lock
+      done;
+    Mutex.unlock b.lock
+end
+
+(* Deterministic failure slot: keep the exception of the smallest task
+   index, whatever order the domains happen to fail in. *)
+let record_failure slot ~index exn =
+  let rec go () =
+    match Atomic.get slot with
+    | Some (j, _) when j <= index -> ()
+    | cur ->
+        if not (Atomic.compare_and_set slot cur (Some (index, exn))) then go ()
+  in
+  go ()
+
+let map_domains ?domains ~tasks f =
   let domains = match domains with Some d -> d | None -> default_domains () in
-  if domains < 1 then invalid_arg "Parallel.run: domains < 1";
-  if trials < 0 then invalid_arg "Parallel.run: negative trials";
-  let seeds = Replicate.seeds ~base:base_seed ~count:trials in
-  if trials = 0 then [||]
+  if domains < 1 then invalid_arg "Parallel.map_domains: domains < 1";
+  if tasks < 0 then invalid_arg "Parallel.map_domains: negative tasks";
+  if tasks = 0 then [||]
   else begin
-    let results = Array.make trials None in
+    let results = Array.make tasks None in
     let failure = Atomic.make None in
-    let work lo hi () =
-      try
-        for i = lo to hi - 1 do
-          let rng = Rbb_prng.Rng.create ?engine ~seed:seeds.(i) () in
-          results.(i) <- Some (f rng)
-        done
-      with exn -> Atomic.set failure (Some exn)
+    let workers = Stdlib.min domains tasks in
+    (* Worker [w] owns tasks w, w + workers, ...: the assignment depends
+       only on the task index and [workers], and every task writes its
+       own slot, so the result array is domain-schedule independent. *)
+    let work w () =
+      let i = ref w in
+      while !i < tasks do
+        (match f !i with
+        | v -> results.(!i) <- Some v
+        | exception exn -> record_failure failure ~index:!i exn);
+        i := !i + workers
+      done
     in
-    let domains = Stdlib.min domains trials in
-    let chunk = (trials + domains - 1) / domains in
-    let handles =
-      List.init domains (fun d ->
-          let lo = d * chunk in
-          let hi = Stdlib.min trials (lo + chunk) in
-          Domain.spawn (work lo hi))
-    in
-    List.iter Domain.join handles;
-    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    if workers = 1 then work 0 ()
+    else List.iter Domain.join (List.init workers (fun w -> Domain.spawn (work w)));
+    (match Atomic.get failure with
+    | Some (_, exn) -> raise exn
+    | None -> ());
     Array.map
-      (function Some v -> v | None -> failwith "Parallel.run: missing result")
+      (function Some v -> v | None -> failwith "Parallel.map_domains: missing result")
       results
   end
+
+let try_run ?engine ?domains ~base_seed ~trials f =
+  if trials < 0 then invalid_arg "Parallel.run: negative trials";
+  let seeds = Replicate.seeds ~base:base_seed ~count:trials in
+  map_domains ?domains ~tasks:trials (fun i ->
+      let rng = Rbb_prng.Rng.create ?engine ~seed:seeds.(i) () in
+      match f rng with v -> Ok v | exception exn -> Error exn)
+
+let run ?engine ?domains ~base_seed ~trials f =
+  let results = try_run ?engine ?domains ~base_seed ~trials f in
+  (* Array.iter visits slots left to right, so the raised exception is
+     always the failing trial with the smallest index. *)
+  Array.iter (function Error exn -> raise exn | Ok _ -> ()) results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
 
 let run_floats ?engine ?domains ~base_seed ~trials f =
   Rbb_stats.Summary.of_array (run ?engine ?domains ~base_seed ~trials f)

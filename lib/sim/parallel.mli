@@ -5,12 +5,40 @@
     to {!Replicate.run}'s regardless of the number of domains —
     parallelism changes wall-clock time only, never results.
 
-    Each domain works on a contiguous chunk of the trial indices; no
-    state is shared beyond the pre-allocated result array (distinct
-    cells per trial, so unsynchronized writes are safe). *)
+    Failure handling is deterministic too: every task's outcome lands in
+    its own slot, a failing task never aborts its siblings, and when
+    {!run} re-raises it always picks the exception of the {e smallest}
+    failing trial index — never whichever domain happened to lose the
+    race. *)
 
 val default_domains : unit -> int
 (** [max 1 (recommended_domain_count () - 1)]. *)
+
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  (** A reusable rendezvous for a fixed number of parties.
+      @raise Invalid_argument if [parties < 1]. *)
+
+  val wait : t -> unit
+  (** Blocks until all parties have arrived, then releases them all and
+      resets for the next generation.  Blocking (Mutex/Condition), not
+      spinning, so it degrades gracefully when domains outnumber cores.
+      Establishes the happens-before edge phase-structured engines such
+      as [Sharded] need between their launch and settle passes. *)
+end
+
+val map_domains : ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
+(** [map_domains ~tasks f] evaluates [f i] for every [i] in
+    [0 .. tasks - 1] across [min domains tasks] domains (round-robin
+    task assignment; inline when a single worker remains) and returns
+    the results in task order.  The result array is independent of
+    [domains].  If tasks raise, all remaining tasks still run and the
+    exception of the smallest failing index is re-raised after every
+    domain joins.  This is the primitive under {!run} and under
+    [Sharded]'s per-round phases.
+    @raise Invalid_argument if [domains < 1] or [tasks < 0]. *)
 
 val run :
   ?engine:Rbb_prng.Rng.engine ->
@@ -20,10 +48,23 @@ val run :
   (Rbb_prng.Rng.t -> 'a) ->
   'a array
 (** [run ~base_seed ~trials f] evaluates [f] on [trials] independent
-    generators using [domains] domains (default
-    {!default_domains}).  Seed derivation matches {!Replicate.run}.
-    Exceptions raised by [f] are re-raised after all domains join.
+    generators using [domains] domains (default {!default_domains}).
+    Seed derivation matches {!Replicate.run}.  If any trial raises, the
+    exception of the smallest failing trial index is re-raised after all
+    domains join (other trials are still evaluated).
     @raise Invalid_argument if [domains < 1] or [trials < 0]. *)
+
+val try_run :
+  ?engine:Rbb_prng.Rng.engine ->
+  ?domains:int ->
+  base_seed:int64 ->
+  trials:int ->
+  (Rbb_prng.Rng.t -> 'a) ->
+  ('a, exn) result array
+(** Like {!run} but total: each trial's outcome is recorded in its own
+    slot, so one failure can neither abort nor overwrite the others and
+    the caller sees exactly which trials failed.  Independent of
+    [domains]. *)
 
 val run_floats :
   ?engine:Rbb_prng.Rng.engine ->

@@ -1,0 +1,208 @@
+open Rbb_core
+
+type t = {
+  engine : Rbb_prng.Rng.engine;
+  master : int64;
+  d : int;
+  alias : Rbb_prng.Alias.t option;
+  capacity : int;
+  loads : int array;
+  m : int;
+  shards : int;
+  domains : int;
+  launchers : int;  (* phase-1 workers = min domains shards *)
+  settlers : int;  (* phase-2 workers = min domains bins *)
+  bufs : int array array;  (* one full-width arrival buffer per launcher *)
+  mutable round : int;
+  mutable max_load : int;
+  mutable empty : int;
+}
+
+let create ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init
+    () =
+  if d_choices < 1 then invalid_arg "Sharded.create: d_choices < 1";
+  if capacity < 1 then invalid_arg "Sharded.create: capacity < 1";
+  let loads = Config.loads init in
+  let bins = Array.length loads in
+  let domains =
+    match domains with Some d -> d | None -> Parallel.default_domains ()
+  in
+  if domains < 1 then invalid_arg "Sharded.create: domains < 1";
+  let shards = match shards with Some k -> k | None -> domains in
+  if shards < 1 then invalid_arg "Sharded.create: shards < 1";
+  let alias =
+    match weights with
+    | None -> None
+    | Some w ->
+        if d_choices > 1 then
+          invalid_arg "Sharded.create: weights and d_choices cannot be combined";
+        if Array.length w <> bins then
+          invalid_arg "Sharded.create: weights length differs from bin count";
+        Some (Rbb_prng.Alias.create w)
+  in
+  (* Exactly the draw Process.create makes: same rng state in, same
+     master key out, hence bit-identical trajectories. *)
+  let master = Process.shard_master rng in
+  let launchers = Stdlib.min domains shards in
+  {
+    engine = Rbb_prng.Rng.engine rng;
+    master;
+    d = d_choices;
+    alias;
+    capacity;
+    loads;
+    m = Config.balls init;
+    shards;
+    domains;
+    launchers;
+    settlers = Stdlib.min domains bins;
+    bufs = Array.init launchers (fun _ -> Array.make bins 0);
+    round = 0;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+  }
+
+let n t = Array.length t.loads
+let balls t = t.m
+let round t = t.round
+let shards t = t.shards
+let domains t = t.domains
+let max_load t = t.max_load
+let empty_bins t = t.empty
+
+let load t u =
+  if u < 0 || u >= Array.length t.loads then
+    invalid_arg "Sharded.load: out of range";
+  t.loads.(u)
+
+let config t = Config.of_array t.loads
+
+(* Phase 1 for worker [w] of round [rnd]: scheduling shard [j] launches
+   the logical randomness blocks [j*blocks/shards, (j+1)*blocks/shards);
+   each block draws from its own (master, round, block) stream, so
+   neither the shard count nor the worker that runs it can change a
+   single draw.  Arrivals scatter into the worker-private buffer. *)
+let launch_phase t ~rnd w =
+  let bins = Array.length t.loads in
+  let blocks = Process.shard_count ~bins in
+  let buf = t.bufs.(w) in
+  Array.fill buf 0 bins 0;
+  let j = ref w in
+  while !j < t.shards do
+    let b_lo = !j * blocks / t.shards and b_hi = (!j + 1) * blocks / t.shards in
+    for b = b_lo to b_hi - 1 do
+      let lo, hi = Process.shard_bounds ~bins ~shard:b in
+      let rng =
+        Rbb_prng.Stream.for_shard ~engine:t.engine ~master:t.master ~round:rnd
+          ~shard:b ()
+      in
+      Process.step_launch ~rng ~loads:t.loads ~arrivals:buf ~capacity:t.capacity
+        ~d:t.d ?alias:t.alias ~lo ~hi ()
+    done;
+    j := !j + t.launchers
+  done
+
+(* Phase 2 for worker [w]: workers own disjoint bin ranges, merge the
+   per-launcher buffers into buffer 0 and settle with the sequential
+   kernel, returning the slice's (max_load, empty) for the reduce. *)
+let settle_phase t w =
+  let bins = Array.length t.loads in
+  let lo = w * bins / t.settlers and hi = (w + 1) * bins / t.settlers in
+  let acc = t.bufs.(0) in
+  for b = 1 to t.launchers - 1 do
+    let other = t.bufs.(b) in
+    for u = lo to hi - 1 do
+      acc.(u) <- acc.(u) + other.(u)
+    done
+  done;
+  Process.step_settle ~loads:t.loads ~arrivals:acc ~capacity:t.capacity ~lo ~hi
+
+let reduce_parts t parts =
+  let max_l = ref 0 and empty = ref 0 in
+  Array.iter
+    (fun (m, e) ->
+      if m > !max_l then max_l := m;
+      empty := !empty + e)
+    parts;
+  t.max_load <- !max_l;
+  t.empty <- !empty
+
+(* Deterministic failure slot, as in Parallel: smallest worker index
+   wins, whatever order the domains fail in. *)
+let record_failure slot ~index exn =
+  let rec go () =
+    match Atomic.get slot with
+    | Some (j, _) when j <= index -> ()
+    | cur ->
+        if not (Atomic.compare_and_set slot cur (Some (index, exn))) then go ()
+  in
+  go ()
+
+let workers t = Stdlib.max t.launchers t.settlers
+
+let run_pooled t ~rounds =
+  (* One spawn per worker for the whole run; rounds are separated by
+     barriers, not by fresh domains, so the per-round overhead is two
+     rendezvous instead of 2w spawns.  A worker that raises keeps
+     attending the barriers (skipping its phase work) so its peers never
+     deadlock; the smallest failing worker index is re-raised at the
+     end, with the engine state unspecified as for any failed step. *)
+  let w_count = workers t in
+  let barrier = Parallel.Barrier.create w_count in
+  let failure = Atomic.make None in
+  let parts = Array.make t.settlers (0, 0) in
+  let r0 = t.round in
+  let work w () =
+    for rnd = r0 to r0 + rounds - 1 do
+      (try
+         if w < t.launchers && Atomic.get failure = None then
+           launch_phase t ~rnd w
+       with exn -> record_failure failure ~index:w exn);
+      Parallel.Barrier.wait barrier;
+      (try
+         if w < t.settlers && Atomic.get failure = None then
+           parts.(w) <- settle_phase t w
+       with exn -> record_failure failure ~index:w exn);
+      Parallel.Barrier.wait barrier
+    done
+  in
+  List.iter Domain.join (List.init w_count (fun w -> Domain.spawn (work w)));
+  (match Atomic.get failure with Some (_, exn) -> raise exn | None -> ());
+  reduce_parts t parts;
+  t.round <- r0 + rounds
+
+let run_inline t ~rounds =
+  let parts = Array.make t.settlers (0, 0) in
+  for _ = 1 to rounds do
+    for w = 0 to t.launchers - 1 do
+      launch_phase t ~rnd:t.round w
+    done;
+    for w = 0 to t.settlers - 1 do
+      parts.(w) <- settle_phase t w
+    done;
+    reduce_parts t parts;
+    t.round <- t.round + 1
+  done
+
+let run t ~rounds =
+  if rounds > 0 then
+    if workers t = 1 then run_inline t ~rounds else run_pooled t ~rounds
+
+let step t = run t ~rounds:1
+
+let run_until t ~max_rounds ~stop =
+  if stop t then Some t.round
+  else begin
+    let rec go k =
+      if k >= max_rounds then None
+      else begin
+        step t;
+        if stop t then Some t.round else go (k + 1)
+      end
+    in
+    go 0
+  end
+
+let run_until_legitimate ?beta t ~max_rounds =
+  let threshold = Config.legitimacy_threshold ?beta (n t) in
+  run_until t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)

@@ -1,0 +1,73 @@
+(** Domain-parallel sharded engine for one repeated balls-into-bins
+    simulation.
+
+    {!Rbb_core.Process} is the sequential engine; this one partitions
+    the [n] bins and runs each round's two phases across OCaml 5
+    domains:
+
+    + {b launch} — every scheduling shard walks its contiguous range of
+      fixed-size randomness blocks ({!Rbb_core.Process.shard_size} bins
+      each), drawing every block's destinations from the independent
+      stream keyed by [(master, round, block)]
+      ({!Rbb_prng.Stream.for_shard}) and scattering arrivals into a
+      worker-private buffer;
+    + {b settle} — after the join barrier, workers own disjoint bin
+      ranges, sum the arrival buffers and apply departures/arrivals,
+      maintaining the incremental max-load / empty-bins counters via a
+      per-range reduce.
+
+    {b Determinism guarantee.}  Randomness is keyed by the block lattice
+    — a constant of the process law — never by [shards] or [domains],
+    which only choose how blocks are scheduled.  The trajectory is
+    therefore bit-identical for {e every} shard count (including 1) and
+    {e every} domain count, and bit-identical to the sequential
+    {!Rbb_core.Process} created from the same rng state.  Parallelism
+    changes wall-clock time only. *)
+
+type t
+
+val create :
+  ?d_choices:int ->
+  ?weights:float array ->
+  ?capacity:int ->
+  ?shards:int ->
+  ?domains:int ->
+  rng:Rbb_prng.Rng.t ->
+  init:Rbb_core.Config.t ->
+  unit ->
+  t
+(** [create ~rng ~init ()] mirrors {!Rbb_core.Process.create} (and
+    consumes the same single draw from [rng], so both engines derive the
+    same master key from the same rng state).  [shards] is the number of
+    scheduling shards for the launch phase (default [domains]);
+    [domains] the number of worker domains (default
+    {!Parallel.default_domains}).  Neither affects results.
+    @raise Invalid_argument under {!Rbb_core.Process.create}'s
+    conditions, or if [shards < 1] or [domains < 1]. *)
+
+val step : t -> unit
+(** Advance one synchronous round (both phases, with a barrier between). *)
+
+val run : t -> rounds:int -> unit
+
+val run_until : t -> max_rounds:int -> stop:(t -> bool) -> int option
+(** Same contract as {!Rbb_core.Process.run_until}. *)
+
+val run_until_legitimate : ?beta:float -> t -> max_rounds:int -> int option
+
+val round : t -> int
+val n : t -> int
+val balls : t -> int
+
+val shards : t -> int
+(** Scheduling shard count (affects scheduling only, never results). *)
+
+val domains : t -> int
+(** Worker domain count (affects wall-clock only, never results). *)
+
+val load : t -> int -> int
+val max_load : t -> int
+val empty_bins : t -> int
+
+val config : t -> Rbb_core.Config.t
+(** Snapshot of the current configuration. *)

@@ -28,12 +28,35 @@ A short seeded simulation (seed 42 is the default):
   $ rbb simulate --bins 64 --rounds 1000
   
   n=64 rounds=1000 d=1 init=uniform seed=42
-  running max load       : 9
-  mean max load          : 4.966
+  running max load       : 12
+  mean max load          : 5.037
   legitimacy threshold   : 17 (4 ln n)
-  min empty-bin fraction : 0.2812
+  min empty-bin fraction : 0.2656
   rounds below n/4 empty : 0
 
+
+The sharded domain-parallel engine implements the same randomness law,
+so any --shards/--domains split reproduces the sequential report above
+bit for bit (parallelism only changes wall-clock time):
+
+  $ rbb simulate --bins 64 --rounds 1000 --shards 7 --domains 2
+  
+  n=64 rounds=1000 d=1 init=uniform seed=42
+  running max load       : 12
+  mean max load          : 5.037
+  legitimacy threshold   : 17 (4 ln n)
+  min empty-bin fraction : 0.2656
+  rounds below n/4 empty : 0
+
+Invalid shard and domain counts are rejected:
+
+  $ rbb simulate --bins 64 --shards 0
+  rbb: error: simulate: --shards must be at least 1
+  [2]
+
+  $ rbb simulate --bins 64 --domains 0
+  rbb: error: simulate: --domains must be at least 1
+  [2]
 
 Unknown graph specs are rejected with a helpful message:
 
@@ -46,6 +69,6 @@ Convergence measurement from the worst start (deterministic in the seed):
 
   $ rbb converge --bins 64 --trials 2
   convergence from the worst configuration (all 64 balls in one bin), 2 trials
-  mean rounds : 59.0  (0.922 n)
-  max rounds  : 62  (0.969 n)
+  mean rounds : 67.0  (1.047 n)
+  max rounds  : 72  (1.125 n)
   threshold   : max load <= 17

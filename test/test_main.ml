@@ -19,6 +19,7 @@ let () =
          Test_tools.suite;
          Test_extensions4.suite;
          Test_parallel.suite;
+         Test_sharded.suite;
          Test_bench_smoke.suite;
          Test_extensions5.suite;
        ])

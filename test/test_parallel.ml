@@ -42,6 +42,87 @@ let parallel_propagates_exceptions () =
   | _ -> Alcotest.fail "expected an exception"
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
 
+(* Regression: a failing trial used to abandon the rest of its domain's
+   chunk (stale None slots reported as "missing result") and the
+   surviving exception was whichever domain lost the race.  Now every
+   trial lands in its own slot and the smallest failing index wins,
+   independently of the domain count. *)
+let parallel_try_run_isolates_failures () =
+  let f rng = Rbb_prng.Rng.int_below rng 1000 in
+  let reference = Rbb_sim.Replicate.run ~base_seed:5L ~trials:12 f in
+  List.iter
+    (fun domains ->
+      let results =
+        Rbb_sim.Parallel.try_run ~domains ~base_seed:5L ~trials:12 (fun rng ->
+            let v = f rng in
+            if v = reference.(5) then failwith "trial 5" else v)
+      in
+      Array.iteri
+        (fun i r ->
+          match (r, i) with
+          | Error (Failure msg), 5 -> Alcotest.(check string) "slot 5" "trial 5" msg
+          | Error _, _ -> Alcotest.failf "unexpected failure in slot %d" i
+          | Ok v, i ->
+              (* Trials after the failure are still computed, and each
+                 slot holds its own trial's value. *)
+              Alcotest.(check int) (Printf.sprintf "slot %d" i) reference.(i) v)
+        results)
+    [ 1; 2; 4 ]
+
+let parallel_first_exception_wins () =
+  let boom i = Failure (Printf.sprintf "boom %d" i) in
+  let f_of_index trials ~fail_at =
+    (* try_run derives per-trial rngs from the seed lattice; recover the
+       trial index by matching the derived seed. *)
+    let seeds = Array.init trials (fun i ->
+        Rbb_prng.Splitmix64.mix (Int64.add 9L (Int64.of_int (1 + i))))
+    in
+    fun rng ->
+      let s = Rbb_prng.Rng.seed rng in
+      let i = ref (-1) in
+      Array.iteri (fun j sj -> if sj = s then i := j) seeds;
+      if List.mem !i fail_at then raise (boom !i) else !i
+  in
+  List.iter
+    (fun domains ->
+      (* All non-failing slots are computed and correct. *)
+      let results =
+        Rbb_sim.Parallel.try_run ~domains ~base_seed:9L ~trials:16
+          (f_of_index 16 ~fail_at:[ 5; 11 ])
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "slot value" i v
+          | Error (Failure msg) ->
+              Alcotest.(check bool) "failing slot" true (i = 5 || i = 11);
+              Alcotest.(check string) "failure message"
+                (Printf.sprintf "boom %d" i) msg
+          | Error _ -> Alcotest.fail "unexpected exception")
+        results;
+      (* run re-raises the smallest failing index, not a racy winner. *)
+      match
+        Rbb_sim.Parallel.run ~domains ~base_seed:9L ~trials:16
+          (f_of_index 16 ~fail_at:[ 11; 5 ])
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "deterministic winner" "boom 5" msg)
+    [ 1; 2; 3; 8 ]
+
+let map_domains_basic () =
+  List.iter
+    (fun domains ->
+      let r = Rbb_sim.Parallel.map_domains ~domains ~tasks:10 (fun i -> i * i) in
+      Alcotest.(check (array int)) "squares"
+        (Array.init 10 (fun i -> i * i))
+        r)
+    [ 1; 3; 16 ];
+  Alcotest.(check (array int)) "zero tasks" [||]
+    (Rbb_sim.Parallel.map_domains ~domains:4 ~tasks:0 (fun i -> i));
+  Tutil.check_raises_invalid "zero domains" (fun () ->
+      ignore (Rbb_sim.Parallel.map_domains ~domains:0 ~tasks:3 (fun i -> i)))
+
 let parallel_runs_simulations () =
   (* End to end: the E2 measurement parallelized, same summary as the
      sequential harness. *)
@@ -74,6 +155,9 @@ let suite =
         Tutil.quick "domain count irrelevant" parallel_domain_count_does_not_matter;
         Tutil.quick "edge cases" parallel_edge_cases;
         Tutil.quick "exception propagation" parallel_propagates_exceptions;
+        Tutil.quick "try_run isolates failures" parallel_try_run_isolates_failures;
+        Tutil.quick "first exception wins" parallel_first_exception_wins;
+        Tutil.quick "map_domains" map_domains_basic;
         Tutil.slow "parallel simulation" parallel_runs_simulations;
       ] );
   ]
