@@ -99,8 +99,45 @@ let tests () =
     one_shot_test ();
   ]
 
+(* Pay-for-what-you-use guard: Process.run with the default noop probe
+   must cost the same as the bare Process.step loop.  Best-of-5 so a
+   single descheduling can't fail the build; the absolute slack absorbs
+   timer granularity on runs this short. *)
+let noop_overhead_guard () =
+  let n = 8192 and rounds = 1500 in
+  let make () =
+    Process.create ~rng:(Rbb_prng.Rng.create ~seed:11L ()) ~init:(Config.uniform ~n) ()
+  in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let p = make () in
+      let t0 = Unix.gettimeofday () in
+      f p;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let bare =
+    best (fun p ->
+        for _ = 1 to rounds do
+          Process.step p
+        done)
+  in
+  let noop = best (fun p -> Process.run p ~rounds) in
+  Printf.printf "noop-probe overhead    : bare %.1f ms, noop-run %.1f ms (%.2fx)\n%!"
+    (1e3 *. bare) (1e3 *. noop) (noop /. bare);
+  if noop > (1.5 *. bare) +. 0.005 then
+    failwith
+      (Printf.sprintf
+         "noop telemetry probe is not free: bare step loop %.3f ms, run with \
+          noop probe %.3f ms"
+         (1e3 *. bare) (1e3 *. noop))
+
 let run () =
   print_endline "\n=== MICRO: kernel benchmarks (Bechamel, monotonic clock) ===\n";
+  noop_overhead_guard ();
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in

@@ -28,12 +28,17 @@ let run ?(quick = false) () =
      domains=%d, %d cores) ===\n\n"
     n rounds shards domains cores;
   let init = Config.uniform ~n in
+  let seq_tel = Rbb_sim.Telemetry.create () in
   let seq = Process.create ~rng:(Rbb_prng.Rng.create ~seed ()) ~init () in
-  let t_seq = wall (fun () -> Process.run seq ~rounds) in
+  let t_seq =
+    wall (fun () ->
+        Process.run ~probe:(Rbb_sim.Telemetry.probe seq_tel) seq ~rounds)
+  in
   Printf.printf "sequential Process.run : %8.3f s  (%.2f us/round)\n%!" t_seq
     (1e6 *. t_seq /. float_of_int rounds);
+  let par_tel = Rbb_sim.Telemetry.create () in
   let par =
-    Rbb_sim.Sharded.create ~shards ~domains
+    Rbb_sim.Sharded.create ~telemetry:par_tel ~shards ~domains
       ~rng:(Rbb_prng.Rng.create ~seed ())
       ~init ()
   in
@@ -63,9 +68,13 @@ let run ?(quick = false) () =
     \  \"speedup\": %.4f,\n\
     \  \"bit_identical\": %b,\n\
     \  \"max_load_final\": %d,\n\
-    \  \"empty_bins_final\": %d\n\
+    \  \"empty_bins_final\": %d,\n\
+    \  \"sequential_telemetry\": %s,\n\
+    \  \"sharded_telemetry\": %s\n\
      }\n"
     n rounds shards domains cores seed t_seq t_par speedup identical
-    (Process.max_load seq) (Process.empty_bins seq);
+    (Process.max_load seq) (Process.empty_bins seq)
+    (Rbb_sim.Telemetry.to_json_string seq_tel)
+    (Rbb_sim.Telemetry.to_json_string par_tel);
   close_out oc;
   Printf.printf "wrote %s\n" json_path

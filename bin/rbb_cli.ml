@@ -49,14 +49,39 @@ let make_init name rng ~n ~m =
   | "random" -> Config.random rng ~n ~m
   | _ -> assert false
 
+(* Telemetry export: [--telemetry-json PATH] turns on an active sink;
+   without it every instrument is the noop sink and costs nothing. *)
+
+let telemetry_t =
+  let doc =
+    "Write structured telemetry (counters, per-phase timers, a per-round \
+     latency histogram) as JSON to $(docv)."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "telemetry-json" ] ~docv:"PATH" ~doc)
+
+let telemetry_of_path = function
+  | None -> Rbb_sim.Telemetry.noop
+  | Some _ -> Rbb_sim.Telemetry.create ()
+
+let write_telemetry tel = function
+  | None -> ()
+  | Some path ->
+      Rbb_sim.Telemetry.write_json tel ~path;
+      Printf.printf "wrote telemetry to %s\n" path
+
 (* simulate ----------------------------------------------------------- *)
 
-let simulate n rounds seed init_name d shards domains report_every =
+let simulate n rounds seed init_name d shards domains report_every
+    telemetry_path =
+  if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
   if shards < 1 then invalid_arg "simulate: --shards must be at least 1";
   if domains < 1 then invalid_arg "simulate: --domains must be at least 1";
   let rng = rng_of_seed seed in
   let init = make_init init_name rng ~n ~m:n in
   let metrics = Metrics.create ~n in
+  let tel = telemetry_of_path telemetry_path in
   let observe r ~max_load ~empty_bins =
     Metrics.observe metrics ~max_load ~empty_bins;
     if report_every > 0 && r mod report_every = 0 then
@@ -66,9 +91,13 @@ let simulate n rounds seed init_name d shards domains report_every =
   in
   (* Both engines implement the same randomness law, so the output below
      is identical whichever one runs; sharding only changes wall-clock
-     time. *)
+     time.  Telemetry comes from inside the engines (per-phase timers),
+     so neither engine's trajectory depends on it. *)
   if shards > 1 || domains > 1 then begin
-    let p = Rbb_sim.Sharded.create ~d_choices:d ~shards ~domains ~rng ~init () in
+    let p =
+      Rbb_sim.Sharded.create ~telemetry:tel ~d_choices:d ~shards ~domains ~rng
+        ~init ()
+    in
     for r = 1 to rounds do
       Rbb_sim.Sharded.step p;
       observe r ~max_load:(Rbb_sim.Sharded.max_load p)
@@ -77,8 +106,9 @@ let simulate n rounds seed init_name d shards domains report_every =
   end
   else begin
     let p = Process.create ~d_choices:d ~rng ~init () in
+    let probe = Rbb_sim.Telemetry.probe tel in
     for r = 1 to rounds do
-      Process.step p;
+      Process.run ~probe p ~rounds:1;
       observe r ~max_load:(Process.max_load p)
         ~empty_bins:(Process.empty_bins p)
     done
@@ -95,7 +125,14 @@ let simulate n rounds seed init_name d shards domains report_every =
     (Metrics.mean_max_load metrics)
     (Config.legitimacy_threshold n)
     (Metrics.min_empty_fraction metrics)
-    (Metrics.rounds_below_quarter metrics)
+    (Metrics.rounds_below_quarter metrics);
+  Rbb_sim.Telemetry.set_gauge tel "simulate.running_max_load"
+    (fi (Metrics.running_max_load metrics));
+  Rbb_sim.Telemetry.set_gauge tel "simulate.mean_max_load"
+    (Metrics.mean_max_load metrics);
+  Rbb_sim.Telemetry.set_gauge tel "simulate.min_empty_fraction"
+    (Metrics.min_empty_fraction metrics);
+  write_telemetry tel telemetry_path
 
 let simulate_cmd =
   let rounds_t =
@@ -126,11 +163,12 @@ let simulate_cmd =
   let doc = "Run the repeated balls-into-bins process and report load metrics." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ shards_t
-          $ domains_t $ report_t)
+          $ domains_t $ report_t $ telemetry_t)
 
 (* tetris -------------------------------------------------------------- *)
 
-let tetris n rounds seed init_name lambda =
+let tetris n rounds seed init_name lambda telemetry_path =
+  if rounds < 0 then invalid_arg "tetris: --rounds must be nonnegative";
   let rng = rng_of_seed seed in
   let init = make_init init_name rng ~n ~m:n in
   let arrivals =
@@ -139,9 +177,17 @@ let tetris n rounds seed init_name lambda =
     | Some l -> Tetris.Binomial_rate l
   in
   let t = Tetris.create ~arrivals ~rng ~init () in
+  let tel = telemetry_of_path telemetry_path in
+  let timed = Rbb_sim.Telemetry.enabled tel in
   let worst = ref 0 in
   for _ = 1 to rounds do
+    let t0 = if timed then Rbb_sim.Telemetry.now tel else 0L in
     Tetris.step t;
+    if timed then begin
+      Rbb_sim.Telemetry.record_latency tel
+        (Int64.sub (Rbb_sim.Telemetry.now tel) t0);
+      Rbb_sim.Telemetry.incr tel "tetris.rounds"
+    end;
     if Tetris.max_load t > !worst then worst := Tetris.max_load t
   done;
   Printf.printf
@@ -155,7 +201,13 @@ let tetris n rounds seed init_name lambda =
     !worst (Tetris.max_load t) (Tetris.total_balls t)
     (match Tetris.all_bins_emptied_by t with
     | Some r -> Printf.sprintf "by round %d" r
-    | None -> "not yet")
+    | None -> "not yet");
+  Rbb_sim.Telemetry.set_gauge tel "tetris.running_max_load" (fi !worst);
+  Rbb_sim.Telemetry.set_gauge tel "tetris.final_max_load"
+    (fi (Tetris.max_load t));
+  Rbb_sim.Telemetry.set_gauge tel "tetris.final_balls"
+    (fi (Tetris.total_balls t));
+  write_telemetry tel telemetry_path
 
 let tetris_cmd =
   let rounds_t =
@@ -167,11 +219,13 @@ let tetris_cmd =
   in
   let doc = "Run the auxiliary Tetris process." in
   Cmd.v (Cmd.info "tetris" ~doc)
-    Term.(const tetris $ n_t $ rounds_t $ seed_t $ init_t $ lambda_t)
+    Term.(const tetris $ n_t $ rounds_t $ seed_t $ init_t $ lambda_t
+          $ telemetry_t)
 
 (* converge ------------------------------------------------------------ *)
 
-let converge n trials seed domains =
+let converge n trials seed domains telemetry_path =
+  let tel = telemetry_of_path telemetry_path in
   let measure rng =
     let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
     match Process.run_until_legitimate p ~max_rounds:(100 * n) with
@@ -179,13 +233,12 @@ let converge n trials seed domains =
     | None -> failwith "no convergence within 100n rounds"
   in
   (* Parallel and sequential runners produce identical results; domains
-     only change wall-clock time. *)
+     only change wall-clock time (with domains = 1 the parallel runner
+     degenerates to the inline loop), so one code path serves both. *)
   let samples =
-    if domains > 1 then
-      Rbb_sim.Parallel.run_floats ~domains ~base_seed:(Int64.of_int seed) ~trials
-        measure
-    else
-      Rbb_sim.Replicate.run_floats ~base_seed:(Int64.of_int seed) ~trials measure
+    Rbb_sim.Telemetry.span tel "converge.total" (fun () ->
+        Rbb_sim.Parallel.run_floats ~telemetry:tel ~domains
+          ~base_seed:(Int64.of_int seed) ~trials measure)
   in
   Printf.printf
     "convergence from the worst configuration (all %d balls in one bin), %d trials\n\
@@ -196,7 +249,12 @@ let converge n trials seed domains =
     (samples.Rbb_stats.Summary.mean /. fi n)
     samples.Rbb_stats.Summary.max
     (samples.Rbb_stats.Summary.max /. fi n)
-    (Config.legitimacy_threshold n)
+    (Config.legitimacy_threshold n);
+  Rbb_sim.Telemetry.set_gauge tel "converge.mean_rounds"
+    samples.Rbb_stats.Summary.mean;
+  Rbb_sim.Telemetry.set_gauge tel "converge.max_rounds"
+    samples.Rbb_stats.Summary.max;
+  write_telemetry tel telemetry_path
 
 let converge_cmd =
   let trials_t =
@@ -208,7 +266,7 @@ let converge_cmd =
   in
   let doc = "Measure Theorem 1's O(n) convergence time from the worst start." in
   Cmd.v (Cmd.info "converge" ~doc)
-    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t)
+    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t $ telemetry_t)
 
 (* cover --------------------------------------------------------------- *)
 

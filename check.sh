@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-stop local gate: build, full test suite, formatting, and an
+# examples smoke run.  CI and pre-commit both call this.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+dune build @fmt
+dune exec examples/quickstart.exe > /dev/null
+
+echo "check.sh: all green"

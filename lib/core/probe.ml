@@ -1,0 +1,16 @@
+type t = {
+  enabled : bool;
+  now : unit -> int64;
+  add : string -> int -> unit;
+  timer_add : string -> int64 -> unit;
+  latency : int64 -> unit;
+}
+
+let noop =
+  {
+    enabled = false;
+    now = (fun () -> 0L);
+    add = (fun _ _ -> ());
+    timer_add = (fun _ _ -> ());
+    latency = (fun _ -> ());
+  }

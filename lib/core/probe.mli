@@ -1,0 +1,24 @@
+(** Instrumentation sink consumed by the core engines.
+
+    [Rbb_core] must stay free of any dependency on the simulation layer,
+    so the engines are instrumented against this minimal record of
+    callbacks instead of a concrete telemetry registry.  The canonical
+    producer is [Rbb_sim.Telemetry.probe], which closes a probe over its
+    counters/timers registry; {!noop} is the default everywhere and
+    costs one branch per round on the hot paths.
+
+    Conventions: [now] returns monotonic nanoseconds (0 for {!noop});
+    [add name k] bumps an integer counter; [timer_add name ns]
+    accumulates a named duration; [latency ns] records one per-round
+    latency observation (histogrammed by the sink). *)
+
+type t = {
+  enabled : bool;  (** engines skip all probe work when false *)
+  now : unit -> int64;  (** monotonic clock, nanoseconds *)
+  add : string -> int -> unit;  (** counter increment *)
+  timer_add : string -> int64 -> unit;  (** accumulate a duration *)
+  latency : int64 -> unit;  (** one per-round latency sample *)
+}
+
+val noop : t
+(** Inert sink: [enabled = false], every callback does nothing. *)

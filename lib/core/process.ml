@@ -154,12 +154,55 @@ let step t =
   t.empty <- empty;
   t.round <- t.round + 1
 
-let run t ~rounds =
-  for _ = 1 to rounds do
-    step t
-  done
+(* [step] with per-phase probe timing.  Kept separate from [step] so the
+   uninstrumented path stays exactly the hot loop it was; [run] picks
+   this variant only when the probe is enabled. *)
+let step_timed t ~(probe : Probe.t) =
+  let bins = Array.length t.loads in
+  Array.fill t.arrivals 0 bins 0;
+  let t0 = probe.now () in
+  let engine = Rbb_prng.Rng.engine t.rng in
+  let blocks = ref 0 in
+  for s = 0 to shard_count ~bins - 1 do
+    let lo, hi = shard_bounds ~bins ~shard:s in
+    let rng =
+      Rbb_prng.Stream.for_shard ~engine ~master:t.master ~round:t.round ~shard:s ()
+    in
+    step_launch ~rng ~loads:t.loads ~arrivals:t.arrivals ~capacity:t.capacity
+      ~d:t.d ?alias:t.weights ~lo ~hi ();
+    incr blocks
+  done;
+  let t1 = probe.now () in
+  let max_l, empty =
+    step_settle ~loads:t.loads ~arrivals:t.arrivals ~capacity:t.capacity ~lo:0
+      ~hi:bins
+  in
+  t.max_load <- max_l;
+  t.empty <- empty;
+  t.round <- t.round + 1;
+  let t2 = probe.now () in
+  probe.timer_add "process.launch" (Int64.sub t1 t0);
+  probe.timer_add "process.settle" (Int64.sub t2 t1);
+  probe.latency (Int64.sub t2 t0);
+  probe.add "process.rounds" 1;
+  probe.add "process.launch.blocks" !blocks
+
+let run ?(probe = Probe.noop) t ~rounds =
+  if rounds < 0 then invalid_arg "Process.run: rounds < 0";
+  if probe.Probe.enabled then begin
+    let t0 = probe.Probe.now () in
+    for _ = 1 to rounds do
+      step_timed t ~probe
+    done;
+    probe.Probe.timer_add "process.run" (Int64.sub (probe.Probe.now ()) t0)
+  end
+  else
+    for _ = 1 to rounds do
+      step t
+    done
 
 let run_until t ~max_rounds ~stop =
+  if max_rounds < 0 then invalid_arg "Process.run_until: max_rounds < 0";
   if stop t then Some t.round
   else begin
     let rec go k =

@@ -15,18 +15,30 @@ let create ?(capacity = 4096) () =
   { capacity; buf = Array.make capacity dummy; len = 0; stride = 1; countdown = 0 }
 
 let compact t =
-  (* Keep every other sample; double the stride. *)
+  (* Keep every other sample, anchored so the NEWEST sample always
+     survives (odd indices when [len] is even, even indices when odd);
+     double the stride.  Anchoring on index 0 instead would drop the
+     most recent sample whenever [len] is even. *)
   let kept = (t.len + 1) / 2 in
+  let parity = (t.len - 1) land 1 in
   for i = 0 to kept - 1 do
-    t.buf.(i) <- t.buf.(2 * i)
+    t.buf.(i) <- t.buf.(parity + (2 * i))
   done;
   t.len <- kept;
   t.stride <- 2 * t.stride
 
 let record ?(extra = 0.) t ~round ~max_load ~empty_bins =
   if t.countdown > 0 then t.countdown <- t.countdown - 1
+  else if t.len = t.capacity then begin
+    (* This call arrives one OLD stride after the last retained sample.
+       Compact, then re-base the countdown so the next retained call
+       lands exactly one NEW (doubled) stride after the survivor: skip
+       this call plus the next [old_stride - 1]. *)
+    let old_stride = t.stride in
+    compact t;
+    t.countdown <- old_stride - 1
+  end
   else begin
-    if t.len = t.capacity then compact t;
     t.buf.(t.len) <- { round; max_load; empty_bins; extra };
     t.len <- t.len + 1;
     t.countdown <- t.stride - 1

@@ -3,8 +3,22 @@
     Captures per-round observations (round, max load, empty bins, and an
     optional user metric) for export to CSV or plotting, with uniform
     downsampling so a 10⁷-round run still fits in a fixed budget of
-    rows: whenever the buffer fills, every other sample is dropped and
-    the sampling stride doubles. *)
+    rows.
+
+    {2 Stride and compaction semantics}
+
+    The recorder keeps every [stride]-th {!record} call, with [stride]
+    starting at 1.  Whenever the buffer reaches capacity, it compacts:
+    every other retained sample is dropped — anchored so the {e newest}
+    sample always survives — and [stride] doubles.  The call that
+    triggered a compaction is itself skipped, and the skip countdown is
+    re-based on the doubled stride, so after any number of compactions
+    the retained samples are {e evenly spaced}: consecutive retained
+    rounds always differ by exactly [stride] (assuming one call per
+    round).  Consequently the number of retained samples never drops
+    below [capacity / 2], the newest retained sample is at most [stride]
+    calls old, and a plot of {!samples} is a uniform subsampling of the
+    full run. *)
 
 type sample = {
   round : int;
@@ -21,7 +35,8 @@ val create : ?capacity:int -> unit -> t
 
 val record : ?extra:float -> t -> round:int -> max_load:int -> empty_bins:int -> unit
 (** Record one round.  Rounds should be passed in increasing order; the
-    recorder keeps every [stride]-th call. *)
+    recorder keeps every [stride]-th call (see the compaction semantics
+    above). *)
 
 val record_process : ?extra:float -> t -> Process.t -> unit
 (** Record the current round of a {!Process}. *)

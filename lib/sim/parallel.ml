@@ -49,7 +49,7 @@ let record_failure slot ~index exn =
   in
   go ()
 
-let map_domains ?domains ~tasks f =
+let map_domains ?(telemetry = Telemetry.noop) ?domains ~tasks f =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if domains < 1 then invalid_arg "Parallel.map_domains: domains < 1";
   if tasks < 0 then invalid_arg "Parallel.map_domains: negative tasks";
@@ -58,20 +58,33 @@ let map_domains ?domains ~tasks f =
     let results = Array.make tasks None in
     let failure = Atomic.make None in
     let workers = Stdlib.min domains tasks in
+    let timed = Telemetry.enabled telemetry in
     (* Worker [w] owns tasks w, w + workers, ...: the assignment depends
        only on the task index and [workers], and every task writes its
        own slot, so the result array is domain-schedule independent. *)
     let work w () =
+      let t0 = if timed then Telemetry.now telemetry else 0L in
+      let executed = ref 0 in
       let i = ref w in
       while !i < tasks do
         (match f !i with
         | v -> results.(!i) <- Some v
         | exception exn -> record_failure failure ~index:!i exn);
+        incr executed;
         i := !i + workers
-      done
+      done;
+      if timed then begin
+        Telemetry.add telemetry
+          (Printf.sprintf "parallel.worker%d.tasks" w)
+          !executed;
+        Telemetry.timer_add telemetry
+          (Printf.sprintf "parallel.worker%d.wall" w)
+          (Int64.sub (Telemetry.now telemetry) t0)
+      end
     in
     if workers = 1 then work 0 ()
     else List.iter Domain.join (List.init workers (fun w -> Domain.spawn (work w)));
+    if timed then Telemetry.add telemetry "parallel.tasks" tasks;
     (match Atomic.get failure with
     | Some (_, exn) -> raise exn
     | None -> ());
@@ -80,19 +93,19 @@ let map_domains ?domains ~tasks f =
       results
   end
 
-let try_run ?engine ?domains ~base_seed ~trials f =
+let try_run ?telemetry ?engine ?domains ~base_seed ~trials f =
   if trials < 0 then invalid_arg "Parallel.run: negative trials";
   let seeds = Replicate.seeds ~base:base_seed ~count:trials in
-  map_domains ?domains ~tasks:trials (fun i ->
+  map_domains ?telemetry ?domains ~tasks:trials (fun i ->
       let rng = Rbb_prng.Rng.create ?engine ~seed:seeds.(i) () in
       match f rng with v -> Ok v | exception exn -> Error exn)
 
-let run ?engine ?domains ~base_seed ~trials f =
-  let results = try_run ?engine ?domains ~base_seed ~trials f in
+let run ?telemetry ?engine ?domains ~base_seed ~trials f =
+  let results = try_run ?telemetry ?engine ?domains ~base_seed ~trials f in
   (* Array.iter visits slots left to right, so the raised exception is
      always the failing trial with the smallest index. *)
   Array.iter (function Error exn -> raise exn | Ok _ -> ()) results;
   Array.map (function Ok v -> v | Error _ -> assert false) results
 
-let run_floats ?engine ?domains ~base_seed ~trials f =
-  Rbb_stats.Summary.of_array (run ?engine ?domains ~base_seed ~trials f)
+let run_floats ?telemetry ?engine ?domains ~base_seed ~trials f =
+  Rbb_stats.Summary.of_array (run ?telemetry ?engine ?domains ~base_seed ~trials f)

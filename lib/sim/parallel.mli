@@ -29,7 +29,8 @@ module Barrier : sig
       as [Sharded] need between their launch and settle passes. *)
 end
 
-val map_domains : ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
+val map_domains :
+  ?telemetry:Telemetry.t -> ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
 (** [map_domains ~tasks f] evaluates [f i] for every [i] in
     [0 .. tasks - 1] across [min domains tasks] domains (round-robin
     task assignment; inline when a single worker remains) and returns
@@ -38,9 +39,16 @@ val map_domains : ?domains:int -> tasks:int -> (int -> 'a) -> 'a array
     exception of the smallest failing index is re-raised after every
     domain joins.  This is the primitive under {!run} and under
     [Sharded]'s per-round phases.
+
+    When [telemetry] (default {!Telemetry.noop}) is an active sink, each
+    worker [w] reports counter [parallel.worker<w>.tasks] (tasks it
+    executed) and timer [parallel.worker<w>.wall] (its wall-clock time),
+    plus the total counter [parallel.tasks]; task counts are
+    deterministic in [(tasks, domains)].
     @raise Invalid_argument if [domains < 1] or [tasks < 0]. *)
 
 val run :
+  ?telemetry:Telemetry.t ->
   ?engine:Rbb_prng.Rng.engine ->
   ?domains:int ->
   base_seed:int64 ->
@@ -55,6 +63,7 @@ val run :
     @raise Invalid_argument if [domains < 1] or [trials < 0]. *)
 
 val try_run :
+  ?telemetry:Telemetry.t ->
   ?engine:Rbb_prng.Rng.engine ->
   ?domains:int ->
   base_seed:int64 ->
@@ -67,6 +76,7 @@ val try_run :
     [domains]. *)
 
 val run_floats :
+  ?telemetry:Telemetry.t ->
   ?engine:Rbb_prng.Rng.engine ->
   ?domains:int ->
   base_seed:int64 ->

@@ -13,13 +13,14 @@ type t = {
   launchers : int;  (* phase-1 workers = min domains shards *)
   settlers : int;  (* phase-2 workers = min domains bins *)
   bufs : int array array;  (* one full-width arrival buffer per launcher *)
+  telemetry : Telemetry.t;
   mutable round : int;
   mutable max_load : int;
   mutable empty : int;
 }
 
-let create ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init
-    () =
+let create ?(telemetry = Telemetry.noop) ?(d_choices = 1) ?weights
+    ?(capacity = 1) ?shards ?domains ~rng ~init () =
   if d_choices < 1 then invalid_arg "Sharded.create: d_choices < 1";
   if capacity < 1 then invalid_arg "Sharded.create: capacity < 1";
   let loads = Config.loads init in
@@ -57,6 +58,7 @@ let create ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init
     launchers;
     settlers = Stdlib.min domains bins;
     bufs = Array.init launchers (fun _ -> Array.make bins 0);
+    telemetry;
     round = 0;
     max_load = Config.max_load init;
     empty = Config.empty_bins init;
@@ -81,12 +83,15 @@ let config t = Config.of_array t.loads
    the logical randomness blocks [j*blocks/shards, (j+1)*blocks/shards);
    each block draws from its own (master, round, block) stream, so
    neither the shard count nor the worker that runs it can change a
-   single draw.  Arrivals scatter into the worker-private buffer. *)
+   single draw.  Arrivals scatter into the worker-private buffer.
+   Returns the number of blocks actually launched, so telemetry counters
+   reflect real work done rather than a formula. *)
 let launch_phase t ~rnd w =
   let bins = Array.length t.loads in
   let blocks = Process.shard_count ~bins in
   let buf = t.bufs.(w) in
   Array.fill buf 0 bins 0;
+  let launched = ref 0 in
   let j = ref w in
   while !j < t.shards do
     let b_lo = !j * blocks / t.shards and b_hi = (!j + 1) * blocks / t.shards in
@@ -97,25 +102,34 @@ let launch_phase t ~rnd w =
           ~shard:b ()
       in
       Process.step_launch ~rng ~loads:t.loads ~arrivals:buf ~capacity:t.capacity
-        ~d:t.d ?alias:t.alias ~lo ~hi ()
+        ~d:t.d ?alias:t.alias ~lo ~hi ();
+      incr launched
     done;
     j := !j + t.launchers
-  done
+  done;
+  !launched
 
-(* Phase 2 for worker [w]: workers own disjoint bin ranges, merge the
-   per-launcher buffers into buffer 0 and settle with the sequential
-   kernel, returning the slice's (max_load, empty) for the reduce. *)
-let settle_phase t w =
+(* The bin range settle-worker [w] owns. *)
+let settle_slice_bounds t w =
   let bins = Array.length t.loads in
-  let lo = w * bins / t.settlers and hi = (w + 1) * bins / t.settlers in
+  (w * bins / t.settlers, (w + 1) * bins / t.settlers)
+
+(* Phase 2a for bins [lo, hi): sum the per-launcher arrival buffers into
+   buffer 0.  Workers own disjoint slices, so this is race-free. *)
+let merge_slice t ~lo ~hi =
   let acc = t.bufs.(0) in
   for b = 1 to t.launchers - 1 do
     let other = t.bufs.(b) in
     for u = lo to hi - 1 do
       acc.(u) <- acc.(u) + other.(u)
     done
-  done;
-  Process.step_settle ~loads:t.loads ~arrivals:acc ~capacity:t.capacity ~lo ~hi
+  done
+
+(* Phase 2b for bins [lo, hi): settle with the sequential kernel,
+   returning the slice's (max_load, empty) for the reduce. *)
+let settle_slice t ~lo ~hi =
+  Process.step_settle ~loads:t.loads ~arrivals:t.bufs.(0) ~capacity:t.capacity
+    ~lo ~hi
 
 let reduce_parts t parts =
   let max_l = ref 0 and empty = ref 0 in
@@ -146,51 +160,112 @@ let run_pooled t ~rounds =
      rendezvous instead of 2w spawns.  A worker that raises keeps
      attending the barriers (skipping its phase work) so its peers never
      deadlock; the smallest failing worker index is re-raised at the
-     end, with the engine state unspecified as for any failed step. *)
+     end, with the engine state unspecified as for any failed step.
+
+     Telemetry: each worker accumulates its per-phase nanoseconds in
+     locals and flushes them once after the loop, so an active sink
+     costs two clock reads per phase per round and zero lock traffic on
+     the rounds themselves; worker 0 additionally records the per-round
+     latency.  With the noop sink the clock reads collapse to
+     constants. *)
   let w_count = workers t in
   let barrier = Parallel.Barrier.create w_count in
   let failure = Atomic.make None in
   let parts = Array.make t.settlers (0, 0) in
   let r0 = t.round in
+  let tel = t.telemetry in
+  let timed = Telemetry.enabled tel in
   let work w () =
+    let now () = if timed then Telemetry.now tel else 0L in
+    let tick r t0 t1 = r := Int64.add !r (Int64.sub t1 t0) in
+    let launch_ns = ref 0L and merge_ns = ref 0L and settle_ns = ref 0L in
+    let barrier_ns = ref 0L in
+    let blocks = ref 0 in
     for rnd = r0 to r0 + rounds - 1 do
+      let t0 = now () in
       (try
          if w < t.launchers && Atomic.get failure = None then
-           launch_phase t ~rnd w
+           blocks := !blocks + launch_phase t ~rnd w
        with exn -> record_failure failure ~index:w exn);
+      let t1 = now () in
       Parallel.Barrier.wait barrier;
+      let t2 = now () in
       (try
-         if w < t.settlers && Atomic.get failure = None then
-           parts.(w) <- settle_phase t w
+         if w < t.settlers && Atomic.get failure = None then begin
+           let lo, hi = settle_slice_bounds t w in
+           merge_slice t ~lo ~hi;
+           let tm = now () in
+           tick merge_ns t2 tm;
+           parts.(w) <- settle_slice t ~lo ~hi;
+           tick settle_ns tm (now ())
+         end
        with exn -> record_failure failure ~index:w exn);
-      Parallel.Barrier.wait barrier
-    done
+      let t3 = now () in
+      Parallel.Barrier.wait barrier;
+      let t4 = now () in
+      tick launch_ns t0 t1;
+      tick barrier_ns t1 t2;
+      tick barrier_ns t3 t4;
+      if timed && w = 0 then Telemetry.record_latency tel (Int64.sub t4 t0)
+    done;
+    if timed then begin
+      Telemetry.timer_add tel "sharded.launch" !launch_ns;
+      Telemetry.timer_add tel "sharded.merge" !merge_ns;
+      Telemetry.timer_add tel "sharded.settle" !settle_ns;
+      Telemetry.timer_add tel "sharded.barrier_wait" !barrier_ns;
+      Telemetry.add tel "sharded.launch.blocks" !blocks
+    end
   in
   List.iter Domain.join (List.init w_count (fun w -> Domain.spawn (work w)));
   (match Atomic.get failure with Some (_, exn) -> raise exn | None -> ());
   reduce_parts t parts;
-  t.round <- r0 + rounds
+  t.round <- r0 + rounds;
+  if timed then Telemetry.add tel "sharded.rounds" rounds
 
 let run_inline t ~rounds =
   let parts = Array.make t.settlers (0, 0) in
+  let tel = t.telemetry in
+  let timed = Telemetry.enabled tel in
+  let blocks = ref 0 in
   for _ = 1 to rounds do
+    let t0 = if timed then Telemetry.now tel else 0L in
     for w = 0 to t.launchers - 1 do
-      launch_phase t ~rnd:t.round w
+      blocks := !blocks + launch_phase t ~rnd:t.round w
     done;
+    let t1 = if timed then Telemetry.now tel else 0L in
     for w = 0 to t.settlers - 1 do
-      parts.(w) <- settle_phase t w
+      let lo, hi = settle_slice_bounds t w in
+      merge_slice t ~lo ~hi
+    done;
+    let t2 = if timed then Telemetry.now tel else 0L in
+    for w = 0 to t.settlers - 1 do
+      let lo, hi = settle_slice_bounds t w in
+      parts.(w) <- settle_slice t ~lo ~hi
     done;
     reduce_parts t parts;
-    t.round <- t.round + 1
-  done
+    t.round <- t.round + 1;
+    if timed then begin
+      let t3 = Telemetry.now tel in
+      Telemetry.timer_add tel "sharded.launch" (Int64.sub t1 t0);
+      Telemetry.timer_add tel "sharded.merge" (Int64.sub t2 t1);
+      Telemetry.timer_add tel "sharded.settle" (Int64.sub t3 t2);
+      Telemetry.record_latency tel (Int64.sub t3 t0)
+    end
+  done;
+  if timed then begin
+    Telemetry.add tel "sharded.rounds" rounds;
+    Telemetry.add tel "sharded.launch.blocks" !blocks
+  end
 
 let run t ~rounds =
+  if rounds < 0 then invalid_arg "Sharded.run: rounds < 0";
   if rounds > 0 then
     if workers t = 1 then run_inline t ~rounds else run_pooled t ~rounds
 
 let step t = run t ~rounds:1
 
 let run_until t ~max_rounds ~stop =
+  if max_rounds < 0 then invalid_arg "Sharded.run_until: max_rounds < 0";
   if stop t then Some t.round
   else begin
     let rec go k =

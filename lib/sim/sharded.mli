@@ -27,6 +27,7 @@
 type t
 
 val create :
+  ?telemetry:Telemetry.t ->
   ?d_choices:int ->
   ?weights:float array ->
   ?capacity:int ->
@@ -42,6 +43,14 @@ val create :
     scheduling shards for the launch phase (default [domains]);
     [domains] the number of worker domains (default
     {!Parallel.default_domains}).  Neither affects results.
+
+    [telemetry] (default {!Telemetry.noop}) receives per-phase timers
+    [sharded.launch] / [sharded.merge] / [sharded.settle] (and
+    [sharded.barrier_wait] on the pooled multi-worker path), a per-round
+    latency sample, and the counters [sharded.rounds] and
+    [sharded.launch.blocks] (one per randomness block actually launched,
+    i.e. [rounds * Process.shard_count ~bins] per run, however the
+    blocks are scheduled).  Telemetry never affects the trajectory.
     @raise Invalid_argument under {!Rbb_core.Process.create}'s
     conditions, or if [shards < 1] or [domains < 1]. *)
 
@@ -49,9 +58,12 @@ val step : t -> unit
 (** Advance one synchronous round (both phases, with a barrier between). *)
 
 val run : t -> rounds:int -> unit
+(** [run t ~rounds] advances [rounds] rounds ([rounds = 0] is a no-op).
+    @raise Invalid_argument if [rounds < 0]. *)
 
 val run_until : t -> max_rounds:int -> stop:(t -> bool) -> int option
-(** Same contract as {!Rbb_core.Process.run_until}. *)
+(** Same contract as {!Rbb_core.Process.run_until}.
+    @raise Invalid_argument if [max_rounds < 0]. *)
 
 val run_until_legitimate : ?beta:float -> t -> max_rounds:int -> int option
 

@@ -1,0 +1,96 @@
+(** Structured telemetry: counters, gauges, timers and a per-round
+    latency histogram, with deterministic JSON export.
+
+    Every quantitative claim reproduced by this repo flows through the
+    measurement path, and the production-scale north star needs
+    machine-readable observability; this module is the shared sink.  The
+    engines are wired to it — {!Rbb_core.Process.run} via {!probe},
+    {!Sharded} via its [?telemetry] argument, {!Parallel.map_domains}
+    via [?telemetry] — and the CLI exports it with
+    [--telemetry-json PATH].
+
+    {2 Pay-for-what-you-use}
+
+    {!noop} is the default sink everywhere.  Every operation on it is a
+    single pattern match (no clock read, no lock, no allocation), so
+    instrumented hot loops run at the same speed as uninstrumented ones;
+    [bench/micro.ml] guards this with an overhead assertion.  An active
+    sink serializes updates through one mutex and is safe to share
+    across domains.
+
+    {2 Determinism}
+
+    JSON rendering sorts every key ([String.compare]) and uses fixed
+    number formats, so for a fixed seed the counter and gauge portions
+    of the document are bit-stable across runs and can be pinned by cram
+    tests.  Timer values and the latency histogram reflect wall-clock
+    measurements and vary run to run (the {e keys} are still stable). *)
+
+type t
+
+val noop : t
+(** Inert sink: all operations are no-ops, [enabled] is false. *)
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** A fresh active sink.  [clock] (default: the process-wide monotonic
+    clock, nanoseconds) exists so tests can inject a deterministic
+    clock and pin complete JSON documents. *)
+
+val enabled : t -> bool
+
+val now : t -> int64
+(** Current clock reading in nanoseconds (0 on {!noop}). *)
+
+(** {2 Instruments} *)
+
+val add : t -> string -> int -> unit
+(** [add t name k] bumps counter [name] by [k] (created at 0). *)
+
+val incr : t -> string -> unit
+(** [incr t name] is [add t name 1]. *)
+
+val set_gauge : t -> string -> float -> unit
+(** [set_gauge t name v] sets gauge [name] to [v] (last write wins). *)
+
+val timer_add : t -> string -> int64 -> unit
+(** [timer_add t name ns] accumulates [ns] into timer [name] and bumps
+    its call count. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()] and accumulates its duration into timer
+    [name] (also on exception).  On {!noop} this is exactly [f ()]. *)
+
+val record_latency : t -> int64 -> unit
+(** Record one per-round latency sample into the power-of-two histogram
+    (bucket 0 holds samples [<= 0] ns; bucket [i >= 1] holds samples in
+    [[2^(i-1), 2^i - 1]]). *)
+
+(** {2 Readers} *)
+
+val counter : t -> string -> int
+(** Current counter value (0 when absent or on {!noop}). *)
+
+val gauge : t -> string -> float option
+
+val timer : t -> string -> int * int64
+(** [(calls, total_ns)], [(0, 0L)] when absent or on {!noop}. *)
+
+val latency_count : t -> int
+(** Total number of latency samples recorded. *)
+
+(** {2 Export} *)
+
+val to_json_string : t -> string
+(** The whole registry as a JSON document (no trailing newline):
+    sections [counters], [gauges], [timers] (objects keyed by sorted
+    metric name) and [round_latency_ns] ([count] plus the non-empty
+    histogram buckets as [{ "le", "count" }] pairs).  {!noop} renders
+    the empty document. *)
+
+val write_json : t -> path:string -> unit
+(** Write {!to_json_string} (plus a trailing newline) to [path]. *)
+
+val probe : t -> Rbb_core.Probe.t
+(** A probe feeding this sink, for instrumenting core engines
+    ({!Rbb_core.Process.run}'s [?probe]).  [probe noop] is
+    {!Rbb_core.Probe.noop}. *)

@@ -13,8 +13,16 @@ let of_sorted sorted q =
   end
 
 let sorted_copy samples =
+  (* Float.compare keeps the sort on the unboxed-float fast path
+     (polymorphic compare would take the generic slow path on the hot
+     E1/E8 summary pipeline) and gives NaN a total order, but a NaN in
+     the sample would still silently poison the interpolation, so
+     reject it up front. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Quantile: NaN sample")
+    samples;
   let a = Array.copy samples in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
 let quantile samples q = of_sorted (sorted_copy samples) q

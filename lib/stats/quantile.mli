@@ -4,15 +4,15 @@ val quantile : float array -> float -> float
 (** [quantile samples q] is the [q]-quantile with linear interpolation
     between order statistics (type-7, the R/NumPy default).  The input
     array is not modified.
-    @raise Invalid_argument if [samples] is empty or [q] outside
-    [[0, 1]]. *)
+    @raise Invalid_argument if [samples] is empty, contains a NaN, or
+    [q] outside [[0, 1]]. *)
 
 val median : float array -> float
 (** [median samples] is [quantile samples 0.5]. *)
 
 val quantiles : float array -> float list -> float list
 (** [quantiles samples qs] computes several quantiles with a single
-    sort. *)
+    sort.  Raises like {!quantile} (NaN samples are rejected). *)
 
 val iqr : float array -> float
 (** Interquartile range, [q75 - q25]. *)

@@ -72,3 +72,50 @@ Convergence measurement from the worst start (deterministic in the seed):
   mean rounds : 67.0  (1.047 n)
   max rounds  : 72  (1.125 n)
   threshold   : max load <= 17
+
+
+Structured telemetry export (--telemetry-json).  Counters and gauges are
+deterministic in the seed, so they are pinned exactly; timer values are
+wall-clock measurements, so only their (sorted, stable) keys are checked.
+
+  $ rbb simulate --bins 64 --rounds 100 --telemetry-json tel_seq.json > /dev/null
+  $ grep -o '"schema": "rbb.telemetry/1"' tel_seq.json
+  "schema": "rbb.telemetry/1"
+  $ grep -E '"process\.[a-z.]+": [0-9]+,?$' tel_seq.json
+      "process.launch.blocks": 100,
+      "process.rounds": 100
+  $ grep '"simulate\.' tel_seq.json
+      "simulate.mean_max_load": 5.28,
+      "simulate.min_empty_fraction": 0.328125,
+      "simulate.running_max_load": 10.0
+  $ grep -oE '"process\.(launch|settle|run)":' tel_seq.json
+  "process.launch":
+  "process.run":
+  "process.settle":
+
+The sharded engine exports the same document shape with per-phase
+timers, and its counters agree with the sequential block lattice:
+
+  $ rbb simulate --bins 64 --rounds 100 --shards 3 --domains 2 --telemetry-json tel_par.json > /dev/null
+  $ grep -E '"sharded\.[a-z.]+": [0-9]+,?$' tel_par.json
+      "sharded.launch.blocks": 100,
+      "sharded.rounds": 100
+  $ grep -oE '"sharded\.(launch|merge|settle|barrier_wait)":' tel_par.json
+  "sharded.barrier_wait":
+  "sharded.launch":
+  "sharded.merge":
+  "sharded.settle":
+
+Negative round counts are rejected up front on every engine:
+
+  $ rbb simulate --bins 64 --rounds=-5
+  rbb: error: simulate: --rounds must be nonnegative
+  [2]
+
+  $ rbb simulate --bins 64 --rounds=-5 --shards 3 --domains 2
+  rbb: error: simulate: --rounds must be nonnegative
+  [2]
+
+  $ rbb tetris --bins 64 --rounds=-1
+  rbb: error: tetris: --rounds must be nonnegative
+  [2]

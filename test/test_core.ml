@@ -268,6 +268,20 @@ let process_run_until_immediate () =
   Alcotest.(check (option int)) "never satisfied" None
     (Process.run_until p ~max_rounds:5 ~stop:(fun _ -> false))
 
+let process_rounds_validation () =
+  (* Regression: negative round counts used to be silent no-ops. *)
+  let mk () = Process.create ~rng:(Tutil.rng ()) ~init:(Config.uniform ~n:16) () in
+  let p = mk () in
+  Tutil.check_raises_invalid "run rounds < 0" (fun () ->
+      Process.run p ~rounds:(-1));
+  Tutil.check_raises_invalid "run_until max_rounds < 0" (fun () ->
+      ignore (Process.run_until p ~max_rounds:(-3) ~stop:(fun _ -> true)));
+  let p = mk () in
+  let before = Process.config p in
+  Process.run p ~rounds:0;
+  Alcotest.(check bool) "rounds = 0 is a no-op" true
+    (Config.equal before (Process.config p) && Process.round p = 0)
+
 let process_d_choices_helps () =
   (* Two-choices keeps the long-run max load strictly below one-choice
      (statistically large gap at n = 512; deterministic under seed). *)
@@ -825,6 +839,7 @@ let suite =
         Tutil.slow "stays legitimate (Thm 1)" process_stays_legitimate;
         Tutil.slow "empty bins >= n/4 (Lemma 2)" process_empty_bins_quarter;
         Tutil.quick "run_until" process_run_until_immediate;
+        Tutil.quick "rounds validation" process_rounds_validation;
         Tutil.slow "two-choices helps" process_d_choices_helps;
         Tutil.quick "set_config" process_set_config;
         Tutil.quick "invalid d" process_invalid_d;

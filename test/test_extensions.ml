@@ -96,6 +96,35 @@ let trace_downsamples () =
   (* Coverage: retained samples span most of the run. *)
   Alcotest.(check bool) "spans the run" true (s.(Array.length s - 1).Trace.round > 900)
 
+let trace_even_spacing () =
+  (* Regression: compaction must keep the retained rounds spaced exactly
+     [stride] apart for both parities of the kept length.  Pre-fix, the
+     keep rule dropped the newest sample and re-based the countdown on
+     the doubled stride, so odd capacities drifted off-lattice. *)
+  List.iter
+    (fun capacity ->
+      let t = Trace.create ~capacity () in
+      for r = 1 to 10_000 do
+        Trace.record t ~round:r ~max_load:r ~empty_bins:0
+      done;
+      let stride = Trace.stride t in
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d: stride grew" capacity)
+        true (stride > 1);
+      let s = Trace.samples t in
+      for i = 0 to Array.length s - 2 do
+        Alcotest.(check int)
+          (Printf.sprintf "cap %d: spacing at %d" capacity i)
+          stride
+          (s.(i + 1).Trace.round - s.(i).Trace.round)
+      done;
+      (* The newest retained sample is within one stride of the end. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d: newest kept" capacity)
+        true
+        (s.(Array.length s - 1).Trace.round > 10_000 - stride))
+    [ 16; 17 ]
+
 let trace_rows_and_series () =
   let t = Trace.create () in
   Trace.record ~extra:1.5 t ~round:1 ~max_load:3 ~empty_bins:2;
@@ -350,6 +379,7 @@ let suite =
       [
         Tutil.quick "below capacity" trace_records_all_below_capacity;
         Tutil.quick "downsamples" trace_downsamples;
+        Tutil.quick "even spacing after compaction" trace_even_spacing;
         Tutil.quick "rows/series" trace_rows_and_series;
         Tutil.quick "record_process" trace_record_process;
       ] );

@@ -22,4 +22,5 @@ let () =
          Test_sharded.suite;
          Test_bench_smoke.suite;
          Test_extensions5.suite;
+         Test_telemetry.suite;
        ])

@@ -216,6 +216,23 @@ let chi2_two_choices () =
 (* Lemma 1/2: >= n/4 empty bins from round 1 on, on the sharded engine *)
 (* ------------------------------------------------------------------ *)
 
+let sharded_rounds_validation () =
+  (* Regression: negative round counts used to be silent no-ops. *)
+  let mk () =
+    Sharded.create ~shards:3 ~domains:2 ~rng:(mk_rng 31L)
+      ~init:(Config.uniform ~n:64) ()
+  in
+  let p = mk () in
+  Tutil.check_raises_invalid "run rounds < 0" (fun () ->
+      Sharded.run p ~rounds:(-1));
+  Tutil.check_raises_invalid "run_until max_rounds < 0" (fun () ->
+      ignore (Sharded.run_until p ~max_rounds:(-3) ~stop:(fun _ -> true)));
+  let p = mk () in
+  let before = Sharded.config p in
+  Sharded.run p ~rounds:0;
+  Alcotest.(check bool) "rounds = 0 is a no-op" true
+    (Config.equal before (Sharded.config p) && Sharded.round p = 0)
+
 let sharded_quarter_empty () =
   let n = 10_000 in
   let p =
@@ -239,6 +256,7 @@ let suite =
           sharded_matches_process_variants;
         Tutil.quick "round-by-round equality" sharded_round_by_round;
         Tutil.quick "invalid shard/domain counts" sharded_rejects_bad_counts;
+        Tutil.quick "rounds validation" sharded_rounds_validation;
         Tutil.prop "step invariants" ~count:60 gen_case prop_step_invariants;
         Tutil.prop "sharded bit-identical" ~count:60 gen_case
           prop_sharded_bit_identical;

@@ -191,6 +191,47 @@ let quantile_does_not_mutate () =
   ignore (Quantile.median s);
   Alcotest.(check (array (float 0.))) "input unchanged" [| 3.; 1.; 2. |] s
 
+let quantile_rejects_nan () =
+  (* Regression: NaN samples used to silently poison the sort under
+     polymorphic compare; every entry point now rejects them. *)
+  let poisoned = [| 1.; Float.nan; 3. |] in
+  Tutil.check_raises_invalid "quantile" (fun () ->
+      ignore (Quantile.quantile poisoned 0.5));
+  Tutil.check_raises_invalid "median" (fun () ->
+      ignore (Quantile.median poisoned));
+  Tutil.check_raises_invalid "quantiles" (fun () ->
+      ignore (Quantile.quantiles poisoned [ 0.25; 0.75 ]));
+  Tutil.check_raises_invalid "iqr" (fun () -> ignore (Quantile.iqr poisoned));
+  Tutil.check_raises_invalid "nan only" (fun () ->
+      ignore (Quantile.median [| Float.nan |]))
+
+(* Float.compare agrees with the old polymorphic-compare path on finite
+   data, so the fix cannot have changed any published number: the
+   type-7 interpolation over a polymorphic-compare sort reproduces
+   Quantile.quantile exactly. *)
+let prop_quantile_agrees_with_old_path =
+  Tutil.prop "quantile = old polymorphic-compare path (finite data)"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (float_range (-1e6) 1e6))
+        (float_bound_inclusive 1.))
+    (fun (xs, q) ->
+      let s = Array.of_list xs in
+      let sorted = Array.copy s in
+      Array.sort Stdlib.compare sorted;
+      let n = Array.length sorted in
+      let old_path =
+        if n = 1 then sorted.(0)
+        else begin
+          let h = float_of_int (n - 1) *. q in
+          let lo = int_of_float (Float.floor h) in
+          let hi = Stdlib.min (lo + 1) (n - 1) in
+          let frac = h -. float_of_int lo in
+          sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+        end
+      in
+      Float.equal (Quantile.quantile s q) old_path)
+
 (* ------------------------------------------------------------------ *)
 (* Regression                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -356,7 +397,9 @@ let suite =
         Tutil.quick "errors" quantile_errors;
         Tutil.quick "iqr" quantile_iqr;
         Tutil.quick "no mutation" quantile_does_not_mutate;
+        Tutil.quick "rejects NaN" quantile_rejects_nan;
         prop_quantile_monotone;
+        prop_quantile_agrees_with_old_path;
       ] );
     ( "stats.regression",
       [
