@@ -133,7 +133,21 @@ let noop_overhead_guard () =
       (Printf.sprintf
          "noop telemetry probe is not free: bare step loop %.3f ms, run with \
           noop probe %.3f ms"
-         (1e3 *. bare) (1e3 *. noop))
+         (1e3 *. bare) (1e3 *. noop));
+  (* Same guard for the tracing path: a noop tracer's probe must leave
+     Process.run on the untimed fast path. *)
+  let traced =
+    best (fun p ->
+        Process.run ~probe:(Rbb_sim.Tracer.probe Rbb_sim.Tracer.noop) p ~rounds)
+  in
+  Printf.printf "noop-tracer overhead   : bare %.1f ms, traced-run %.1f ms (%.2fx)\n%!"
+    (1e3 *. bare) (1e3 *. traced) (traced /. bare);
+  if traced > (1.5 *. bare) +. 0.005 then
+    failwith
+      (Printf.sprintf
+         "noop tracer probe is not free: bare step loop %.3f ms, run with \
+          noop tracer %.3f ms"
+         (1e3 *. bare) (1e3 *. traced))
 
 let run () =
   print_endline "\n=== MICRO: kernel benchmarks (Bechamel, monotonic clock) ===\n";

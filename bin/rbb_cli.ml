@@ -71,10 +71,60 @@ let write_telemetry tel = function
       Rbb_sim.Telemetry.write_json tel ~path;
       Printf.printf "wrote telemetry to %s\n" path
 
+(* Event tracing: [--trace-ndjson PATH] streams round-level records
+   (schema rbb.trace/1), [--chrome-trace PATH] streams engine phase
+   spans as a Chrome trace-event document, [--trace-every K] strides the
+   observable/span families (threshold events always record).  Without
+   either sink the tracer is the noop and the engines take no clock
+   reads for it. *)
+
+let trace_ndjson_t =
+  let doc =
+    "Stream round-level trace events (observables, legitimacy/quarter-empty \
+     threshold events, engine phase spans) as NDJSON (schema rbb.trace/1) to \
+     $(docv).  Read it back with $(b,rbb trace-report)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-ndjson" ] ~docv:"PATH" ~doc)
+
+let trace_every_t =
+  let doc =
+    "Record observables and spans every $(docv) rounds (threshold events are \
+     recorded unconditionally).  Requires a trace sink."
+  in
+  Arg.(value & opt int 1 & info [ "trace-every" ] ~docv:"K" ~doc)
+
+let chrome_trace_t =
+  let doc =
+    "Write engine phase spans as Chrome trace-event JSON to $(docv) (load in \
+     Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"PATH" ~doc)
+
+let tracer_of ~n ~every ~ndjson ~chrome =
+  match (ndjson, chrome) with
+  | None, None ->
+      if every <> 1 then
+        invalid_arg "--trace-every requires --trace-ndjson or --chrome-trace";
+      Rbb_sim.Tracer.noop
+  | _ ->
+      Rbb_sim.Tracer.create ~every
+        ?ndjson:(Option.map (fun p -> `File p) ndjson)
+        ?chrome:(Option.map (fun p -> `File p) chrome)
+        ~n ()
+
+let close_tracer tracer ~ndjson ~chrome =
+  Rbb_sim.Tracer.close tracer;
+  (match ndjson with
+  | None -> ()
+  | Some path -> Printf.printf "wrote trace to %s\n" path);
+  match chrome with
+  | None -> ()
+  | Some path -> Printf.printf "wrote chrome trace to %s\n" path
+
 (* simulate ----------------------------------------------------------- *)
 
 let simulate n rounds seed init_name d shards domains report_every
-    telemetry_path =
+    telemetry_path trace_ndjson trace_every chrome_trace =
   if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
   if shards < 1 then invalid_arg "simulate: --shards must be at least 1";
   if domains < 1 then invalid_arg "simulate: --domains must be at least 1";
@@ -82,6 +132,9 @@ let simulate n rounds seed init_name d shards domains report_every
   let init = make_init init_name rng ~n ~m:n in
   let metrics = Metrics.create ~n in
   let tel = telemetry_of_path telemetry_path in
+  let tracer =
+    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+  in
   let observe r ~max_load ~empty_bins =
     Metrics.observe metrics ~max_load ~empty_bins;
     if report_every > 0 && r mod report_every = 0 then
@@ -91,12 +144,12 @@ let simulate n rounds seed init_name d shards domains report_every
   in
   (* Both engines implement the same randomness law, so the output below
      is identical whichever one runs; sharding only changes wall-clock
-     time.  Telemetry comes from inside the engines (per-phase timers),
-     so neither engine's trajectory depends on it. *)
+     time.  Telemetry and tracing come from inside the engines (probes),
+     so neither engine's trajectory depends on them. *)
   if shards > 1 || domains > 1 then begin
     let p =
-      Rbb_sim.Sharded.create ~telemetry:tel ~d_choices:d ~shards ~domains ~rng
-        ~init ()
+      Rbb_sim.Sharded.create ~telemetry:tel ~tracer ~d_choices:d ~shards
+        ~domains ~rng ~init ()
     in
     for r = 1 to rounds do
       Rbb_sim.Sharded.step p;
@@ -106,7 +159,9 @@ let simulate n rounds seed init_name d shards domains report_every
   end
   else begin
     let p = Process.create ~d_choices:d ~rng ~init () in
-    let probe = Rbb_sim.Telemetry.probe tel in
+    let probe =
+      Probe.compose (Rbb_sim.Telemetry.probe tel) (Rbb_sim.Tracer.probe tracer)
+    in
     for r = 1 to rounds do
       Process.run ~probe p ~rounds:1;
       observe r ~max_load:(Process.max_load p)
@@ -132,7 +187,8 @@ let simulate n rounds seed init_name d shards domains report_every
     (Metrics.mean_max_load metrics);
   Rbb_sim.Telemetry.set_gauge tel "simulate.min_empty_fraction"
     (Metrics.min_empty_fraction metrics);
-  write_telemetry tel telemetry_path
+  write_telemetry tel telemetry_path;
+  close_tracer tracer ~ndjson:trace_ndjson ~chrome:chrome_trace
 
 let simulate_cmd =
   let rounds_t =
@@ -163,11 +219,13 @@ let simulate_cmd =
   let doc = "Run the repeated balls-into-bins process and report load metrics." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ shards_t
-          $ domains_t $ report_t $ telemetry_t)
+          $ domains_t $ report_t $ telemetry_t $ trace_ndjson_t $ trace_every_t
+          $ chrome_trace_t)
 
 (* tetris -------------------------------------------------------------- *)
 
-let tetris n rounds seed init_name lambda telemetry_path =
+let tetris n rounds seed init_name lambda telemetry_path trace_ndjson
+    trace_every chrome_trace =
   if rounds < 0 then invalid_arg "tetris: --rounds must be nonnegative";
   let rng = rng_of_seed seed in
   let init = make_init init_name rng ~n ~m:n in
@@ -178,16 +236,15 @@ let tetris n rounds seed init_name lambda telemetry_path =
   in
   let t = Tetris.create ~arrivals ~rng ~init () in
   let tel = telemetry_of_path telemetry_path in
-  let timed = Rbb_sim.Telemetry.enabled tel in
+  let tracer =
+    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+  in
+  let probe =
+    Probe.compose (Rbb_sim.Telemetry.probe tel) (Rbb_sim.Tracer.probe tracer)
+  in
   let worst = ref 0 in
   for _ = 1 to rounds do
-    let t0 = if timed then Rbb_sim.Telemetry.now tel else 0L in
-    Tetris.step t;
-    if timed then begin
-      Rbb_sim.Telemetry.record_latency tel
-        (Int64.sub (Rbb_sim.Telemetry.now tel) t0);
-      Rbb_sim.Telemetry.incr tel "tetris.rounds"
-    end;
+    Tetris.run ~probe t ~rounds:1;
     if Tetris.max_load t > !worst then worst := Tetris.max_load t
   done;
   Printf.printf
@@ -207,7 +264,8 @@ let tetris n rounds seed init_name lambda telemetry_path =
     (fi (Tetris.max_load t));
   Rbb_sim.Telemetry.set_gauge tel "tetris.final_balls"
     (fi (Tetris.total_balls t));
-  write_telemetry tel telemetry_path
+  write_telemetry tel telemetry_path;
+  close_tracer tracer ~ndjson:trace_ndjson ~chrome:chrome_trace
 
 let tetris_cmd =
   let rounds_t =
@@ -220,26 +278,37 @@ let tetris_cmd =
   let doc = "Run the auxiliary Tetris process." in
   Cmd.v (Cmd.info "tetris" ~doc)
     Term.(const tetris $ n_t $ rounds_t $ seed_t $ init_t $ lambda_t
-          $ telemetry_t)
+          $ telemetry_t $ trace_ndjson_t $ trace_every_t $ chrome_trace_t)
 
 (* converge ------------------------------------------------------------ *)
 
-let converge n trials seed domains telemetry_path =
+let converge n trials seed domains telemetry_path trace_ndjson trace_every
+    chrome_trace =
   let tel = telemetry_of_path telemetry_path in
+  let tracer =
+    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+  in
   let measure rng =
     let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
     match Process.run_until_legitimate p ~max_rounds:(100 * n) with
-    | Some r -> fi r
+    | Some r -> r
     | None -> failwith "no convergence within 100n rounds"
   in
   (* Parallel and sequential runners produce identical results; domains
      only change wall-clock time (with domains = 1 the parallel runner
      degenerates to the inline loop), so one code path serves both. *)
-  let samples =
+  let rounds_per_trial =
     Rbb_sim.Telemetry.span tel "converge.total" (fun () ->
-        Rbb_sim.Parallel.run_floats ~telemetry:tel ~domains
+        Rbb_sim.Parallel.run ~telemetry:tel ~domains
           ~base_seed:(Int64.of_int seed) ~trials measure)
   in
+  (* Convergence events are emitted from the trial-ordered result array,
+     not from inside the workers, so the trace is identical for every
+     domain count. *)
+  Array.iteri
+    (fun trial r -> Rbb_sim.Tracer.convergence ~trial tracer ~round:r)
+    rounds_per_trial;
+  let samples = Rbb_stats.Summary.of_array (Array.map fi rounds_per_trial) in
   Printf.printf
     "convergence from the worst configuration (all %d balls in one bin), %d trials\n\
      mean rounds : %.1f  (%.3f n)\n\
@@ -254,7 +323,8 @@ let converge n trials seed domains telemetry_path =
     samples.Rbb_stats.Summary.mean;
   Rbb_sim.Telemetry.set_gauge tel "converge.max_rounds"
     samples.Rbb_stats.Summary.max;
-  write_telemetry tel telemetry_path
+  write_telemetry tel telemetry_path;
+  close_tracer tracer ~ndjson:trace_ndjson ~chrome:chrome_trace
 
 let converge_cmd =
   let trials_t =
@@ -266,7 +336,8 @@ let converge_cmd =
   in
   let doc = "Measure Theorem 1's O(n) convergence time from the worst start." in
   Cmd.v (Cmd.info "converge" ~doc)
-    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t $ telemetry_t)
+    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t $ telemetry_t
+          $ trace_ndjson_t $ trace_every_t $ chrome_trace_t)
 
 (* cover --------------------------------------------------------------- *)
 
@@ -707,6 +778,30 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const trace $ n_t $ rounds_t $ seed_t $ init_t $ csv_t)
 
+(* trace-report -------------------------------------------------------------- *)
+
+let trace_report path no_plot =
+  let r = Rbb_sim.Trace_report.read_file path in
+  print_string (Rbb_sim.Trace_report.render ~plot:(not no_plot) r)
+
+let trace_report_cmd =
+  let path_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"NDJSON trace file (schema rbb.trace/1).")
+  in
+  let no_plot_t =
+    Arg.(value & flag & info [ "no-plot" ] ~doc:"Skip the max-load plot.")
+  in
+  let doc =
+    "Summarise a recorded NDJSON trace: observable extrema, legitimacy \
+     dwell/excursion statistics, convergence rounds, Lemma 2 quarter-empty \
+     violations, span counts, and a max-load plot."
+  in
+  Cmd.v (Cmd.info "trace-report" ~doc)
+    Term.(const trace_report $ path_t $ no_plot_t)
+
 (* mixing -------------------------------------------------------------------- *)
 
 let mixing n m epsilon =
@@ -750,8 +845,8 @@ let () =
     Cmd.group ~default info
       [
         simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
-        markov_cmd; sweep_cmd; trace_cmd; mixing_cmd; rumor_cmd; ij_cmd;
-        profile_cmd; spectral_cmd;
+        markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd; mixing_cmd;
+        rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
       ]
   in
   match Cmd.eval_value ~catch:false group with

@@ -9,4 +9,22 @@ dune runtest
 dune build @fmt
 dune exec examples/quickstart.exe > /dev/null
 
+# API docs, when odoc is installed (it is optional in the dev image).
+if command -v odoc > /dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check.sh: odoc not found, skipping dune build @doc"
+fi
+
+# Trace round trip: record a seeded run and fold the stream back.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+dune exec bin/rbb_cli.exe -- simulate --bins 64 --rounds 100 --init pile \
+  --trace-ndjson "$tracedir/trace.ndjson" --chrome-trace "$tracedir/chrome.json" > /dev/null
+dune exec bin/rbb_cli.exe -- trace-report "$tracedir/trace.ndjson" --no-plot \
+  | grep -q 'observable rounds : 100' \
+  || { echo "check.sh: trace round trip failed"; exit 1; }
+grep -q '"traceEvents"' "$tracedir/chrome.json" \
+  || { echo "check.sh: chrome trace missing"; exit 1; }
+
 echo "check.sh: all green"

@@ -154,9 +154,9 @@ let step t =
   t.empty <- empty;
   t.round <- t.round + 1
 
-(* [step] with per-phase probe timing.  Kept separate from [step] so the
-   uninstrumented path stays exactly the hot loop it was; [run] picks
-   this variant only when the probe is enabled. *)
+(* [step] with per-phase probe timing and tracing.  Kept separate from
+   [step] so the uninstrumented path stays exactly the hot loop it was;
+   [run] picks this variant only when the probe is live. *)
 let step_timed t ~(probe : Probe.t) =
   let bins = Array.length t.loads in
   Array.fill t.arrivals 0 bins 0;
@@ -185,11 +185,16 @@ let step_timed t ~(probe : Probe.t) =
   probe.timer_add "process.settle" (Int64.sub t2 t1);
   probe.latency (Int64.sub t2 t0);
   probe.add "process.rounds" 1;
-  probe.add "process.launch.blocks" !blocks
+  probe.add "process.launch.blocks" !blocks;
+  if probe.tracing then begin
+    probe.on_span ~name:"process.launch" ~worker:0 ~round:t.round ~t0 ~t1;
+    probe.on_span ~name:"process.settle" ~worker:0 ~round:t.round ~t0:t1 ~t1:t2;
+    probe.on_round ~round:t.round ~max_load:max_l ~empty_bins:empty ~balls:t.m
+  end
 
 let run ?(probe = Probe.noop) t ~rounds =
   if rounds < 0 then invalid_arg "Process.run: rounds < 0";
-  if probe.Probe.enabled then begin
+  if Probe.live probe then begin
     let t0 = probe.Probe.now () in
     for _ = 1 to rounds do
       step_timed t ~probe
@@ -201,8 +206,9 @@ let run ?(probe = Probe.noop) t ~rounds =
       step t
     done
 
-let run_until t ~max_rounds ~stop =
+let run_until ?(probe = Probe.noop) t ~max_rounds ~stop =
   if max_rounds < 0 then invalid_arg "Process.run_until: max_rounds < 0";
+  let step t = if Probe.live probe then step_timed t ~probe else step t in
   if stop t then Some t.round
   else begin
     let rec go k =
@@ -215,6 +221,6 @@ let run_until t ~max_rounds ~stop =
     go 0
   end
 
-let run_until_legitimate ?beta t ~max_rounds =
+let run_until_legitimate ?probe ?beta t ~max_rounds =
   let threshold = Config.legitimacy_threshold ?beta (n t) in
-  run_until t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)
+  run_until ?probe t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)

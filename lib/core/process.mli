@@ -59,23 +59,28 @@ val step : t -> unit
 val run : ?probe:Probe.t -> t -> rounds:int -> unit
 (** [run t ~rounds] advances [rounds] rounds ([rounds = 0] is a no-op).
 
-    When [probe] is enabled (default {!Probe.noop}), each round is timed
+    When [probe] is live (default {!Probe.noop}), each round is timed
     and reported to the sink: timers [process.launch] / [process.settle]
     / [process.run], a per-round latency sample, and counters
     [process.rounds] (one per round) and [process.launch.blocks] (one
     per randomness block actually launched, i.e.
-    [rounds * shard_count ~bins] in total).  The probe never affects the
-    trajectory — randomness and results are identical with or without
-    it.
+    [rounds * shard_count ~bins] in total).  When the probe is tracing,
+    each round additionally emits spans [process.launch] /
+    [process.settle] (worker 0) and one [on_round] observable.  The
+    probe never affects the trajectory — randomness and results are
+    identical with or without it.
     @raise Invalid_argument if [rounds < 0]. *)
 
-val run_until : t -> max_rounds:int -> stop:(t -> bool) -> int option
+val run_until :
+  ?probe:Probe.t -> t -> max_rounds:int -> stop:(t -> bool) -> int option
 (** Steps until [stop t] holds (checked after each round, and before the
     first); returns the round number at which it first held, or [None]
-    after [max_rounds] additional rounds.
+    after [max_rounds] additional rounds.  A live [probe] instruments
+    each round exactly as in {!run} (without the [process.run] total).
     @raise Invalid_argument if [max_rounds < 0]. *)
 
-val run_until_legitimate : ?beta:float -> t -> max_rounds:int -> int option
+val run_until_legitimate :
+  ?probe:Probe.t -> ?beta:float -> t -> max_rounds:int -> int option
 (** Rounds until the configuration becomes legitimate (Theorem 1
     convergence measurement). *)
 

@@ -87,10 +87,26 @@ let step t =
   t.empty <- !empty;
   t.round <- next_round
 
-let run t ~rounds =
-  for _ = 1 to rounds do
-    step t
-  done
+let run ?(probe = Probe.noop) t ~rounds =
+  if rounds < 0 then invalid_arg "Tetris.run: rounds < 0";
+  if Probe.live probe then
+    for _ = 1 to rounds do
+      let t0 = probe.Probe.now () in
+      step t;
+      let t1 = probe.Probe.now () in
+      probe.Probe.timer_add "tetris.step" (Int64.sub t1 t0);
+      probe.Probe.latency (Int64.sub t1 t0);
+      probe.Probe.add "tetris.rounds" 1;
+      if probe.Probe.tracing then begin
+        probe.Probe.on_span ~name:"tetris.step" ~worker:0 ~round:t.round ~t0 ~t1;
+        probe.Probe.on_round ~round:t.round ~max_load:t.max_load
+          ~empty_bins:t.empty ~balls:t.balls
+      end
+    done
+  else
+    for _ = 1 to rounds do
+      step t
+    done
 
 let first_empty_rounds t = Array.copy t.first_empty
 

@@ -24,7 +24,16 @@ val create : ?arrivals:arrivals -> rng:Rbb_prng.Rng.t -> init:Config.t -> unit -
     [Binomial_rate] outside [[0, 1]]. *)
 
 val step : t -> unit
-val run : t -> rounds:int -> unit
+
+val run : ?probe:Probe.t -> t -> rounds:int -> unit
+(** [run t ~rounds] advances [rounds] rounds.  When [probe] is live
+    (default {!Probe.noop}), each round reports timer [tetris.step], a
+    latency sample and counter [tetris.rounds]; when it is tracing, a
+    [tetris.step] span and one [on_round] observable (with
+    [balls = total_balls], which Tetris does not conserve).  The probe
+    never affects the trajectory.
+    @raise Invalid_argument if [rounds < 0]. *)
+
 val round : t -> int
 val n : t -> int
 val load : t -> int -> int

@@ -20,7 +20,5 @@ let to_string ~header rows =
   String.concat "\n" (row header :: List.map row rows) ^ "\n"
 
 let write_file ~path ~header rows =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ~header rows))
+  Fileio.write_atomic ~path (fun oc ->
+      output_string oc (to_string ~header rows))

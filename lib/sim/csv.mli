@@ -11,3 +11,5 @@ val to_string : header:string list -> string list list -> string
 (** Full document with header line. *)
 
 val write_file : path:string -> header:string list -> string list list -> unit
+(** Write the document atomically ({!Fileio.write_atomic}): the file
+    appears under [path] complete or not at all. *)

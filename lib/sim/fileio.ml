@@ -1,0 +1,40 @@
+(* Atomic file publication: every writer streams into "path.tmp" and the
+   final rename is the only point at which "path" appears, so a crash
+   mid-write can never leave a truncated artifact behind under the
+   published name. *)
+
+type writer = {
+  oc : out_channel;
+  tmp : string;
+  path : string;
+  mutable open_ : bool;
+}
+
+let tmp_path path = path ^ ".tmp"
+
+let open_atomic ~path =
+  { oc = open_out (tmp_path path); tmp = tmp_path path; path; open_ = true }
+
+let channel w = w.oc
+
+let commit w =
+  if w.open_ then begin
+    w.open_ <- false;
+    close_out w.oc;
+    Sys.rename w.tmp w.path
+  end
+
+let abort w =
+  if w.open_ then begin
+    w.open_ <- false;
+    close_out w.oc;
+    try Sys.remove w.tmp with Sys_error _ -> ()
+  end
+
+let write_atomic ~path f =
+  let w = open_atomic ~path in
+  match f (channel w) with
+  | () -> commit w
+  | exception e ->
+      abort w;
+      raise e

@@ -1,0 +1,39 @@
+(** Flat JSON objects, one per line (NDJSON helpers).
+
+    {!Tracer} writes its `rbb.trace/1` stream through {!obj} and
+    {!Trace_report} reads it back through {!parse}: one self-contained
+    scalar-valued JSON object per line, keys sorted, fixed number
+    formats — so a recorded document is bit-stable for a fixed input and
+    can be pinned by golden tests.  Only the flat scalar subset is
+    supported; this is a file-format codec, not a general JSON
+    library. *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+val escape : string -> string
+(** JSON string-escape (quotes, backslash, control characters). *)
+
+val float_repr : float -> string
+(** Deterministic float rendering: integral values as ["x.0"], finite
+    values via [%.12g], non-finite as ["null"] (matching
+    {!Telemetry}'s policy). *)
+
+val obj : (string * value) list -> string
+(** One flat object on one line, keys sorted by [String.compare].  No
+    trailing newline. *)
+
+val parse : string -> (string * value) list option
+(** Parse one line holding a flat scalar object, in field order.
+    Returns [None] on nested containers, syntax errors or trailing
+    garbage (readers count and skip such lines).  JSON [null] parses as
+    [Float nan]. *)
+
+(** {2 Field accessors} *)
+
+val find : (string * value) list -> string -> value option
+val find_int : (string * value) list -> string -> int option
+
+val find_float : (string * value) list -> string -> float option
+(** Accepts [Int] fields too (promoted). *)
+
+val find_string : (string * value) list -> string -> string option

@@ -1,25 +1,39 @@
 let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
                 "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
 
+(* Scaling bounds over the finite samples only, so a stray NaN or
+   infinity (e.g. a failed statistic) cannot poison a whole chart.
+   Returns (infinity, neg_infinity) — an empty interval — when no
+   sample is finite. *)
+let finite_bounds xs =
+  Array.fold_left
+    (fun ((lo, hi) as acc) x ->
+      if Float.is_finite x then (Float.min lo x, Float.max hi x) else acc)
+    (infinity, neg_infinity) xs
+
 let sparkline xs =
   let n = Array.length xs in
   if n = 0 then ""
   else begin
-    let lo = Array.fold_left Float.min infinity xs in
-    let hi = Array.fold_left Float.max neg_infinity xs in
-    let buf = Buffer.create (3 * n) in
-    Array.iter
-      (fun x ->
-        let level =
-          if hi = lo then 3
-          else begin
-            let t = (x -. lo) /. (hi -. lo) in
-            Stdlib.min 7 (int_of_float (t *. 8.))
-          end
-        in
-        Buffer.add_string buf blocks.(level))
-      xs;
-    Buffer.contents buf
+    let lo, hi = finite_bounds xs in
+    if hi < lo then ""
+    else begin
+      let buf = Buffer.create (3 * n) in
+      Array.iter
+        (fun x ->
+          if not (Float.is_finite x) then Buffer.add_char buf ' '
+          else
+            let level =
+              if hi = lo then 3
+              else begin
+                let t = (x -. lo) /. (hi -. lo) in
+                Stdlib.min 7 (int_of_float (t *. 8.))
+              end
+            in
+            Buffer.add_string buf blocks.(level))
+        xs;
+      Buffer.contents buf
+    end
   end
 
 let default_value_fmt v = Printf.sprintf "%.4g" v
@@ -30,12 +44,16 @@ let bar_chart ?(width = 40) ?(value_fmt = default_value_fmt) entries =
     let label_width =
       List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 entries
     in
-    let top = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. entries in
+    let top =
+      List.fold_left
+        (fun acc (_, v) -> if Float.is_finite v then Float.max acc v else acc)
+        0. entries
+    in
     let buf = Buffer.create 256 in
     List.iter
       (fun (label, v) ->
         let cells =
-          if top <= 0. then 0
+          if top <= 0. || not (Float.is_finite v) then 0
           else
             int_of_float (Float.max 0. v /. top *. float_of_int width +. 0.5)
         in
@@ -57,32 +75,39 @@ let resample xs cols =
   if n <= cols then Array.copy xs
   else
     Array.init cols (fun c ->
-        (* Mean of the source slice mapping to this column. *)
+        (* Mean of the finite values in the source slice mapping to this
+           column; NaN when the whole slice is non-finite (the column
+           is then left blank by the plot). *)
         let lo = c * n / cols and hi = Stdlib.max (c * n / cols + 1) ((c + 1) * n / cols) in
-        let acc = ref 0. in
+        let acc = ref 0. and count = ref 0 in
         for i = lo to hi - 1 do
-          acc := !acc +. xs.(i)
+          if Float.is_finite xs.(i) then begin
+            acc := !acc +. xs.(i);
+            incr count
+          end
         done;
-        !acc /. float_of_int (hi - lo))
+        if !count = 0 then Float.nan else !acc /. float_of_int !count)
 
 let line_plot ?(rows = 16) ?(cols = 60) ?(x_label = "") ?(y_label = "") xs =
   if Array.length xs = 0 then ""
   else begin
     let rows = Stdlib.max 2 rows and cols = Stdlib.max 2 cols in
     let ys = resample xs cols in
-    let lo = Array.fold_left Float.min infinity ys in
-    let hi = Array.fold_left Float.max neg_infinity ys in
+    let lo, hi = finite_bounds ys in
+    if hi < lo then ""
+    else begin
     let canvas = Array.make_matrix rows cols ' ' in
     Array.iteri
       (fun c y ->
-        let r =
-          if hi = lo then rows / 2
-          else begin
-            let t = (y -. lo) /. (hi -. lo) in
-            Stdlib.min (rows - 1) (int_of_float (t *. float_of_int rows))
-          end
-        in
-        canvas.(rows - 1 - r).(c) <- '*')
+        if Float.is_finite y then
+          let r =
+            if hi = lo then rows / 2
+            else begin
+              let t = (y -. lo) /. (hi -. lo) in
+              Stdlib.min (rows - 1) (int_of_float (t *. float_of_int rows))
+            end
+          in
+          canvas.(rows - 1 - r).(c) <- '*')
       ys;
     let buf = Buffer.create (rows * (cols + 12)) in
     if y_label <> "" then begin
@@ -109,6 +134,7 @@ let line_plot ?(rows = 16) ?(cols = 60) ?(x_label = "") ?(y_label = "") xs =
       Buffer.add_char buf '\n'
     end;
     Buffer.contents buf
+    end
   end
 
 let histogram_of_int_hist ?width h =

@@ -3,24 +3,32 @@
     Everything the harness prints is text; these helpers make series and
     distributions readable at a glance without leaving the terminal:
     Unicode sparklines, horizontal bar charts, and a line plot on a
-    character canvas. *)
+    character canvas.
+
+    Non-finite samples (NaN, infinities — e.g. a statistic that failed
+    to converge) never poison a chart: scaling bounds are computed over
+    the finite samples only, non-finite positions render blank, and a
+    series with no finite sample at all renders as the empty string. *)
 
 val sparkline : float array -> string
 (** One-line sketch of a series using the eight block glyphs
-    ▁▂▃▄▅▆▇█ (a constant series renders as ▄...).  Empty input gives
-    the empty string. *)
+    ▁▂▃▄▅▆▇█ (a constant series renders as ▄...).  Non-finite samples
+    render as spaces.  Empty or all-non-finite input gives the empty
+    string. *)
 
 val bar_chart :
   ?width:int -> ?value_fmt:(float -> string) -> (string * float) list -> string
-(** Horizontal bars scaled to the maximum value ([width] defaults to 40
-    columns).  Negative values are clamped to zero-length bars but still
-    printed.  Labels are aligned. *)
+(** Horizontal bars scaled to the maximum finite value ([width] defaults
+    to 40 columns).  Negative and non-finite values are clamped to
+    zero-length bars but still printed.  Labels are aligned. *)
 
 val line_plot :
   ?rows:int -> ?cols:int -> ?x_label:string -> ?y_label:string -> float array -> string
 (** A character-canvas plot of a series (default 16 rows × 60 columns),
     with min/max annotations.  The series is resampled to the canvas
-    width.  Empty input gives the empty string. *)
+    width (slice means over finite samples; all-non-finite slices leave
+    a blank column).  Empty or all-non-finite input gives the empty
+    string. *)
 
 val histogram_of_int_hist :
   ?width:int -> Rbb_stats.Histogram.Int_hist.t -> string

@@ -14,13 +14,14 @@ type t = {
   settlers : int;  (* phase-2 workers = min domains bins *)
   bufs : int array array;  (* one full-width arrival buffer per launcher *)
   telemetry : Telemetry.t;
+  tracer : Tracer.t;
   mutable round : int;
   mutable max_load : int;
   mutable empty : int;
 }
 
-let create ?(telemetry = Telemetry.noop) ?(d_choices = 1) ?weights
-    ?(capacity = 1) ?shards ?domains ~rng ~init () =
+let create ?(telemetry = Telemetry.noop) ?(tracer = Tracer.noop)
+    ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init () =
   if d_choices < 1 then invalid_arg "Sharded.create: d_choices < 1";
   if capacity < 1 then invalid_arg "Sharded.create: capacity < 1";
   let loads = Config.loads init in
@@ -59,6 +60,7 @@ let create ?(telemetry = Telemetry.noop) ?(d_choices = 1) ?weights
     settlers = Stdlib.min domains bins;
     bufs = Array.init launchers (fun _ -> Array.make bins 0);
     telemetry;
+    tracer;
     round = 0;
     max_load = Config.max_load init;
     empty = Config.empty_bins init;
@@ -174,20 +176,29 @@ let run_pooled t ~rounds =
   let parts = Array.make t.settlers (0, 0) in
   let r0 = t.round in
   let tel = t.telemetry in
-  let timed = Telemetry.enabled tel in
+  let tr = t.tracer in
+  let tel_on = Telemetry.enabled tel in
+  let tr_on = Tracer.enabled tr in
+  let timed = tel_on || tr_on in
   let work w () =
-    let now () = if timed then Telemetry.now tel else 0L in
+    let now () =
+      if tel_on then Telemetry.now tel else if tr_on then Tracer.now tr else 0L
+    in
     let tick r t0 t1 = r := Int64.add !r (Int64.sub t1 t0) in
     let launch_ns = ref 0L and merge_ns = ref 0L and settle_ns = ref 0L in
     let barrier_ns = ref 0L in
     let blocks = ref 0 in
     for rnd = r0 to r0 + rounds - 1 do
+      (* Completed-round number, matching Process/Tetris tracing. *)
+      let r = rnd + 1 in
       let t0 = now () in
       (try
          if w < t.launchers && Atomic.get failure = None then
            blocks := !blocks + launch_phase t ~rnd w
        with exn -> record_failure failure ~index:w exn);
       let t1 = now () in
+      if tr_on && w < t.launchers then
+        Tracer.span tr ~name:"sharded.launch" ~worker:w ~round:r ~t0 ~t1;
       Parallel.Barrier.wait barrier;
       let t2 = now () in
       (try
@@ -196,8 +207,15 @@ let run_pooled t ~rounds =
            merge_slice t ~lo ~hi;
            let tm = now () in
            tick merge_ns t2 tm;
+           if tr_on then
+             Tracer.span tr ~name:"sharded.merge" ~worker:w ~round:r ~t0:t2
+               ~t1:tm;
            parts.(w) <- settle_slice t ~lo ~hi;
-           tick settle_ns tm (now ())
+           let ts = now () in
+           tick settle_ns tm ts;
+           if tr_on then
+             Tracer.span tr ~name:"sharded.settle" ~worker:w ~round:r ~t0:tm
+               ~t1:ts
          end
        with exn -> record_failure failure ~index:w exn);
       let t3 = now () in
@@ -206,9 +224,25 @@ let run_pooled t ~rounds =
       tick launch_ns t0 t1;
       tick barrier_ns t1 t2;
       tick barrier_ns t3 t4;
-      if timed && w = 0 then Telemetry.record_latency tel (Int64.sub t4 t0)
+      if tr_on then
+        Tracer.span tr ~name:"sharded.barrier" ~worker:w ~round:r ~t0:t3 ~t1:t4;
+      if timed && w = 0 then Telemetry.record_latency tel (Int64.sub t4 t0);
+      (* Per-round observables: after the second barrier every slice's
+         (max_load, empty) for this round is final in [parts], and the
+         next round cannot overwrite them until this worker passes the
+         next first barrier — so worker 0 may read them race-free here. *)
+      if tr_on && w = 0 && Atomic.get failure = None then begin
+        let max_l = ref 0 and empty = ref 0 in
+        Array.iter
+          (fun (m, e) ->
+            if m > !max_l then max_l := m;
+            empty := !empty + e)
+          parts;
+        Tracer.observe tr ~round:r ~max_load:!max_l ~empty_bins:!empty
+          ~balls:t.m
+      end
     done;
-    if timed then begin
+    if tel_on then begin
       Telemetry.timer_add tel "sharded.launch" !launch_ns;
       Telemetry.timer_add tel "sharded.merge" !merge_ns;
       Telemetry.timer_add tel "sharded.settle" !settle_ns;
@@ -220,24 +254,30 @@ let run_pooled t ~rounds =
   (match Atomic.get failure with Some (_, exn) -> raise exn | None -> ());
   reduce_parts t parts;
   t.round <- r0 + rounds;
-  if timed then Telemetry.add tel "sharded.rounds" rounds
+  if tel_on then Telemetry.add tel "sharded.rounds" rounds
 
 let run_inline t ~rounds =
   let parts = Array.make t.settlers (0, 0) in
   let tel = t.telemetry in
-  let timed = Telemetry.enabled tel in
+  let tr = t.tracer in
+  let tel_on = Telemetry.enabled tel in
+  let tr_on = Tracer.enabled tr in
+  let timed = tel_on || tr_on in
+  let now () =
+    if tel_on then Telemetry.now tel else if tr_on then Tracer.now tr else 0L
+  in
   let blocks = ref 0 in
   for _ = 1 to rounds do
-    let t0 = if timed then Telemetry.now tel else 0L in
+    let t0 = if timed then now () else 0L in
     for w = 0 to t.launchers - 1 do
       blocks := !blocks + launch_phase t ~rnd:t.round w
     done;
-    let t1 = if timed then Telemetry.now tel else 0L in
+    let t1 = if timed then now () else 0L in
     for w = 0 to t.settlers - 1 do
       let lo, hi = settle_slice_bounds t w in
       merge_slice t ~lo ~hi
     done;
-    let t2 = if timed then Telemetry.now tel else 0L in
+    let t2 = if timed then now () else 0L in
     for w = 0 to t.settlers - 1 do
       let lo, hi = settle_slice_bounds t w in
       parts.(w) <- settle_slice t ~lo ~hi
@@ -245,14 +285,25 @@ let run_inline t ~rounds =
     reduce_parts t parts;
     t.round <- t.round + 1;
     if timed then begin
-      let t3 = Telemetry.now tel in
-      Telemetry.timer_add tel "sharded.launch" (Int64.sub t1 t0);
-      Telemetry.timer_add tel "sharded.merge" (Int64.sub t2 t1);
-      Telemetry.timer_add tel "sharded.settle" (Int64.sub t3 t2);
-      Telemetry.record_latency tel (Int64.sub t3 t0)
+      let t3 = now () in
+      if tel_on then begin
+        Telemetry.timer_add tel "sharded.launch" (Int64.sub t1 t0);
+        Telemetry.timer_add tel "sharded.merge" (Int64.sub t2 t1);
+        Telemetry.timer_add tel "sharded.settle" (Int64.sub t3 t2);
+        Telemetry.record_latency tel (Int64.sub t3 t0)
+      end;
+      if tr_on then begin
+        Tracer.span tr ~name:"sharded.launch" ~worker:0 ~round:t.round ~t0 ~t1;
+        Tracer.span tr ~name:"sharded.merge" ~worker:0 ~round:t.round ~t0:t1
+          ~t1:t2;
+        Tracer.span tr ~name:"sharded.settle" ~worker:0 ~round:t.round ~t0:t2
+          ~t1:t3;
+        Tracer.observe tr ~round:t.round ~max_load:t.max_load
+          ~empty_bins:t.empty ~balls:t.m
+      end
     end
   done;
-  if timed then begin
+  if tel_on then begin
     Telemetry.add tel "sharded.rounds" rounds;
     Telemetry.add tel "sharded.launch.blocks" !blocks
   end

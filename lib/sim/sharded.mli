@@ -28,6 +28,7 @@ type t
 
 val create :
   ?telemetry:Telemetry.t ->
+  ?tracer:Tracer.t ->
   ?d_choices:int ->
   ?weights:float array ->
   ?capacity:int ->
@@ -51,6 +52,15 @@ val create :
     [sharded.launch.blocks] (one per randomness block actually launched,
     i.e. [rounds * Process.shard_count ~bins] per run, however the
     blocks are scheduled).  Telemetry never affects the trajectory.
+
+    [tracer] (default {!Tracer.noop}) streams round-level events: one
+    observable record per completed round (reduced by worker 0 after the
+    settle barrier on the pooled path), phase spans [sharded.launch] /
+    [sharded.merge] / [sharded.settle] (and [sharded.barrier] when
+    pooled) tagged with the worker index, and the unconditional
+    legitimacy / quarter-empty threshold events.  Tracing never affects
+    the trajectory either: with both sinks disabled the engine takes no
+    clock reads at all.
     @raise Invalid_argument under {!Rbb_core.Process.create}'s
     conditions, or if [shards < 1] or [domains < 1]. *)
 

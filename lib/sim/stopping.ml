@@ -12,6 +12,12 @@ let run_until_precision ?engine ?(min_trials = 8) ?(max_trials = 1000) ?(batch =
     invalid_arg "Stopping.run_until_precision: inconsistent trial bounds";
   let samples = ref [] in
   let count = ref 0 in
+  (* The precision check runs after every batch; feeding an online
+     Welford accumulator alongside the sample list keeps it O(1) per
+     trial (O(trials) total) instead of re-summarising the whole list
+     every time (O(trials²)).  The full Summary is built exactly once,
+     from the retained list, at the return point. *)
+  let acc = Rbb_stats.Welford.create () in
   (* Same derivation as Replicate.seeds, generated incrementally. *)
   let next_seed () =
     incr count;
@@ -19,23 +25,32 @@ let run_until_precision ?engine ?(min_trials = 8) ?(max_trials = 1000) ?(batch =
   in
   let run_one () =
     let rng = Rbb_prng.Rng.create ?engine ~seed:(next_seed ()) () in
-    samples := f rng :: !samples
+    let x = f rng in
+    samples := x :: !samples;
+    Rbb_stats.Welford.add acc x
   in
   for _ = 1 to min_trials do
     run_one ()
   done;
   let precise () =
-    let s = Rbb_stats.Summary.of_list !samples in
-    let half = (s.Rbb_stats.Summary.ci95_high -. s.Rbb_stats.Summary.ci95_low) /. 2. in
+    let n = Rbb_stats.Welford.count acc in
+    let mean = Rbb_stats.Welford.mean acc in
+    let half =
+      if n < 2 then 0.
+      else
+        Rbb_stats.Summary.t_critical_95 (n - 1)
+        *. Rbb_stats.Welford.stddev acc
+        /. Float.sqrt (float_of_int n)
+    in
     (* A zero mean with zero spread is as precise as it gets. *)
-    (s, half <= rel_precision *. Float.abs s.Rbb_stats.Summary.mean
-        || (s.Rbb_stats.Summary.mean = 0. && half = 0.))
+    half <= rel_precision *. Float.abs mean || (mean = 0. && half = 0.)
+  in
+  let finish converged =
+    { summary = Rbb_stats.Summary.of_list !samples; trials = !count; converged }
   in
   let rec loop () =
-    let s, ok = precise () in
-    if ok then { summary = s; trials = !count; converged = true }
-    else if !count >= max_trials then
-      { summary = s; trials = !count; converged = false }
+    if precise () then finish true
+    else if !count >= max_trials then finish false
     else begin
       for _ = 1 to Stdlib.min batch (max_trials - !count) do
         run_one ()

@@ -24,6 +24,8 @@ val run_until_precision :
     independently seeded generators, in batches (default 8), starting
     after [min_trials] (default 8) and stopping once the 95% CI
     half-width is at most [rel_precision * |mean|], or at [max_trials]
-    (default 1000).
+    (default 1000).  The precision check folds an online (Welford)
+    accumulator, so the whole procedure is O(trials) — the full summary
+    is computed once, at the stopping point.
     @raise Invalid_argument on a non-positive precision or inconsistent
     bounds. *)

@@ -226,10 +226,7 @@ let to_json_string t =
       Buffer.contents b
 
 let write_json t ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Fileio.write_atomic ~path (fun oc ->
       output_string oc (to_json_string t);
       output_char oc '\n')
 
@@ -239,7 +236,8 @@ let probe t =
   | Noop -> Rbb_core.Probe.noop
   | Active s ->
       {
-        Rbb_core.Probe.enabled = true;
+        Rbb_core.Probe.noop with
+        enabled = true;
         now = s.clock;
         add = (fun name k -> add t name k);
         timer_add = (fun name ns -> timer_add t name ns);

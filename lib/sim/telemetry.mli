@@ -88,7 +88,8 @@ val to_json_string : t -> string
     the empty document. *)
 
 val write_json : t -> path:string -> unit
-(** Write {!to_json_string} (plus a trailing newline) to [path]. *)
+(** Write {!to_json_string} (plus a trailing newline) to [path],
+    atomically ({!Fileio.write_atomic}). *)
 
 val probe : t -> Rbb_core.Probe.t
 (** A probe feeding this sink, for instrumenting core engines

@@ -1,0 +1,48 @@
+(** Analyzer for recorded [rbb.trace/1] NDJSON streams.
+
+    Folds a trace produced by {!Tracer} back into summary statistics:
+    observable-round counts and extrema, legitimacy dwell and excursion
+    statistics, convergence rounds, Lemma-2 quarter-empty violation
+    counts, and per-name span counts.  Unparseable or foreign lines are
+    counted ([skipped]) and ignored, never fatal.  The max-load series
+    is retained through the bounded {!Rbb_core.Trace} ring buffer, so
+    arbitrarily long traces summarise in O(1) memory. *)
+
+type t = {
+  header : (string * Jsonl.value) list option;  (** the header record *)
+  n : int option;
+  threshold : int option;
+  every : int option;
+  observables : int;  (** number of observable records *)
+  first_round : int option;
+  last_round : int option;
+  peak_max_load : int option;
+  min_empty_fraction : float option;
+      (** min over observables of [empty_bins / n]; requires a header. *)
+  min_balls : int option;
+  max_balls : int option;
+  legit_observed : int;
+      (** observable records with [max_load <= threshold]. *)
+  enters : int;  (** legitimacy_enter records *)
+  exits : int;  (** legitimacy_exit records *)
+  longest_excursion : int option;
+      (** longest closed exit→enter gap, in rounds. *)
+  convergence : (int option * int) list;
+      (** convergence records as [(trial, round)], in file order. *)
+  quarter_violations : int;
+  spans : (string * int) list;  (** span counts per name, sorted. *)
+  skipped : int;  (** lines that failed to parse *)
+  series : Rbb_core.Trace.t;
+      (** bounded max-load series for plotting. *)
+}
+
+val of_lines : string list -> t
+val read_channel : in_channel -> t
+val read_file : string -> t
+
+val render : ?plot:bool -> t -> string
+(** Terminal rendering of the summary — deterministic for a fixed
+    trace: only record contents are shown, never wall-clock durations
+    (spans render as counts), so seeded runs can be pinned by cram
+    tests.  [plot] (default true) appends a {!Plot.line_plot} and
+    sparkline of max load when at least two observables were read. *)

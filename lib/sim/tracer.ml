@@ -1,0 +1,307 @@
+(* Round-level event tracing with bounded memory: every record is
+   streamed to its sink the moment it is emitted, so tracing a poly(n)
+   window costs O(1) state here no matter how long the run is.  The noop
+   tracer short-circuits every operation to a single pattern match, and
+   nothing in this module ever touches an engine's RNG — trajectories
+   are bit-identical with tracing on or off. *)
+
+type sink_spec = [ `Buffer of Buffer.t | `File of string ]
+
+type out_sink = Buf of Buffer.t | File of Fileio.writer
+
+type active = {
+  clock : unit -> int64;
+  every : int;
+  beta : float;
+  threshold : int;
+  n : int;
+  lock : Mutex.t;
+  ndjson : out_sink option;
+  chrome : out_sink option;
+  (* Stride base: the first round either event family reports.  Rounds
+     [r] with [(r - base) mod every = 0] carry observables and spans;
+     threshold events ignore the stride entirely. *)
+  mutable base_round : int;
+  mutable legit : bool option;  (* baseline unknown until first observe *)
+  mutable converged : bool;
+  mutable events : int;
+  mutable chrome_events : int;
+  mutable closed : bool;
+}
+
+type t = Noop | Active of active
+
+let noop = Noop
+
+let make_sink = function
+  | `Buffer b -> Buf b
+  | `File path -> File (Fileio.open_atomic ~path)
+
+let sink_add sink s =
+  match sink with
+  | Buf b -> Buffer.add_string b s
+  | File w -> output_string (Fileio.channel w) s
+
+(* All emitters below run with [a.lock] held. *)
+
+let emit_line a fields =
+  match a.ndjson with
+  | None -> a.events <- a.events + 1
+  | Some sink ->
+      sink_add sink (Jsonl.obj fields);
+      sink_add sink "\n";
+      a.events <- a.events + 1
+
+let chrome_preamble = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+
+(* Chrome trace-event (catapult) JSON: ts/dur are microseconds; the
+   Float values keep full nanosecond precision and render
+   deterministically through Jsonl.float_repr. *)
+let us ns = Int64.to_float ns /. 1000.
+
+let emit_chrome_raw a line =
+  match a.chrome with
+  | None -> ()
+  | Some sink ->
+      sink_add sink (if a.chrome_events = 0 then "\n" else ",\n");
+      sink_add sink line;
+      a.chrome_events <- a.chrome_events + 1
+
+let emit_chrome a fields = emit_chrome_raw a (Jsonl.obj fields)
+
+let chrome_instant a ~name =
+  if a.chrome <> None then
+    emit_chrome a
+      [
+        ("cat", Jsonl.String "rbb");
+        ("name", Jsonl.String name);
+        ("ph", Jsonl.String "i");
+        ("pid", Jsonl.Int 0);
+        ("s", Jsonl.String "g");
+        ("tid", Jsonl.Int 0);
+        ("ts", Jsonl.Float (us (a.clock ())));
+      ]
+
+let create ?(clock = Monotonic_clock.now) ?(every = 1) ?(beta = 4.0) ?ndjson
+    ?chrome ~n () =
+  if every < 1 then invalid_arg "Tracer.create: every < 1";
+  if n <= 0 then invalid_arg "Tracer.create: n <= 0";
+  let threshold = Rbb_core.Config.legitimacy_threshold ~beta n in
+  let a =
+    {
+      clock;
+      every;
+      beta;
+      threshold;
+      n;
+      lock = Mutex.create ();
+      ndjson = Option.map make_sink ndjson;
+      chrome = Option.map make_sink chrome;
+      base_round = -1;
+      legit = None;
+      converged = false;
+      events = 0;
+      chrome_events = 0;
+      closed = false;
+    }
+  in
+  (match a.ndjson with
+  | None -> ()
+  | Some sink ->
+      sink_add sink
+        (Jsonl.obj
+           [
+             ("beta", Jsonl.Float a.beta);
+             ("every", Jsonl.Int a.every);
+             ("n", Jsonl.Int a.n);
+             ("schema", Jsonl.String "rbb.trace/1");
+             ("threshold", Jsonl.Int a.threshold);
+             ("type", Jsonl.String "header");
+           ]);
+      sink_add sink "\n");
+  (match a.chrome with
+  | None -> ()
+  | Some sink -> sink_add sink chrome_preamble);
+  Active a
+
+let enabled = function Noop -> false | Active _ -> true
+let now = function Noop -> 0L | Active a -> a.clock ()
+let events = function Noop -> 0 | Active a -> a.events
+
+(* Ts values for chrome events come from the chrome-trace sink's own
+   reads of [clock] (instants, counters) or from the probe-supplied span
+   endpoints; both use the same clock when the tracer drives the probe. *)
+
+let on_stride a ~round =
+  if a.base_round < 0 then a.base_round <- round;
+  (round - a.base_round) mod a.every = 0
+
+let locked a f =
+  Mutex.lock a.lock;
+  if a.closed then Mutex.unlock a.lock
+  else begin
+    (* Emitters only build strings and write to buffers/channels; they
+       do not raise in normal operation, so plain lock/unlock suffices
+       (same policy as Telemetry). *)
+    f a;
+    Mutex.unlock a.lock
+  end
+
+let observe t ~round ~max_load ~empty_bins ~balls =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      locked a (fun a ->
+          if on_stride a ~round then begin
+            emit_line a
+              [
+                ("balls", Jsonl.Int balls);
+                ("empty_bins", Jsonl.Int empty_bins);
+                ("max_load", Jsonl.Int max_load);
+                ("round", Jsonl.Int round);
+                ("type", Jsonl.String "observable");
+              ];
+            (* Counter events need a nested args object (which the flat
+               Jsonl codec cannot express), so this one line is
+               assembled by hand — keys still sorted. *)
+            if a.chrome <> None then
+              emit_chrome_raw a
+                (Printf.sprintf
+                   "{\"args\":{\"empty_bins\":%d,\"max_load\":%d},\"cat\":\"rbb\",\"name\":\"observables\",\"ph\":\"C\",\"pid\":0,\"ts\":%s}"
+                   empty_bins max_load
+                   (Jsonl.float_repr (us (a.clock ()))))
+          end;
+          (* Threshold events are never sampled away: they fire on the
+             exact round of the transition whatever the stride. *)
+          let legit_now = max_load <= a.threshold in
+          let transition =
+            match a.legit with
+            | None ->
+                a.legit <- Some legit_now;
+                false
+            | Some prev ->
+                a.legit <- Some legit_now;
+                legit_now <> prev
+          in
+          if transition then begin
+            emit_line a
+              [
+                ("max_load", Jsonl.Int max_load);
+                ("round", Jsonl.Int round);
+                ("threshold", Jsonl.Int a.threshold);
+                ( "type",
+                  Jsonl.String
+                    (if legit_now then "legitimacy_enter" else "legitimacy_exit")
+                );
+              ];
+            chrome_instant a
+              ~name:(if legit_now then "legitimacy_enter" else "legitimacy_exit")
+          end;
+          if legit_now && not a.converged then begin
+            a.converged <- true;
+            emit_line a
+              [
+                ("round", Jsonl.Int round);
+                ("threshold", Jsonl.Int a.threshold);
+                ("type", Jsonl.String "convergence");
+              ];
+            chrome_instant a ~name:"convergence"
+          end;
+          if 4 * empty_bins < a.n then begin
+            emit_line a
+              [
+                ("empty_bins", Jsonl.Int empty_bins);
+                ("n", Jsonl.Int a.n);
+                ("round", Jsonl.Int round);
+                ("type", Jsonl.String "quarter_violation");
+              ];
+            chrome_instant a ~name:"quarter_violation"
+          end)
+
+let span t ~name ~worker ~round ~t0 ~t1 =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      locked a (fun a ->
+          if on_stride a ~round then begin
+            emit_line a
+              [
+                ("dur_ns", Jsonl.Int (Int64.to_int (Int64.sub t1 t0)));
+                ("name", Jsonl.String name);
+                ("round", Jsonl.Int round);
+                ("t0_ns", Jsonl.Int (Int64.to_int t0));
+                ("type", Jsonl.String "span");
+                ("worker", Jsonl.Int worker);
+              ];
+            if a.chrome <> None then
+              emit_chrome a
+                [
+                  ("cat", Jsonl.String "rbb");
+                  ("dur", Jsonl.Float (us (Int64.sub t1 t0)));
+                  ("name", Jsonl.String name);
+                  ("ph", Jsonl.String "X");
+                  ("pid", Jsonl.Int 0);
+                  ("tid", Jsonl.Int worker);
+                  ("ts", Jsonl.Float (us t0));
+                ]
+          end)
+
+let convergence ?trial t ~round =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      locked a (fun a ->
+          emit_line a
+            (( "round", Jsonl.Int round )
+            :: (match trial with
+               | None -> []
+               | Some k -> [ ("trial", Jsonl.Int k) ])
+            @ [
+                ("threshold", Jsonl.Int a.threshold);
+                ("type", Jsonl.String "convergence");
+              ]);
+          chrome_instant a ~name:"convergence")
+
+let close_sink sink ~tail =
+  match sink with
+  | Buf b -> Buffer.add_string b tail
+  | File w ->
+      output_string (Fileio.channel w) tail;
+      Fileio.commit w
+
+let close t =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      Mutex.lock a.lock;
+      if not a.closed then begin
+        a.closed <- true;
+        (match a.ndjson with
+        | None -> ()
+        | Some sink -> close_sink sink ~tail:"");
+        match a.chrome with
+        | None -> ()
+        | Some sink ->
+            close_sink sink
+              ~tail:(if a.chrome_events = 0 then "]}\n" else "\n]}\n")
+      end;
+      Mutex.unlock a.lock
+
+(* Bridge to the core engines' instrumentation interface: a
+   tracing-only probe ([enabled = false]) whose clock is the tracer's,
+   so span endpoints and chrome instants share a time base. *)
+let probe t =
+  match t with
+  | Noop -> Rbb_core.Probe.noop
+  | Active a ->
+      {
+        Rbb_core.Probe.noop with
+        now = a.clock;
+        tracing = true;
+        on_round =
+          (fun ~round ~max_load ~empty_bins ~balls ->
+            observe t ~round ~max_load ~empty_bins ~balls);
+        on_span =
+          (fun ~name ~worker ~round ~t0 ~t1 ->
+            span t ~name ~worker ~round ~t0 ~t1);
+      }

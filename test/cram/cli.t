@@ -106,6 +106,78 @@ timers, and its counters agree with the sequential block lattice:
   "sharded.merge":
   "sharded.settle":
 
+Round-level event tracing (--trace-ndjson).  The stream is a pure
+function of the trajectory — no timestamps outside span records — so
+everything below is exact.  From the worst (pile) start the run crosses
+the Theorem-1 threshold once and stays legitimate:
+
+  $ rbb simulate --bins 64 --rounds 200 --init pile --trace-ndjson trace.ndjson
+  
+  n=64 rounds=200 d=1 init=pile seed=42
+  running max load       : 63
+  mean max load          : 15.885
+  legitimacy threshold   : 17 (4 ln n)
+  min empty-bin fraction : 0.2969
+  rounds below n/4 empty : 0
+  wrote trace to trace.ndjson
+
+
+  $ head -2 trace.ndjson | grep -o '"schema":"rbb.trace/1"'
+  "schema":"rbb.trace/1"
+  $ grep -Ev '"type":"(observable|span|header)"' trace.ndjson
+  {"max_load":17,"round":63,"threshold":17,"type":"legitimacy_enter"}
+  {"round":63,"threshold":17,"type":"convergence"}
+
+The analyzer folds the stream back into a deterministic report (span
+timings render as counts, never durations):
+
+  $ rbb trace-report trace.ndjson --no-plot
+  trace report (rbb.trace/1)
+    n=64  threshold=17  every=1
+    observable rounds : 200 (rounds 1..200)
+    peak max load     : 63
+    min empty fraction: 0.296875
+    balls             : 64 (constant)
+    legitimacy        : 138/200 observed rounds legitimate
+    enters/exits      : 1/0
+    convergence       : round 63
+    quarter violations: 0
+    spans             : process.launch=200 process.settle=200
+
+--trace-every K keeps every K-th round, as an exact stride from the
+first observed round (threshold events would still be recorded
+off-stride):
+
+  $ rbb simulate --bins 64 --rounds 20 --trace-ndjson stride.ndjson --trace-every 7 > /dev/null
+  $ grep '"type":"observable"' stride.ndjson
+  {"balls":64,"empty_bins":24,"max_load":3,"round":1,"type":"observable"}
+  {"balls":64,"empty_bins":28,"max_load":5,"round":8,"type":"observable"}
+  {"balls":64,"empty_bins":29,"max_load":5,"round":15,"type":"observable"}
+
+The Chrome sink writes a trace-event document (loadable in Perfetto):
+one counter per round, two engine-phase spans per round, plus the
+convergence instant (the uniform start is legitimate from round 1):
+
+  $ rbb simulate --bins 64 --rounds 10 --chrome-trace chrome.json > /dev/null
+  $ head -1 chrome.json
+  {"displayTimeUnit":"ns","traceEvents":[
+  $ grep -c '"ph":"C"' chrome.json
+  10
+  $ grep -c '"ph":"X"' chrome.json
+  20
+  $ grep -c '"name":"convergence"' chrome.json
+  1
+
+Tracing flags are validated up front:
+
+  $ rbb simulate --bins 64 --trace-every 5
+  rbb: error: --trace-every requires --trace-ndjson or --chrome-trace
+  [2]
+
+  $ rbb simulate --bins 64 --trace-ndjson x.ndjson --trace-every 0
+  rbb: error: Tracer.create: every < 1
+  [2]
+
 Negative round counts are rejected up front on every engine:
 
   $ rbb simulate --bins 64 --rounds=-5

@@ -23,4 +23,5 @@ let () =
          Test_bench_smoke.suite;
          Test_extensions5.suite;
          Test_telemetry.suite;
+         Test_observability.suite;
        ])
