@@ -7,6 +7,8 @@
      main.exe micro           run only the Bechamel kernel benchmarks
      main.exe speedup         sequential vs sharded engine wall-clock
                               comparison (emits BENCH_sharded_speedup.json)
+     main.exe recovery        rounds-to-relegitimacy after transient faults
+                              (emits BENCH_recovery.json)
      main.exe list            list experiment ids and claims
 
    Every experiment id maps to a row of the per-experiment index in
@@ -23,7 +25,8 @@ let list_experiments () =
       Printf.printf "  %-4s %s\n       %s\n" e.id e.title e.claim)
     experiments;
   print_endline "  micro  Bechamel kernel benchmarks";
-  print_endline "  speedup  sequential vs sharded wall-clock comparison"
+  print_endline "  speedup  sequential vs sharded wall-clock comparison";
+  print_endline "  recovery  rounds-to-relegitimacy after transient faults"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -33,6 +36,7 @@ let () =
   | [ "list" ] -> list_experiments ()
   | [ "micro" ] -> Micro.run ()
   | [ "speedup" ] -> Speedup.run ~quick ()
+  | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
   | [] ->
       Printf.printf
         "Repeated balls-into-bins: full experiment suite%s (use 'list' for ids)\n"

@@ -147,7 +147,51 @@ let noop_overhead_guard () =
       (Printf.sprintf
          "noop tracer probe is not free: bare step loop %.3f ms, run with \
           noop tracer %.3f ms"
-         (1e3 *. bare) (1e3 *. traced))
+         (1e3 *. bare) (1e3 *. traced));
+  (* Same guard for the fault-tolerance path: the sharded engine's
+     phase guards (failpoint trip + supervisor wrap) must be inert
+     pattern matches when both hooks are the noop, so an engine created
+     with explicit noop hooks costs the same as the default. *)
+  let sharded_n = 8192 and sharded_rounds = 300 in
+  let best_sharded make f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let p = make () in
+      let t0 = Unix.gettimeofday () in
+      f p;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let make_sharded ?failpoints ?supervisor () =
+    Rbb_sim.Sharded.create ?failpoints ?supervisor ~shards:1 ~domains:1
+      ~rng:(Rbb_prng.Rng.create ~seed:12L ())
+      ~init:(Config.uniform ~n:sharded_n) ()
+  in
+  let sharded_bare =
+    best_sharded (make_sharded ?failpoints:None ?supervisor:None) (fun p ->
+        for _ = 1 to sharded_rounds do
+          Rbb_sim.Sharded.step p
+        done)
+  in
+  let sharded_guarded =
+    best_sharded
+      (make_sharded ~failpoints:Rbb_sim.Failpoint.noop
+         ~supervisor:Rbb_sim.Supervisor.noop)
+      (fun p -> Rbb_sim.Sharded.run p ~rounds:sharded_rounds)
+  in
+  Printf.printf
+    "noop-failpoint overhead: bare %.1f ms, guarded-run %.1f ms (%.2fx)\n%!"
+    (1e3 *. sharded_bare) (1e3 *. sharded_guarded)
+    (sharded_guarded /. sharded_bare);
+  if sharded_guarded > (1.5 *. sharded_bare) +. 0.005 then
+    failwith
+      (Printf.sprintf
+         "noop failpoint/supervisor hooks are not free: bare sharded step \
+          loop %.3f ms, guarded run %.3f ms"
+         (1e3 *. sharded_bare)
+         (1e3 *. sharded_guarded))
 
 let run () =
   print_endline "\n=== MICRO: kernel benchmarks (Bechamel, monotonic clock) ===\n";

@@ -6,8 +6,13 @@
      converge   measure rounds-to-legitimate from a worst-case start
      cover      measure the multi-token traversal cover time
      adversary  run with periodic adversarial faults
+     recover    measure rounds-to-relegitimacy after transient faults
      markov     exact small-n analysis (stationary law, Appendix B)
-     sweep      max-load scaling across a ladder of n *)
+     sweep      max-load scaling across a ladder of n
+
+   simulate additionally supports crash-safe checkpoint/resume
+   (--checkpoint / --checkpoint-every / --resume-from) and deterministic
+   fault injection into the sharded engine (--failpoint). *)
 
 open Cmdliner
 open Rbb_core
@@ -121,17 +126,107 @@ let close_tracer tracer ~ndjson ~chrome =
   | None -> ()
   | Some path -> Printf.printf "wrote chrome trace to %s\n" path
 
+(* Checkpoint / resume: [--checkpoint PATH] publishes an rbb.checkpoint/1
+   snapshot atomically ([--checkpoint-every K] also at every K-th round),
+   [--resume-from PATH] rebuilds the engine mid-trajectory.  A resumed
+   run is bit-identical to the uninterrupted one. *)
+
+let checkpoint_t =
+  let doc =
+    "Write an $(b,rbb.checkpoint/1) snapshot to $(docv) when the run \
+     completes (and periodically with $(b,--checkpoint-every)).  \
+     Published atomically: $(docv) is never a torn file, even across a \
+     crash."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+
+let checkpoint_every_t =
+  let doc =
+    "Also write the checkpoint every $(docv) completed rounds.  Requires \
+     $(b,--checkpoint)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let resume_from_t =
+  let doc =
+    "Resume from the checkpoint at $(docv) instead of starting fresh.  \
+     $(b,--rounds) stays the total round target; $(b,-n), $(b,--seed), \
+     $(b,--init) and $(b,-d) are taken from the checkpoint.  The resumed \
+     trajectory is bit-identical to the run that never stopped."
+  in
+  Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"PATH" ~doc)
+
+(* Fault injection: each [--failpoint SPEC] arms a named failpoint in the
+   sharded engine's phases; a supervisor with the default retry budget
+   absorbs the injected faults. *)
+
+let failpoint_t =
+  let doc =
+    "Arm a failpoint (repeatable): $(b,NAME), \
+     $(b,NAME@round=R,shard=S,fails=K) or $(b,NAME@p=P,seed=S).  Names: \
+     sharded.launch, sharded.merge, sharded.settle, parallel.task.  \
+     Forces the sharded engine and attaches a retrying supervisor."
+  in
+  Arg.(value & opt_all string [] & info [ "failpoint" ] ~docv:"SPEC" ~doc)
+
+let failpoints_of specs =
+  let parse s =
+    match Rbb_sim.Failpoint.parse s with
+    | Error msg -> invalid_arg msg
+    | Ok spec ->
+        if not (List.mem spec.Rbb_sim.Failpoint.name Rbb_sim.Failpoint.known_names)
+        then
+          invalid_arg
+            (Printf.sprintf "failpoint: unknown name %S (known: %s)"
+               spec.Rbb_sim.Failpoint.name
+               (String.concat ", " Rbb_sim.Failpoint.known_names));
+        spec
+  in
+  Rbb_sim.Failpoint.of_specs (List.map parse specs)
+
+let load_checkpoint path =
+  match Rbb_sim.Checkpoint.load ~path with
+  | Ok snap -> snap
+  | Error msg -> invalid_arg msg
+
 (* simulate ----------------------------------------------------------- *)
 
 let simulate n rounds seed init_name d shards domains report_every
-    telemetry_path trace_ndjson trace_every chrome_trace =
+    telemetry_path trace_ndjson trace_every chrome_trace checkpoint_path
+    checkpoint_every resume_from failpoint_specs =
   if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
   if shards < 1 then invalid_arg "simulate: --shards must be at least 1";
   if domains < 1 then invalid_arg "simulate: --domains must be at least 1";
-  let rng = rng_of_seed seed in
-  let init = make_init init_name rng ~n ~m:n in
+  if checkpoint_every < 0 then
+    invalid_arg "simulate: --checkpoint-every must be nonnegative";
+  if checkpoint_every > 0 && checkpoint_path = None then
+    invalid_arg "simulate: --checkpoint-every requires --checkpoint";
+  let failpoints = failpoints_of failpoint_specs in
+  (* Fault injection implies supervision: without a supervisor an
+     injected fault would just crash the run, which is never what an
+     operator arming a failpoint from the CLI wants to demonstrate. *)
+  let supervisor =
+    if Rbb_sim.Failpoint.enabled failpoints then Rbb_sim.Supervisor.create ()
+    else Rbb_sim.Supervisor.noop
+  in
+  let snap = Option.map (fun p -> load_checkpoint p) resume_from in
+  let start_round =
+    match snap with None -> 0 | Some s -> s.Rbb_sim.Checkpoint.round
+  in
+  if rounds < start_round then
+    invalid_arg
+      (Printf.sprintf
+         "simulate: --rounds %d is the total target, below the checkpoint's \
+          %d completed rounds"
+         rounds start_round);
+  (* On resume the checkpoint is authoritative for the process law. *)
+  let n = match snap with None -> n | Some s -> Config.n s.config in
+  let d = match snap with None -> d | Some s -> s.d_choices in
   let metrics = Metrics.create ~n in
   let tel = telemetry_of_path telemetry_path in
+  (match snap with
+  | None -> ()
+  | Some s -> Rbb_sim.Checkpoint.restore_counters tel s);
   let tracer =
     tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
   in
@@ -142,31 +237,68 @@ let simulate n rounds seed init_name d shards domains report_every
         empty_bins
         (fi empty_bins /. fi n)
   in
+  (match snap with
+  | None -> ()
+  | Some s ->
+      Printf.printf "resumed from %s at round %d\n"
+        (Option.get resume_from) s.Rbb_sim.Checkpoint.round);
+  (* One driving loop for both engines: step, observe, and publish the
+     checkpoint on schedule (every K rounds, and always at the end). *)
+  let drive ~step ~max_load ~empty_bins ~capture =
+    let save () =
+      Option.iter
+        (fun path -> Rbb_sim.Checkpoint.save ~path (capture ()))
+        checkpoint_path
+    in
+    for r = start_round + 1 to rounds do
+      step ();
+      observe r ~max_load:(max_load ()) ~empty_bins:(empty_bins ());
+      if (checkpoint_every > 0 && r mod checkpoint_every = 0) || r = rounds
+      then save ()
+    done;
+    if rounds = start_round then save ();
+    Option.iter (Printf.printf "wrote checkpoint to %s\n") checkpoint_path
+  in
   (* Both engines implement the same randomness law, so the output below
      is identical whichever one runs; sharding only changes wall-clock
      time.  Telemetry and tracing come from inside the engines (probes),
-     so neither engine's trajectory depends on them. *)
-  if shards > 1 || domains > 1 then begin
+     so neither engine's trajectory depends on them.  Failpoints only
+     guard the sharded engine's phases, so arming one forces it. *)
+  if shards > 1 || domains > 1 || Rbb_sim.Failpoint.enabled failpoints then begin
     let p =
-      Rbb_sim.Sharded.create ~telemetry:tel ~tracer ~d_choices:d ~shards
-        ~domains ~rng ~init ()
+      match snap with
+      | Some s ->
+          Rbb_sim.Checkpoint.to_sharded ~telemetry:tel ~tracer ~failpoints
+            ~supervisor ~shards ~domains s
+      | None ->
+          let rng = rng_of_seed seed in
+          let init = make_init init_name rng ~n ~m:n in
+          Rbb_sim.Sharded.create ~telemetry:tel ~tracer ~failpoints ~supervisor
+            ~d_choices:d ~shards ~domains ~rng ~init ()
     in
-    for r = 1 to rounds do
-      Rbb_sim.Sharded.step p;
-      observe r ~max_load:(Rbb_sim.Sharded.max_load p)
-        ~empty_bins:(Rbb_sim.Sharded.empty_bins p)
-    done
+    drive
+      ~step:(fun () -> Rbb_sim.Sharded.step p)
+      ~max_load:(fun () -> Rbb_sim.Sharded.max_load p)
+      ~empty_bins:(fun () -> Rbb_sim.Sharded.empty_bins p)
+      ~capture:(fun () -> Rbb_sim.Checkpoint.capture_sharded p)
   end
   else begin
-    let p = Process.create ~d_choices:d ~rng ~init () in
+    let p =
+      match snap with
+      | Some s -> Rbb_sim.Checkpoint.to_process s
+      | None ->
+          let rng = rng_of_seed seed in
+          let init = make_init init_name rng ~n ~m:n in
+          Process.create ~d_choices:d ~rng ~init ()
+    in
     let probe =
       Probe.compose (Rbb_sim.Telemetry.probe tel) (Rbb_sim.Tracer.probe tracer)
     in
-    for r = 1 to rounds do
-      Process.run ~probe p ~rounds:1;
-      observe r ~max_load:(Process.max_load p)
-        ~empty_bins:(Process.empty_bins p)
-    done
+    drive
+      ~step:(fun () -> Process.run ~probe p ~rounds:1)
+      ~max_load:(fun () -> Process.max_load p)
+      ~empty_bins:(fun () -> Process.empty_bins p)
+      ~capture:(fun () -> Rbb_sim.Checkpoint.capture_process ~telemetry:tel p)
   end;
   Printf.printf
     "\nn=%d rounds=%d d=%d init=%s seed=%d\n\
@@ -220,7 +352,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ shards_t
           $ domains_t $ report_t $ telemetry_t $ trace_ndjson_t $ trace_every_t
-          $ chrome_trace_t)
+          $ chrome_trace_t $ checkpoint_t $ checkpoint_every_t $ resume_from_t
+          $ failpoint_t)
 
 (* tetris -------------------------------------------------------------- *)
 
@@ -420,6 +553,147 @@ let adversary_cmd =
   let doc = "Run under the Section 4.1 transient-fault adversary." in
   Cmd.v (Cmd.info "adversary" ~doc)
     Term.(const adversary $ n_t $ rounds_t $ seed_t $ gamma_t)
+
+(* recover --------------------------------------------------------------- *)
+
+let recover n balls seed action_name target shift episodes max_recovery beta
+    shards domains json_path =
+  if episodes < 1 then invalid_arg "recover: --episodes must be at least 1";
+  if max_recovery < 1 then
+    invalid_arg "recover: --max-recovery must be at least 1";
+  if shards < 1 then invalid_arg "recover: --shards must be at least 1";
+  if domains < 1 then invalid_arg "recover: --domains must be at least 1";
+  let balls = match balls with None -> n | Some m -> m in
+  let action =
+    match action_name with
+    | "pile" -> Adversary.Pile_into target
+    | "reshuffle" -> Adversary.Reshuffle
+    | "rotate" -> Adversary.Rotate shift
+    | _ -> assert false
+  in
+  let rng = rng_of_seed seed in
+  let init = make_init "uniform" rng ~n ~m:balls in
+  (* The measurement is engine-generic; both drivers produce identical
+     episode series from the same creation rng state, so the engine
+     choice mirrors `simulate`'s: parallel only when asked for. *)
+  let r =
+    if shards > 1 || domains > 1 then
+      Rbb_sim.Recovery.measure ~beta ~driver:Rbb_sim.Sharded.adversary_driver
+        ~action ~episodes ~max_recovery
+        (Rbb_sim.Sharded.create ~shards ~domains ~rng ~init ())
+    else
+      Rbb_sim.Recovery.measure ~beta ~driver:Adversary.process_driver ~action
+        ~episodes ~max_recovery
+        (Process.create ~rng ~init ())
+  in
+  Printf.printf
+    "recovery after transient faults (Theorem 1 says O(n) w.h.p.)\n\
+     n=%d balls=%d action=%s threshold=%d (ceil %.1f ln n)\n"
+    r.Rbb_sim.Recovery.n r.Rbb_sim.Recovery.balls r.Rbb_sim.Recovery.action
+    r.Rbb_sim.Recovery.threshold beta;
+  List.iteri
+    (fun i (e : Rbb_sim.Recovery.episode) ->
+      Printf.printf "  episode %2d: spike max load %4d -> %s\n" (i + 1)
+        e.spike_max_load
+        (match e.recovery_rounds with
+        | Some k -> Printf.sprintf "relegitimized in %d rounds (%.3f n)" k (fi k /. fi n)
+        | None -> Printf.sprintf "not relegitimized within %d rounds" max_recovery))
+    r.Rbb_sim.Recovery.episodes;
+  let recovered =
+    List.filter_map
+      (fun (e : Rbb_sim.Recovery.episode) -> e.recovery_rounds)
+      r.Rbb_sim.Recovery.episodes
+  in
+  (match recovered with
+  | [] -> print_endline "  no episode relegitimized within the budget"
+  | l ->
+      let mean =
+        fi (List.fold_left ( + ) 0 l) /. fi (List.length l)
+      in
+      let worst = List.fold_left Stdlib.max 0 l in
+      Printf.printf
+        "  mean recovery : %.1f rounds (%.3f n)\n\
+        \  worst recovery: %d rounds (%.3f n)\n"
+        mean (mean /. fi n) worst (fi worst /. fi n));
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Rbb_sim.Fileio.write_atomic ~path (fun oc ->
+          output_string oc (Rbb_sim.Recovery.to_json r);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+
+let recover_cmd =
+  let action_conv =
+    let parse s =
+      match s with
+      | "pile" | "reshuffle" | "rotate" -> Ok s
+      | _ -> Error (`Msg "expected one of: pile, reshuffle, rotate")
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let balls_t =
+    Arg.(value & opt (some int) None
+         & info [ "balls" ] ~docv:"M" ~doc:"Number of balls (default n).")
+  in
+  let action_t =
+    Arg.(value & opt action_conv "pile"
+         & info [ "action" ] ~docv:"A"
+             ~doc:"Fault action: $(b,pile) (all balls into one bin), \
+                   $(b,reshuffle) (throw every ball u.a.r.), or \
+                   $(b,rotate) (shift every bin's content).")
+  in
+  let target_t =
+    Arg.(value & opt int 0
+         & info [ "bin" ] ~docv:"B" ~doc:"Target bin for $(b,--action pile).")
+  in
+  let shift_t =
+    Arg.(value & opt int 1
+         & info [ "shift" ] ~docv:"K" ~doc:"Shift for $(b,--action rotate).")
+  in
+  let episodes_t =
+    Arg.(value & opt int 5
+         & info [ "episodes" ] ~docv:"E" ~doc:"Fault-and-recover episodes.")
+  in
+  let max_recovery_t =
+    Arg.(value & opt int 0
+         & info [ "max-recovery" ] ~docv:"T"
+             ~doc:"Round budget per episode (default 100n).")
+  in
+  let beta_t =
+    Arg.(value & opt float 4.0
+         & info [ "beta" ] ~docv:"B"
+             ~doc:"Legitimacy threshold coefficient (max load <= ceil(B ln n)).")
+  in
+  let shards_t =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Scheduling shards for the parallel engine (results are identical for every K).")
+  in
+  let domains_t =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains for the parallel engine (results are identical for every D).")
+  in
+  let json_t =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"PATH"
+             ~doc:"Write the rbb.recovery/1 JSON report to $(docv) (atomic).")
+  in
+  let wrap n balls seed action target shift episodes max_recovery beta shards
+      domains json =
+    let max_recovery = if max_recovery = 0 then 100 * n else max_recovery in
+    recover n balls seed action target shift episodes max_recovery beta shards
+      domains json
+  in
+  let doc =
+    "Measure rounds-to-relegitimacy after Section 4.1 transient faults \
+     (Theorem 1's O(n) recovery bound)."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const wrap $ n_t $ balls_t $ seed_t $ action_t $ target_t $ shift_t
+          $ episodes_t $ max_recovery_t $ beta_t $ shards_t $ domains_t
+          $ json_t)
 
 (* markov ---------------------------------------------------------------- *)
 
@@ -845,8 +1119,8 @@ let () =
     Cmd.group ~default info
       [
         simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
-        markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd; mixing_cmd;
-        rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
+        recover_cmd; markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd;
+        mixing_cmd; rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
       ]
   in
   match Cmd.eval_value ~catch:false group with

@@ -1,0 +1,4 @@
+{"balls":16,"capacity":1,"d_choices":1,"master":"b2f8c51427d4e32b","n":16,"round":2,"schema":"rbb.checkpoint/1","type":"header"}
+{"engine":"xoshiro256**","len":4,"seed":"2a","type":"rng","w0":"cd2430ea93c77c02","w1":"d26ab6428e8200c4","w2":"3ce231bcdee2f1c7","w3":"8252ee1e60599785"}
+{"count":16,"off":0,"type":"loads","values":"1 0 2 0 0 0 1 2 3 1 1 1 2 0 2 0"}
+{"records":3,"type":"end"}

@@ -27,4 +27,46 @@ dune exec bin/rbb_cli.exe -- trace-report "$tracedir/trace.ndjson" --no-plot \
 grep -q '"traceEvents"' "$tracedir/chrome.json" \
   || { echo "check.sh: chrome trace missing"; exit 1; }
 
+# Crash-resume smoke: kill a checkpointing run mid-flight (SIGKILL, so
+# nothing gets to clean up), resume from the last published snapshot,
+# and demand the final checkpoint is byte-identical to a run that never
+# crashed.  Atomic publication means the snapshot is whole even though
+# the writer died.
+rbb="_build/default/bin/rbb_cli.exe"
+"$rbb" simulate --bins 512 --rounds 1000000 --seed 7 \
+  --checkpoint "$tracedir/live.ckpt" --checkpoint-every 25 > /dev/null &
+pid=$!
+for _ in $(seq 1 400); do
+  [ -s "$tracedir/live.ckpt" ] && break
+  sleep 0.05
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+[ -s "$tracedir/live.ckpt" ] \
+  || { echo "check.sh: no checkpoint published before the kill"; exit 1; }
+at=$(grep -o '"round":[0-9]*' "$tracedir/live.ckpt" | head -1 | cut -d: -f2)
+total=$((at + 50))
+"$rbb" simulate --rounds "$total" --resume-from "$tracedir/live.ckpt" \
+  --checkpoint "$tracedir/resumed.ckpt" > /dev/null
+"$rbb" simulate --bins 512 --rounds "$total" --seed 7 \
+  --checkpoint "$tracedir/clean.ckpt" > /dev/null
+cmp -s "$tracedir/resumed.ckpt" "$tracedir/clean.ckpt" \
+  || { echo "check.sh: crash-resume diverged from the uninterrupted run"; exit 1; }
+
+# Supervisor-retry smoke: inject a fault into the sharded engine, check
+# the supervisor retried it, and that the final state still equals the
+# unfaulted sequential run's.
+"$rbb" simulate --bins 512 --rounds 60 --seed 7 --shards 4 --domains 2 \
+  --failpoint 'sharded.settle@round=30,fails=1' \
+  --telemetry-json "$tracedir/fault.json" > /dev/null
+grep -q '"sharded.retries"' "$tracedir/fault.json" \
+  || { echo "check.sh: injected fault was not retried"; exit 1; }
+"$rbb" simulate --bins 512 --rounds 60 --seed 7 --shards 4 --domains 2 \
+  --failpoint 'sharded.settle@round=30,fails=1' \
+  --checkpoint "$tracedir/fault.ckpt" > /dev/null
+"$rbb" simulate --bins 512 --rounds 60 --seed 7 \
+  --checkpoint "$tracedir/clean60.ckpt" > /dev/null
+cmp -s "$tracedir/fault.ckpt" "$tracedir/clean60.ckpt" \
+  || { echo "check.sh: fault-injected trajectory diverged"; exit 1; }
+
 echo "check.sh: all green"

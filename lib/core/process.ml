@@ -61,10 +61,38 @@ let create ?(d_choices = 1) ?weights ?(capacity = 1) ~rng ~init () =
     empty = Config.empty_bins init;
   }
 
+(* Rebuild a process mid-trajectory: same fields as [create], but the
+   master key and round counter come from a checkpoint instead of being
+   drawn/zeroed, so no randomness is consumed.  Combined with a
+   [Rbb_prng.Rng.of_snapshot] generator this reproduces the state of a
+   process that ran [round] rounds, bit for bit. *)
+let restore ?(d_choices = 1) ?(capacity = 1) ~rng ~master ~round ~init () =
+  if d_choices < 1 then invalid_arg "Process.restore: d_choices < 1";
+  if capacity < 1 then invalid_arg "Process.restore: capacity < 1";
+  if round < 0 then invalid_arg "Process.restore: round < 0";
+  let loads = Config.loads init in
+  {
+    rng;
+    master;
+    d = d_choices;
+    weights = None;
+    capacity;
+    loads;
+    arrivals = Array.make (Array.length loads) 0;
+    m = Config.balls init;
+    round;
+    max_load = Config.max_load init;
+    empty = Config.empty_bins init;
+  }
+
 let n t = Array.length t.loads
 let balls t = t.m
 let round t = t.round
 let rng t = t.rng
+let master t = t.master
+let d_choices t = t.d
+let capacity t = t.capacity
+let weighted t = t.weights <> None
 
 let load t u =
   if u < 0 || u >= Array.length t.loads then invalid_arg "Process.load: out of range";
@@ -119,16 +147,19 @@ let step_launch ~rng ~loads ~arrivals ~capacity ~d ?alias ~lo ~hi () =
     done
   done
 
-let step_settle ~loads ~arrivals ~capacity ~lo ~hi =
+let step_settle_into ~src ~dst ~arrivals ~capacity ~lo ~hi =
   let max_l = ref 0 and empty = ref 0 in
   for u = lo to hi - 1 do
-    let q = loads.(u) in
+    let q = src.(u) in
     let q' = q - Stdlib.min q capacity + arrivals.(u) in
-    loads.(u) <- q';
+    dst.(u) <- q';
     if q' > !max_l then max_l := q';
     if q' = 0 then incr empty
   done;
   (!max_l, !empty)
+
+let step_settle ~loads ~arrivals ~capacity ~lo ~hi =
+  step_settle_into ~src:loads ~dst:loads ~arrivals ~capacity ~lo ~hi
 
 let step t =
   let bins = Array.length t.loads in

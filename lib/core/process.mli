@@ -53,6 +53,30 @@ val create :
     weights length differs from the bin count, weights are invalid, or
     weights are combined with [d_choices > 1]. *)
 
+val restore :
+  ?d_choices:int ->
+  ?capacity:int ->
+  rng:Rbb_prng.Rng.t ->
+  master:int64 ->
+  round:int ->
+  init:Config.t ->
+  unit ->
+  t
+(** [restore ~rng ~master ~round ~init ()] rebuilds a process
+    mid-trajectory from checkpointed state: [init] is the configuration
+    after [round] rounds, [master] the launch-stream key the original
+    process drew at creation, and [rng] the main stream (rebuild it with
+    {!Rbb_prng.Rng.of_snapshot}).  Unlike {!create} this consumes {e no}
+    randomness, so the restored process continues exactly where the
+    original would have: the [Rbb_sim] checkpoint layer asserts
+    interrupted-and-resumed runs are bit-identical to uninterrupted
+    ones.  Weighted ([?weights]) processes cannot be restored (the
+    checkpoint layer refuses to capture them).  [last_arrivals] of the
+    restored process reads 0 until its first step ({!create}'s
+    pre-first-step behavior).
+    @raise Invalid_argument if [d_choices < 1], [capacity < 1] or
+    [round < 0]. *)
+
 val step : t -> unit
 (** Advance one synchronous round. *)
 
@@ -89,6 +113,17 @@ val round : t -> int
 
 val n : t -> int
 val balls : t -> int
+
+val master : t -> int64
+(** The launch-stream master key drawn at creation (checkpointed so
+    {!restore} can rebuild the same per-(round, shard) streams). *)
+
+val d_choices : t -> int
+val capacity : t -> int
+
+val weighted : t -> bool
+(** Whether a non-uniform re-assignment law is installed (such a
+    process cannot be checkpointed). *)
 
 val load : t -> int -> int
 (** Current load of a bin. *)
@@ -161,6 +196,21 @@ val step_settle :
 (** Phase 2 for bins [lo, hi): applies departures and arrivals to
     [loads] and returns [(max_load, empty_bins)] of the settled slice,
     ready for a per-shard reduce. *)
+
+val step_settle_into :
+  src:int array ->
+  dst:int array ->
+  arrivals:int array ->
+  capacity:int ->
+  lo:int ->
+  hi:int ->
+  int * int
+(** {!step_settle} with separate source and destination arrays
+    ([step_settle] is the aliased [src == dst] case).  Writing into a
+    distinct [dst] leaves the pre-round configuration intact, which
+    makes the phase a pure function of committed state — the property
+    the supervised [Rbb_sim.Sharded] engine relies on to retry a failed
+    settle slice with bit-identical results. *)
 
 val set_config : t -> Config.t -> unit
 (** [set_config t q] overwrites the load vector with [q] (round counter

@@ -16,6 +16,13 @@ let create_stream ~seed ~stream =
 
 let create ~seed = create_stream ~seed ~stream:0xDA3E39CB94B95BDBL
 let copy g = { state = g.state; inc = g.inc }
+let state g = [| g.state; g.inc |]
+
+let of_state s =
+  if Array.length s <> 2 then invalid_arg "Pcg32.of_state: expected 2 state words";
+  if Int64.logand s.(1) 1L = 0L then
+    invalid_arg "Pcg32.of_state: increment must be odd";
+  { state = s.(0); inc = s.(1) }
 
 let rotr32 x r =
   if r = 0 then x

@@ -19,6 +19,15 @@ val create_stream : seed:int64 -> stream:int64 -> t
 val copy : t -> t
 (** [copy g] is an independent snapshot of [g]'s current state. *)
 
+val state : t -> int64 array
+(** [state g] is [[| state; increment |]] — the checkpoint
+    representation of the stream (see {!of_state}). *)
+
+val of_state : int64 array -> t
+(** [of_state s] rebuilds a generator from {!state}'s two words:
+    [of_state (state g)] produces exactly [g]'s future draws.
+    @raise Invalid_argument on a wrong length or an even increment. *)
+
 val next_u32 : t -> int32
 (** [next_u32 g] advances [g] and returns 32 uniformly random bits. *)
 

@@ -28,6 +28,26 @@ let copy t =
   in
   { t with state }
 
+type snapshot = { snap_engine : engine; snap_seed : int64; words : int64 array }
+
+let snapshot t =
+  let words =
+    match t.state with
+    | Sx g -> Xoshiro256.state g
+    | Sp g -> Pcg32.state g
+    | Ss g -> Splitmix64.state g
+  in
+  { snap_engine = t.engine; snap_seed = t.seed; words }
+
+let of_snapshot s =
+  let state =
+    match s.snap_engine with
+    | Xoshiro -> Sx (Xoshiro256.of_state s.words)
+    | Pcg -> Sp (Pcg32.of_state s.words)
+    | Splitmix -> Ss (Splitmix64.of_state s.words)
+  in
+  { state; engine = s.snap_engine; seed = s.snap_seed }
+
 let next_u64 t =
   match t.state with
   | Sx g -> Xoshiro256.next_u64 g
@@ -81,5 +101,11 @@ let engine_name = function
   | Xoshiro -> "xoshiro256**"
   | Pcg -> "pcg32"
   | Splitmix -> "splitmix64"
+
+let engine_of_name = function
+  | "xoshiro256**" -> Some Xoshiro
+  | "pcg32" -> Some Pcg
+  | "splitmix64" -> Some Splitmix
+  | _ -> None
 
 let pp ppf t = Format.fprintf ppf "%s(seed=%Ld)" (engine_name t.engine) t.seed

@@ -28,6 +28,28 @@ val copy : t -> t
 (** [copy t] snapshots the stream: the copy and the original then produce
     the same future draws. *)
 
+type snapshot = { snap_engine : engine; snap_seed : int64; words : int64 array }
+(** A serializable image of a stream: engine family, originating seed,
+    and the engine's raw state words ({!Xoshiro256.state} /
+    {!Pcg32.state} / {!Splitmix64.state}).  This is the representation
+    crash-safe checkpoints persist. *)
+
+val snapshot : t -> snapshot
+(** [snapshot t] captures the exact stream state: a generator rebuilt
+    with {!of_snapshot} produces bit-identical future draws. *)
+
+val of_snapshot : snapshot -> t
+(** Rebuild a stream from a {!snapshot}.
+    @raise Invalid_argument if the state words are invalid for the
+    engine (wrong count, all-zero xoshiro state, even pcg increment). *)
+
+val engine_name : engine -> string
+(** Stable identifier of the family (["xoshiro256**"], ["pcg32"],
+    ["splitmix64"]) — the form persisted in checkpoint files. *)
+
+val engine_of_name : string -> engine option
+(** Inverse of {!engine_name}. *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child stream and
     advances [t].  For the xoshiro engine the child is additionally

@@ -10,6 +10,12 @@ let mix z =
 
 let create ~seed = { state = seed }
 let copy g = { state = g.state }
+let state g = [| g.state |]
+
+let of_state s =
+  if Array.length s <> 1 then
+    invalid_arg "Splitmix64.of_state: expected 1 state word";
+  { state = s.(0) }
 
 let next_u64 g =
   g.state <- Int64.add g.state golden_gamma;

@@ -15,6 +15,14 @@ val create : seed:int64 -> t
 val copy : t -> t
 (** [copy g] is an independent snapshot of [g]'s current state. *)
 
+val state : t -> int64 array
+(** [state g] is the single state word — the checkpoint representation
+    of the stream (see {!of_state}). *)
+
+val of_state : int64 array -> t
+(** [of_state s] rebuilds a generator from {!state}'s word.
+    @raise Invalid_argument on a wrong length. *)
+
 val next_u64 : t -> int64
 (** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
 

@@ -22,6 +22,15 @@ let create ~seed =
 
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
+let state g = [| g.s0; g.s1; g.s2; g.s3 |]
+
+let of_state s =
+  if Array.length s <> 4 then
+    invalid_arg "Xoshiro256.of_state: expected 4 state words";
+  if s.(0) = 0L && s.(1) = 0L && s.(2) = 0L && s.(3) = 0L then
+    invalid_arg "Xoshiro256.of_state: all-zero state is invalid";
+  { s0 = s.(0); s1 = s.(1); s2 = s.(2); s3 = s.(3) }
+
 let next_u64 g =
   let open Int64 in
   let result = mul (rotl (mul g.s1 5L) 7) 9L in

@@ -15,6 +15,16 @@ val create : seed:int64 -> t
 val copy : t -> t
 (** [copy g] is an independent snapshot of [g]'s current state. *)
 
+val state : t -> int64 array
+(** [state g] is the current 256-bit state as 4 words — together with
+    {!of_state} this is the crash-safe checkpoint representation of the
+    stream. *)
+
+val of_state : int64 array -> t
+(** [of_state s] rebuilds a generator from 4 state words:
+    [of_state (state g)] produces exactly [g]'s future draws.
+    @raise Invalid_argument on a wrong length or the all-zero state. *)
+
 val next_u64 : t -> int64
 (** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
 

@@ -1,0 +1,76 @@
+(** Crash-safe checkpoint / resume (schema [rbb.checkpoint/1]).
+
+    A checkpoint captures everything a trajectory's future depends on —
+    round counter, full configuration, the creation-stream PRNG state
+    ({!Rbb_prng.Rng.snapshot}) with the launch-stream master key, and
+    the deterministic {!Telemetry} counters.  The per-round launch
+    streams are pure functions of [(master, round, block)]
+    ({!Rbb_prng.Stream.for_shard}) and need no state of their own, so
+    resuming is exact: {b a run interrupted at round k and resumed is
+    bit-identical to the run that never stopped}, on both the
+    sequential {!Rbb_core.Process} and the domain-parallel {!Sharded}
+    engine (and across them, since the engines are themselves
+    bit-identical).
+
+    The file format is NDJSON in the {!Jsonl} dialect (flat objects,
+    sorted keys, fixed number formats) — deterministic byte-for-byte
+    for a fixed state.  Int64 values travel as hex strings (OCaml's
+    int is 63-bit).  Files are published atomically ({!Fileio}: unique
+    temp, fsync, rename), and a record-count trailer rejects truncation
+    arriving through other channels.
+
+    Deliberately {e not} captured: wall-clock telemetry (timers,
+    latency histograms — meaningless across a crash), tracer sink
+    state (traces are append streams owned by each run), and weighted
+    ([?weights]) processes, which {!capture_process} /
+    {!capture_sharded} reject. *)
+
+type snapshot = {
+  round : int;  (** completed rounds *)
+  config : Rbb_core.Config.t;  (** configuration after [round] rounds *)
+  rng : Rbb_prng.Rng.snapshot;  (** creation-stream state *)
+  master : int64;  (** launch-stream master key *)
+  d_choices : int;
+  capacity : int;
+  counters : (string * int) list;  (** telemetry counters, sorted *)
+}
+
+val capture_process : ?telemetry:Telemetry.t -> Rbb_core.Process.t -> snapshot
+(** Snapshot a sequential engine (counters from [telemetry], default
+    none).
+    @raise Invalid_argument on a weighted process. *)
+
+val capture_sharded : Sharded.t -> snapshot
+(** Snapshot a sharded engine (counters from its own attached sink).
+    @raise Invalid_argument on a weighted engine. *)
+
+val save : path:string -> snapshot -> unit
+(** Write atomically: the file at [path] is either the complete old
+    content or the complete new one, never a torn mixture, even across
+    power loss (the temp file is fsynced before the rename). *)
+
+val load : path:string -> (snapshot, string) result
+(** Parse and validate.  Errors are prose (unreadable file, schema
+    mismatch, truncation, inconsistent loads, invalid PRNG state...)
+    suitable for printing verbatim; the CLI pins them in cram tests. *)
+
+val to_process : snapshot -> Rbb_core.Process.t
+(** Rebuild the sequential engine, consuming no randomness
+    ({!Rbb_core.Process.restore}). *)
+
+val to_sharded :
+  ?telemetry:Telemetry.t ->
+  ?tracer:Tracer.t ->
+  ?failpoints:Failpoint.t ->
+  ?supervisor:Supervisor.t ->
+  ?shards:int ->
+  ?domains:int ->
+  snapshot ->
+  Sharded.t
+(** Rebuild the sharded engine ({!Sharded.restore}).  [shards] and
+    [domains] may differ from the checkpointing run's — they never
+    affect results. *)
+
+val restore_counters : Telemetry.t -> snapshot -> unit
+(** Seed a (fresh) telemetry sink with the checkpointed counters, so a
+    resumed run's final counter totals equal the uninterrupted run's. *)

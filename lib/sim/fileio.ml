@@ -1,7 +1,10 @@
-(* Atomic file publication: every writer streams into "path.tmp" and the
-   final rename is the only point at which "path" appears, so a crash
-   mid-write can never leave a truncated artifact behind under the
-   published name. *)
+(* Atomic file publication: every writer streams into a per-process
+   unique temp file next to the target and the final rename is the only
+   point at which "path" appears, so a crash mid-write can never leave a
+   truncated artifact behind under the published name.  The temp file is
+   fsynced before the rename: without it a power loss shortly after
+   commit can publish a name whose blocks never hit the disk, which is
+   exactly the window a crash-safe checkpoint must not have. *)
 
 type writer = {
   oc : out_channel;
@@ -10,24 +13,51 @@ type writer = {
   mutable open_ : bool;
 }
 
-let tmp_path path = path ^ ".tmp"
+(* Suffix the temp name with the pid so two processes (a run and its
+   resumed successor, or parallel bench invocations) targeting the same
+   path never clobber each other's in-flight temp file.  A per-process
+   counter additionally separates concurrent writers within one
+   process. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_path path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
 
 let open_atomic ~path =
-  { oc = open_out (tmp_path path); tmp = tmp_path path; path; open_ = true }
+  let tmp = tmp_path path in
+  match open_out tmp with
+  | oc -> { oc; tmp; path; open_ = true }
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let channel w = w.oc
+
+let fsync_out oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with
+  | Unix.Unix_error ((EINVAL | EOPNOTSUPP | ENOSYS), _, _) -> ()
+  (* e.g. /dev/null or pipes: nothing durable to sync *)
 
 let commit w =
   if w.open_ then begin
     w.open_ <- false;
-    close_out w.oc;
-    Sys.rename w.tmp w.path
+    match
+      fsync_out w.oc;
+      close_out w.oc
+    with
+    | () -> Sys.rename w.tmp w.path
+    | exception e ->
+        (try close_out_noerr w.oc with _ -> ());
+        (try Sys.remove w.tmp with Sys_error _ -> ());
+        raise e
   end
 
 let abort w =
   if w.open_ then begin
     w.open_ <- false;
-    close_out w.oc;
+    close_out_noerr w.oc;
     try Sys.remove w.tmp with Sys_error _ -> ()
   end
 

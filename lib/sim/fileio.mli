@@ -1,16 +1,20 @@
 (** Atomic file writes: temp-file-then-rename publication.
 
-    Every exported artifact (CSV series, telemetry JSON, NDJSON traces)
-    goes through this module so that a process dying mid-write can never
-    leave a truncated file behind under the published name: content
-    streams into [path ^ ".tmp"] and the [Sys.rename] in {!commit} /
-    {!write_atomic} is the only point at which [path] (re)appears. *)
+    Every exported artifact (CSV series, telemetry JSON, NDJSON traces,
+    checkpoints) goes through this module so that a process dying
+    mid-write can never leave a truncated file behind under the
+    published name: content streams into a per-process unique temp file
+    ([path ^ ".tmp.<pid>.<k>"], so a crashed run and its resumed
+    successor never clobber each other's in-flight temp), the temp is
+    fsynced, and the [Sys.rename] in {!commit} / {!write_atomic} is the
+    only point at which [path] (re)appears. *)
 
 val write_atomic : path:string -> (out_channel -> unit) -> unit
-(** [write_atomic ~path f] runs [f] on a channel writing to
-    [path ^ ".tmp"], then closes and renames onto [path].  If [f]
-    raises, the temp file is removed, the exception re-raised, and a
-    pre-existing [path] is left untouched. *)
+(** [write_atomic ~path f] runs [f] on a channel writing to a unique
+    temp file next to [path], then fsyncs, closes and renames onto
+    [path].  If [f] (or the close/sync) raises, the temp file is
+    removed, the exception re-raised, and a pre-existing [path] is left
+    untouched. *)
 
 (** {2 Streaming writers}
 
@@ -20,14 +24,15 @@ val write_atomic : path:string -> (out_channel -> unit) -> unit
 type writer
 
 val open_atomic : path:string -> writer
-(** Open [path ^ ".tmp"] for writing (truncating any stale temp file). *)
+(** Open a fresh per-process temp file next to [path] for writing. *)
 
 val channel : writer -> out_channel
 (** The underlying channel; invalid after {!commit} or {!abort}. *)
 
 val commit : writer -> unit
-(** Flush, close, and rename the temp file onto the target path.
-    Idempotent (as is {!abort} after it). *)
+(** Flush, fsync, close, and rename the temp file onto the target path;
+    on failure of any of those steps the temp file is removed and the
+    error re-raised.  Idempotent (as is {!abort} after it). *)
 
 val abort : writer -> unit
 (** Close and delete the temp file without publishing.  Idempotent. *)

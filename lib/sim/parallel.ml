@@ -49,7 +49,8 @@ let record_failure slot ~index exn =
   in
   go ()
 
-let map_domains ?(telemetry = Telemetry.noop) ?domains ~tasks f =
+let map_domains ?(telemetry = Telemetry.noop) ?(failpoints = Failpoint.noop)
+    ?(supervisor = Supervisor.noop) ?domains ~tasks f =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if domains < 1 then invalid_arg "Parallel.map_domains: domains < 1";
   if tasks < 0 then invalid_arg "Parallel.map_domains: negative tasks";
@@ -59,6 +60,17 @@ let map_domains ?(telemetry = Telemetry.noop) ?domains ~tasks f =
     let failure = Atomic.make None in
     let workers = Stdlib.min domains tasks in
     let timed = Telemetry.enabled telemetry in
+    (* Tasks are pure functions of their index, so a failed task can be
+       re-executed verbatim: the [parallel.task] failpoint fires at task
+       entry (keyed round 0, shard = task index) and the supervisor
+       retries the whole task.  Both default to inert. *)
+    let run_task i =
+      Supervisor.supervise supervisor ~name:"parallel.task" ~round:0 ~shard:i
+        (fun ~attempt ->
+          Failpoint.trip failpoints ~name:"parallel.task" ~round:0 ~shard:i
+            ~attempt;
+          f i)
+    in
     (* Worker [w] owns tasks w, w + workers, ...: the assignment depends
        only on the task index and [workers], and every task writes its
        own slot, so the result array is domain-schedule independent. *)
@@ -67,7 +79,7 @@ let map_domains ?(telemetry = Telemetry.noop) ?domains ~tasks f =
       let executed = ref 0 in
       let i = ref w in
       while !i < tasks do
-        (match f !i with
+        (match run_task !i with
         | v -> results.(!i) <- Some v
         | exception exn -> record_failure failure ~index:!i exn);
         incr executed;

@@ -1,12 +1,37 @@
 open Rbb_core
 
+(* Restartable-phase design.  Every phase of a round is a pure function
+   of state committed before the phase started:
+
+   - launch reads the current load buffer and overwrites one
+     worker-private arrival buffer (drawing from stateless
+     per-(master, round, block) streams);
+   - merge overwrites the shared [merged] array slice-by-slice from the
+     arrival buffers;
+   - settle reads the current load buffer and [merged] and overwrites
+     the *other* parity load buffer ([lds.(round land 1)] is current,
+     [lds.((round + 1) land 1)] is written).
+
+   Nothing mutates in place, so a failed slice can simply be executed
+   again — the basis for supervised retry — and an abandoned round
+   leaves the committed configuration untouched — the basis for
+   graceful degradation and for crash-consistent failure states.  The
+   parity trick also means committing a round is just advancing the
+   round counter: no copy, no third barrier. *)
+
 type t = {
+  rng : Rbb_prng.Rng.t;
+      (* the creation stream: the master key was drawn from it, and the
+         adversary / checkpoint layers continue it, so faulted and
+         resumed trajectories match the sequential engine's draw for
+         draw *)
   engine : Rbb_prng.Rng.engine;
   master : int64;
   d : int;
   alias : Rbb_prng.Alias.t option;
   capacity : int;
-  loads : int array;
+  lds : int array array;  (* parity pair: current = lds.(round land 1) *)
+  merged : int array;  (* summed arrivals, overwritten every round *)
   m : int;
   shards : int;
   domains : int;
@@ -15,44 +40,67 @@ type t = {
   bufs : int array array;  (* one full-width arrival buffer per launcher *)
   telemetry : Telemetry.t;
   tracer : Tracer.t;
+  failpoints : Failpoint.t;
+  supervisor : Supervisor.t;
+  mutable degraded : bool;
   mutable round : int;
   mutable max_load : int;
   mutable empty : int;
 }
 
-let create ?(telemetry = Telemetry.noop) ?(tracer = Tracer.noop)
-    ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init () =
-  if d_choices < 1 then invalid_arg "Sharded.create: d_choices < 1";
-  if capacity < 1 then invalid_arg "Sharded.create: capacity < 1";
+let make ~telemetry ~tracer ~failpoints ~supervisor ~d_choices ~weights
+    ~capacity ~shards ~domains ~rng ~master ~round ~init ~who =
+  if d_choices < 1 then invalid_arg (who ^ ": d_choices < 1");
+  if capacity < 1 then invalid_arg (who ^ ": capacity < 1");
   let loads = Config.loads init in
   let bins = Array.length loads in
   let domains =
     match domains with Some d -> d | None -> Parallel.default_domains ()
   in
-  if domains < 1 then invalid_arg "Sharded.create: domains < 1";
+  if domains < 1 then invalid_arg (who ^ ": domains < 1");
   let shards = match shards with Some k -> k | None -> domains in
-  if shards < 1 then invalid_arg "Sharded.create: shards < 1";
+  if shards < 1 then invalid_arg (who ^ ": shards < 1");
   let alias =
     match weights with
     | None -> None
     | Some w ->
         if d_choices > 1 then
-          invalid_arg "Sharded.create: weights and d_choices cannot be combined";
+          invalid_arg (who ^ ": weights and d_choices cannot be combined");
         if Array.length w <> bins then
-          invalid_arg "Sharded.create: weights length differs from bin count";
+          invalid_arg (who ^ ": weights length differs from bin count");
         Some (Rbb_prng.Alias.create w)
   in
-  (* Exactly the draw Process.create makes: same rng state in, same
-     master key out, hence bit-identical trajectories. *)
-  let master = Process.shard_master rng in
   let launchers = Stdlib.min domains shards in
+  let lds =
+    let other = Array.make bins 0 in
+    (* current parity slot gets the initial configuration *)
+    if round land 1 = 0 then [| loads; other |] else [| other; loads |]
+  in
+  let telemetry_sink = telemetry in
+  let tracer_sink = tracer in
+  (* Splice fault reporting onto the caller's supervisor: every failed
+     attempt becomes a trace fault record and telemetry counters,
+     whether it is retried or gives up. *)
+  let supervisor =
+    Supervisor.with_on_event supervisor (fun (e : Supervisor.event) ->
+        Telemetry.incr telemetry_sink "sharded.faults";
+        if e.giving_up then Telemetry.incr telemetry_sink "sharded.fault.giving_up"
+        else Telemetry.incr telemetry_sink "sharded.retries";
+        Tracer.fault tracer_sink ~name:e.name ~round:e.round ~shard:e.shard
+          ~attempt:e.attempt
+          ~detail:
+            (if e.giving_up then Printf.sprintf "giving up: %s" e.error
+             else Printf.sprintf "%s; retry backoff=%Ldns" e.error e.backoff_ns))
+  in
   {
+    rng;
     engine = Rbb_prng.Rng.engine rng;
     master;
     d = d_choices;
     alias;
     capacity;
-    loads;
+    lds;
+    merged = Array.make bins 0;
     m = Config.balls init;
     shards;
     domains;
@@ -61,35 +109,83 @@ let create ?(telemetry = Telemetry.noop) ?(tracer = Tracer.noop)
     bufs = Array.init launchers (fun _ -> Array.make bins 0);
     telemetry;
     tracer;
-    round = 0;
+    failpoints;
+    supervisor;
+    degraded = false;
+    round;
     max_load = Config.max_load init;
     empty = Config.empty_bins init;
   }
 
-let n t = Array.length t.loads
+let create ?(telemetry = Telemetry.noop) ?(tracer = Tracer.noop)
+    ?(failpoints = Failpoint.noop) ?(supervisor = Supervisor.noop)
+    ?(d_choices = 1) ?weights ?(capacity = 1) ?shards ?domains ~rng ~init () =
+  (* Exactly the draw Process.create makes: same rng state in, same
+     master key out, hence bit-identical trajectories. *)
+  let master = Process.shard_master rng in
+  make ~telemetry ~tracer ~failpoints ~supervisor ~d_choices ~weights ~capacity
+    ~shards ~domains ~rng ~master ~round:0 ~init ~who:"Sharded.create"
+
+let restore ?(telemetry = Telemetry.noop) ?(tracer = Tracer.noop)
+    ?(failpoints = Failpoint.noop) ?(supervisor = Supervisor.noop)
+    ?(d_choices = 1) ?(capacity = 1) ?shards ?domains ~rng ~master ~round ~init
+    () =
+  if round < 0 then invalid_arg "Sharded.restore: round < 0";
+  make ~telemetry ~tracer ~failpoints ~supervisor ~d_choices ~weights:None
+    ~capacity ~shards ~domains ~rng ~master ~round ~init ~who:"Sharded.restore"
+
+let loads t = t.lds.(t.round land 1)
+let n t = Array.length t.merged
 let balls t = t.m
 let round t = t.round
 let shards t = t.shards
 let domains t = t.domains
 let max_load t = t.max_load
 let empty_bins t = t.empty
+let rng t = t.rng
+let master t = t.master
+let d_choices t = t.d
+let capacity t = t.capacity
+let weighted t = t.alias <> None
+let telemetry t = t.telemetry
+let degraded t = t.degraded
 
 let load t u =
-  if u < 0 || u >= Array.length t.loads then
-    invalid_arg "Sharded.load: out of range";
-  t.loads.(u)
+  if u < 0 || u >= n t then invalid_arg "Sharded.load: out of range";
+  (loads t).(u)
 
-let config t = Config.of_array t.loads
+let config t = Config.of_array (loads t)
+
+let set_config t q =
+  if Config.n q <> n t then invalid_arg "Sharded.set_config: bin count differs";
+  if Config.balls q <> t.m then
+    invalid_arg "Sharded.set_config: ball count differs";
+  Array.blit (Config.unsafe_loads q) 0 (loads t) 0 (n t);
+  t.max_load <- Config.max_load q;
+  t.empty <- Config.empty_bins q
+
+(* O(n) aggregate recomputation, for states reached through a failure
+   (where the incremental per-slice reduce was abandoned). *)
+let refresh_aggregates t =
+  let max_l = ref 0 and empty = ref 0 in
+  Array.iter
+    (fun q ->
+      if q > !max_l then max_l := q;
+      if q = 0 then incr empty)
+    (loads t);
+  t.max_load <- !max_l;
+  t.empty <- !empty
 
 (* Phase 1 for worker [w] of round [rnd]: scheduling shard [j] launches
    the logical randomness blocks [j*blocks/shards, (j+1)*blocks/shards);
    each block draws from its own (master, round, block) stream, so
    neither the shard count nor the worker that runs it can change a
-   single draw.  Arrivals scatter into the worker-private buffer.
-   Returns the number of blocks actually launched, so telemetry counters
-   reflect real work done rather than a formula. *)
-let launch_phase t ~rnd w =
-  let bins = Array.length t.loads in
+   single draw.  Arrivals scatter into the worker-private buffer, which
+   is zeroed first — the phase is restartable.  Returns the number of
+   blocks actually launched, so telemetry counters reflect real work
+   done rather than a formula. *)
+let launch_phase t ~src ~rnd w =
+  let bins = n t in
   let blocks = Process.shard_count ~bins in
   let buf = t.bufs.(w) in
   Array.fill buf 0 bins 0;
@@ -103,7 +199,7 @@ let launch_phase t ~rnd w =
         Rbb_prng.Stream.for_shard ~engine:t.engine ~master:t.master ~round:rnd
           ~shard:b ()
       in
-      Process.step_launch ~rng ~loads:t.loads ~arrivals:buf ~capacity:t.capacity
+      Process.step_launch ~rng ~loads:src ~arrivals:buf ~capacity:t.capacity
         ~d:t.d ?alias:t.alias ~lo ~hi ();
       incr launched
     done;
@@ -113,13 +209,16 @@ let launch_phase t ~rnd w =
 
 (* The bin range settle-worker [w] owns. *)
 let settle_slice_bounds t w =
-  let bins = Array.length t.loads in
+  let bins = n t in
   (w * bins / t.settlers, (w + 1) * bins / t.settlers)
 
-(* Phase 2a for bins [lo, hi): sum the per-launcher arrival buffers into
-   buffer 0.  Workers own disjoint slices, so this is race-free. *)
+(* Phase 2a for bins [lo, hi): overwrite [merged] with the sum of the
+   per-launcher arrival buffers.  Workers own disjoint slices and the
+   write is a pure overwrite, so the phase is race-free and
+   restartable. *)
 let merge_slice t ~lo ~hi =
-  let acc = t.bufs.(0) in
+  let acc = t.merged in
+  Array.blit t.bufs.(0) lo acc lo (hi - lo);
   for b = 1 to t.launchers - 1 do
     let other = t.bufs.(b) in
     for u = lo to hi - 1 do
@@ -127,10 +226,11 @@ let merge_slice t ~lo ~hi =
     done
   done
 
-(* Phase 2b for bins [lo, hi): settle with the sequential kernel,
-   returning the slice's (max_load, empty) for the reduce. *)
-let settle_slice t ~lo ~hi =
-  Process.step_settle ~loads:t.loads ~arrivals:t.bufs.(0) ~capacity:t.capacity
+(* Phase 2b for bins [lo, hi): settle from the committed parity buffer
+   into the other one, returning the slice's (max_load, empty) for the
+   reduce. *)
+let settle_slice t ~src ~dst ~lo ~hi =
+  Process.step_settle_into ~src ~dst ~arrivals:t.merged ~capacity:t.capacity
     ~lo ~hi
 
 let reduce_parts t parts =
@@ -143,26 +243,118 @@ let reduce_parts t parts =
   t.max_load <- !max_l;
   t.empty <- !empty
 
-(* Deterministic failure slot, as in Parallel: smallest worker index
+(* Guarded phase execution: the failpoint fires at phase entry (so an
+   injected fault never does partial work), the supervisor retries the
+   whole pure phase.  Failpoints are bypassed once the engine has
+   degraded — the degraded run must make progress. *)
+let guarded t ~name ~rnd ~shard f =
+  let r = rnd + 1 in
+  Supervisor.supervise t.supervisor ~name ~round:r ~shard (fun ~attempt ->
+      if not t.degraded then
+        Failpoint.trip t.failpoints ~name ~round:r ~shard ~attempt;
+      f ())
+
+(* Deterministic failure slot: the smallest (round, worker) failure
    wins, whatever order the domains fail in. *)
-let record_failure slot ~index exn =
+let record_failure slot ~rnd ~index exn =
   let rec go () =
     match Atomic.get slot with
-    | Some (j, _) when j <= index -> ()
+    | Some (r, j, _) when (r, j) <= (rnd, index) -> ()
     | cur ->
-        if not (Atomic.compare_and_set slot cur (Some (index, exn))) then go ()
+        if not (Atomic.compare_and_set slot cur (Some (rnd, index, exn))) then
+          go ()
   in
   go ()
 
 let workers t = Stdlib.max t.launchers t.settlers
+
+let run_inline t ~rounds =
+  let parts = Array.make t.settlers (0, 0) in
+  let tel = t.telemetry in
+  let tr = t.tracer in
+  let tel_on = Telemetry.enabled tel in
+  let tr_on = Tracer.enabled tr in
+  let timed = tel_on || tr_on in
+  let now () =
+    if tel_on then Telemetry.now tel else if tr_on then Tracer.now tr else 0L
+  in
+  let blocks = ref 0 in
+  for _ = 1 to rounds do
+    let rnd = t.round in
+    let src = t.lds.(rnd land 1) and dst = t.lds.((rnd + 1) land 1) in
+    let t0 = if timed then now () else 0L in
+    for w = 0 to t.launchers - 1 do
+      blocks :=
+        !blocks
+        + guarded t ~name:"sharded.launch" ~rnd ~shard:w (fun () ->
+              launch_phase t ~src ~rnd w)
+    done;
+    let t1 = if timed then now () else 0L in
+    for w = 0 to t.settlers - 1 do
+      let lo, hi = settle_slice_bounds t w in
+      guarded t ~name:"sharded.merge" ~rnd ~shard:w (fun () ->
+          merge_slice t ~lo ~hi)
+    done;
+    let t2 = if timed then now () else 0L in
+    for w = 0 to t.settlers - 1 do
+      let lo, hi = settle_slice_bounds t w in
+      parts.(w) <-
+        guarded t ~name:"sharded.settle" ~rnd ~shard:w (fun () ->
+            settle_slice t ~src ~dst ~lo ~hi)
+    done;
+    reduce_parts t parts;
+    t.round <- t.round + 1;
+    if timed then begin
+      let t3 = now () in
+      if tel_on then begin
+        Telemetry.timer_add tel "sharded.launch" (Int64.sub t1 t0);
+        Telemetry.timer_add tel "sharded.merge" (Int64.sub t2 t1);
+        Telemetry.timer_add tel "sharded.settle" (Int64.sub t3 t2);
+        Telemetry.record_latency tel (Int64.sub t3 t0)
+      end;
+      if tr_on then begin
+        Tracer.span tr ~name:"sharded.launch" ~worker:0 ~round:t.round ~t0 ~t1;
+        Tracer.span tr ~name:"sharded.merge" ~worker:0 ~round:t.round ~t0:t1
+          ~t1:t2;
+        Tracer.span tr ~name:"sharded.settle" ~worker:0 ~round:t.round ~t0:t2
+          ~t1:t3;
+        Tracer.observe tr ~round:t.round ~max_load:t.max_load
+          ~empty_bins:t.empty ~balls:t.m
+      end
+    end
+  done;
+  if tel_on then begin
+    Telemetry.add tel "sharded.rounds" rounds;
+    Telemetry.add tel "sharded.launch.blocks" !blocks
+  end
+
+(* After a retry budget is exhausted at round [rf] (0-based), the
+   committed configuration of round [rf] is still intact in the parity
+   buffer, so the engine falls back to the sequential inline path for
+   the remaining rounds rather than crashing — the trajectory is
+   unchanged because every phase is deterministic in (master, round).
+   Failpoints are bypassed from here on (the degraded flag), so a
+   deterministic every-round fault cannot wedge the fallback too. *)
+let degrade_and_finish t ~rf ~w ~exn ~target_round =
+  t.round <- rf;
+  refresh_aggregates t;
+  t.degraded <- true;
+  Telemetry.incr t.telemetry "sharded.degraded";
+  Tracer.fault t.tracer ~name:"sharded.degraded" ~round:(rf + 1) ~shard:w
+    ~attempt:0
+    ~detail:
+      (Printf.sprintf "degraded to sequential engine: %s"
+         (Printexc.to_string exn));
+  run_inline t ~rounds:(target_round - rf)
 
 let run_pooled t ~rounds =
   (* One spawn per worker for the whole run; rounds are separated by
      barriers, not by fresh domains, so the per-round overhead is two
      rendezvous instead of 2w spawns.  A worker that raises keeps
      attending the barriers (skipping its phase work) so its peers never
-     deadlock; the smallest failing worker index is re-raised at the
-     end, with the engine state unspecified as for any failed step.
+     deadlock; after the join the smallest (round, worker) failure
+     either degrades the engine (supervised) or is re-raised with the
+     engine rolled back to its last committed round.
 
      Telemetry: each worker accumulates its per-phase nanoseconds in
      locals and flushes them once after the loop, so an active sink
@@ -191,11 +383,15 @@ let run_pooled t ~rounds =
     for rnd = r0 to r0 + rounds - 1 do
       (* Completed-round number, matching Process/Tetris tracing. *)
       let r = rnd + 1 in
+      let src = t.lds.(rnd land 1) and dst = t.lds.((rnd + 1) land 1) in
       let t0 = now () in
       (try
          if w < t.launchers && Atomic.get failure = None then
-           blocks := !blocks + launch_phase t ~rnd w
-       with exn -> record_failure failure ~index:w exn);
+           blocks :=
+             !blocks
+             + guarded t ~name:"sharded.launch" ~rnd ~shard:w (fun () ->
+                   launch_phase t ~src ~rnd w)
+       with exn -> record_failure failure ~rnd ~index:w exn);
       let t1 = now () in
       if tr_on && w < t.launchers then
         Tracer.span tr ~name:"sharded.launch" ~worker:w ~round:r ~t0 ~t1;
@@ -204,20 +400,23 @@ let run_pooled t ~rounds =
       (try
          if w < t.settlers && Atomic.get failure = None then begin
            let lo, hi = settle_slice_bounds t w in
-           merge_slice t ~lo ~hi;
+           guarded t ~name:"sharded.merge" ~rnd ~shard:w (fun () ->
+               merge_slice t ~lo ~hi);
            let tm = now () in
            tick merge_ns t2 tm;
            if tr_on then
              Tracer.span tr ~name:"sharded.merge" ~worker:w ~round:r ~t0:t2
                ~t1:tm;
-           parts.(w) <- settle_slice t ~lo ~hi;
+           parts.(w) <-
+             guarded t ~name:"sharded.settle" ~rnd ~shard:w (fun () ->
+                 settle_slice t ~src ~dst ~lo ~hi);
            let ts = now () in
            tick settle_ns tm ts;
            if tr_on then
              Tracer.span tr ~name:"sharded.settle" ~worker:w ~round:r ~t0:tm
                ~t1:ts
          end
-       with exn -> record_failure failure ~index:w exn);
+       with exn -> record_failure failure ~rnd ~index:w exn);
       let t3 = now () in
       Parallel.Barrier.wait barrier;
       let t4 = now () in
@@ -251,62 +450,25 @@ let run_pooled t ~rounds =
     end
   in
   List.iter Domain.join (List.init w_count (fun w -> Domain.spawn (work w)));
-  (match Atomic.get failure with Some (_, exn) -> raise exn | None -> ());
-  reduce_parts t parts;
-  t.round <- r0 + rounds;
-  if tel_on then Telemetry.add tel "sharded.rounds" rounds
-
-let run_inline t ~rounds =
-  let parts = Array.make t.settlers (0, 0) in
-  let tel = t.telemetry in
-  let tr = t.tracer in
-  let tel_on = Telemetry.enabled tel in
-  let tr_on = Tracer.enabled tr in
-  let timed = tel_on || tr_on in
-  let now () =
-    if tel_on then Telemetry.now tel else if tr_on then Tracer.now tr else 0L
-  in
-  let blocks = ref 0 in
-  for _ = 1 to rounds do
-    let t0 = if timed then now () else 0L in
-    for w = 0 to t.launchers - 1 do
-      blocks := !blocks + launch_phase t ~rnd:t.round w
-    done;
-    let t1 = if timed then now () else 0L in
-    for w = 0 to t.settlers - 1 do
-      let lo, hi = settle_slice_bounds t w in
-      merge_slice t ~lo ~hi
-    done;
-    let t2 = if timed then now () else 0L in
-    for w = 0 to t.settlers - 1 do
-      let lo, hi = settle_slice_bounds t w in
-      parts.(w) <- settle_slice t ~lo ~hi
-    done;
-    reduce_parts t parts;
-    t.round <- t.round + 1;
-    if timed then begin
-      let t3 = now () in
-      if tel_on then begin
-        Telemetry.timer_add tel "sharded.launch" (Int64.sub t1 t0);
-        Telemetry.timer_add tel "sharded.merge" (Int64.sub t2 t1);
-        Telemetry.timer_add tel "sharded.settle" (Int64.sub t3 t2);
-        Telemetry.record_latency tel (Int64.sub t3 t0)
-      end;
-      if tr_on then begin
-        Tracer.span tr ~name:"sharded.launch" ~worker:0 ~round:t.round ~t0 ~t1;
-        Tracer.span tr ~name:"sharded.merge" ~worker:0 ~round:t.round ~t0:t1
-          ~t1:t2;
-        Tracer.span tr ~name:"sharded.settle" ~worker:0 ~round:t.round ~t0:t2
-          ~t1:t3;
-        Tracer.observe tr ~round:t.round ~max_load:t.max_load
-          ~empty_bins:t.empty ~balls:t.m
+  match Atomic.get failure with
+  | Some (rf, w, exn) ->
+      (* Rounds before [rf] committed normally; account them before
+         degrading or raising so telemetry totals stay resume-exact. *)
+      if tel_on then Telemetry.add tel "sharded.rounds" (rf - r0);
+      if Supervisor.enabled t.supervisor then
+        degrade_and_finish t ~rf ~w ~exn ~target_round:(r0 + rounds)
+      else begin
+        (* Unsupervised: re-raise, but leave the engine crash-consistent
+           at its last committed round instead of in an unspecified
+           state. *)
+        t.round <- rf;
+        refresh_aggregates t;
+        raise exn
       end
-    end
-  done;
-  if tel_on then begin
-    Telemetry.add tel "sharded.rounds" rounds;
-    Telemetry.add tel "sharded.launch.blocks" !blocks
-  end
+  | None ->
+      reduce_parts t parts;
+      t.round <- r0 + rounds;
+      if tel_on then Telemetry.add tel "sharded.rounds" rounds
 
 let run t ~rounds =
   if rounds < 0 then invalid_arg "Sharded.run: rounds < 0";
@@ -332,3 +494,9 @@ let run_until t ~max_rounds ~stop =
 let run_until_legitimate ?beta t ~max_rounds =
   let threshold = Config.legitimacy_threshold ?beta (n t) in
   run_until t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)
+
+(* The §4.1 adversary, generalized: with the same creation rng object
+   the perturbation draws continue the same stream the sequential
+   engine's would, so faulty trajectories stay engine-independent. *)
+let adversary_driver : t Adversary.driver =
+  { Adversary.step; config; set_config; rng; n; max_load; empty_bins }

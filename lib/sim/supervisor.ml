@@ -1,0 +1,118 @@
+(* Retry supervision for restartable phase work.  The phases of the
+   sharded engine are pure functions of committed state (parity load
+   buffers, private arrival buffers, per-(round, shard) PRNG streams),
+   so a failed slice can simply be re-executed: the supervisor wraps
+   each execution, retries with capped exponential backoff, reports
+   every fault to an event hook, and raises [Budget_exhausted] once the
+   retry budget is spent — at which point the engine degrades rather
+   than crashes. *)
+
+type event = {
+  name : string;
+  round : int;
+  shard : int;
+  attempt : int;
+  error : string;
+  backoff_ns : int64;
+  giving_up : bool;
+}
+
+exception
+  Budget_exhausted of {
+    name : string;
+    round : int;
+    shard : int;
+    attempts : int;
+    last : exn;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted { name; round; shard; attempts; last } ->
+        Some
+          (Printf.sprintf
+             "Supervisor.Budget_exhausted(%s, round=%d, shard=%d, attempts=%d, \
+              last=%s)"
+             name round shard attempts (Printexc.to_string last))
+    | _ -> None)
+
+type active = {
+  retries : int;
+  backoff_ns : int64;
+  max_backoff_ns : int64;
+  sleep : int64 -> unit;
+  on_event : event -> unit;
+}
+
+type t = Noop | Active of active
+
+let noop = Noop
+
+let default_sleep ns =
+  if Int64.compare ns 0L > 0 then Unix.sleepf (Int64.to_float ns *. 1e-9)
+
+let create ?(retries = 3) ?(backoff_ns = 1_000_000L)
+    ?(max_backoff_ns = 100_000_000L) ?(sleep = default_sleep)
+    ?(on_event = fun _ -> ()) () =
+  if retries < 0 then invalid_arg "Supervisor.create: retries < 0";
+  if Int64.compare backoff_ns 0L < 0 then
+    invalid_arg "Supervisor.create: backoff_ns < 0";
+  Active { retries; backoff_ns; max_backoff_ns; sleep; on_event }
+
+let enabled = function Noop -> false | Active _ -> true
+let retries = function Noop -> 0 | Active a -> a.retries
+
+let with_on_event t hook =
+  match t with
+  | Noop -> Noop
+  | Active a ->
+      let prev = a.on_event in
+      Active
+        {
+          a with
+          on_event =
+            (fun e ->
+              prev e;
+              hook e);
+        }
+
+(* backoff_ns * 2^attempt, saturating at max_backoff_ns. *)
+let backoff_for a ~attempt =
+  let shift = Stdlib.min attempt 20 in
+  let b = Int64.shift_left a.backoff_ns shift in
+  if Int64.compare b a.max_backoff_ns > 0 || Int64.compare b 0L < 0 then
+    a.max_backoff_ns
+  else b
+
+let supervise t ~name ~round ~shard f =
+  match t with
+  | Noop -> f ~attempt:0
+  | Active a ->
+      let rec go attempt =
+        match f ~attempt with
+        | v -> v
+        | exception exn ->
+            let giving_up = attempt >= a.retries in
+            let backoff_ns =
+              if giving_up then 0L else backoff_for a ~attempt
+            in
+            a.on_event
+              {
+                name;
+                round;
+                shard;
+                attempt;
+                error = Printexc.to_string exn;
+                backoff_ns;
+                giving_up;
+              };
+            if giving_up then
+              raise
+                (Budget_exhausted
+                   { name; round; shard; attempts = attempt + 1; last = exn })
+            else begin
+              a.sleep backoff_ns;
+              go (attempt + 1)
+            end
+      in
+      go 0

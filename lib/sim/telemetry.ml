@@ -140,6 +140,15 @@ let timer t name =
 
 let latency_count = function Noop -> 0 | Active s -> s.latency_count
 
+let counters t =
+  match t with
+  | Noop -> []
+  | Active s ->
+      Mutex.lock s.lock;
+      let kvs = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.counters [] in
+      Mutex.unlock s.lock;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
 (* JSON rendering ----------------------------------------------------- *)
 
 let json_escape s =

@@ -78,6 +78,14 @@ val timer : t -> string -> int * int64
 val latency_count : t -> int
 (** Total number of latency samples recorded. *)
 
+val counters : t -> (string * int) list
+(** All counters, sorted by name ([[]] on {!noop}).  This is the slice
+    of the registry {!Checkpoint} persists: counters are deterministic
+    for a fixed seed, so a resumed run can continue them and end with
+    the same totals as an uninterrupted one (timers and the latency
+    histogram are wall-clock measurements and are deliberately not
+    carried across a resume). *)
+
 (** {2 Export} *)
 
 val to_json_string : t -> string

@@ -23,6 +23,7 @@ type t = {
   quarter_violations : int;
   spans : (string * int) list;  (* name -> count, sorted by name *)
   skipped : int;
+  truncated_tail : bool;
   series : Rbb_core.Trace.t;
 }
 
@@ -47,6 +48,7 @@ type state = {
   mutable s_quarter : int;
   s_spans : (string, int) Hashtbl.t;
   mutable s_skipped : int;
+  mutable s_truncated_tail : bool;
   s_series : Rbb_core.Trace.t;
 }
 
@@ -72,6 +74,7 @@ let fresh_state () =
     s_quarter = 0;
     s_spans = Hashtbl.create 16;
     s_skipped = 0;
+    s_truncated_tail = false;
     s_series = Rbb_core.Trace.create ();
   }
 
@@ -170,6 +173,7 @@ let finish st =
     longest_excursion = st.s_longest_excursion;
     convergence = List.rev st.s_convergence;
     quarter_violations = st.s_quarter;
+    truncated_tail = st.s_truncated_tail;
     spans =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.s_spans []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
@@ -182,13 +186,30 @@ let of_lines lines =
   List.iter (feed st) lines;
   finish st
 
+(* Hand-rolled line splitting instead of [input_line]: we must know
+   whether the final line carried its newline terminator.  A process
+   killed mid-write leaves a torn, unterminated tail; such a line is
+   tolerated with a warning flag rather than folded into the ordinary
+   skipped count — the distinction matters because a torn tail means
+   "the producer died", not "the producer wrote garbage". *)
 let read_channel ic =
   let st = fresh_state () in
+  let buf = Buffer.create 256 in
   (try
      while true do
-       feed st (input_line ic)
+       match input_char ic with
+       | '\n' ->
+           feed st (Buffer.contents buf);
+           Buffer.clear buf
+       | c -> Buffer.add_char buf c
      done
    with End_of_file -> ());
+  if Buffer.length buf > 0 then begin
+    let line = Buffer.contents buf in
+    if String.trim line <> "" && Jsonl.parse line = None then
+      st.s_truncated_tail <- true
+    else feed st line
+  end;
   finish st
 
 let read_file path =
@@ -249,6 +270,8 @@ let render ?(plot = true) r =
         (String.concat " "
            (List.map (fun (name, count) -> Printf.sprintf "%s=%d" name count) spans)));
   if r.skipped > 0 then line "  skipped lines     : %d" r.skipped;
+  if r.truncated_tail then
+    line "  warning: truncated final line (interrupted write?), ignored";
   (if plot then
      let series = Rbb_core.Trace.max_load_series r.series in
      if Array.length series >= 2 then begin

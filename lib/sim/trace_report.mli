@@ -32,6 +32,12 @@ type t = {
   quarter_violations : int;
   spans : (string * int) list;  (** span counts per name, sorted. *)
   skipped : int;  (** lines that failed to parse *)
+  truncated_tail : bool;
+      (** the file ended in an unterminated, unparsable line — the
+          signature of a producer killed mid-write.  The torn tail is
+          ignored (not counted in [skipped]) and {!render} notes it
+          with a one-line warning; everything before it is reported
+          normally, so a crashed run's trace is still analyzable. *)
   series : Rbb_core.Trace.t;
       (** bounded max-load series for plotting. *)
 }

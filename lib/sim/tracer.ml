@@ -246,6 +246,22 @@ let span t ~name ~worker ~round ~t0 ~t1 =
                 ]
           end)
 
+let fault t ~name ~round ~shard ~attempt ~detail =
+  match t with
+  | Noop -> ()
+  | Active a ->
+      locked a (fun a ->
+          emit_line a
+            [
+              ("attempt", Jsonl.Int attempt);
+              ("detail", Jsonl.String detail);
+              ("name", Jsonl.String name);
+              ("round", Jsonl.Int round);
+              ("shard", Jsonl.Int shard);
+              ("type", Jsonl.String "fault");
+            ];
+          chrome_instant a ~name:(Printf.sprintf "fault:%s" name))
+
 let convergence ?trial t ~round =
   match t with
   | Noop -> ()

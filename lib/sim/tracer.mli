@@ -81,6 +81,20 @@ val span :
 (** Report one engine phase spanning clock readings [t0..t1] (ns).
     Stride-gated by the round it belongs to. *)
 
+val fault :
+  t ->
+  name:string ->
+  round:int ->
+  shard:int ->
+  attempt:int ->
+  detail:string ->
+  unit
+(** Record one injected-or-real fault / retry / degradation event (a
+    [{"type":"fault",...}] line plus a Chrome instant).  Like threshold
+    events, faults are {e never} stride-gated: every one is visible in
+    the trace.  [detail] is free prose (the error, or
+    ["retry backoff=..."] / ["degraded to sequential engine"]). *)
+
 val convergence : ?trial:int -> t -> round:int -> unit
 (** Explicitly record a convergence round (used by drivers that detect
     convergence themselves, e.g. per-trial in the [converge] command).

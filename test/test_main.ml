@@ -24,4 +24,5 @@ let () =
          Test_extensions5.suite;
          Test_telemetry.suite;
          Test_observability.suite;
+         Test_robustness.suite;
        ])

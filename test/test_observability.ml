@@ -320,12 +320,17 @@ let test_tracer_file_sink () =
   let path = temp_path ".ndjson" in
   let tr = Tracer.create ~clock:(fake_clock ()) ~ndjson:(`File path) ~n:16 () in
   Tracer.observe tr ~round:1 ~max_load:14 ~empty_bins:12 ~balls:16;
-  (* Streaming writers publish on close, atomically. *)
-  Alcotest.(check bool) "tmp during streaming" true
-    (Sys.file_exists (path ^ ".tmp"));
+  (* Streaming writers stream into a per-process unique temp file next
+     to the target and publish on close, atomically. *)
+  let temp_files () =
+    let dir = Filename.dirname path and base = Filename.basename path in
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> String.starts_with ~prefix:(base ^ ".tmp") f)
+  in
+  Alcotest.(check bool) "tmp during streaming" true (temp_files () <> []);
   Tracer.close tr;
   Alcotest.(check bool) "published" true (Sys.file_exists path);
-  Alcotest.(check bool) "tmp gone" false (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check bool) "tmp gone" true (temp_files () = []);
   let r = Trace_report.read_file path in
   Alcotest.(check int) "one observable read back" 1 r.Trace_report.observables;
   Sys.remove path
