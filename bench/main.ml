@@ -7,6 +7,8 @@
      main.exe micro           run only the Bechamel kernel benchmarks
      main.exe speedup         sequential vs sharded engine wall-clock
                               comparison (emits BENCH_sharded_speedup.json)
+     main.exe kernel          per-ball vs count-based round kernel
+                              (emits BENCH_counts_speedup.json)
      main.exe recovery        rounds-to-relegitimacy after transient faults
                               (emits BENCH_recovery.json)
      main.exe list            list experiment ids and claims
@@ -26,6 +28,7 @@ let list_experiments () =
     experiments;
   print_endline "  micro  Bechamel kernel benchmarks";
   print_endline "  speedup  sequential vs sharded wall-clock comparison";
+  print_endline "  kernel  per-ball vs count-based round kernel";
   print_endline "  recovery  rounds-to-relegitimacy after transient faults"
 
 let () =
@@ -36,6 +39,7 @@ let () =
   | [ "list" ] -> list_experiments ()
   | [ "micro" ] -> Micro.run ()
   | [ "speedup" ] -> Speedup.run ~quick ()
+  | [ "kernel" ] -> Kernel.run ~quick ()
   | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
   | [] ->
       Printf.printf

@@ -54,6 +54,31 @@ let make_init name rng ~n ~m =
   | "random" -> Config.random rng ~n ~m
   | _ -> assert false
 
+(* Engine selection: the per-ball engines (Process / Sharded) and the
+   count-based engines (Counts_process / Sharded_counts) implement the
+   same process law but consume randomness differently, so the choice
+   changes the realized trajectory (equal in distribution, not in
+   bits).  Unset means per-ball, except on resume where the checkpoint
+   knows which family wrote it. *)
+
+let engine_conv =
+  let parse s =
+    match s with
+    | "balls" | "counts" -> Ok s
+    | _ -> Error (`Msg "expected one of: balls, counts")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let engine_t =
+  let doc =
+    "Round kernel: $(b,balls) (per-ball sampling; supports -d and \
+     failpoints) or $(b,counts) (per-block count sampling — same law, \
+     an order of magnitude faster at large n; uniform re-assignment \
+     only).  Defaults to $(b,balls), or to the engine recorded in the \
+     checkpoint when resuming."
+  in
+  Arg.(value & opt (some engine_conv) None & info [ "engine" ] ~docv:"E" ~doc)
+
 (* Telemetry export: [--telemetry-json PATH] turns on an active sink;
    without it every instrument is the noop sink and costs nothing. *)
 
@@ -191,7 +216,7 @@ let load_checkpoint path =
 
 (* simulate ----------------------------------------------------------- *)
 
-let simulate n rounds seed init_name d shards domains report_every
+let simulate n rounds seed init_name engine d shards domains report_every
     telemetry_path trace_ndjson trace_every chrome_trace checkpoint_path
     checkpoint_every resume_from failpoint_specs =
   if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
@@ -222,6 +247,33 @@ let simulate n rounds seed init_name d shards domains report_every
   (* On resume the checkpoint is authoritative for the process law. *)
   let n = match snap with None -> n | Some s -> Config.n s.config in
   let d = match snap with None -> d | Some s -> s.d_choices in
+  (* The checkpoint is authoritative for the engine family too: the two
+     families consume randomness under different laws, so switching
+     mid-trajectory cannot be an exact resume.  An explicit conflicting
+     --engine is an error rather than silently ignored. *)
+  let counts =
+    match (engine, snap) with
+    | None, None -> false
+    | None, Some s -> s.Rbb_sim.Checkpoint.kind = Rbb_sim.Checkpoint.Counts
+    | Some e, Some s ->
+        let counts = s.Rbb_sim.Checkpoint.kind = Rbb_sim.Checkpoint.Counts in
+        if (e = "counts") <> counts then
+          invalid_arg
+            (Printf.sprintf
+               "simulate: --engine %s conflicts with the checkpoint, which \
+                was written by the %s engine"
+               e
+               (if counts then "counts" else "balls"))
+        else counts
+    | Some e, None -> e = "counts"
+  in
+  if counts && d > 1 then
+    invalid_arg
+      "simulate: the counts engine supports uniform re-assignment only (-d 1)";
+  if counts && Rbb_sim.Failpoint.enabled failpoints then
+    invalid_arg
+      "simulate: failpoints guard the per-ball sharded engine; the counts \
+       engine has no failpoint surface";
   let metrics = Metrics.create ~n in
   let tel = telemetry_of_path telemetry_path in
   (match snap with
@@ -259,12 +311,48 @@ let simulate n rounds seed init_name d shards domains report_every
     if rounds = start_round then save ();
     Option.iter (Printf.printf "wrote checkpoint to %s\n") checkpoint_path
   in
-  (* Both engines implement the same randomness law, so the output below
-     is identical whichever one runs; sharding only changes wall-clock
-     time.  Telemetry and tracing come from inside the engines (probes),
-     so neither engine's trajectory depends on them.  Failpoints only
-     guard the sharded engine's phases, so arming one forces it. *)
-  if shards > 1 || domains > 1 || Rbb_sim.Failpoint.enabled failpoints then begin
+  (* Within each engine family the sequential and parallel variants
+     share the randomness law, so the output below is identical
+     whichever one runs; sharding only changes wall-clock time.
+     Telemetry and tracing come from inside the engines (probes), so no
+     trajectory depends on them.  Failpoints only guard the per-ball
+     sharded engine's phases, so arming one forces it. *)
+  if counts && (shards > 1 || domains > 1) then begin
+    let p =
+      match snap with
+      | Some s -> Rbb_sim.Checkpoint.to_sharded_counts ~telemetry:tel ~tracer ~domains s
+      | None ->
+          let rng = rng_of_seed seed in
+          let init = make_init init_name rng ~n ~m:n in
+          Rbb_sim.Sharded_counts.create ~telemetry:tel ~tracer ~domains ~rng
+            ~init ()
+    in
+    drive
+      ~step:(fun () -> Rbb_sim.Sharded_counts.step p)
+      ~max_load:(fun () -> Rbb_sim.Sharded_counts.max_load p)
+      ~empty_bins:(fun () -> Rbb_sim.Sharded_counts.empty_bins p)
+      ~capture:(fun () -> Rbb_sim.Checkpoint.capture_sharded_counts p)
+  end
+  else if counts then begin
+    let p =
+      match snap with
+      | Some s -> Rbb_sim.Checkpoint.to_counts s
+      | None ->
+          let rng = rng_of_seed seed in
+          let init = make_init init_name rng ~n ~m:n in
+          Counts_process.create ~rng ~init ()
+    in
+    let probe =
+      Probe.compose (Rbb_sim.Telemetry.probe tel) (Rbb_sim.Tracer.probe tracer)
+    in
+    drive
+      ~step:(fun () -> Counts_process.run ~probe p ~rounds:1)
+      ~max_load:(fun () -> Counts_process.max_load p)
+      ~empty_bins:(fun () -> Counts_process.empty_bins p)
+      ~capture:(fun () -> Rbb_sim.Checkpoint.capture_counts ~telemetry:tel p)
+  end
+  else if shards > 1 || domains > 1 || Rbb_sim.Failpoint.enabled failpoints
+  then begin
     let p =
       match snap with
       | Some s ->
@@ -301,13 +389,15 @@ let simulate n rounds seed init_name d shards domains report_every
       ~capture:(fun () -> Rbb_sim.Checkpoint.capture_process ~telemetry:tel p)
   end;
   Printf.printf
-    "\nn=%d rounds=%d d=%d init=%s seed=%d\n\
+    "\nn=%d rounds=%d d=%d engine=%s init=%s seed=%d\n\
      running max load       : %d\n\
      mean max load          : %.3f\n\
      legitimacy threshold   : %d (4 ln n)\n\
      min empty-bin fraction : %.4f\n\
      rounds below n/4 empty : %d\n"
-    n rounds d init_name seed
+    n rounds d
+    (if counts then "counts" else "balls")
+    init_name seed
     (Metrics.running_max_load metrics)
     (Metrics.mean_max_load metrics)
     (Config.legitimacy_threshold n)
@@ -350,10 +440,10 @@ let simulate_cmd =
   in
   let doc = "Run the repeated balls-into-bins process and report load metrics." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ d_t $ shards_t
-          $ domains_t $ report_t $ telemetry_t $ trace_ndjson_t $ trace_every_t
-          $ chrome_trace_t $ checkpoint_t $ checkpoint_every_t $ resume_from_t
-          $ failpoint_t)
+    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ engine_t $ d_t
+          $ shards_t $ domains_t $ report_t $ telemetry_t $ trace_ndjson_t
+          $ trace_every_t $ chrome_trace_t $ checkpoint_t $ checkpoint_every_t
+          $ resume_from_t $ failpoint_t)
 
 (* tetris -------------------------------------------------------------- *)
 

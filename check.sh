@@ -69,4 +69,28 @@ grep -q '"sharded.retries"' "$tracedir/fault.json" \
 cmp -s "$tracedir/fault.ckpt" "$tracedir/clean60.ckpt" \
   || { echo "check.sh: fault-injected trajectory diverged"; exit 1; }
 
+# Counts-vs-balls smoke: the count-based kernel must run from the CLI,
+# stay bit-identical between its sequential and sharded variants
+# (checkpoint bytes), resume as the counts engine from its own
+# checkpoint, and land in the same legitimate band as the per-ball
+# oracle from the same start (the distributional gate proper lives in
+# test/test_distributional.ml).
+"$rbb" simulate --bins 4096 --rounds 200 --seed 7 --engine counts \
+  --checkpoint "$tracedir/counts_seq.ckpt" > "$tracedir/counts.out"
+"$rbb" simulate --bins 4096 --rounds 200 --seed 7 --engine counts --domains 2 \
+  --checkpoint "$tracedir/counts_par.ckpt" > /dev/null
+cmp -s "$tracedir/counts_seq.ckpt" "$tracedir/counts_par.ckpt" \
+  || { echo "check.sh: sequential and sharded counts engines diverged"; exit 1; }
+grep -q '"engine_kind":"counts"' "$tracedir/counts_seq.ckpt" \
+  || { echo "check.sh: counts checkpoint not tagged with its engine kind"; exit 1; }
+"$rbb" simulate --rounds 250 --resume-from "$tracedir/counts_seq.ckpt" \
+  | grep -q 'engine=counts' \
+  || { echo "check.sh: counts resume did not restore the counts engine"; exit 1; }
+"$rbb" simulate --bins 4096 --rounds 200 --seed 7 > "$tracedir/balls.out"
+counts_max=$(grep 'running max load' "$tracedir/counts.out" | grep -o '[0-9]*$')
+balls_max=$(grep 'running max load' "$tracedir/balls.out" | grep -o '[0-9]*$')
+threshold=$(grep -o 'legitimacy threshold   : [0-9]*' "$tracedir/counts.out" | grep -o '[0-9]*$')
+[ "$counts_max" -le "$threshold" ] && [ "$balls_max" -le "$threshold" ] \
+  || { echo "check.sh: an engine left the legitimate band (counts $counts_max, balls $balls_max, threshold $threshold)"; exit 1; }
+
 echo "check.sh: all green"

@@ -148,13 +148,23 @@ let step_launch ~rng ~loads ~arrivals ~capacity ~d ?alias ~lo ~hi () =
   done
 
 let step_settle_into ~src ~dst ~arrivals ~capacity ~lo ~hi =
+  (* Validate the slice once, then run unchecked: per-element bounds
+     checks cost more than the arithmetic on this pure streaming pass. *)
+  if lo < 0 || hi < lo || hi > Array.length src || hi > Array.length dst
+     || hi > Array.length arrivals
+  then invalid_arg "Process.step_settle_into: slice out of bounds";
   let max_l = ref 0 and empty = ref 0 in
   for u = lo to hi - 1 do
-    let q = src.(u) in
-    let q' = q - Stdlib.min q capacity + arrivals.(u) in
-    dst.(u) <- q';
+    let q = Array.unsafe_get src u in
+    (* Branchless [min q capacity] and empty-bin count: whether a bin is
+       empty is close to a coin flip in steady state, so data-dependent
+       branches here mispredict constantly. *)
+    let d = q - capacity in
+    let rel = capacity + (d asr 62 land d) in
+    let q' = q - rel + Array.unsafe_get arrivals u in
+    Array.unsafe_set dst u q';
     if q' > !max_l then max_l := q';
-    if q' = 0 then incr empty
+    empty := !empty + 1 - ((-q') lsr 62)
   done;
   (!max_l, !empty)
 

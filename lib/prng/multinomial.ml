@@ -1,0 +1,226 @@
+(* Exact uniform-multinomial splitting over a dyadic tree.
+
+   Throwing [count] balls independently and uniformly into [width] bins
+   is equivalent to: pad [width] up to a power of two, recursively split
+   the count between the two halves of the range with Bin(c, 1/2) draws,
+   and re-throw every ball that lands in the padding.  A Bin(c, 1/2)
+   draw is exactly the popcount of [c] fair random bits, so the whole
+   procedure runs on a flat pool of random bits — no floating point, no
+   per-ball generator calls — while sampling the same law as the
+   per-ball kernel bit-for-exactly (see DESIGN notes in the mli). *)
+
+let word_bits = 62
+
+(* 16-bit popcount table: 4 byte-table lookups per 62-bit word. *)
+let pop16 =
+  let b = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set b i (Char.unsafe_chr (count i 0))
+  done;
+  b
+
+let popcount w =
+  Char.code (Bytes.unsafe_get pop16 (w land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pop16 (w lsr 48))
+
+type t = {
+  mutable rng : Rng.t;
+  buf : int array;
+  mutable pos : int;  (* next unread word in [buf]; [length buf] = empty *)
+  mutable cur : int;  (* partially consumed word, low [cur_bits] bits valid *)
+  mutable cur_bits : int;
+}
+
+let create ?(buf_words = 256) rng =
+  if buf_words < 1 then invalid_arg "Multinomial.create: buf_words < 1";
+  {
+    rng;
+    buf = Array.make buf_words 0;
+    pos = buf_words;
+    cur = 0;
+    cur_bits = 0;
+  }
+
+let reset t rng =
+  t.rng <- rng;
+  t.pos <- Array.length t.buf;
+  t.cur <- 0;
+  t.cur_bits <- 0
+
+let refill t =
+  Rng.fill_int62 t.rng t.buf ~pos:0 ~len:(Array.length t.buf);
+  t.pos <- 0
+
+let take_word t =
+  if t.pos >= Array.length t.buf then refill t;
+  let w = Array.unsafe_get t.buf t.pos in
+  t.pos <- t.pos + 1;
+  w
+
+let binomial_half_slow t c =
+  let acc = ref 0 and left = ref c in
+  while !left > 0 do
+    if t.cur_bits = 0 then begin
+      t.cur <- take_word t;
+      t.cur_bits <- word_bits
+    end;
+    let k = if !left < t.cur_bits then !left else t.cur_bits in
+    acc := !acc + popcount (t.cur land ((1 lsl k) - 1));
+    t.cur <- t.cur lsr k;
+    t.cur_bits <- t.cur_bits - k;
+    left := !left - k
+  done;
+  !acc
+
+(* [binomial_half t c] is Bin(c, 1/2): the popcount of [c] fresh bits. *)
+let binomial_half t c =
+  if c <= t.cur_bits then begin
+    (* Fast path: the whole draw fits in the buffered word. *)
+    let v = popcount (t.cur land ((1 lsl c) - 1)) in
+    t.cur <- t.cur lsr c;
+    t.cur_bits <- t.cur_bits - c;
+    v
+  end
+  else binomial_half_slow t c
+
+(* Below this count a node throws its balls individually ([bits] fresh
+   bits each) instead of splitting further: the law is identical either
+   way, so the threshold is purely a time trade-off between per-node
+   splitting overhead and per-ball bit draws (tuned on the n = 10^6
+   kernel bench; random bits are ~2.6ns per 62-bit word, so spending a
+   few more bits per ball is cheaper than recursing). *)
+let leaf_count = 16384
+
+(* Batched per-ball throws: [count] uniform indexes of [bits] bits each,
+   incrementing [into.(base + index)].  Consumes whole buffered words and
+   discards the sub-[bits] remainder of each — discarding is sound
+   because unconsumed bits are iid uniform given everything drawn so
+   far, and it keeps the inner loop free of bit-boundary bookkeeping.
+   Callers guarantee [base + 2^bits <= length into] ([bits >= 1]), so
+   the masked index cannot escape the range. *)
+let throw_into t ~count ~bits ~base ~into =
+  let mask = (1 lsl bits) - 1 in
+  (* Both divisions happen once per call, not once per word. *)
+  let per_word = word_bits / bits in
+  let avail0 = t.cur_bits / bits in
+  let rem = ref count and avail = ref avail0 in
+  while !rem > 0 do
+    if !avail = 0 then begin
+      t.cur <- take_word t;
+      t.cur_bits <- word_bits;
+      avail := per_word
+    end;
+    let k = if !rem < !avail then !rem else !avail in
+    let cur = ref t.cur in
+    for _ = 1 to k do
+      let i = base + (!cur land mask) in
+      Array.unsafe_set into i (Array.unsafe_get into i + 1);
+      cur := !cur lsr bits
+    done;
+    t.cur <- !cur;
+    t.cur_bits <- t.cur_bits - (k * bits);
+    avail := !avail - k;
+    rem := !rem - k
+  done
+
+let max_width = 1 lsl 50
+
+let ceil_log2 w =
+  let b = ref 0 in
+  while 1 lsl !b < w do incr b done;
+  !b
+
+(* Balls landing at [width] and beyond are collected in [rej] and
+   re-thrown by the caller in another pass over the tree. *)
+let rec go_bins t count lo bits width into off rej =
+  if count = 0 then ()
+  else if lo >= width then rej := !rej + count
+  else if lo + (1 lsl bits) <= width then
+    if bits = 0 then
+      let i = off + lo in
+      into.(i) <- into.(i) + count
+    else if count <= leaf_count then
+      throw_into t ~count ~bits ~base:(off + lo) ~into
+    else begin
+      let left = binomial_half t count in
+      go_bins t left lo (bits - 1) width into off rej;
+      go_bins t (count - left) (lo + (1 lsl (bits - 1))) (bits - 1) width into off rej
+    end
+  else begin
+    (* Range straddles [width]: keep descending. *)
+    let left = binomial_half t count in
+    go_bins t left lo (bits - 1) width into off rej;
+    go_bins t (count - left) (lo + (1 lsl (bits - 1))) (bits - 1) width into off rej
+  end
+
+let split_bins t ~count ~width ~into ~off =
+  if count < 0 then invalid_arg "Multinomial.split_bins: negative count";
+  if width < 1 || width > max_width then
+    invalid_arg "Multinomial.split_bins: width out of range";
+  if off < 0 || off + width > Array.length into then
+    invalid_arg "Multinomial.split_bins: destination range out of bounds";
+  if width = 1 then into.(off) <- into.(off) + count
+  else begin
+    let bits = ceil_log2 width in
+    let remaining = ref count in
+    while !remaining > 0 do
+      let rej = ref 0 in
+      go_bins t !remaining 0 bits width into off rej;
+      remaining := !rej
+    done
+  end
+
+let split t ~count ~width =
+  let out = Array.make width 0 in
+  split_bins t ~count ~width ~into:out ~off:0;
+  out
+
+(* Block-granularity variant: identical ball law over [bins] bins, but
+   stops descending once a fully valid range fits inside one block and
+   accounts whole subtree counts to [bin lsr block_bits]. *)
+let rec go_blocks t count lo bits bins block_bits into rej =
+  if count = 0 then ()
+  else if lo >= bins then rej := !rej + count
+  else if lo + (1 lsl bits) <= bins then
+    if bits <= block_bits then
+      let b = lo lsr block_bits in
+      into.(b) <- into.(b) + count
+    else if count <= leaf_count then
+      (* A uniform bin index in an aligned 2^bits range maps to
+         [base + (index lsr block_bits)]; the shifted index is itself
+         uniform on [0, 2^(bits-block_bits)), so sample it directly. *)
+      throw_into t ~count ~bits:(bits - block_bits) ~base:(lo lsr block_bits)
+        ~into
+    else begin
+      let left = binomial_half t count in
+      go_blocks t left lo (bits - 1) bins block_bits into rej;
+      go_blocks t (count - left) (lo + (1 lsl (bits - 1))) (bits - 1) bins block_bits into rej
+    end
+  else begin
+    let left = binomial_half t count in
+    go_blocks t left lo (bits - 1) bins block_bits into rej;
+    go_blocks t (count - left) (lo + (1 lsl (bits - 1))) (bits - 1) bins block_bits into rej
+  end
+
+let split_blocks t ~count ~bins ~block_bits ~into =
+  if count < 0 then invalid_arg "Multinomial.split_blocks: negative count";
+  if bins < 1 || bins > max_width then
+    invalid_arg "Multinomial.split_blocks: bins out of range";
+  if block_bits < 0 || block_bits > 50 then
+    invalid_arg "Multinomial.split_blocks: block_bits out of range";
+  let nblocks = ((bins - 1) lsr block_bits) + 1 in
+  if Array.length into < nblocks then
+    invalid_arg "Multinomial.split_blocks: destination too short";
+  let bits = ceil_log2 bins in
+  if bits <= block_bits then into.(0) <- into.(0) + count
+  else begin
+    let remaining = ref count in
+    while !remaining > 0 do
+      let rej = ref 0 in
+      go_blocks t !remaining 0 bits bins block_bits into rej;
+      remaining := !rej
+    done
+  end

@@ -1,0 +1,67 @@
+(** Exact uniform-multinomial splitting on a pool of random bits.
+
+    Throwing [count] balls independently and uniformly at random into
+    [width] bins, and recording only per-bin counts, samples a uniform
+    multinomial.  This module draws that multinomial {e exactly} by
+    dyadic decomposition: the range is padded to a power of two, the
+    count is split between the two halves of every node with a
+    [Bin(c, 1/2)] draw — which is exactly the popcount of [c] fair
+    random bits — and balls that land in the padding are re-thrown in
+    another pass over the tree (each pass rejects with probability
+    [< 1/2], so termination is almost sure and fast).  Once a node's
+    count drops to a few balls they are thrown individually with one
+    direct [take]-bits draw each, which is exact because every
+    remaining range is a power of two.
+
+    No floating point is involved anywhere, so the sampled law is the
+    per-ball destination law {e exactly} — the count-based engine built
+    on this module is distributionally indistinguishable from the
+    per-ball oracle (see [test/test_distributional.ml]) even though the
+    two consume randomness differently.
+
+    {2 Stream discipline}
+
+    A pool consumes its generator in fixed batches of [buf_words] words
+    via {!Rng.fill_int62} and slices them into bits internally.  The
+    number of words consumed is a deterministic function of the
+    operation sequence and of the random bits themselves, so a pool
+    bound to a per-[(round, shard)] stream ({!Stream.for_shard}) yields
+    reproducible draws regardless of what other pools do — the engines
+    reset one pool per block per phase and never share streams.
+    {!reset} discards any buffered bits, so a given stream always
+    starts from its first word. *)
+
+type t
+(** A bit pool: a generator plus a buffer of pre-drawn words. *)
+
+val create : ?buf_words:int -> Rng.t -> t
+(** [create rng] builds a pool drawing from [rng] in batches of
+    [buf_words] (default 256) 62-bit words.  The pool borrows [rng]:
+    consuming bits advances it.
+    @raise Invalid_argument if [buf_words < 1]. *)
+
+val reset : t -> Rng.t -> unit
+(** [reset t rng] rebinds the pool to a fresh generator and discards
+    all buffered bits, reusing the allocated buffer. *)
+
+val split : t -> count:int -> width:int -> int array
+(** [split t ~count ~width] throws [count] balls uniformly into
+    [width] bins and returns the fresh array of per-bin counts (sums to
+    [count]).  Convenience wrapper over {!split_bins}. *)
+
+val split_bins : t -> count:int -> width:int -> into:int array -> off:int -> unit
+(** [split_bins t ~count ~width ~into ~off] adds the per-bin counts of
+    [count] uniform balls over bins [off .. off+width-1] of [into].
+    @raise Invalid_argument on a negative count, a width outside
+    [[1, 2^50]], or a destination range out of bounds. *)
+
+val split_blocks :
+  t -> count:int -> bins:int -> block_bits:int -> into:int array -> unit
+(** [split_blocks t ~count ~bins ~block_bits ~into] throws [count]
+    balls uniformly into [bins] bins but records only per-block counts:
+    ball [b] is accounted to [into.(b lsr block_bits)] (added in
+    place).  Same ball law as {!split_bins}, far fewer bits: the
+    descent stops at block granularity.
+    @raise Invalid_argument on a negative count, [bins] outside
+    [[1, 2^50]], [block_bits] outside [[0, 50]], or a destination
+    shorter than the block count. *)

@@ -46,3 +46,10 @@ let next_u64 g =
   let lo = Int64.of_int32 (next_u32 g) in
   let mask32 = 0xFFFFFFFFL in
   Int64.logor (Int64.shift_left (Int64.logand hi mask32) 32) (Int64.logand lo mask32)
+
+let fill_int62 g a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Pcg32.fill_int62: range out of bounds";
+  for i = pos to pos + len - 1 do
+    Array.unsafe_set a i (Int64.to_int (next_u64 g) land max_int)
+  done

@@ -33,3 +33,9 @@ val next_u32 : t -> int32
 
 val next_u64 : t -> int64
 (** [next_u64 g] concatenates two 32-bit outputs into 64 random bits. *)
+
+val fill_int62 : t -> int array -> pos:int -> len:int -> unit
+(** [fill_int62 g a ~pos ~len] stores the low 62 bits of [len]
+    successive {!next_u64} draws into [a.(pos) .. a.(pos+len-1)] as
+    non-negative native ints.
+    @raise Invalid_argument if the range is out of bounds. *)

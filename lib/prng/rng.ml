@@ -54,6 +54,12 @@ let next_u64 t =
   | Sp g -> Pcg32.next_u64 g
   | Ss g -> Splitmix64.next_u64 g
 
+let fill_int62 t a ~pos ~len =
+  match t.state with
+  | Sx g -> Xoshiro256.fill_int62 g a ~pos ~len
+  | Sp g -> Pcg32.fill_int62 g a ~pos ~len
+  | Ss g -> Splitmix64.fill_int62 g a ~pos ~len
+
 let split t =
   match t.state with
   | Sx g ->

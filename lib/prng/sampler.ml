@@ -47,8 +47,15 @@ let binv_chunked rng n p =
   if p = 0. || n = 0 then 0
   else begin
     let chunk =
-      let c = int_of_float (max_mean /. p) in
-      if c < 1 then 1 else if c > n then n else c
+      (* Compare in float space first: for tiny (even subnormal) [p] the
+         quotient overflows the int range and [int_of_float] on such
+         values is unspecified, so never convert it unless it is known to
+         be below [n]. *)
+      let c = max_mean /. p in
+      if c >= float_of_int n then n
+      else
+        let c = int_of_float c in
+        if c < 1 then 1 else c
     in
     let rec go remaining acc =
       if remaining = 0 then acc
@@ -63,8 +70,15 @@ let binv_chunked rng n p =
 let binomial rng ~n ~p =
   if n < 0 then invalid_arg "Sampler.binomial: negative n";
   check_prob "binomial" p;
-  (* Symmetry keeps the inner inversion on the light side. *)
-  if p > 0.5 then n - binv_chunked rng n (1. -. p) else binv_chunked rng n p
+  (* Deterministic edges consume no randomness — callers that interleave
+     binomial draws with other uses of the same stream rely on this. *)
+  if n = 0 || p = 0. then 0
+  else if p = 1. then n
+  else if p > 0.5 then
+    (* Symmetry keeps the inner inversion on the light side; this is also
+       what makes p near 1 numerically safe (1 - p is exact there). *)
+    n - binv_chunked rng n (1. -. p)
+  else binv_chunked rng n p
 
 let geometric rng ~p =
   if not (p > 0. && p <= 1.) then invalid_arg "Sampler.geometric: p not in (0,1]";

@@ -14,7 +14,11 @@ val binomial : Rng.t -> n:int -> p:float -> int
 (** [binomial rng ~n ~p] draws from [Bin(n, p)] exactly.  Inversion
     (BINV) when [n*p] is small; otherwise the draw is decomposed into
     independent binomial chunks of small mean and summed, which is an
-    exact decomposition of the distribution.
+    exact decomposition of the distribution.  For [p > 0.5] the draw is
+    taken as [n - Bin(n, 1-p)] so the inversion always walks the light
+    tail.  The deterministic edges [Bin(0, p)], [Bin(n, 0)] and
+    [Bin(n, 1)] return without consuming any randomness; subnormal [p]
+    is handled without overflow.
     @raise Invalid_argument unless [n >= 0] and [0 <= p <= 1]. *)
 
 val geometric : Rng.t -> p:float -> int

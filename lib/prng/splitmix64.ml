@@ -20,3 +20,14 @@ let of_state s =
 let next_u64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix g.state
+
+let fill_int62 g a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Splitmix64.fill_int62: range out of bounds";
+  (* Single-function batch so the state word stays unboxed. *)
+  let s = ref g.state in
+  for i = pos to pos + len - 1 do
+    s := Int64.add !s golden_gamma;
+    Array.unsafe_set a i (Int64.to_int (mix !s) land max_int)
+  done;
+  g.state <- !s

@@ -26,6 +26,12 @@ val of_state : int64 array -> t
 val next_u64 : t -> int64
 (** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
 
+val fill_int62 : t -> int array -> pos:int -> len:int -> unit
+(** [fill_int62 g a ~pos ~len] stores the low 62 bits of [len]
+    successive {!next_u64} draws into [a.(pos) .. a.(pos+len-1)] as
+    non-negative native ints.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 val mix : int64 -> int64
 (** [mix z] is the stateless SplitMix64 finalizer: a bijective avalanche
     mixer on 64-bit values.  Useful for hashing seeds. *)

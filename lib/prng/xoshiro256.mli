@@ -28,6 +28,13 @@ val of_state : int64 array -> t
 val next_u64 : t -> int64
 (** [next_u64 g] advances [g] and returns 64 uniformly random bits. *)
 
+val fill_int62 : t -> int array -> pos:int -> len:int -> unit
+(** [fill_int62 g a ~pos ~len] stores the low 62 bits of [len]
+    successive {!next_u64} draws into [a.(pos) .. a.(pos+len-1)] as
+    non-negative native ints.  Bit-compatible with calling [next_u64] in
+    a loop, but batched so the state stays in registers.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 val jump : t -> unit
 (** [jump g] advances [g] by [2^128] steps in place.  Calling [jump] on a
     copy yields a stream guaranteed not to overlap the original for

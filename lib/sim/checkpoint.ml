@@ -21,11 +21,14 @@ open Rbb_core
 
 let schema = "rbb.checkpoint/1"
 
+type kind = Balls | Counts
+
 type snapshot = {
   round : int;
   config : Config.t;
   rng : Rbb_prng.Rng.snapshot;
   master : int64;
+  kind : kind;
   d_choices : int;
   capacity : int;
   counters : (string * int) list;
@@ -39,6 +42,7 @@ let capture_process ?(telemetry = Telemetry.noop) p =
     config = Process.config p;
     rng = Rbb_prng.Rng.snapshot (Process.rng p);
     master = Process.master p;
+    kind = Balls;
     d_choices = Process.d_choices p;
     capacity = Process.capacity p;
     counters = Telemetry.counters telemetry;
@@ -52,20 +56,68 @@ let capture_sharded s =
     config = Sharded.config s;
     rng = Rbb_prng.Rng.snapshot (Sharded.rng s);
     master = Sharded.master s;
+    kind = Balls;
     d_choices = Sharded.d_choices s;
     capacity = Sharded.capacity s;
     counters = Telemetry.counters (Sharded.telemetry s);
   }
 
+let capture_counts ?(telemetry = Telemetry.noop) c =
+  {
+    round = Counts_process.round c;
+    config = Counts_process.config c;
+    rng = Rbb_prng.Rng.snapshot (Counts_process.rng c);
+    master = Counts_process.master c;
+    kind = Counts;
+    d_choices = 1;
+    capacity = Counts_process.capacity c;
+    counters = Telemetry.counters telemetry;
+  }
+
+let capture_sharded_counts s =
+  {
+    round = Sharded_counts.round s;
+    config = Sharded_counts.config s;
+    rng = Rbb_prng.Rng.snapshot (Sharded_counts.rng s);
+    master = Sharded_counts.master s;
+    kind = Counts;
+    d_choices = 1;
+    capacity = Sharded_counts.capacity s;
+    counters = Telemetry.counters (Sharded_counts.telemetry s);
+  }
+
+(* Cross-kind restores are rejected rather than coerced: the two
+   engine families consume randomness under different laws, so resuming
+   a balls trajectory on the counts engine (or vice versa) would
+   silently change the realized trajectory while looking like an exact
+   resume. *)
 let to_process snap =
+  if snap.kind <> Balls then
+    invalid_arg "Checkpoint.to_process: checkpoint is from the counts engine";
   Process.restore ~d_choices:snap.d_choices ~capacity:snap.capacity
     ~rng:(Rbb_prng.Rng.of_snapshot snap.rng)
     ~master:snap.master ~round:snap.round ~init:snap.config ()
 
 let to_sharded ?telemetry ?tracer ?failpoints ?supervisor ?shards ?domains snap
     =
+  if snap.kind <> Balls then
+    invalid_arg "Checkpoint.to_sharded: checkpoint is from the counts engine";
   Sharded.restore ?telemetry ?tracer ?failpoints ?supervisor ?shards ?domains
     ~d_choices:snap.d_choices ~capacity:snap.capacity
+    ~rng:(Rbb_prng.Rng.of_snapshot snap.rng)
+    ~master:snap.master ~round:snap.round ~init:snap.config ()
+
+let to_counts snap =
+  if snap.kind <> Counts then
+    invalid_arg "Checkpoint.to_counts: checkpoint is from the per-ball engine";
+  Counts_process.restore ~capacity:snap.capacity
+    ~rng:(Rbb_prng.Rng.of_snapshot snap.rng)
+    ~master:snap.master ~round:snap.round ~init:snap.config ()
+
+let to_sharded_counts ?telemetry ?tracer ?domains snap =
+  if snap.kind <> Counts then
+    invalid_arg "Checkpoint.to_sharded_counts: checkpoint is from the per-ball engine";
+  Sharded_counts.restore ?telemetry ?tracer ?domains ~capacity:snap.capacity
     ~rng:(Rbb_prng.Rng.of_snapshot snap.rng)
     ~master:snap.master ~round:snap.round ~init:snap.config ()
 
@@ -95,17 +147,23 @@ let save ~path snap =
         output_char oc '\n';
         incr records
       in
+      (* "engine_kind" appears only for counts checkpoints, so every
+         balls checkpoint stays byte-identical to the pre-counts
+         format (readers default a missing field to Balls). *)
       line
-        [
-          ("balls", Jsonl.Int (Config.balls snap.config));
-          ("capacity", Jsonl.Int snap.capacity);
-          ("d_choices", Jsonl.Int snap.d_choices);
-          ("master", Jsonl.String (hex snap.master));
-          ("n", Jsonl.Int n);
-          ("round", Jsonl.Int snap.round);
-          ("schema", Jsonl.String schema);
-          ("type", Jsonl.String "header");
-        ];
+        ([ ("balls", Jsonl.Int (Config.balls snap.config));
+           ("capacity", Jsonl.Int snap.capacity);
+           ("d_choices", Jsonl.Int snap.d_choices) ]
+        @ (match snap.kind with
+          | Balls -> []
+          | Counts -> [ ("engine_kind", Jsonl.String "counts") ])
+        @ [
+            ("master", Jsonl.String (hex snap.master));
+            ("n", Jsonl.Int n);
+            ("round", Jsonl.Int snap.round);
+            ("schema", Jsonl.String schema);
+            ("type", Jsonl.String "header");
+          ]);
       let words = snap.rng.Rbb_prng.Rng.words in
       line
         (("engine",
@@ -146,8 +204,8 @@ let save ~path snap =
 (* Parsing ------------------------------------------------------------ *)
 
 type partial = {
-  mutable header : (int * int * int * int * int64 * int) option;
-      (* n, balls, d_choices, capacity, master, round *)
+  mutable header : (int * int * int * int * int64 * int * kind) option;
+      (* n, balls, d_choices, capacity, master, round, kind *)
   mutable prng : Rbb_prng.Rng.snapshot option;
   mutable loads : int array option;
   mutable filled : int;
@@ -196,9 +254,21 @@ let parse_line st lineno line =
               let* capacity = field_int fields "capacity" in
               let* master = field_hex fields "master" in
               let* round = field_int fields "round" in
+              let* kind =
+                match Jsonl.find_string fields "engine_kind" with
+                | None -> Ok Balls
+                | Some "counts" -> Ok Counts
+                | Some "balls" -> Ok Balls
+                | Some other ->
+                    Error
+                      (Printf.sprintf "checkpoint: unknown engine_kind %S" other)
+              in
               if n <= 0 then Error "checkpoint: n <= 0"
+              else if kind = Counts && d_choices <> 1 then
+                Error "checkpoint: counts engine with d_choices <> 1"
               else begin
-                st.header <- Some (n, balls, d_choices, capacity, master, round);
+                st.header <-
+                  Some (n, balls, d_choices, capacity, master, round, kind);
                 st.loads <- Some (Array.make n (-1));
                 Ok ()
               end
@@ -284,8 +354,9 @@ let finish st =
     match (st.header, st.prng, st.loads) with
     | None, _, _ | _, _, None -> Error "checkpoint: missing header"
     | _, None, _ -> Error "checkpoint: missing rng record"
-    | Some (n, balls, d_choices, capacity, master, round), Some rng, Some loads
-      ->
+    | ( Some (n, balls, d_choices, capacity, master, round, kind),
+        Some rng,
+        Some loads ) ->
         if st.filled <> n || Array.exists (fun v -> v < 0) loads then
           Error "checkpoint: incomplete load vector"
         else
@@ -305,6 +376,7 @@ let finish st =
                     config;
                     rng;
                     master;
+                    kind;
                     d_choices;
                     capacity;
                     counters = List.rev st.ctrs;

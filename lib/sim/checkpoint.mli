@@ -25,12 +25,19 @@
     ([?weights]) processes, which {!capture_process} /
     {!capture_sharded} reject. *)
 
+type kind =
+  | Balls  (** per-ball engines: {!Rbb_core.Process} / {!Sharded} *)
+  | Counts
+      (** count-based engines: {!Rbb_core.Counts_process} /
+          {!Sharded_counts} *)
+
 type snapshot = {
   round : int;  (** completed rounds *)
   config : Rbb_core.Config.t;  (** configuration after [round] rounds *)
   rng : Rbb_prng.Rng.snapshot;  (** creation-stream state *)
   master : int64;  (** launch-stream master key *)
-  d_choices : int;
+  kind : kind;  (** which engine family produced the trajectory *)
+  d_choices : int;  (** always 1 when [kind = Counts] *)
   capacity : int;
   counters : (string * int) list;  (** telemetry counters, sorted *)
 }
@@ -44,6 +51,16 @@ val capture_sharded : Sharded.t -> snapshot
 (** Snapshot a sharded engine (counters from its own attached sink).
     @raise Invalid_argument on a weighted engine. *)
 
+val capture_counts :
+  ?telemetry:Telemetry.t -> Rbb_core.Counts_process.t -> snapshot
+(** Snapshot a sequential counts engine ([kind = Counts]).  The file
+    gains an ["engine_kind"] header field; balls checkpoints carry no
+    such field, so their bytes are unchanged by the counts extension. *)
+
+val capture_sharded_counts : Sharded_counts.t -> snapshot
+(** Snapshot a parallel counts engine (counters from its attached
+    sink). *)
+
 val save : path:string -> snapshot -> unit
 (** Write atomically: the file at [path] is either the complete old
     content or the complete new one, never a torn mixture, even across
@@ -56,7 +73,10 @@ val load : path:string -> (snapshot, string) result
 
 val to_process : snapshot -> Rbb_core.Process.t
 (** Rebuild the sequential engine, consuming no randomness
-    ({!Rbb_core.Process.restore}). *)
+    ({!Rbb_core.Process.restore}).
+    @raise Invalid_argument if [kind = Counts]: the engine families
+    consume randomness under different laws, so a cross-kind resume
+    would silently change the trajectory while looking exact. *)
 
 val to_sharded :
   ?telemetry:Telemetry.t ->
@@ -69,7 +89,23 @@ val to_sharded :
   Sharded.t
 (** Rebuild the sharded engine ({!Sharded.restore}).  [shards] and
     [domains] may differ from the checkpointing run's — they never
-    affect results. *)
+    affect results.
+    @raise Invalid_argument if [kind = Counts]. *)
+
+val to_counts : snapshot -> Rbb_core.Counts_process.t
+(** Rebuild the sequential counts engine
+    ({!Rbb_core.Counts_process.restore}).
+    @raise Invalid_argument if [kind = Balls]. *)
+
+val to_sharded_counts :
+  ?telemetry:Telemetry.t ->
+  ?tracer:Tracer.t ->
+  ?domains:int ->
+  snapshot ->
+  Sharded_counts.t
+(** Rebuild the parallel counts engine ({!Sharded_counts.restore});
+    [domains] may differ from the checkpointing run's.
+    @raise Invalid_argument if [kind = Balls]. *)
 
 val restore_counters : Telemetry.t -> snapshot -> unit
 (** Seed a (fresh) telemetry sink with the checkpointed counters, so a

@@ -27,7 +27,7 @@ A short seeded simulation (seed 42 is the default):
 
   $ rbb simulate --bins 64 --rounds 1000
   
-  n=64 rounds=1000 d=1 init=uniform seed=42
+  n=64 rounds=1000 d=1 engine=balls init=uniform seed=42
   running max load       : 12
   mean max load          : 5.037
   legitimacy threshold   : 17 (4 ln n)
@@ -41,12 +41,58 @@ bit for bit (parallelism only changes wall-clock time):
 
   $ rbb simulate --bins 64 --rounds 1000 --shards 7 --domains 2
   
-  n=64 rounds=1000 d=1 init=uniform seed=42
+  n=64 rounds=1000 d=1 engine=balls init=uniform seed=42
   running max load       : 12
   mean max load          : 5.037
   legitimacy threshold   : 17 (4 ln n)
   min empty-bin fraction : 0.2656
   rounds below n/4 empty : 0
+
+The count-based engine simulates the same process under a different
+randomness law (per-block arrival counts instead of per-ball draws), so
+its numbers differ from the per-ball report above but stay in the same
+distributional band; its sequential and domain-parallel variants are
+bit-identical to each other:
+
+  $ rbb simulate --bins 64 --rounds 1000 --engine counts
+  
+  n=64 rounds=1000 d=1 engine=counts init=uniform seed=42
+  running max load       : 10
+  mean max load          : 5.087
+  legitimacy threshold   : 17 (4 ln n)
+  min empty-bin fraction : 0.2969
+  rounds below n/4 empty : 0
+
+
+  $ rbb simulate --bins 64 --rounds 1000 --engine counts --domains 2
+  
+  n=64 rounds=1000 d=1 engine=counts init=uniform seed=42
+  running max load       : 10
+  mean max load          : 5.087
+  legitimacy threshold   : 17 (4 ln n)
+  min empty-bin fraction : 0.2969
+  rounds below n/4 empty : 0
+
+
+A checkpoint remembers which engine wrote it, a resume restores that
+engine without the flag, and a conflicting flag is an error instead of
+a silent randomness-law change:
+
+  $ rbb simulate --bins 64 --rounds 10 --engine counts --checkpoint counts.ckpt > /dev/null
+  $ grep -o '"engine_kind":"counts"' counts.ckpt
+  "engine_kind":"counts"
+  $ rbb simulate --rounds 20 --resume-from counts.ckpt | grep -o 'engine=counts'
+  engine=counts
+  $ rbb simulate --rounds 20 --resume-from counts.ckpt --engine balls
+  rbb: error: simulate: --engine balls conflicts with the checkpoint, which was written by the counts engine
+  [2]
+
+The counts engine has no d-choices variant (the per-ball oracle keeps
+that surface):
+
+  $ rbb simulate --bins 64 --engine counts -d 2
+  rbb: error: simulate: the counts engine supports uniform re-assignment only (-d 1)
+  [2]
 
 Invalid shard and domain counts are rejected:
 
@@ -113,7 +159,7 @@ the Theorem-1 threshold once and stays legitimate:
 
   $ rbb simulate --bins 64 --rounds 200 --init pile --trace-ndjson trace.ndjson
   
-  n=64 rounds=200 d=1 init=pile seed=42
+  n=64 rounds=200 d=1 engine=balls init=pile seed=42
   running max load       : 63
   mean max load          : 15.885
   legitimacy threshold   : 17 (4 ln n)
@@ -200,7 +246,7 @@ lines carry the process law and the PRNG state (int64 words as hex):
   $ rbb simulate --bins 64 --rounds 100 --checkpoint ck.json
   wrote checkpoint to ck.json
   
-  n=64 rounds=100 d=1 init=uniform seed=42
+  n=64 rounds=100 d=1 engine=balls init=uniform seed=42
   running max load       : 10
   mean max load          : 5.280
   legitimacy threshold   : 17 (4 ln n)
@@ -219,7 +265,7 @@ why its means differ; the trajectory itself is identical):
   resumed from ck.json at round 100
   wrote checkpoint to ck_resumed.json
   
-  n=64 rounds=200 d=1 init=uniform seed=42
+  n=64 rounds=200 d=1 engine=balls init=uniform seed=42
   running max load       : 7
   mean max load          : 4.810
   legitimacy threshold   : 17 (4 ln n)
@@ -255,7 +301,7 @@ exactly one fault and one retry:
 
   $ rbb simulate --bins 64 --rounds 100 --failpoint sharded.launch@round=10,fails=1 --telemetry-json tel_fp.json
   
-  n=64 rounds=100 d=1 init=uniform seed=42
+  n=64 rounds=100 d=1 engine=balls init=uniform seed=42
   running max load       : 10
   mean max load          : 5.280
   legitimacy threshold   : 17 (4 ln n)

@@ -25,4 +25,6 @@ let () =
          Test_telemetry.suite;
          Test_observability.suite;
          Test_robustness.suite;
+         Test_distributional.suite;
+         Test_engines.suite;
        ])

@@ -485,6 +485,207 @@ let prop_float_unit_in_range =
       let x = Rng.float_unit g in
       x >= 0. && x < 1.)
 
+(* ------------------------------------------------------------------ *)
+(* fill_int62                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched fill must be bit-compatible with the one-word-at-a-time
+   definition (low 62 bits of successive next_u64) on every engine:
+   Multinomial's stream discipline — and hence the counts engines'
+   trajectories — depends on it. *)
+let fill_matches_next_u64 engine () =
+  let seed = 0xFEEDL in
+  let a = Rng.create ~engine ~seed () and b = Rng.create ~engine ~seed () in
+  let buf = Array.make 64 (-1) in
+  Rng.fill_int62 a buf ~pos:3 ~len:57;
+  for i = 0 to 2 do
+    Alcotest.(check int) "prefix untouched" (-1) buf.(i)
+  done;
+  for i = 60 to 63 do
+    Alcotest.(check int) "suffix untouched" (-1) buf.(i)
+  done;
+  for i = 3 to 59 do
+    let expect = Int64.to_int (Rng.next_u64 b) land max_int in
+    Alcotest.(check int) (Printf.sprintf "word %d" i) expect buf.(i)
+  done;
+  (* The generators are in the same state afterwards. *)
+  Alcotest.(check int64) "state advanced identically" (Rng.next_u64 b)
+    (Rng.next_u64 a)
+
+let fill_edge_cases () =
+  let g = Rng.create ~seed:1L () in
+  let buf = Array.make 4 7 in
+  Rng.fill_int62 g buf ~pos:2 ~len:0;
+  Alcotest.(check (array int)) "len 0 is a no-op" [| 7; 7; 7; 7 |] buf;
+  Tutil.check_raises_invalid "negative pos" (fun () ->
+      Rng.fill_int62 g buf ~pos:(-1) ~len:1);
+  Tutil.check_raises_invalid "negative len" (fun () ->
+      Rng.fill_int62 g buf ~pos:0 ~len:(-1));
+  Tutil.check_raises_invalid "overrun" (fun () ->
+      Rng.fill_int62 g buf ~pos:2 ~len:3)
+
+(* ------------------------------------------------------------------ *)
+(* Multinomial splitting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multinomial_conserves_and_repeats () =
+  let draw seed ~count ~width =
+    let pool = Multinomial.create (Rng.create ~seed ()) in
+    Multinomial.split pool ~count ~width
+  in
+  List.iter
+    (fun (count, width) ->
+      let a = draw 11L ~count ~width in
+      Alcotest.(check int) "width" width (Array.length a);
+      Alcotest.(check int)
+        (Printf.sprintf "sum %d over %d" count width)
+        count
+        (Array.fold_left ( + ) 0 a);
+      Array.iter (fun c -> Alcotest.(check bool) "nonneg" true (c >= 0)) a;
+      (* Same stream, same counts — the draw is a deterministic
+         function of the generator. *)
+      Alcotest.(check (array int)) "deterministic" a (draw 11L ~count ~width))
+    [ (0, 7); (1, 1); (5, 3); (1000, 1); (10_000, 100); (100_000, 4096);
+      (3, 1_000_000); (50_000, 12_345) ]
+
+let multinomial_split_bins_offsets () =
+  let pool = Multinomial.create (Rng.create ~seed:5L ()) in
+  let into = Array.make 20 100 in
+  Multinomial.split_bins pool ~count:5000 ~width:10 ~into ~off:5;
+  (* Outside [5, 15) untouched; inside, the counts were added. *)
+  for i = 0 to 4 do
+    Alcotest.(check int) "before off" 100 into.(i)
+  done;
+  for i = 15 to 19 do
+    Alcotest.(check int) "after range" 100 into.(i)
+  done;
+  let added = ref 0 in
+  for i = 5 to 14 do
+    added := !added + into.(i) - 100
+  done;
+  Alcotest.(check int) "added in place" 5000 !added;
+  Tutil.check_raises_invalid "bad range" (fun () ->
+      Multinomial.split_bins pool ~count:1 ~width:10 ~into ~off:15);
+  Tutil.check_raises_invalid "negative count" (fun () ->
+      Multinomial.split_bins pool ~count:(-1) ~width:10 ~into ~off:0)
+
+let multinomial_split_blocks_marginals () =
+  (* split_blocks must put each ball in block floor(bin / 2^block_bits)
+     with the block-size probabilities; check the aggregate frequencies
+     on an uneven last block (bins not a multiple of the block size). *)
+  let bins = 2500 and block_bits = 10 in
+  (* blocks of 1024: sizes 1024, 1024, 452 *)
+  let pool = Multinomial.create (Rng.create ~seed:99L ()) in
+  let into = Array.make 3 0 in
+  let count = 60_000 in
+  Multinomial.split_blocks pool ~count ~bins ~block_bits ~into;
+  Alcotest.(check int) "conserved" count (Array.fold_left ( + ) 0 into);
+  let expect size = float_of_int count *. float_of_int size /. float_of_int bins in
+  Tutil.check_rel ~tol:0.05 "block 0" (expect 1024) (float_of_int into.(0));
+  Tutil.check_rel ~tol:0.05 "block 1" (expect 1024) (float_of_int into.(1));
+  Tutil.check_rel ~tol:0.08 "block 2" (expect 452) (float_of_int into.(2))
+
+let multinomial_uniform_chi2 () =
+  (* One large draw: per-bin counts of a uniform multinomial, tested
+     against the uniform law with an exact-tail chi-square. *)
+  let width = 64 and count = 64_000 in
+  let pool = Multinomial.create (Rng.create ~seed:42L ()) in
+  let counts = Multinomial.split pool ~count ~width in
+  let probabilities = Array.make width (1. /. float_of_int width) in
+  let _, _, p = Rbb_stats.Gof.chi2_gof_test ~observed:counts ~probabilities in
+  if p < 0.01 then Alcotest.failf "uniformity rejected (p = %.5f)" p
+
+let prop_multinomial_conserves =
+  Tutil.prop "multinomial conserves balls" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 0 50_000) (int_range 1 10_000) (int_range 0 1_000_000))
+    (fun (count, width, salt) ->
+      let pool = Multinomial.create (Rng.create ~seed:(Int64.of_int salt) ()) in
+      let a = Multinomial.split pool ~count ~width in
+      Array.fold_left ( + ) 0 a = count
+      && Array.for_all (fun c -> c >= 0) a)
+
+let prop_split_blocks_matches_bins =
+  (* Summing a bin-granular split over blocks and drawing the
+     block-granular split from the same stream must agree exactly:
+     go_blocks only prunes the descent below block granularity, and
+     the pruned subtrees consume no bits that the block draw keeps. *)
+  Tutil.prop "split_blocks conserves balls" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 0 20_000) (int_range 1 9_000) (int_range 0 1_000_000))
+    (fun (count, bins, salt) ->
+      let pool = Multinomial.create (Rng.create ~seed:(Int64.of_int salt) ()) in
+      let block_bits = 10 in
+      let nblocks = ((bins - 1) lsr block_bits) + 1 in
+      let into = Array.make nblocks 0 in
+      Multinomial.split_blocks pool ~count ~bins ~block_bits ~into;
+      Array.fold_left ( + ) 0 into = count
+      && Array.for_all (fun c -> c >= 0) into)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler binomial edge cases                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero-draw edges: Bin(0, p), Bin(n, 0) and Bin(n, 1) are
+   deterministic and must consume NO randomness — engines rely on
+   degenerate draws not shifting their streams. *)
+let binomial_zero_draw_edges () =
+  List.iter
+    (fun (n, p, expect) ->
+      let g = Rng.create ~seed:77L () in
+      let before = Rng.snapshot g in
+      let v = Sampler.binomial g ~n ~p in
+      Alcotest.(check int) (Printf.sprintf "Bin(%d, %g)" n p) expect v;
+      let after = Rng.snapshot g in
+      Alcotest.(check bool)
+        (Printf.sprintf "Bin(%d, %g) consumed no randomness" n p)
+        true
+        (before = after))
+    [ (0, 0.3, 0); (0, 0., 0); (0, 1., 0); (17, 0., 0); (17, 1., 17);
+      (100_000, 0., 0); (100_000, 1., 100_000) ]
+
+let binomial_subnormal_p () =
+  (* A subnormal p once made the chunk size overflow int_of_float;
+     the draw must terminate and stay in support (and is 0 with
+     overwhelming probability). *)
+  let g = Rng.create ~seed:3L () in
+  List.iter
+    (fun p ->
+      let v = Sampler.binomial g ~n:1_000_000 ~p in
+      Alcotest.(check bool) "in support" true (v >= 0 && v <= 1_000_000))
+    [ 1e-308; 4e-320; Float.min_float; 1e-300 ]
+
+let binomial_p_near_one_symmetry () =
+  (* p > 1/2 draws n - Bin(n, 1-p); the mean and the exact pmf must
+     reflect correctly near 1. *)
+  let g = Tutil.rng () in
+  let n = 40 and p = 0.98 in
+  let trials = 60_000 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to trials do
+    let v = Sampler.binomial g ~n ~p in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let mean = ref 0. in
+  Array.iteri (fun k c -> mean := !mean +. float_of_int (k * c)) counts;
+  Tutil.check_rel ~tol:0.01 "mean n p" (float_of_int n *. p)
+    (!mean /. float_of_int trials);
+  (* Exact-tail chi-square against the Binomial_table pmf, pooling the
+     low-probability left tail into one cell. *)
+  let tbl = Sampler.Binomial_table.create ~n ~p in
+  let cut = 33 in
+  (* P(X < 33) ~ 2e-3: pool *)
+  let observed = Array.make (n - cut + 2) 0 in
+  let probabilities = Array.make (n - cut + 2) 0. in
+  for k = 0 to n do
+    let cell = if k < cut then 0 else k - cut + 1 in
+    observed.(cell) <- observed.(cell) + counts.(k);
+    probabilities.(cell) <- probabilities.(cell) +. Sampler.Binomial_table.pmf tbl k
+  done;
+  let _, _, pval = Rbb_stats.Gof.chi2_gof_test ~observed ~probabilities in
+  if pval < 0.01 then
+    Alcotest.failf "Bin(%d, %g) pmf rejected (p = %.5f)" n p pval
+
 let suite =
   [
     ( "prng.splitmix64",
@@ -557,5 +758,29 @@ let suite =
         Tutil.quick "normalization" alias_normalization;
         Tutil.quick "invalid inputs" alias_invalid_inputs;
         Tutil.quick "degenerate category" alias_degenerate_category;
+      ] );
+    ( "prng.fill_int62",
+      [
+        Tutil.quick "xoshiro matches next_u64"
+          (fill_matches_next_u64 Rng.Xoshiro);
+        Tutil.quick "pcg matches next_u64" (fill_matches_next_u64 Rng.Pcg);
+        Tutil.quick "splitmix matches next_u64"
+          (fill_matches_next_u64 Rng.Splitmix);
+        Tutil.quick "edge cases" fill_edge_cases;
+      ] );
+    ( "prng.multinomial",
+      [
+        Tutil.quick "conserves and repeats" multinomial_conserves_and_repeats;
+        Tutil.quick "split_bins offsets" multinomial_split_bins_offsets;
+        Tutil.quick "split_blocks marginals" multinomial_split_blocks_marginals;
+        Tutil.quick "uniform chi-square" multinomial_uniform_chi2;
+        prop_multinomial_conserves;
+        prop_split_blocks_matches_bins;
+      ] );
+    ( "prng.binomial_edges",
+      [
+        Tutil.quick "zero-draw edges consume nothing" binomial_zero_draw_edges;
+        Tutil.quick "subnormal p terminates" binomial_subnormal_p;
+        Tutil.slow "p near 1 symmetry" binomial_p_near_one_symmetry;
       ] );
   ]

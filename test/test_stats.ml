@@ -363,6 +363,112 @@ let prop_summary_bounds =
       let s = Summary.of_list xs in
       s.min <= s.median && s.median <= s.max && s.min <= s.mean && s.mean <= s.max)
 
+(* ------------------------------------------------------------------ *)
+(* Gof: goodness-of-fit numerics against textbook golden values        *)
+(* ------------------------------------------------------------------ *)
+
+let gof_log_gamma_golden () =
+  (* ln Γ(5) = ln 4! and ln Γ(1/2) = ln √π are exact anchors; Γ(0.3)
+     exercises the reflection branch. *)
+  Tutil.check_close ~tol:1e-12 "lgamma(5)" (log 24.) (Gof.log_gamma 5.);
+  Tutil.check_close ~tol:1e-12 "lgamma(0.5)"
+    (0.5 *. log (4. *. atan 1.))
+    (Gof.log_gamma 0.5);
+  Tutil.check_close ~tol:1e-9 "lgamma(0.3)" 1.0957979948 (Gof.log_gamma 0.3);
+  Tutil.check_close ~tol:1e-12 "lgamma(1)" 0. (Gof.log_gamma 1.);
+  Tutil.check_close ~tol:1e-12 "lgamma(2)" 0. (Gof.log_gamma 2.)
+
+let gof_chi2_golden () =
+  (* Critical values from the standard chi-square table: the upper-tail
+     probability at the 5% critical value is 0.05 by construction. *)
+  List.iter
+    (fun (x, df, expect, tol) ->
+      Tutil.check_close ~tol
+        (Printf.sprintf "p(%g, df=%d)" x df)
+        expect
+        (Gof.chi2_p_value ~df x))
+    [
+      (3.841459, 1, 0.05, 1e-5);
+      (5.991465, 2, 0.05, 1e-5);
+      (11.0705, 5, 0.05, 1e-4);
+      (18.307, 10, 0.05, 1e-4);
+    ];
+  (* P(chi2_1 <= 1) = erf(1/sqrt 2) = 0.6826894921 (the one-sigma
+     normal mass). *)
+  Tutil.check_close ~tol:1e-8 "cdf(1, df=1)" 0.6826894921
+    (Gof.chi2_cdf ~df:1 1.);
+  Tutil.check_close ~tol:1e-12 "cdf(0)" 0. (Gof.chi2_cdf ~df:3 0.);
+  Tutil.check_close ~tol:1e-9 "p at 0 is 1" 1. (Gof.chi2_p_value ~df:3 0.)
+
+let gof_ks_q_golden () =
+  (* Q_KS(1.358) = 0.05: the classical two-sided 5% critical value. *)
+  Tutil.check_close ~tol:1e-4 "Q(1.358)" 0.05 (Gof.ks_q 1.358);
+  Tutil.check_close ~tol:1e-4 "Q(1.224)" 0.1 (Gof.ks_q 1.224);
+  Tutil.check_close ~tol:1e-12 "Q(0) = 1" 1. (Gof.ks_q 0.);
+  Tutil.check_close ~tol:1e-12 "Q(inf) = 0" 0. (Gof.ks_q 50.)
+
+let gof_chi2_statistic_and_test () =
+  (* Hand-computed: observed [10; 20; 30], expected [20.; 20.; 20.]
+     gives (100 + 0 + 100) / 20 = 10. *)
+  Tutil.check_close ~tol:1e-12 "statistic" 10.
+    (Gof.chi2_statistic ~observed:[| 10; 20; 30 |]
+       ~expected:[| 20.; 20.; 20. |]);
+  let stat, df, p =
+    Gof.chi2_gof_test
+      ~observed:[| 10; 20; 30 |]
+      ~probabilities:[| 1. /. 3.; 1. /. 3.; 1. /. 3. |]
+  in
+  Tutil.check_close ~tol:1e-12 "test statistic" 10. stat;
+  Alcotest.(check int) "df" 2 df;
+  Tutil.check_close ~tol:1e-5 "p" 0.00673795 p;
+  (* A perfect fit has statistic 0 and p = 1. *)
+  let stat0, _, p0 =
+    Gof.chi2_gof_test ~observed:[| 25; 25 |] ~probabilities:[| 0.5; 0.5 |]
+  in
+  Tutil.check_close ~tol:1e-12 "perfect statistic" 0. stat0;
+  Tutil.check_close ~tol:1e-9 "perfect p" 1. p0
+
+let gof_homogeneity () =
+  (* Identical histograms are perfectly homogeneous. *)
+  let _, _, p =
+    Gof.chi2_homogeneity_test ~a:[| 30; 40; 30 |] ~b:[| 30; 40; 30 |]
+  in
+  Tutil.check_close ~tol:1e-9 "identical histograms" 1. p;
+  (* Disjoint supports are maximally heterogeneous. *)
+  let _, _, p' =
+    Gof.chi2_homogeneity_test ~a:[| 100; 0 |] ~b:[| 0; 100 |]
+  in
+  Alcotest.(check bool) "disjoint supports rejected" true (p' < 1e-6);
+  (* Jointly-empty cells are dropped, not treated as evidence. *)
+  let _, df, _ =
+    Gof.chi2_homogeneity_test ~a:[| 10; 0; 20 |] ~b:[| 12; 0; 18 |]
+  in
+  Alcotest.(check int) "joint zeros dropped from df" 1 df
+
+let gof_ks_test_basic () =
+  (* Identical samples: d = 0, p = 1. *)
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  let d, p = Gof.ks_test a (Array.copy a) in
+  Tutil.check_close ~tol:1e-12 "identical d" 0. d;
+  Tutil.check_close ~tol:1e-9 "identical p" 1. p;
+  (* Disjoint samples: d = 1, p tiny. *)
+  let b = Array.init 50 (fun i -> float_of_int i)
+  and c = Array.init 50 (fun i -> 1000. +. float_of_int i) in
+  let d', p' = Gof.ks_test b c in
+  Tutil.check_close ~tol:1e-12 "disjoint d" 1. d';
+  Alcotest.(check bool) "disjoint p tiny" true (p' < 1e-12);
+  (* The statistic ignores input order. *)
+  let shuffled = [| 3.; 1.; 5.; 2.; 4. |] in
+  let d'', _ = Gof.ks_test shuffled a in
+  Tutil.check_close ~tol:1e-12 "order-invariant" 0. d''
+
+let prop_gof_chi2_cdf_monotone =
+  Tutil.prop "chi2 cdf monotone in x, p monotone in df" ~count:100
+    QCheck2.Gen.(triple (int_range 1 30) (float_range 0.01 50.) (float_range 0.01 10.))
+    (fun (df, x, dx) ->
+      Gof.chi2_cdf ~df (x +. dx) >= Gof.chi2_cdf ~df x -. 1e-12
+      && Gof.chi2_p_value ~df:(df + 1) x >= Gof.chi2_p_value ~df x -. 1e-12)
+
 let suite =
   [
     ( "stats.kahan",
@@ -418,5 +524,15 @@ let suite =
         Tutil.quick "t table" summary_t_table;
         Tutil.quick "empty" summary_empty;
         prop_summary_bounds;
+      ] );
+    ( "stats.gof",
+      [
+        Tutil.quick "log-gamma golden" gof_log_gamma_golden;
+        Tutil.quick "chi-square golden" gof_chi2_golden;
+        Tutil.quick "KS tail golden" gof_ks_q_golden;
+        Tutil.quick "chi-square statistic/test" gof_chi2_statistic_and_test;
+        Tutil.quick "homogeneity" gof_homogeneity;
+        Tutil.quick "KS basic" gof_ks_test_basic;
+        prop_gof_chi2_cdf_monotone;
       ] );
   ]
