@@ -11,6 +11,8 @@
                               (emits BENCH_counts_speedup.json)
      main.exe recovery        rounds-to-relegitimacy after transient faults
                               (emits BENCH_recovery.json)
+     main.exe serve           daemon throughput under Poisson load and
+                              kill -9 recovery (emits BENCH_serve.json)
      main.exe list            list experiment ids and claims
 
    Every experiment id maps to a row of the per-experiment index in
@@ -29,7 +31,8 @@ let list_experiments () =
   print_endline "  micro  Bechamel kernel benchmarks";
   print_endline "  speedup  sequential vs sharded wall-clock comparison";
   print_endline "  kernel  per-ball vs count-based round kernel";
-  print_endline "  recovery  rounds-to-relegitimacy after transient faults"
+  print_endline "  recovery  rounds-to-relegitimacy after transient faults";
+  print_endline "  serve  daemon throughput under Poisson load + kill -9 recovery"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -41,6 +44,7 @@ let () =
   | [ "speedup" ] -> Speedup.run ~quick ()
   | [ "kernel" ] -> Kernel.run ~quick ()
   | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
+  | [ "serve" ] -> Serve.run ~quick ()
   | [] ->
       Printf.printf
         "Repeated balls-into-bins: full experiment suite%s (use 'list' for ids)\n"

@@ -1,0 +1,184 @@
+(* Service benchmark: the rbb serve daemon measured as a queueing
+   system and as a crash-safe store, recorded to BENCH_serve.json.
+
+   Phase 1 (throughput): an open-loop Poisson slam at a target
+   utilization, reporting sustained jobs/s, sojourn latency quantiles,
+   and the gap between the measured mean waiting time and the M/M/c
+   prediction at the measured arrival/service rates.
+
+   Phase 2 (recovery): a long checkpointed job is interrupted with a
+   real SIGKILL mid-run; a restarted daemon must take over the stale
+   lock, resume from the checkpoint, and publish a result document
+   byte-identical to an uninterrupted run's — the bench measures the
+   restart-to-result wall clock and asserts the identity. *)
+
+module Daemon = Rbb_serve.Daemon
+module Client = Rbb_serve.Client
+module Slam = Rbb_serve.Slam
+module Protocol = Rbb_serve.Protocol
+module Job = Rbb_serve.Job
+
+let json_path = "BENCH_serve.json"
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+(* The daemon runs in a forked child so phase 2 can SIGKILL it the way
+   a machine failure would. *)
+let spawn_daemon cfg =
+  match Unix.fork () with
+  | 0 ->
+      (try Daemon.run cfg with _ -> ());
+      Stdlib.exit 0
+  | pid -> pid
+
+let graceful_stop ~socket pid =
+  let c = Client.connect ~socket () in
+  Client.shutdown c;
+  Client.close c;
+  ignore (Unix.waitpid [] pid)
+
+let run ?(quick = false) () =
+  Printf.printf
+    "\n=== SERVE: daemon throughput under Poisson load + kill -9 recovery ===\n\n%!";
+  let dir = temp_dir "rbb_bench_serve" in
+  (* Phase 1: sustained load. *)
+  let jobs = if quick then 20 else 150 in
+  let job_rounds = if quick then 500 else 2000 in
+  let socket = Filename.concat dir "load.sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~socket ~state_dir:(Filename.concat dir "load"))
+      with
+      Daemon.queue_depth = 32;
+    }
+  in
+  let pid = spawn_daemon cfg in
+  let slam =
+    Slam.run
+      {
+        Slam.socket;
+        jobs;
+        rate = 0.;
+        rho_target = 0.6;
+        calibrate = if quick then 2 else 5;
+        spec =
+          {
+            Protocol.n = 128;
+            rounds = job_rounds;
+            seed = 42;
+            init = "uniform";
+            engine = Protocol.Balls;
+          };
+        arrival_seed = 2026;
+        workers = cfg.Daemon.workers;
+      }
+  in
+  graceful_stop ~socket pid;
+  Printf.printf
+    "load    : %d jobs offered, %d completed in %.2f s (%.1f jobs/s)\n\
+    \          sojourn p50 %.1f ms, p99 %.1f ms\n\
+    \          measured wait %.2f ms vs M/M/%d %.2f ms (rel err %.2f)\n%!"
+    slam.Slam.offered slam.Slam.completed slam.Slam.duration_s
+    slam.Slam.throughput_per_s
+    (slam.Slam.sojourn_p50_s *. 1e3)
+    (slam.Slam.sojourn_p99_s *. 1e3)
+    (slam.Slam.wait_mean_s *. 1e3)
+    cfg.Daemon.workers
+    (slam.Slam.mmc_wait_s *. 1e3)
+    slam.Slam.wait_rel_error;
+  (* Phase 2: kill -9 mid-job, restart, resume, compare. *)
+  let crash_rounds = if quick then 20_000 else 60_000 in
+  let spec =
+    {
+      Protocol.n = 256;
+      rounds = crash_rounds;
+      seed = 7;
+      init = "pile";
+      engine = Protocol.Balls;
+    }
+  in
+  let crash_socket = Filename.concat dir "crash.sock" in
+  let crash_state = Filename.concat dir "crash" in
+  let crash_cfg =
+    {
+      (Daemon.default_config ~socket:crash_socket ~state_dir:crash_state) with
+      Daemon.checkpoint_every = 64;
+    }
+  in
+  let victim = spawn_daemon crash_cfg in
+  let c = Client.connect ~socket:crash_socket () in
+  let id =
+    match Client.submit c spec with
+    | `Accepted id -> id
+    | `Rejected _ -> failwith "serve bench: idle daemon rejected the job"
+  in
+  let ckpt = Job.checkpoint_path ~state_dir:crash_state ~id in
+  let rec wait_for_checkpoint () =
+    if not (Sys.file_exists ckpt) then begin
+      Unix.sleepf 0.005;
+      wait_for_checkpoint ()
+    end
+  in
+  wait_for_checkpoint ();
+  Unix.kill victim Sys.sigkill;
+  ignore (Unix.waitpid [] victim);
+  Client.close c;
+  assert (not (Sys.file_exists (Job.result_path ~state_dir:crash_state ~id)));
+  (* Restart against the same state dir: stale-lock takeover, resume,
+     finish.  Recovery time = restart to result-available. *)
+  let t0 = Unix.gettimeofday () in
+  let survivor = spawn_daemon crash_cfg in
+  let c = Client.connect ~socket:crash_socket () in
+  let resumed_body = Client.await_result c ~id in
+  let recovery_s = Unix.gettimeofday () -. t0 in
+  Client.close c;
+  graceful_stop ~socket:crash_socket survivor;
+  (* The control: the same job, uninterrupted, in a fresh state dir. *)
+  let solid_socket = Filename.concat dir "solid.sock" in
+  let solid_cfg =
+    {
+      crash_cfg with
+      Daemon.socket = solid_socket;
+      state_dir = Filename.concat dir "solid";
+    }
+  in
+  let solid = spawn_daemon solid_cfg in
+  let c = Client.connect ~socket:solid_socket () in
+  let solid_body =
+    match Client.submit c spec with
+    | `Accepted id -> Client.await_result c ~id
+    | `Rejected _ -> failwith "serve bench: idle daemon rejected the job"
+  in
+  Client.close c;
+  graceful_stop ~socket:solid_socket solid;
+  let identical = String.equal resumed_body solid_body in
+  Printf.printf
+    "recovery: kill -9 mid-job, restart to result in %.3f s\n\
+    \          resumed result byte-identical to uninterrupted run: %b\n%!"
+    recovery_s identical;
+  if not identical then
+    failwith "serve bench: resumed result diverged from the uninterrupted run";
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"serve\",\n\
+    \  \"quick\": %b,\n\
+    \  \"load\": %s,\n\
+    \  \"crash\": {\n\
+    \    \"n\": %d,\n\
+    \    \"rounds\": %d,\n\
+    \    \"checkpoint_every\": %d,\n\
+    \    \"recovery_seconds\": %.6f,\n\
+    \    \"result_identical\": %b\n\
+    \  }\n\
+     }\n"
+    quick
+    (Rbb_sim.Jsonl.obj (Slam.to_fields slam))
+    spec.Protocol.n crash_rounds crash_cfg.Daemon.checkpoint_every recovery_s
+    identical;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path

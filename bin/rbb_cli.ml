@@ -9,6 +9,9 @@
      recover    measure rounds-to-relegitimacy after transient faults
      markov     exact small-n analysis (stationary law, Appendix B)
      sweep      max-load scaling across a ladder of n
+     serve      crash-safe simulation daemon (rbb.job/1 over a Unix socket)
+     submit     submit a job to / query a running daemon
+     slam       open-loop Poisson load harness with an M/M/c fit
 
    simulate additionally supports crash-safe checkpoint/resume
    (--checkpoint / --checkpoint-every / --resume-from) and deterministic
@@ -1144,8 +1147,11 @@ let trace_cmd =
 
 (* trace-report -------------------------------------------------------------- *)
 
-let trace_report path no_plot =
-  let r = Rbb_sim.Trace_report.read_file path in
+let trace_report path no_plot follow =
+  let r =
+    if follow then Rbb_sim.Trace_report.follow_file path
+    else Rbb_sim.Trace_report.read_file path
+  in
   print_string (Rbb_sim.Trace_report.render ~plot:(not no_plot) r)
 
 let trace_report_cmd =
@@ -1158,13 +1164,277 @@ let trace_report_cmd =
   let no_plot_t =
     Arg.(value & flag & info [ "no-plot" ] ~doc:"Skip the max-load plot.")
   in
+  let follow_t =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Tail the trace as it is being written (torn-tail tolerant \
+             incremental reads); report once the writer goes idle.")
+  in
   let doc =
     "Summarise a recorded NDJSON trace: observable extrema, legitimacy \
      dwell/excursion statistics, convergence rounds, Lemma 2 quarter-empty \
      violations, span counts, and a max-load plot."
   in
   Cmd.v (Cmd.info "trace-report" ~doc)
-    Term.(const trace_report $ path_t $ no_plot_t)
+    Term.(const trace_report $ path_t $ no_plot_t $ follow_t)
+
+(* serve / submit / slam ----------------------------------------------------- *)
+
+let socket_t =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value
+    & opt string "rbb-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let engine_conv =
+  let parse = function
+    | "balls" -> Ok Rbb_serve.Protocol.Balls
+    | "counts" -> Ok Rbb_serve.Protocol.Counts
+    | _ -> Error (`Msg "expected one of: balls, counts")
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (Rbb_serve.Protocol.engine_name e)
+  in
+  Arg.conv (parse, print)
+
+let job_engine_t =
+  let doc = "Job engine: $(b,balls) (per-ball) or $(b,counts) (count-based)." in
+  Arg.(
+    value
+    & opt engine_conv Rbb_serve.Protocol.Balls
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let serve socket state_dir workers queue_depth checkpoint_every max_frame
+    telemetry =
+  Rbb_serve.Daemon.run
+    {
+      Rbb_serve.Daemon.socket;
+      state_dir;
+      workers;
+      queue_depth;
+      checkpoint_every;
+      max_frame;
+      log = Some stdout;
+      telemetry_path = telemetry;
+    }
+
+let serve_cmd =
+  let state_dir_t =
+    let doc =
+      "State directory: job specs, checkpoints, results, the event log and \
+       the daemon's exclusive lock live here.  A restarted daemon resumes \
+       every unfinished job it finds."
+    in
+    Arg.(
+      value & opt string "rbb-serve.state"
+      & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let workers_t =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K" ~doc:"Worker domains.")
+  in
+  let queue_depth_t =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"D"
+          ~doc:"Admission bound: submits beyond $(docv) queued jobs are \
+                rejected with a retry-after hint.")
+  in
+  let checkpoint_every_t =
+    Arg.(
+      value & opt int 256
+      & info [ "checkpoint-every" ] ~docv:"C"
+          ~doc:"Rounds between checkpoint publications per running job.")
+  in
+  let max_frame_t =
+    Arg.(
+      value
+      & opt int Rbb_serve.Protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"B" ~doc:"Protocol frame payload limit.")
+  in
+  let telemetry_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"PATH"
+          ~doc:"Write the daemon's telemetry JSON here at shutdown.")
+  in
+  let doc =
+    "Run the crash-safe simulation daemon: accepts rbb.job/1 jobs over a \
+     Unix-domain socket, checkpoints every running job, streams lifecycle \
+     events to subscribers, and resumes unfinished jobs after a crash."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_t $ state_dir_t $ workers_t $ queue_depth_t
+      $ checkpoint_every_t $ max_frame_t $ telemetry_t)
+
+let submit socket n rounds seed init_name engine wait status_of result_of stats
+    shutdown =
+  let client = Rbb_serve.Client.connect ~socket () in
+  Fun.protect
+    ~finally:(fun () -> Rbb_serve.Client.close client)
+    (fun () ->
+      match (status_of, result_of, stats, shutdown) with
+      | Some id, _, _, _ -> (
+          match Rbb_serve.Client.request client (Rbb_serve.Protocol.Status id) with
+          | Rbb_serve.Protocol.Job_status { state; round; _ } ->
+              Printf.printf "%s %s round=%d\n" id state round
+          | Rbb_serve.Protocol.Error_reply { code; message } ->
+              failwith (Printf.sprintf "%s (%s)" message code)
+          | _ -> failwith "unexpected response")
+      | None, Some id, _, _ ->
+          print_endline (Rbb_serve.Client.await_result client ~id)
+      | None, None, true, _ ->
+          print_endline (Rbb_sim.Jsonl.obj (Rbb_serve.Client.stats client))
+      | None, None, false, true ->
+          Rbb_serve.Client.shutdown client;
+          print_endline "shutdown requested"
+      | None, None, false, false -> (
+          let spec =
+            { Rbb_serve.Protocol.n; rounds; seed; init = init_name; engine }
+          in
+          match Rbb_serve.Client.submit client spec with
+          | `Rejected retry_after_ms ->
+              Printf.printf "rejected retry_after_ms=%d\n" retry_after_ms
+          | `Accepted id ->
+              Printf.printf "accepted %s\n" id;
+              if wait then
+                print_endline (Rbb_serve.Client.await_result client ~id)))
+
+let submit_cmd =
+  let rounds_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "rounds" ] ~docv:"T" ~doc:"Rounds the job runs.")
+  in
+  let wait_t =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:"Block until the job finishes and print its result document.")
+  in
+  let status_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "status" ] ~docv:"ID" ~doc:"Query a job's status instead.")
+  in
+  let result_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "result" ] ~docv:"ID"
+          ~doc:"Fetch a job's result document instead (waits for it).")
+  in
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the daemon's measured statistics instead.")
+  in
+  let shutdown_t =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit instead.")
+  in
+  let doc =
+    "Submit a job to a running $(b,rbb serve) daemon (or query it: \
+     $(b,--status), $(b,--result), $(b,--stats), $(b,--shutdown))."
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const submit $ socket_t $ n_t $ rounds_t $ seed_t $ init_t
+      $ job_engine_t $ wait_t $ status_t $ result_t $ stats_t $ shutdown_t)
+
+let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
+    json_path =
+  let r =
+    Rbb_serve.Slam.run
+      {
+        Rbb_serve.Slam.socket;
+        jobs;
+        rate;
+        rho_target = rho;
+        calibrate;
+        spec = { Rbb_serve.Protocol.n; rounds; seed; init = init_name; engine };
+        arrival_seed = seed;
+        workers;
+      }
+  in
+  Printf.printf
+    "offered %d jobs: %d accepted, %d rejected, %d completed, %d failed\n\
+     window               : %.2f s (throughput %.2f jobs/s)\n\
+     measured rates       : lambda = %.3f /s, mu = %.3f /s, rho = %.3f\n\
+     measured waiting     : mean %.4f s (sojourn p50 %.4f s, p99 %.4f s)\n\
+     M/M/%d predicted wait : %.4f s (relative error %.2f)\n"
+    r.Rbb_serve.Slam.offered r.Rbb_serve.Slam.accepted
+    r.Rbb_serve.Slam.rejected r.Rbb_serve.Slam.completed
+    r.Rbb_serve.Slam.failed r.Rbb_serve.Slam.duration_s
+    r.Rbb_serve.Slam.throughput_per_s r.Rbb_serve.Slam.lambda_hat_per_s
+    r.Rbb_serve.Slam.mu_hat_per_s r.Rbb_serve.Slam.utilization
+    r.Rbb_serve.Slam.wait_mean_s r.Rbb_serve.Slam.sojourn_p50_s
+    r.Rbb_serve.Slam.sojourn_p99_s workers r.Rbb_serve.Slam.mmc_wait_s
+    r.Rbb_serve.Slam.wait_rel_error;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Rbb_sim.Fileio.write_atomic ~path (fun oc ->
+          output_string oc (Rbb_sim.Jsonl.obj (Rbb_serve.Slam.to_fields r));
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+
+let slam_cmd =
+  let jobs_t =
+    Arg.(
+      value & opt int 50
+      & info [ "jobs" ] ~docv:"J" ~doc:"Poisson arrivals to offer.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"L"
+          ~doc:"Target arrival rate, jobs/s (overrides $(b,--rho)).")
+  in
+  let rho_t =
+    Arg.(
+      value & opt float 0.6
+      & info [ "rho" ] ~docv:"R"
+          ~doc:"Target utilization; the rate is derived from calibrated \
+                service times.")
+  in
+  let calibrate_t =
+    Arg.(
+      value & opt int 3
+      & info [ "calibrate" ] ~docv:"K"
+          ~doc:"Sequential calibration jobs to estimate service time.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "rounds" ] ~docv:"T" ~doc:"Rounds per job.")
+  in
+  let workers_t =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"The daemon's worker count (the M/M/c model's c).")
+  in
+  let json_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write the measurements as JSON.")
+  in
+  let doc =
+    "Slam a running daemon with open-loop Poisson job arrivals and compare \
+     the measured waiting time against the M/M/c prediction at the measured \
+     arrival and service rates."
+  in
+  Cmd.v (Cmd.info "slam" ~doc)
+    Term.(
+      const slam $ socket_t $ jobs_t $ rate_t $ rho_t $ calibrate_t $ n_t
+      $ rounds_t $ seed_t $ init_t $ job_engine_t $ workers_t $ json_t)
 
 (* mixing -------------------------------------------------------------------- *)
 
@@ -1211,6 +1481,7 @@ let () =
         simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
         recover_cmd; markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd;
         mixing_cmd; rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
+        serve_cmd; submit_cmd; slam_cmd;
       ]
   in
   match Cmd.eval_value ~catch:false group with

@@ -93,4 +93,44 @@ threshold=$(grep -o 'legitimacy threshold   : [0-9]*' "$tracedir/counts.out" | g
 [ "$counts_max" -le "$threshold" ] && [ "$balls_max" -le "$threshold" ] \
   || { echo "check.sh: an engine left the legitimate band (counts $counts_max, balls $balls_max, threshold $threshold)"; exit 1; }
 
+# Serve smoke: start the daemon, submit a checkpointing job, SIGKILL
+# the daemon mid-job, restart it against the same state directory
+# (stale-lock takeover + resume), and demand the recovered result is
+# byte-identical to one from a daemon that never crashed.
+servedir="$tracedir/serve"
+mkdir -p "$servedir"
+"$rbb" serve --socket "$tracedir/a.sock" --state-dir "$servedir/a" \
+  --checkpoint-every 50 > "$servedir/a1.log" 2>&1 &
+pid=$!
+sleep 0.2
+"$rbb" submit --socket "$tracedir/a.sock" --bins 256 --rounds 60000 --seed 7 \
+  --init pile > /dev/null
+for _ in $(seq 1 400); do
+  [ -s "$servedir/a/job-000001.ckpt" ] && break
+  sleep 0.05
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+[ -s "$servedir/a/job-000001.ckpt" ] \
+  || { echo "check.sh: no job checkpoint published before the kill"; exit 1; }
+[ ! -e "$servedir/a/job-000001.result" ] \
+  || { echo "check.sh: job finished before the kill; raise --rounds"; exit 1; }
+"$rbb" serve --socket "$tracedir/a.sock" --state-dir "$servedir/a" \
+  --checkpoint-every 50 > "$servedir/a.log" 2>&1 &
+pid=$!
+"$rbb" submit --socket "$tracedir/a.sock" --result job-000001 > "$servedir/resumed.txt"
+"$rbb" submit --socket "$tracedir/a.sock" --shutdown > /dev/null
+wait "$pid"
+grep -q 'resumed 1 pending job' "$servedir/a.log" \
+  || { echo "check.sh: restarted daemon did not resume the orphaned job"; exit 1; }
+"$rbb" serve --socket "$tracedir/b.sock" --state-dir "$servedir/b" \
+  --checkpoint-every 50 > /dev/null 2>&1 &
+pid=$!
+"$rbb" submit --socket "$tracedir/b.sock" --bins 256 --rounds 60000 --seed 7 \
+  --init pile --wait | tail -1 > "$servedir/solid.txt"
+"$rbb" submit --socket "$tracedir/b.sock" --shutdown > /dev/null
+wait "$pid"
+cmp -s "$servedir/resumed.txt" "$servedir/solid.txt" \
+  || { echo "check.sh: daemon crash-resume result diverged from the uninterrupted run"; exit 1; }
+
 echo "check.sh: all green"

@@ -1,0 +1,96 @@
+(** Bounded admission queue with explicit rejection, plus the measured
+    arrival/service statistics the M/M/c validation feeds on.
+
+    The daemon's load shedding happens here: a submit lands in a FIFO
+    queue of bounded depth or is {e rejected} with a retry-after hint —
+    the queue never grows without bound, so an overloaded daemon
+    degrades by refusing work, not by dying.  Worker domains block in
+    {!pop}; {!close} wakes them all with [None] (a graceful drain:
+    entries still queued stay on disk as job spec files and are resumed
+    by the next daemon).
+
+    Every accepted entry is timestamped at submit, start and
+    completion, so the queue doubles as the measurement plane: waiting
+    time (submit→start), service time (start→done) and sojourn time
+    (submit→done) per job, plus the arrival window — exactly the
+    [lambda] and [mu] estimates an M/M/c fit needs
+    ({!Rbb_queueing.Mmc}).  All operations are safe to call from any
+    domain. *)
+
+type t
+
+type entry = {
+  id : string;
+  spec : Protocol.job_spec;
+  t_submit : int64;  (** ns, queue clock *)
+  mutable t_start : int64;  (** ns; 0 until {!note_started} *)
+}
+
+val create : ?clock:(unit -> int64) -> depth:int -> servers:int -> unit -> t
+(** [depth] is the maximum number of queued-but-not-started entries;
+    [servers] the worker count, used by the retry-after estimate.
+    [clock] (default: the monotonic clock, ns) is injectable for
+    deterministic tests.
+    @raise Invalid_argument if [depth < 1] or [servers < 1]. *)
+
+val accepting : t -> bool
+(** Whether a {!submit} issued now would be accepted.  Sound as a
+    pre-check only from the single submitting thread (the daemon's
+    event loop): concurrent pops can only shrink the queue, so a [true]
+    cannot turn into a rejection before that thread's {!submit}. *)
+
+val submit :
+  t ->
+  id:string ->
+  spec:Protocol.job_spec ->
+  [ `Accepted of int | `Rejected of int ]
+(** Enqueue, or reject when [depth] entries are already waiting.
+    [`Accepted k] reports the queue length after the insert;
+    [`Rejected ms] hints how long to back off (the expected time for
+    the backlog to drain: [queue_len * mean_service / servers], from
+    measured service times, with a coarse default before any job has
+    completed).  Rejected when closed, too. *)
+
+val resubmit : t -> id:string -> spec:Protocol.job_spec -> unit
+(** Recovery-path enqueue that ignores the depth bound: jobs found on
+    disk at daemon startup must never be refused (they were already
+    admitted by a previous life of the daemon). *)
+
+val pop : t -> entry option
+(** Block until an entry is available (FIFO) or the queue is closed;
+    [None] only after {!close}. *)
+
+val close : t -> unit
+(** Reject future submits, wake every blocked {!pop} with [None].
+    Idempotent. *)
+
+val note_started : t -> entry -> unit
+(** Stamp the entry's start time (records its waiting-time sample). *)
+
+val note_done : t -> entry -> ok:bool -> unit
+(** Record service and sojourn samples for a finished job. *)
+
+val queue_length : t -> int
+
+(** {2 Measured statistics} *)
+
+type stats = {
+  arrivals : int;  (** accepted submits (incl. resubmits) *)
+  rejected : int;
+  started : int;
+  completed : int;  (** finished ok *)
+  failed : int;  (** finished with an error *)
+  queue_len : int;
+  first_arrival : int64;  (** ns; 0 when no arrivals *)
+  last_arrival : int64;
+  wait_ns : float array;  (** one sample per started job *)
+  service_ns : float array;  (** one sample per finished job *)
+  sojourn_ns : float array;  (** one sample per finished job *)
+}
+
+val stats : t -> stats
+(** Snapshot of all measurements so far. *)
+
+val reset_stats : t -> unit
+(** Drop accumulated samples and counters (queued entries are kept):
+    lets a load harness measure a clean window after warming up. *)

@@ -1,0 +1,133 @@
+(* Blocking protocol client: a connected fd plus a receive buffer the
+   frame extractor chews on. *)
+
+module Jsonl = Rbb_sim.Jsonl
+
+type t = { fd : Unix.file_descr; mutable inbuf : string; max_frame : int }
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let connect ?(retry_for = 5.) ?(max_frame = Protocol.default_max_frame)
+    ~socket () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let deadline = now_s () +. retry_for in
+  let rec go () =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX socket) with
+    | () -> { fd; inbuf = ""; max_frame }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED | EAGAIN), _, _)
+      when now_s () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        failwith
+          (Printf.sprintf "client: cannot connect to %s: %s" socket
+             (Unix.error_message e))
+  in
+  go ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let send t req =
+  write_all t.fd (Protocol.encode_frame (Protocol.request_to_json req))
+
+let rec recv t =
+  match Protocol.extract ~max_frame:t.max_frame t.inbuf with
+  | Protocol.Frame { payload; consumed } -> (
+      t.inbuf <- String.sub t.inbuf consumed (String.length t.inbuf - consumed);
+      match Protocol.response_of_json payload with
+      | Ok resp -> resp
+      | Error e -> failwith ("client: unintelligible response: " ^ e))
+  | Protocol.Need_more -> (
+      let buf = Bytes.create 4096 in
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 -> failwith "client: connection closed by daemon"
+      | n ->
+          t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+          recv t
+      | exception Unix.Unix_error (EINTR, _, _) -> recv t)
+  | Protocol.Skip _ | Protocol.Corrupt _ ->
+      failwith "client: corrupt frame from daemon"
+
+let request t req =
+  send t req;
+  recv t
+
+let fail_reply what resp =
+  match (resp : Protocol.response) with
+  | Error_reply { code; message } ->
+      failwith (Printf.sprintf "client: %s: %s (%s)" what message code)
+  | _ -> failwith (Printf.sprintf "client: %s: unexpected response" what)
+
+let ping t =
+  match request t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | resp -> fail_reply "ping" resp
+
+let submit t spec =
+  match request t (Protocol.Submit spec) with
+  | Protocol.Accepted { id; _ } -> `Accepted id
+  | Protocol.Rejected { retry_after_ms; _ } -> `Rejected retry_after_ms
+  | resp -> fail_reply "submit" resp
+
+let submit_wait ?(attempts = 100) t spec =
+  let rec go k =
+    if k > attempts then
+      failwith
+        (Printf.sprintf "client: submit rejected %d times; giving up" attempts)
+    else
+      match submit t spec with
+      | `Accepted id -> id
+      | `Rejected retry_after_ms ->
+          Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1e3);
+          go (k + 1)
+  in
+  go 1
+
+let await_result ?(poll_s = 0.02) t ~id =
+  let rec go () =
+    match request t (Protocol.Result id) with
+    | Protocol.Job_result { body; _ } -> body
+    | Protocol.Job_status _ ->
+        Unix.sleepf poll_s;
+        go ()
+    | resp -> fail_reply ("result of " ^ id) resp
+  in
+  go ()
+
+let stats t =
+  match request t Protocol.Stats with
+  | Protocol.Stats_reply fields -> fields
+  | resp -> fail_reply "stats" resp
+
+let reset_stats t =
+  match request t Protocol.Reset_stats with
+  | Protocol.Ok_reply -> ()
+  | resp -> fail_reply "reset-stats" resp
+
+let shutdown t =
+  match request t Protocol.Shutdown with
+  | Protocol.Ok_reply -> ()
+  | resp -> fail_reply "shutdown" resp
+
+let subscribe t ?id () =
+  match request t (Protocol.Subscribe id) with
+  | Protocol.Ok_reply -> ()
+  | resp -> fail_reply "subscribe" resp
+
+let rec next_event t =
+  match recv t with
+  | Protocol.Event ev -> ev
+  | _ -> next_event t

@@ -1,0 +1,58 @@
+(** Blocking client for the [rbb serve] daemon.
+
+    One {!t} wraps one connected Unix-domain socket and speaks
+    {!Protocol} frames synchronously: send a request, block for the
+    response.  Mixing request/response traffic with a subscription on
+    the {e same} connection would interleave [event] frames with
+    responses, so use a dedicated connection ({!subscribe} +
+    {!next_event}) for streaming.
+
+    Errors are [Failure]: a daemon that answers with an [error] frame,
+    closes the connection, or (impossibly) sends corrupt frames. *)
+
+type t
+
+val connect : ?retry_for:float -> ?max_frame:int -> socket:string -> unit -> t
+(** Connect, retrying for up to [retry_for] seconds (default 5) while
+    the socket does not exist yet or refuses — covers the daemon's
+    startup window.  @raise Failure when the window closes. *)
+
+val close : t -> unit
+
+(** {2 Request/response} *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request, block for one response frame. *)
+
+val ping : t -> unit
+
+val submit : t -> Protocol.job_spec -> [ `Accepted of string | `Rejected of int ]
+(** One admission attempt: the job id, or the daemon's retry-after hint
+    in milliseconds.  No retry — open-loop load generators need the
+    rejection, not a retry loop. *)
+
+val submit_wait : ?attempts:int -> t -> Protocol.job_spec -> string
+(** Closed-loop submit: on rejection, sleep the hinted backoff and try
+    again, up to [attempts] (default 100) times.  Returns the job id.
+    @raise Failure when every attempt is rejected. *)
+
+val await_result : ?poll_s:float -> t -> id:string -> string
+(** Poll (default every 20 ms) until the job's result document exists
+    and return it verbatim — the exact bytes the daemon published.
+    @raise Failure if the job failed or is unknown. *)
+
+val stats : t -> (string * Rbb_sim.Jsonl.value) list
+val reset_stats : t -> unit
+
+val shutdown : t -> unit
+(** Ask the daemon to drain and exit (acknowledged before the drain
+    completes). *)
+
+(** {2 Event streaming} *)
+
+val subscribe : t -> ?id:string -> unit -> unit
+(** Subscribe this connection to job lifecycle events — all jobs, or
+    just [id]. *)
+
+val next_event : t -> Protocol.event
+(** Block for the next streamed event (skips any non-event frame). *)

@@ -1,0 +1,543 @@
+(* The serve daemon: a select-driven event loop on the calling domain
+   (socket I/O, admission decisions, event fan-out) plus a worker pool
+   hosted on Parallel.map_domains (one long-lived task per worker).
+   All cross-domain traffic funnels through Admission's queue and one
+   daemon mutex guarding job states + the event queue. *)
+
+module Jsonl = Rbb_sim.Jsonl
+module Telemetry = Rbb_sim.Telemetry
+module Fileio = Rbb_sim.Fileio
+
+type config = {
+  socket : string;
+  state_dir : string;
+  workers : int;
+  queue_depth : int;
+  checkpoint_every : int;
+  max_frame : int;
+  log : out_channel option;
+  telemetry_path : string option;
+}
+
+let default_config ~socket ~state_dir =
+  {
+    socket;
+    state_dir;
+    workers = 1;
+    queue_depth = 16;
+    checkpoint_every = 256;
+    max_frame = Protocol.default_max_frame;
+    log = None;
+    telemetry_path = None;
+  }
+
+type job_state = Queued | Running of int | Finished of int | Failed of string
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  mutable outbuf : string;
+  mutable discard : int;  (** oversized-frame payload bytes left to swallow *)
+  mutable sub : string option option;
+      (** [None] no subscription; [Some None] all jobs; [Some (Some id)] *)
+  mutable close_after_flush : bool;
+  mutable alive : bool;
+}
+
+type t = {
+  cfg : config;
+  admission : Admission.t;
+  tel : Telemetry.t;
+  lock : Mutex.t;  (** guards [states], [events] and [workers_live] *)
+  states : (string, job_state) Hashtbl.t;
+  events : Protocol.event Queue.t;
+  mutable workers_live : int;
+  (* event-loop-domain state: *)
+  mutable draining : bool;
+  mutable next_id : int;
+  mutable conns : conn list;
+  mutable completed_this_run : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_state t id st = with_lock t (fun () -> Hashtbl.replace t.states id st)
+let get_state t id = with_lock t (fun () -> Hashtbl.find_opt t.states id)
+let push_event t ev = with_lock t (fun () -> Queue.add ev t.events)
+
+let drain_events t =
+  with_lock t (fun () ->
+      let evs = List.of_seq (Queue.to_seq t.events) in
+      Queue.clear t.events;
+      evs)
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun line ->
+      match t.cfg.log with
+      | None -> ()
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    fmt
+
+(* Workers ------------------------------------------------------------- *)
+
+let worker_loop t _w =
+  let rec go () =
+    match Admission.pop t.admission with
+    | None -> ()
+    | Some entry ->
+        let id = entry.Admission.id in
+        Admission.note_started t.admission entry;
+        Telemetry.incr t.tel "serve.started";
+        set_state t id (Running 0);
+        push_event t { Protocol.ev = "started"; id; round = 0; detail = "" };
+        (match
+           Job.run
+             ~on_progress:(fun ~round ->
+               set_state t id (Running round);
+               push_event t
+                 { Protocol.ev = "checkpoint"; id; round; detail = "" })
+             ~state_dir:t.cfg.state_dir
+             ~checkpoint_every:t.cfg.checkpoint_every ~id entry.Admission.spec
+         with
+        | (_ : (string * Jsonl.value) list) ->
+            Admission.note_done t.admission entry ~ok:true;
+            Telemetry.incr t.tel "serve.completed";
+            Telemetry.record_latency t.tel
+              (Int64.sub (Monotonic_clock.now ()) entry.Admission.t_submit);
+            let rounds = entry.Admission.spec.Protocol.rounds in
+            set_state t id (Finished rounds);
+            push_event t { Protocol.ev = "done"; id; round = rounds; detail = "" }
+        | exception e ->
+            let detail = Printexc.to_string e in
+            Admission.note_done t.admission entry ~ok:false;
+            Telemetry.incr t.tel "serve.failed";
+            set_state t id (Failed detail);
+            push_event t { Protocol.ev = "failed"; id; round = 0; detail });
+        go ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      with_lock t (fun () -> t.workers_live <- t.workers_live - 1))
+    go
+
+(* Stats --------------------------------------------------------------- *)
+
+let mean arr = Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
+
+let sample_fields name arr =
+  if Array.length arr = 0 then []
+  else
+    let q = Rbb_stats.Quantile.quantile in
+    let sec ns = ns /. 1e9 in
+    [
+      (name ^ "_mean_s", Jsonl.Float (sec (mean arr)));
+      (name ^ "_p50_s", Jsonl.Float (sec (q arr 0.5)));
+      (name ^ "_p99_s", Jsonl.Float (sec (q arr 0.99)));
+    ]
+
+let stats_fields t =
+  let s = Admission.stats t.admission in
+  let window_ns =
+    Int64.to_float (Int64.sub s.Admission.last_arrival s.Admission.first_arrival)
+  in
+  let rate_fields =
+    if s.Admission.arrivals >= 2 && window_ns > 0. then
+      [
+        ("arrival_window_s", Jsonl.Float (window_ns /. 1e9));
+        ( "lambda_hat_per_s",
+          Jsonl.Float
+            (float_of_int (s.Admission.arrivals - 1) /. (window_ns /. 1e9)) );
+      ]
+    else []
+  in
+  [
+    ("workers", Jsonl.Int t.cfg.workers);
+    ("queue_depth", Jsonl.Int t.cfg.queue_depth);
+    ("queue_len", Jsonl.Int s.Admission.queue_len);
+    ("arrivals", Jsonl.Int s.Admission.arrivals);
+    ("rejected", Jsonl.Int s.Admission.rejected);
+    ("started", Jsonl.Int s.Admission.started);
+    ("completed", Jsonl.Int s.Admission.completed);
+    ("failed", Jsonl.Int s.Admission.failed);
+  ]
+  @ rate_fields
+  @ sample_fields "wait" s.Admission.wait_ns
+  @ sample_fields "service" s.Admission.service_ns
+  @ sample_fields "sojourn" s.Admission.sojourn_ns
+
+(* Requests ------------------------------------------------------------ *)
+
+let read_result t id =
+  let path = Job.result_path ~state_dir:t.cfg.state_dir ~id in
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let result_rounds body =
+  match Jsonl.parse body with
+  | None -> 0
+  | Some fields -> Option.value ~default:0 (Jsonl.find_int fields "rounds")
+
+let dispatch t conn req =
+  match (req : Protocol.request) with
+  | Ping -> [ Protocol.Pong ]
+  | Submit spec ->
+      if t.draining then
+        [
+          Protocol.Error_reply
+            { code = "shutting_down"; message = "daemon is draining" };
+        ]
+      else if not (Admission.accepting t.admission) then begin
+        (* Rejection decided before anything becomes visible; submit
+           just counts it and computes the backoff hint. *)
+        match Admission.submit t.admission ~id:"" ~spec with
+        | `Rejected retry_after_ms ->
+            Telemetry.incr t.tel "serve.rejected";
+            [
+              Protocol.Rejected
+                { retry_after_ms; queue_depth = t.cfg.queue_depth };
+            ]
+        | `Accepted _ -> assert false (* only this thread enqueues *)
+      end
+      else begin
+        (* Publish everything about the job — durable spec, state,
+           lifecycle event — before the entry becomes poppable, so no
+           worker can emit "started" ahead of our "accepted". *)
+        let id = Job.fresh_id t.next_id in
+        t.next_id <- t.next_id + 1;
+        Job.write_spec ~state_dir:t.cfg.state_dir ~id spec;
+        set_state t id Queued;
+        Telemetry.incr t.tel "serve.accepted";
+        push_event t { Protocol.ev = "accepted"; id; round = 0; detail = "" };
+        match Admission.submit t.admission ~id ~spec with
+        | `Accepted queue_depth -> [ Protocol.Accepted { id; queue_depth } ]
+        | `Rejected _ -> assert false (* accepting() held; only we enqueue *)
+      end
+  | Status id -> (
+      match get_state t id with
+      | Some Queued -> [ Protocol.Job_status { id; state = "queued"; round = 0 } ]
+      | Some (Running round) ->
+          [ Protocol.Job_status { id; state = "running"; round } ]
+      | Some (Finished round) ->
+          [ Protocol.Job_status { id; state = "done"; round } ]
+      | Some (Failed _) ->
+          [ Protocol.Job_status { id; state = "failed"; round = 0 } ]
+      | None -> (
+          (* Not in this daemon's memory — but a previous life may have
+             finished it: the result file is the durable record. *)
+          match read_result t id with
+          | Some body ->
+              [
+                Protocol.Job_status
+                  { id; state = "done"; round = result_rounds body };
+              ]
+          | None ->
+              [
+                Protocol.Error_reply
+                  {
+                    code = "unknown_job";
+                    message = Printf.sprintf "no job %S" id;
+                  };
+              ]))
+  | Result id -> (
+      match read_result t id with
+      | Some body -> [ Protocol.Job_result { id; body } ]
+      | None -> (
+          match get_state t id with
+          | Some (Failed detail) ->
+              [ Protocol.Error_reply { code = "job_failed"; message = detail } ]
+          | Some Queued -> [ Protocol.Job_status { id; state = "queued"; round = 0 } ]
+          | Some (Running round) ->
+              [ Protocol.Job_status { id; state = "running"; round } ]
+          | Some (Finished round) ->
+              (* done-state seen but the result read raced the rename;
+                 report status, the client will re-ask. *)
+              [ Protocol.Job_status { id; state = "done"; round } ]
+          | None ->
+              [
+                Protocol.Error_reply
+                  {
+                    code = "unknown_job";
+                    message = Printf.sprintf "no job %S" id;
+                  };
+              ]))
+  | Subscribe sel ->
+      conn.sub <- Some sel;
+      [ Protocol.Ok_reply ]
+  | Stats -> [ Protocol.Stats_reply (stats_fields t) ]
+  | Reset_stats ->
+      Admission.reset_stats t.admission;
+      [ Protocol.Ok_reply ]
+  | Shutdown ->
+      if not t.draining then begin
+        t.draining <- true;
+        Admission.close t.admission;
+        logf t "rbb serve: draining";
+        Telemetry.incr t.tel "serve.shutdown_requests"
+      end;
+      [ Protocol.Ok_reply ]
+
+let handle t conn payload =
+  match Jsonl.parse payload with
+  | None ->
+      [
+        Protocol.Error_reply
+          {
+            code = "bad_json";
+            message = "payload is not a flat JSON object";
+          };
+      ]
+  | Some _ -> (
+      match Protocol.request_of_json payload with
+      | Error message ->
+          [ Protocol.Error_reply { code = "bad_request"; message } ]
+      | Ok req -> dispatch t conn req)
+
+(* Connections --------------------------------------------------------- *)
+
+let send conn resp =
+  conn.outbuf <-
+    conn.outbuf ^ Protocol.encode_frame (Protocol.response_to_json resp)
+
+let kill conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let drop_prefix s n = String.sub s n (String.length s - n)
+
+let rec process t conn =
+  if conn.discard > 0 then begin
+    let take = min conn.discard (String.length conn.inbuf) in
+    conn.inbuf <- drop_prefix conn.inbuf take;
+    conn.discard <- conn.discard - take;
+    if conn.discard = 0 then process t conn
+  end
+  else if not conn.close_after_flush then
+    match Protocol.extract ~max_frame:t.cfg.max_frame conn.inbuf with
+    | Protocol.Need_more -> ()
+    | Protocol.Frame { payload; consumed } ->
+        conn.inbuf <- drop_prefix conn.inbuf consumed;
+        List.iter (send conn) (handle t conn payload);
+        process t conn
+    | Protocol.Skip { consumed; discard; error } ->
+        conn.inbuf <- drop_prefix conn.inbuf consumed;
+        conn.discard <- discard;
+        Telemetry.incr t.tel "serve.frames_oversized";
+        send conn
+          (Protocol.Error_reply { code = error.code; message = error.message });
+        process t conn
+    | Protocol.Corrupt error ->
+        conn.inbuf <- "";
+        Telemetry.incr t.tel "serve.frames_corrupt";
+        send conn
+          (Protocol.Error_reply { code = error.code; message = error.message });
+        conn.close_after_flush <- true
+
+let try_read t conn =
+  let buf = Bytes.create 4096 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | 0 -> kill conn
+  | n ->
+      conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
+      process t conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> kill conn
+
+let try_write conn =
+  if conn.alive && conn.outbuf <> "" then
+    match
+      Unix.write_substring conn.fd conn.outbuf 0 (String.length conn.outbuf)
+    with
+    | n ->
+        conn.outbuf <- drop_prefix conn.outbuf n;
+        if conn.outbuf = "" && conn.close_after_flush then kill conn
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> kill conn
+
+let broadcast t ev =
+  List.iter
+    (fun conn ->
+      match conn.sub with
+      | Some sel
+        when conn.alive
+             && (sel = None || sel = Some ev.Protocol.id) ->
+          send conn (Protocol.Event ev)
+      | _ -> ())
+    t.conns
+
+(* Startup / shutdown -------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let listen_socket path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 16;
+  Unix.set_nonblock fd;
+  fd
+
+let run cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.run: workers must be at least 1";
+  if cfg.queue_depth < 1 then
+    invalid_arg "Daemon.run: queue-depth must be at least 1";
+  if cfg.checkpoint_every < 1 then
+    invalid_arg "Daemon.run: checkpoint-every must be at least 1";
+  if cfg.max_frame < 1 then
+    invalid_arg "Daemon.run: max-frame must be at least 1";
+  mkdir_p cfg.state_dir;
+  let lock =
+    match
+      Fileio.acquire_lock ~path:(Filename.concat cfg.state_dir "daemon.lock")
+    with
+    | Ok lock -> lock
+    | Error e -> invalid_arg e
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t =
+    {
+      cfg;
+      admission = Admission.create ~depth:cfg.queue_depth ~servers:cfg.workers ();
+      tel = Telemetry.create ();
+      lock = Mutex.create ();
+      states = Hashtbl.create 64;
+      events = Queue.create ();
+      workers_live = cfg.workers;
+      draining = false;
+      next_id = 1;
+      conns = [];
+      completed_this_run = 0;
+    }
+  in
+  logf t "rbb serve: state dir %s" cfg.state_dir;
+  (* Crash recovery: anything with a spec but no result was admitted by
+     a previous life of this daemon and must be finished. *)
+  let pending, next = Job.scan ~state_dir:cfg.state_dir in
+  t.next_id <- next;
+  List.iter
+    (fun (id, spec) ->
+      set_state t id Queued;
+      push_event t { Protocol.ev = "accepted"; id; round = 0; detail = "resumed" };
+      Telemetry.incr t.tel "serve.resumed";
+      Admission.resubmit t.admission ~id ~spec)
+    pending;
+  if pending <> [] then
+    logf t "rbb serve: resumed %d pending job(s)" (List.length pending);
+  let events_oc =
+    open_out_gen
+      [ Open_append; Open_creat; Open_wronly ]
+      0o644
+      (Filename.concat cfg.state_dir "events.ndjson")
+  in
+  let listen_fd = listen_socket cfg.socket in
+  logf t "rbb serve: listening on %s (workers=%d queue-depth=%d)" cfg.socket
+    cfg.workers cfg.queue_depth;
+  let pool =
+    Domain.spawn (fun () ->
+        ignore
+          (Rbb_sim.Parallel.map_domains ~domains:cfg.workers ~tasks:cfg.workers
+             (worker_loop t)))
+  in
+  let workers_done () = with_lock t (fun () -> t.workers_live = 0) in
+  let accept_new () =
+    let rec go () =
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          t.conns <-
+            {
+              fd;
+              inbuf = "";
+              outbuf = "";
+              discard = 0;
+              sub = None;
+              close_after_flush = false;
+              alive = true;
+            }
+            :: t.conns;
+          go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let pump_events () =
+    match drain_events t with
+    | [] -> ()
+    | evs ->
+        List.iter
+          (fun ev ->
+            if ev.Protocol.ev = "done" then
+              t.completed_this_run <- t.completed_this_run + 1;
+            output_string events_oc
+              (Protocol.response_to_json (Protocol.Event ev));
+            output_char events_oc '\n';
+            broadcast t ev)
+          evs;
+        flush events_oc
+  in
+  let flush_spins = ref 0 in
+  let rec loop () =
+    pump_events ();
+    t.conns <- List.filter (fun c -> c.alive) t.conns;
+    let finished =
+      t.draining && workers_done ()
+      && with_lock t (fun () -> Queue.is_empty t.events)
+    in
+    let all_flushed = List.for_all (fun c -> c.outbuf = "") t.conns in
+    if finished && (all_flushed || !flush_spins > 40) then ()
+    else begin
+      if finished then incr flush_spins;
+      let reads =
+        if t.draining then List.map (fun c -> c.fd) t.conns
+        else listen_fd :: List.map (fun c -> c.fd) t.conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if c.outbuf <> "" then Some c.fd else None)
+          t.conns
+      in
+      let rs, ws, _ =
+        try Unix.select reads writes [] 0.05
+        with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem listen_fd rs then accept_new ();
+      List.iter
+        (fun c -> if c.alive && List.mem c.fd rs then try_read t c)
+        t.conns;
+      List.iter
+        (fun c -> if c.alive && List.mem c.fd ws then try_write c)
+        t.conns;
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter kill t.conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+      close_out_noerr events_oc;
+      (match cfg.telemetry_path with
+      | Some path -> Telemetry.write_json t.tel ~path
+      | None -> ());
+      Fileio.release_lock lock)
+    (fun () ->
+      loop ();
+      Domain.join pool;
+      logf t "rbb serve: shutdown (%d job(s) completed this run)"
+        t.completed_this_run)

@@ -1,0 +1,51 @@
+(** The [rbb serve] daemon: a crash-safe simulation service over a
+    Unix-domain socket.
+
+    One process owns a {e state directory} (exclusive
+    {!Rbb_sim.Fileio.acquire_lock} pid lock — two daemons can never
+    share one) and a socket speaking {!Protocol} frames.  Jobs flow
+
+    {v submit → admission queue (bounded; explicit reject) → worker
+       domains ({!Rbb_sim.Parallel.map_domains} hosts the pool) →
+       checkpointed execution ({!Job.run}) → atomic result v}
+
+    {b Crash safety.}  Every accepted job's spec is on disk before the
+    accept is acknowledged, running jobs republish a checkpoint every
+    [checkpoint_every] rounds, and results are published atomically —
+    so [kill -9] at any instant loses at most one checkpoint interval
+    of compute and zero acknowledged jobs.  On startup the daemon scans
+    its state directory and re-enqueues every job with a spec but no
+    result; those with a checkpoint resume {e bit-identically}
+    ({!Rbb_sim.Checkpoint}), so an interrupted job's result is
+    byte-identical to an uninterrupted run's.
+
+    {b Observability.}  Every job lifecycle transition (accepted /
+    started / checkpoint / done / failed) is appended to
+    [events.ndjson] in the state directory (flushed per line, so
+    {!Rbb_sim.Jsonl.tail} can follow it live) and streamed as [event]
+    frames to connected subscribers.  The [stats] request returns the
+    measured arrival/service statistics ({!Admission.stats}) that
+    [rbb slam] fits against the {!Rbb_queueing.Mmc} model. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  state_dir : string;  (** created if missing; exclusively locked *)
+  workers : int;  (** worker domains = the [c] of the M/M/c view *)
+  queue_depth : int;  (** admission bound *)
+  checkpoint_every : int;  (** rounds between checkpoint publications *)
+  max_frame : int;  (** protocol frame payload limit, bytes *)
+  log : out_channel option;  (** startup/shutdown lines; [None] silent *)
+  telemetry_path : string option;
+      (** write the daemon's telemetry JSON here at shutdown *)
+}
+
+val default_config : socket:string -> state_dir:string -> config
+(** workers 1, queue depth 16, checkpoint every 256 rounds, default
+    frame limit, silent, no telemetry export. *)
+
+val run : config -> unit
+(** Run until a [shutdown] request arrives, then drain: in-flight jobs
+    finish, queued-but-unstarted jobs stay on disk for the next daemon.
+    @raise Invalid_argument on nonsensical config values or when the
+    state directory is locked by a {e running} daemon (a stale lock
+    left by a killed daemon is broken silently). *)

@@ -1,0 +1,227 @@
+(* One job = one seeded simulation, checkpointed as it runs so that a
+   daemon death at any instant loses at most [checkpoint_every] rounds
+   of work — and none of the result's bytes. *)
+
+open Rbb_core
+module Jsonl = Rbb_sim.Jsonl
+module Checkpoint = Rbb_sim.Checkpoint
+module Telemetry = Rbb_sim.Telemetry
+
+let spec_path ~state_dir ~id = Filename.concat state_dir (id ^ ".job")
+
+let checkpoint_path ~state_dir ~id = Filename.concat state_dir (id ^ ".ckpt")
+
+let result_path ~state_dir ~id = Filename.concat state_dir (id ^ ".result")
+
+let spec_schema = "rbb.job-spec/1"
+let result_schema = "rbb.job-result/1"
+
+let write_spec ~state_dir ~id spec =
+  let line =
+    Jsonl.obj
+      (("schema", Jsonl.String spec_schema)
+       :: ("id", Jsonl.String id)
+       :: ("n", Jsonl.Int spec.Protocol.n)
+       :: ("rounds", Jsonl.Int spec.Protocol.rounds)
+       :: ("seed", Jsonl.Int spec.Protocol.seed)
+       :: ("init", Jsonl.String spec.Protocol.init)
+       :: [ ("engine", Jsonl.String (Protocol.engine_name spec.Protocol.engine)) ])
+  in
+  Rbb_sim.Fileio.write_atomic ~path:(spec_path ~state_dir ~id) (fun oc ->
+      output_string oc line;
+      output_char oc '\n')
+
+let load_spec ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      let line =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> try Some (input_line ic) with End_of_file -> None)
+      in
+      match line with
+      | None -> Error (Printf.sprintf "%s: empty spec file" path)
+      | Some line -> (
+          match Jsonl.parse line with
+          | None -> Error (Printf.sprintf "%s: unparseable spec" path)
+          | Some fields -> (
+              match
+                ( Jsonl.find_string fields "schema",
+                  Jsonl.find_string fields "id",
+                  Jsonl.find_int fields "n",
+                  Jsonl.find_int fields "rounds",
+                  Jsonl.find_int fields "seed",
+                  Jsonl.find_string fields "init",
+                  Jsonl.find_string fields "engine" )
+              with
+              | ( Some schema,
+                  Some id,
+                  Some n,
+                  Some rounds,
+                  Some seed,
+                  Some init,
+                  Some engine )
+                when schema = spec_schema -> (
+                  match
+                    (engine, Protocol.validate_spec
+                               { n; rounds; seed; init; engine = Balls })
+                  with
+                  | "balls", Ok () ->
+                      Ok (id, { Protocol.n; rounds; seed; init; engine = Balls })
+                  | "counts", Ok () ->
+                      Ok (id, { Protocol.n; rounds; seed; init; engine = Counts })
+                  | _, Error e -> Error (Printf.sprintf "%s: %s" path e)
+                  | e, Ok () ->
+                      Error (Printf.sprintf "%s: unknown engine %S" path e))
+              | _ -> Error (Printf.sprintf "%s: not an %s document" path spec_schema))))
+
+(* Ids are "job-%06d"; the sequence number drives fresh allocation. *)
+
+let fresh_id k = Printf.sprintf "job-%06d" k
+
+let id_seq id =
+  match String.length id > 4 && String.sub id 0 4 = "job-" with
+  | true -> int_of_string_opt (String.sub id 4 (String.length id - 4))
+  | false -> None
+
+let scan ~state_dir =
+  let entries = try Sys.readdir state_dir with Sys_error _ -> [||] in
+  let pending = ref [] in
+  let next = ref 1 in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".job" then begin
+        let id = Filename.chop_suffix name ".job" in
+        (match id_seq id with
+        | Some k when k >= !next -> next := k + 1
+        | _ -> ());
+        if not (Sys.file_exists (result_path ~state_dir ~id)) then
+          match load_spec ~path:(Filename.concat state_dir name) with
+          | Ok (id', spec) when id' = id -> pending := (id, spec) :: !pending
+          | Ok _ | Error _ -> ()
+      end)
+    entries;
+  ( List.sort (fun (a, _) (b, _) -> String.compare a b) !pending,
+    !next )
+
+(* Result rendering: every field below is a pure function of the final
+   engine state + the spec, so interrupted-and-resumed runs publish the
+   same bytes.  Loads travel as an FNV-1a fingerprint — enough for a
+   byte-exact identity check without shipping n integers. *)
+
+let fnv64 loads =
+  let h = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun load ->
+      h := Int64.logxor !h (Int64.of_int load);
+      h := Int64.mul !h 0x100000001b3L)
+    loads;
+  Printf.sprintf "%016Lx" !h
+
+let result_fields ~id ~(spec : Protocol.job_spec) ~round ~config ~counters =
+  [
+    ("schema", Jsonl.String result_schema);
+    ("id", Jsonl.String id);
+    ("engine", Jsonl.String (Protocol.engine_name spec.engine));
+    ("n", Jsonl.Int spec.n);
+    ("rounds", Jsonl.Int round);
+    ("seed", Jsonl.Int spec.seed);
+    ("init", Jsonl.String spec.init);
+    ("max_load", Jsonl.Int (Config.max_load config));
+    ("empty_bins", Jsonl.Int (Config.empty_bins config));
+    ("balls", Jsonl.Int (Config.balls config));
+    ("loads_fnv64", Jsonl.String (fnv64 (Config.loads config)));
+  ]
+  @ List.map (fun (k, v) -> ("c." ^ k, Jsonl.Int v)) counters
+
+let result_body fields = Jsonl.obj fields
+
+let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
+    (spec : Protocol.job_spec) =
+  if checkpoint_every < 1 then
+    invalid_arg "Job.run: checkpoint_every must be at least 1";
+  (match Protocol.validate_spec spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Job.run: " ^ e));
+  let ckpt = checkpoint_path ~state_dir ~id in
+  let tel = Telemetry.create () in
+  let probe = Telemetry.probe tel in
+  let snap =
+    if Sys.file_exists ckpt then
+      match Checkpoint.load ~path:ckpt with
+      | Ok snap ->
+          let kind_matches =
+            match (snap.Checkpoint.kind, spec.engine) with
+            | Checkpoint.Balls, Protocol.Balls
+            | Checkpoint.Counts, Protocol.Counts ->
+                true
+            | _ -> false
+          in
+          if not kind_matches then
+            failwith
+              (Printf.sprintf
+                 "job %s: checkpoint engine kind does not match the spec" id);
+          Checkpoint.restore_counters tel snap;
+          Some snap
+      | Error e -> failwith (Printf.sprintf "job %s: %s" id e)
+    else None
+  in
+  let fresh () =
+    let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int spec.seed) () in
+    let init =
+      match spec.init with
+      | "uniform" -> Config.uniform ~n:spec.n
+      | "pile" -> Config.all_in_one ~n:spec.n ~m:spec.n ()
+      | "random" -> Config.random rng ~n:spec.n ~m:spec.n
+      | _ -> assert false (* validated above *)
+    in
+    (rng, init)
+  in
+  (* One driving loop for both engine families, mirroring the CLI's. *)
+  let start_round, step, config, capture =
+    match spec.engine with
+    | Protocol.Balls ->
+        let p =
+          match snap with
+          | Some s -> Checkpoint.to_process s
+          | None ->
+              let rng, init = fresh () in
+              Process.create ~rng ~init ()
+        in
+        ( Process.round p,
+          (fun () -> Process.run ~probe p ~rounds:1),
+          (fun () -> Process.config p),
+          fun () -> Checkpoint.capture_process ~telemetry:tel p )
+    | Protocol.Counts ->
+        let p =
+          match snap with
+          | Some s -> Checkpoint.to_counts s
+          | None ->
+              let rng, init = fresh () in
+              Counts_process.create ~rng ~init ()
+        in
+        ( Counts_process.round p,
+          (fun () -> Counts_process.run ~probe p ~rounds:1),
+          (fun () -> Counts_process.config p),
+          fun () -> Checkpoint.capture_counts ~telemetry:tel p )
+  in
+  for r = start_round + 1 to spec.rounds do
+    step ();
+    if r mod checkpoint_every = 0 && r < spec.rounds then begin
+      Checkpoint.save ~path:ckpt (capture ());
+      on_progress ~round:r
+    end
+  done;
+  let fields =
+    result_fields ~id ~spec ~round:spec.rounds ~config:(config ())
+      ~counters:(Telemetry.counters tel)
+  in
+  Rbb_sim.Fileio.write_atomic ~path:(result_path ~state_dir ~id) (fun oc ->
+      output_string oc (result_body fields);
+      output_char oc '\n');
+  (* The checkpoint has served its purpose; the result now marks the
+     job done (and a stale checkpoint must not shadow a future job that
+     reuses the id in a wiped directory). *)
+  (try Sys.remove ckpt with Sys_error _ -> ());
+  fields

@@ -1,0 +1,55 @@
+(** Deterministic, crash-safe execution of one [rbb.job/1] job.
+
+    A job's on-disk footprint under the daemon's state directory is
+
+    - [<id>.job] — the accepted spec (written atomically on admission,
+      {e before} the submit is acknowledged: an acknowledged job
+      survives any crash);
+    - [<id>.ckpt] — a rolling {!Rbb_sim.Checkpoint} snapshot, republished
+      atomically every [checkpoint_every] rounds while running;
+    - [<id>.result] — the one-line [rbb.job-result/1] document, written
+      atomically on completion.  Its presence marks the job done.
+
+    {!run} picks up whatever is on disk: with a checkpoint it resumes
+    mid-trajectory (bit-identically — {!Rbb_sim.Checkpoint}'s exactness
+    guarantee), otherwise it starts fresh from the spec.  Because every
+    result field is a deterministic function of the final engine state
+    and the spec, {b a job interrupted by [kill -9] and re-run produces
+    a result document byte-identical to an uninterrupted run's}. *)
+
+val spec_path : state_dir:string -> id:string -> string
+val checkpoint_path : state_dir:string -> id:string -> string
+val result_path : state_dir:string -> id:string -> string
+
+val write_spec : state_dir:string -> id:string -> Protocol.job_spec -> unit
+(** Publish [<id>.job] atomically (one [rbb.job-spec/1] line). *)
+
+val load_spec : path:string -> (string * Protocol.job_spec, string) result
+(** Read back a spec file: [(id, spec)]. *)
+
+val scan :
+  state_dir:string -> (string * Protocol.job_spec) list * int
+(** All jobs on disk with a spec but no result — the work a restarted
+    daemon must finish — sorted by id, plus the successor of the
+    largest job sequence number seen (for fresh id allocation). *)
+
+val fresh_id : int -> string
+(** ["job-%06d"]. *)
+
+val run :
+  ?on_progress:(round:int -> unit) ->
+  state_dir:string ->
+  checkpoint_every:int ->
+  id:string ->
+  Protocol.job_spec ->
+  (string * Rbb_sim.Jsonl.value) list
+(** Run (or resume) the job to completion and publish its result;
+    returns the result fields.  [on_progress] fires at every checkpoint
+    publication with the completed round.
+    @raise Invalid_argument if [checkpoint_every < 1] or the spec is
+    invalid; [Failure] if an existing checkpoint is unreadable or
+    belongs to a different engine family. *)
+
+val result_body : (string * Rbb_sim.Jsonl.value) list -> string
+(** The result document line (no trailing newline) — the exact bytes
+    stored in [<id>.result] and echoed through [Job_result]. *)

@@ -1,0 +1,182 @@
+(* Open-loop Poisson load against a live daemon, then an M/M/c fit of
+   what actually happened. *)
+
+module Jsonl = Rbb_sim.Jsonl
+
+type config = {
+  socket : string;
+  jobs : int;
+  rate : float;
+  rho_target : float;
+  calibrate : int;
+  spec : Protocol.job_spec;
+  arrival_seed : int;
+  workers : int;
+}
+
+type result = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  duration_s : float;
+  throughput_per_s : float;
+  calib_service_s : float;
+  lambda_hat_per_s : float;
+  mu_hat_per_s : float;
+  utilization : float;
+  wait_mean_s : float;
+  sojourn_p50_s : float;
+  sojourn_p99_s : float;
+  mmc_wait_s : float;
+  wait_rel_error : float;
+}
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let get_f fields key =
+  match Jsonl.find_float fields key with Some v -> v | None -> nan
+
+let get_i fields key =
+  match Jsonl.find_int fields key with Some v -> v | None -> 0
+
+(* Each arrival gets a distinct seed and an exponentially-distributed
+   round budget with mean [spec.rounds]: service times are then i.i.d.
+   and approximately exponential — the M in M/M/c.  (With a fixed round
+   count the system would be M/D/c, whose mean wait is half of M/M/c's,
+   and the fit below would be comparing against the wrong model.) *)
+let arrival_spec (cfg : config) ~size_rng k =
+  let mean = float_of_int cfg.spec.Protocol.rounds in
+  let rounds =
+    match size_rng with
+    | None -> cfg.spec.Protocol.rounds
+    | Some rng ->
+        max 1
+          (int_of_float
+             (Float.round (Rbb_prng.Sampler.exponential rng ~rate:(1. /. mean))))
+  in
+  { cfg.spec with Protocol.seed = cfg.spec.Protocol.seed + k; rounds }
+
+let run cfg =
+  if cfg.jobs < 1 then invalid_arg "Slam.run: jobs must be at least 1";
+  if cfg.calibrate < 1 then
+    invalid_arg "Slam.run: calibrate must be at least 1";
+  if cfg.workers < 1 then invalid_arg "Slam.run: workers must be at least 1";
+  if cfg.rate <= 0. && not (cfg.rho_target > 0.) then
+    invalid_arg "Slam.run: need a positive rate or rho-target";
+  let client = Client.connect ~socket:cfg.socket () in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      (* Phase 1: calibrate mean service time, closed loop. *)
+      let calib_total = ref 0. in
+      for k = 1 to cfg.calibrate do
+        let t0 = now_s () in
+        let id = Client.submit_wait client (arrival_spec cfg ~size_rng:None (-k)) in
+        ignore (Client.await_result client ~id : string);
+        calib_total := !calib_total +. (now_s () -. t0)
+      done;
+      let calib_service_s = !calib_total /. float_of_int cfg.calibrate in
+      let rate =
+        if cfg.rate > 0. then cfg.rate
+        else
+          cfg.rho_target *. float_of_int cfg.workers
+          /. Float.max calib_service_s 1e-6
+      in
+      (* Phase 2: clean measurement window. *)
+      Client.reset_stats client;
+      (* Phase 3: offer Poisson arrivals, open loop. *)
+      let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int cfg.arrival_seed) () in
+      let accepted = ref 0 and rejected = ref 0 in
+      let t_start = now_s () in
+      let next = ref t_start in
+      for j = 1 to cfg.jobs do
+        let d = !next -. now_s () in
+        if d > 0. then Unix.sleepf d;
+        (match Client.submit client (arrival_spec cfg ~size_rng:(Some rng) j) with
+        | `Accepted _ -> incr accepted
+        | `Rejected _ -> incr rejected);
+        next := !next +. Rbb_prng.Sampler.exponential rng ~rate
+      done;
+      (* Phase 4: drain — every accepted arrival must finish. *)
+      let rec drain () =
+        let fields = Client.stats client in
+        let done_ = get_i fields "completed" + get_i fields "failed" in
+        if done_ < !accepted then begin
+          Unix.sleepf 0.02;
+          drain ()
+        end
+        else fields
+      in
+      let fields = drain () in
+      let duration_s = now_s () -. t_start in
+      let completed = get_i fields "completed" in
+      let failed = get_i fields "failed" in
+      (* Phase 5: fit the measured window against M/M/c. *)
+      let lambda_hat_per_s = get_f fields "lambda_hat_per_s" in
+      let service_mean_s = get_f fields "service_mean_s" in
+      let wait_mean_s =
+        let w = get_f fields "wait_mean_s" in
+        if Float.is_nan w then 0. else w
+      in
+      let mu_hat_per_s = 1. /. service_mean_s in
+      let utilization =
+        lambda_hat_per_s /. (float_of_int cfg.workers *. mu_hat_per_s)
+      in
+      let mmc_wait_s =
+        if
+          Float.is_finite lambda_hat_per_s
+          && Float.is_finite mu_hat_per_s
+          && lambda_hat_per_s > 0. && mu_hat_per_s > 0.
+          && utilization < 1.
+        then
+          Rbb_queueing.Mmc.mean_waiting_time ~lambda:lambda_hat_per_s
+            ~mu:mu_hat_per_s ~c:cfg.workers
+        else infinity
+      in
+      let wait_rel_error =
+        if Float.is_finite mmc_wait_s && mmc_wait_s > 0. then
+          Float.abs (wait_mean_s -. mmc_wait_s) /. mmc_wait_s
+        else nan
+      in
+      {
+        offered = cfg.jobs;
+        accepted = !accepted;
+        rejected = !rejected;
+        completed;
+        failed;
+        duration_s;
+        throughput_per_s =
+          (if duration_s > 0. then float_of_int completed /. duration_s
+           else nan);
+        calib_service_s;
+        lambda_hat_per_s;
+        mu_hat_per_s;
+        utilization;
+        wait_mean_s;
+        sojourn_p50_s = get_f fields "sojourn_p50_s";
+        sojourn_p99_s = get_f fields "sojourn_p99_s";
+        mmc_wait_s;
+        wait_rel_error;
+      })
+
+let to_fields r =
+  [
+    ("offered", Jsonl.Int r.offered);
+    ("accepted", Jsonl.Int r.accepted);
+    ("rejected", Jsonl.Int r.rejected);
+    ("completed", Jsonl.Int r.completed);
+    ("failed", Jsonl.Int r.failed);
+    ("duration_s", Jsonl.Float r.duration_s);
+    ("throughput_per_s", Jsonl.Float r.throughput_per_s);
+    ("calib_service_s", Jsonl.Float r.calib_service_s);
+    ("lambda_hat_per_s", Jsonl.Float r.lambda_hat_per_s);
+    ("mu_hat_per_s", Jsonl.Float r.mu_hat_per_s);
+    ("utilization", Jsonl.Float r.utilization);
+    ("wait_mean_s", Jsonl.Float r.wait_mean_s);
+    ("sojourn_p50_s", Jsonl.Float r.sojourn_p50_s);
+    ("sojourn_p99_s", Jsonl.Float r.sojourn_p99_s);
+    ("mmc_wait_s", Jsonl.Float r.mmc_wait_s);
+    ("wait_rel_error", Jsonl.Float r.wait_rel_error);
+  ]

@@ -1,0 +1,63 @@
+(** Open-loop load harness with an M/M/c sanity check.
+
+    [rbb slam] drives a running daemon the way queueing theory is
+    phrased: Poisson arrivals (exponential inter-arrival gaps from
+    {!Rbb_prng.Sampler.exponential}) of statistically identical jobs,
+    {e open loop} — the generator never waits for a response before the
+    next arrival, so rejections are real measurements, not back-pressure
+    artefacts.  The run:
+
+    + {e calibrate}: a few sequential closed-loop jobs estimate the mean
+      service time, from which the target arrival rate is derived when
+      the caller asks for a utilization (`rho`) rather than a rate;
+    + {e reset} the daemon's measurement window;
+    + {e offer} [jobs] Poisson arrivals at rate [lambda];
+    + {e drain}: poll until every accepted job finished;
+    + {e fit}: compare the measured mean waiting time against
+      {!Rbb_queueing.Mmc.mean_waiting_time} at the {e measured} arrival
+      and service rates — a live experimental check that the daemon's
+      admission queue behaves like the M/M/c model predicts. *)
+
+type config = {
+  socket : string;
+  jobs : int;  (** arrivals to offer *)
+  rate : float;  (** target lambda, jobs/s; [<= 0.] derives from [rho_target] *)
+  rho_target : float;  (** used only when [rate <= 0.] *)
+  calibrate : int;  (** sequential calibration jobs (at least 1) *)
+  spec : Protocol.job_spec;
+      (** template; each arrival gets a distinct seed and an
+          exponentially-distributed round budget with mean [rounds],
+          making service times approximately exponential (the M in
+          M/M/c) *)
+  arrival_seed : int;  (** PRNG seed for the Poisson gaps *)
+  workers : int;  (** the daemon's worker count — the model's [c] *)
+}
+
+type result = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  duration_s : float;  (** first arrival to drain complete *)
+  throughput_per_s : float;  (** completed / duration *)
+  calib_service_s : float;  (** calibration mean service time *)
+  lambda_hat_per_s : float;  (** measured arrival rate *)
+  mu_hat_per_s : float;  (** measured service rate, per server *)
+  utilization : float;  (** lambda / (c mu), measured *)
+  wait_mean_s : float;  (** measured mean time in queue *)
+  sojourn_p50_s : float;
+  sojourn_p99_s : float;
+  mmc_wait_s : float;  (** M/M/c predicted mean wait at measured rates *)
+  wait_rel_error : float;
+      (** |measured - predicted| / predicted; [nan] when the prediction
+          is degenerate (unstable or zero) *)
+}
+
+val run : config -> result
+(** Drive the daemon at [socket] through the five phases above.
+    @raise Invalid_argument on nonsensical config; [Failure] when the
+    daemon misbehaves. *)
+
+val to_fields : result -> (string * Rbb_sim.Jsonl.value) list
+(** Flat JSON rendering (for reports and [BENCH_serve.json]). *)

@@ -61,6 +61,69 @@ let abort w =
     try Sys.remove w.tmp with Sys_error _ -> ()
   end
 
+(* Exclusive pid lock files.  O_CREAT|O_EXCL is the atomicity primitive:
+   exactly one process can create the file, and it writes its pid into
+   it so a later contender can tell a live owner from a stale corpse.
+   A lock whose pid no longer exists (the owner was SIGKILLed and could
+   not clean up) is broken and re-taken; the remove-then-recreate window
+   is itself closed by O_EXCL — when two takers race, exactly one
+   creation succeeds and the loser reports the new owner. *)
+
+type lock = { lock_path : string; lock_fd : Unix.file_descr }
+
+let process_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (ESRCH, _, _) -> false
+  (* EPERM means "exists but not ours": alive. *)
+  | exception Unix.Unix_error (EPERM, _, _) -> true
+
+let read_lock_pid path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | line -> int_of_string_opt (String.trim line)
+          | exception End_of_file -> None)
+
+let acquire_lock ~path =
+  let rec attempt retries =
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+        let line = string_of_int (Unix.getpid ()) ^ "\n" in
+        let n = Unix.write_substring fd line 0 (String.length line) in
+        if n <> String.length line then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Sys.remove path with Sys_error _ -> ());
+          Error (Printf.sprintf "lock %s: short write" path)
+        end
+        else Ok { lock_path = path; lock_fd = fd }
+    | exception Unix.Unix_error (EEXIST, _, _) -> (
+        match read_lock_pid path with
+        | Some pid when pid > 0 && process_alive pid ->
+            Error
+              (Printf.sprintf "lock %s: held by running process %d" path pid)
+        | _ when retries = 0 ->
+            Error (Printf.sprintf "lock %s: stale but cannot be reclaimed" path)
+        | _ ->
+            (* Stale (dead pid) or unreadable: break it and race for the
+               recreation; O_EXCL arbitrates the race. *)
+            (try Sys.remove path with Sys_error _ -> ());
+            attempt (retries - 1))
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "lock %s: %s" path (Unix.error_message e))
+  in
+  attempt 3
+
+let release_lock l =
+  (try Unix.close l.lock_fd with Unix.Unix_error _ -> ());
+  try Sys.remove l.lock_path with Sys_error _ -> ()
+
 let write_atomic ~path f =
   let w = open_atomic ~path in
   match f (channel w) with

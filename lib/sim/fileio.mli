@@ -16,6 +16,29 @@ val write_atomic : path:string -> (out_channel -> unit) -> unit
     removed, the exception re-raised, and a pre-existing [path] is left
     untouched. *)
 
+(** {2 Exclusive pid lock files}
+
+    Single-owner mutual exclusion between processes sharing a resource
+    (the serve daemon's state directory): the lock file is created with
+    [O_CREAT|O_EXCL] — so exactly one process can take it — and holds
+    the owner's pid.  A contender finding the file checks whether that
+    pid is still alive; a dead owner (SIGKILL leaves the file behind)
+    makes the lock {e stale}, and it is broken and re-taken.  The
+    remove-then-recreate race between two takers is itself arbitrated
+    by [O_EXCL]: exactly one wins, the other reports the new owner. *)
+
+type lock
+
+val acquire_lock : path:string -> (lock, string) result
+(** Take the exclusive lock at [path], breaking a stale one (owner pid
+    dead or file unreadable).  [Error] is prose suitable for printing:
+    the lock is held by a running process, or cannot be created. *)
+
+val release_lock : lock -> unit
+(** Close and remove the lock file.  Safe to call once; a crashed owner
+    that never calls it leaves a stale lock the next
+    {!acquire_lock} breaks. *)
+
 (** {2 Streaming writers}
 
     For writers that emit incrementally over a whole run (the

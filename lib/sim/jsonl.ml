@@ -186,6 +186,85 @@ let parse line =
     Some (List.rev !fields)
   with Bad -> None
 
+(* Incremental / following reader.  A tail remembers a byte offset into
+   a file that some other process (a live tracer, the serve daemon's
+   event log) may still be appending to.  Each poll delivers only the
+   *complete* lines that have appeared since the previous poll: bytes
+   after the last newline are a torn tail — the writer is mid-line (or
+   died mid-line) — and are left on disk to be retried from the same
+   offset next time.  The file is reopened on every poll, so the tail
+   survives the file not existing yet and never holds a descriptor
+   open between polls. *)
+
+type tail = { t_path : string; mutable t_offset : int }
+
+let tail ?(offset = 0) path =
+  if offset < 0 then invalid_arg "Jsonl.tail: offset must be nonnegative";
+  { t_path = path; t_offset = offset }
+
+let tail_offset t = t.t_offset
+
+(* Read everything past the offset; [] when the file is missing, not
+   yet grown, or holds only a torn tail. *)
+let read_from t =
+  match open_in_bin t.t_path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len <= t.t_offset then None
+          else begin
+            seek_in ic t.t_offset;
+            Some (really_input_string ic (len - t.t_offset))
+          end)
+
+let split_lines chunk =
+  (* Complete lines (newline-terminated) and the consumed byte count. *)
+  match String.rindex_opt chunk '\n' with
+  | None -> ([], 0)
+  | Some last ->
+      (String.split_on_char '\n' (String.sub chunk 0 last), last + 1)
+
+let tail_poll t =
+  match read_from t with
+  | None -> []
+  | Some chunk ->
+      let lines, consumed = split_lines chunk in
+      t.t_offset <- t.t_offset + consumed;
+      lines
+
+let tail_pending t =
+  match read_from t with
+  | None -> None
+  | Some chunk -> (
+      match String.rindex_opt chunk '\n' with
+      | None -> Some chunk
+      | Some last when last + 1 < String.length chunk ->
+          Some (String.sub chunk (last + 1) (String.length chunk - last - 1))
+      | Some _ -> None)
+
+let fold_follow ?(poll_interval_s = 0.05) ?(idle_polls = 3) ~path ~init ~f
+    ~finish () =
+  if poll_interval_s < 0. then
+    invalid_arg "Jsonl.fold_follow: poll_interval_s must be nonnegative";
+  if idle_polls < 1 then
+    invalid_arg "Jsonl.fold_follow: idle_polls must be at least 1";
+  let t = tail path in
+  let acc = ref init in
+  let quiet = ref 0 in
+  while !quiet < idle_polls do
+    (match tail_poll t with
+    | [] ->
+        incr quiet;
+        if !quiet < idle_polls then Unix.sleepf poll_interval_s
+    | lines ->
+        quiet := 0;
+        List.iter (fun line -> acc := f !acc line) lines)
+  done;
+  finish !acc (tail_pending t)
+
 (* Typed field accessors over a parsed object. *)
 
 let find fields key = List.assoc_opt key fields

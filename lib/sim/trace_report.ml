@@ -216,6 +216,25 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)
 
+(* Live tailing: fold the stream through Jsonl's following reader until
+   the producer goes quiet, then treat whatever unterminated bytes
+   remain exactly as read_channel treats a torn final line.  This is
+   what lets `rbb trace-report --follow` watch a simulation that is
+   still writing. *)
+let follow_file ?poll_interval_s ?idle_polls path =
+  Jsonl.fold_follow ?poll_interval_s ?idle_polls ~path ~init:(fresh_state ())
+    ~f:(fun st line ->
+      feed st line;
+      st)
+    ~finish:(fun st pending ->
+      (match pending with
+      | Some line when String.trim line <> "" ->
+          if Jsonl.parse line = None then st.s_truncated_tail <- true
+          else feed st line
+      | Some _ | None -> ());
+      finish st)
+    ()
+
 (* Deterministic rendering for a deterministic trace: everything shown
    is derived from record contents, never wall-clock durations, so cram
    tests can pin the full output of a seeded run. *)

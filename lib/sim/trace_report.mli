@@ -46,6 +46,15 @@ val of_lines : string list -> t
 val read_channel : in_channel -> t
 val read_file : string -> t
 
+val follow_file : ?poll_interval_s:float -> ?idle_polls:int -> string -> t
+(** Tail a trace that may still be written to ({!Jsonl.fold_follow}):
+    complete lines are folded as they appear; the read finishes once
+    [idle_polls] consecutive polls (every [poll_interval_s] seconds)
+    see no growth.  An unterminated final line is then classified
+    exactly as in {!read_channel}: fed if it parses, flagged as a
+    truncated tail otherwise.  On an already-complete file this returns
+    {!read_file}'s result after the idle wait. *)
+
 val render : ?plot:bool -> t -> string
 (** Terminal rendering of the summary — deterministic for a fixed
     trace: only record contents are shown, never wall-clock durations

@@ -1,0 +1,80 @@
+The serve daemon, driven over its Unix-domain socket.  Job results are
+deterministic in the spec (engine trajectories are pure functions of
+the seed), so the documents below are exact expectations.
+
+Config validation fails fast, before any state is touched:
+
+  $ rbb serve --workers 0 --socket d.sock --state-dir state
+  rbb: error: Daemon.run: workers must be at least 1
+  [2]
+
+  $ rbb serve --queue-depth 0 --socket d.sock --state-dir state
+  rbb: error: Daemon.run: queue-depth must be at least 1
+  [2]
+
+A daemon session: submit-and-wait, then query the finished job.
+
+  $ rbb serve --socket d.sock --state-dir state > serve.log 2>&1 &
+  > SERVE_PID=$!
+
+  $ rbb submit --socket d.sock --bins 64 --rounds 500 --seed 9 --init pile --wait
+  accepted job-000001
+  {"balls":64,"c.process.launch.blocks":500,"c.process.rounds":500,"empty_bins":24,"engine":"balls","id":"job-000001","init":"pile","loads_fnv64":"f0e846775071339b","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9}
+
+  $ rbb submit --socket d.sock --status job-000001
+  job-000001 done round=500
+
+The result document is served byte-identically to the published file:
+
+  $ rbb submit --socket d.sock --result job-000001 > served.txt
+  $ cat state/job-000001.result > published.txt
+  $ cmp served.txt published.txt
+
+The count-based engine runs behind the same protocol:
+
+  $ rbb submit --socket d.sock --bins 64 --rounds 500 --seed 9 --init pile --engine counts --wait
+  accepted job-000002
+  {"balls":64,"c.counts.release.blocks":500,"c.counts.rounds":500,"empty_bins":27,"engine":"counts","id":"job-000002","init":"pile","loads_fnv64":"3a00f64aa642a7d9","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9}
+
+Unknown jobs are a structured error:
+
+  $ rbb submit --socket d.sock --status job-999999
+  rbb: error: no job "job-999999" (unknown_job)
+  [2]
+
+The measured statistics include both completions:
+
+  $ rbb submit --socket d.sock --stats | grep -c '"completed":2'
+  1
+
+Graceful shutdown drains and reports:
+
+  $ rbb submit --socket d.sock --shutdown
+  shutdown requested
+  $ wait $SERVE_PID
+  $ cat serve.log
+  rbb serve: state dir state
+  rbb serve: listening on d.sock (workers=1 queue-depth=16)
+  rbb serve: draining
+  rbb serve: shutdown (2 job(s) completed this run)
+
+The event log recorded every lifecycle transition, in order:
+
+  $ sed 's/.*"event":"\([a-z]*\)".*"id":"\(job-[0-9]*\)".*/\2 \1/' state/events.ndjson
+  job-000001 accepted
+  job-000001 started
+  job-000001 checkpoint
+  job-000001 done
+  job-000002 accepted
+  job-000002 started
+  job-000002 checkpoint
+  job-000002 done
+
+trace-report --follow tails a live file and reports once the writer
+goes idle; on an already-complete trace it reports exactly what the
+one-shot reader does:
+
+  $ rbb simulate --bins 32 --rounds 200 --trace-ndjson t.ndjson > /dev/null
+  $ rbb trace-report t.ndjson --no-plot > oneshot.txt
+  $ rbb trace-report t.ndjson --no-plot --follow > followed.txt
+  $ cmp oneshot.txt followed.txt

@@ -27,4 +27,5 @@ let () =
          Test_robustness.suite;
          Test_distributional.suite;
          Test_engines.suite;
+         Test_serve.suite;
        ])

@@ -1,0 +1,722 @@
+(* Tests for the serve subsystem and its satellites: the rbb.job/1
+   codec (round-trips under QCheck, frame extraction including
+   oversized / malformed traffic), the admission queue's bounds and
+   measurement plane, the crash-safe job runner's resume byte-identity,
+   the incremental Jsonl tail reader, the exclusive lock helper with
+   stale-pid takeover, and an in-process end-to-end daemon session. *)
+
+module Protocol = Rbb_serve.Protocol
+module Admission = Rbb_serve.Admission
+module Job = Rbb_serve.Job
+module Daemon = Rbb_serve.Daemon
+module Client = Rbb_serve.Client
+module Jsonl = Rbb_sim.Jsonl
+module Fileio = Rbb_sim.Fileio
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir prefix f =
+  let dir = temp_dir prefix in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: payload codec                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spec ?(n = 64) ?(rounds = 100) ?(seed = 7) ?(init = "uniform")
+    ?(engine = Protocol.Balls) () =
+  { Protocol.n; rounds; seed; init; engine }
+
+let check_req_roundtrip req =
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok req' -> Alcotest.(check bool) "request round-trip" true (req = req')
+  | Error e -> Alcotest.failf "request did not round-trip: %s" e
+
+let check_resp_roundtrip resp =
+  match Protocol.response_of_json (Protocol.response_to_json resp) with
+  | Ok resp' -> Alcotest.(check bool) "response round-trip" true (resp = resp')
+  | Error e -> Alcotest.failf "response did not round-trip: %s" e
+
+let test_request_roundtrips () =
+  List.iter check_req_roundtrip
+    [
+      Protocol.Ping;
+      Protocol.Submit (spec ());
+      Protocol.Submit (spec ~engine:Protocol.Counts ~init:"pile" ());
+      Protocol.Status "job-000001";
+      Protocol.Result "job-000042";
+      Protocol.Subscribe None;
+      Protocol.Subscribe (Some "job-000007");
+      Protocol.Stats;
+      Protocol.Reset_stats;
+      Protocol.Shutdown;
+    ]
+
+let test_response_roundtrips () =
+  List.iter check_resp_roundtrip
+    [
+      Protocol.Pong;
+      Protocol.Ok_reply;
+      Protocol.Accepted { id = "job-000001"; queue_depth = 3 };
+      Protocol.Rejected { retry_after_ms = 250; queue_depth = 16 };
+      Protocol.Job_status { id = "job-000001"; state = "running"; round = 512 };
+      Protocol.Job_result
+        { id = "job-000001"; body = "{\"schema\":\"rbb.job-result/1\"}" };
+      Protocol.Event
+        { ev = "checkpoint"; id = "job-000001"; round = 256; detail = "" };
+      Protocol.Event
+        { ev = "failed"; id = "job-000002"; round = 0; detail = "dis\"as\\ter" };
+      Protocol.Error_reply { code = "bad_json"; message = "nope" };
+      Protocol.Stats_reply
+        [ ("arrivals", Jsonl.Int 3); ("wait_mean_s", Jsonl.Float 0.25) ];
+    ]
+
+let test_decode_rejections () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "not json" true
+    (is_error (Protocol.request_of_json "hello"));
+  Alcotest.(check bool) "wrong schema" true
+    (is_error
+       (Protocol.request_of_json "{\"schema\":\"rbb.trace/1\",\"type\":\"ping\"}"));
+  Alcotest.(check bool) "no type" true
+    (is_error (Protocol.request_of_json "{\"schema\":\"rbb.job/1\"}"));
+  Alcotest.(check bool) "unknown type" true
+    (is_error
+       (Protocol.request_of_json "{\"schema\":\"rbb.job/1\",\"type\":\"dance\"}"));
+  Alcotest.(check bool) "submit missing fields" true
+    (is_error
+       (Protocol.request_of_json "{\"schema\":\"rbb.job/1\",\"type\":\"submit\"}"));
+  Alcotest.(check bool) "submit invalid n" true
+    (is_error
+       (Protocol.request_of_json
+          (Protocol.request_to_json
+             (Protocol.Submit (spec ~n:0 ())))))
+
+let gen_spec =
+  QCheck2.Gen.(
+    let* n = int_range 1 100_000 in
+    let* rounds = int_range 0 1_000_000 in
+    let* seed = int_range 0 1_000_000_000 in
+    let* init = oneofl [ "uniform"; "pile"; "random" ] in
+    let* engine = oneofl [ Protocol.Balls; Protocol.Counts ] in
+    return { Protocol.n; rounds; seed; init; engine })
+
+let prop_submit_roundtrip =
+  Tutil.prop "submit round-trips any valid spec" ~count:300 gen_spec (fun s ->
+      Protocol.request_of_json
+        (Protocol.request_to_json (Protocol.Submit s))
+      = Ok (Protocol.Submit s))
+
+let prop_error_roundtrip =
+  Tutil.prop "error replies survive hostile strings" ~count:300
+    QCheck2.Gen.(pair string_printable string)
+    (fun (code, message) ->
+      Protocol.response_of_json
+        (Protocol.response_to_json (Protocol.Error_reply { code; message }))
+      = Ok (Protocol.Error_reply { code; message }))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: frame codec                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let payload = Protocol.request_to_json (Protocol.Submit (spec ())) in
+  let framed = Protocol.encode_frame payload in
+  (match Protocol.extract ~max_frame:4096 framed with
+  | Protocol.Frame { payload = p; consumed } ->
+      Alcotest.(check string) "payload" payload p;
+      Alcotest.(check int) "consumed all" (String.length framed) consumed
+  | _ -> Alcotest.fail "expected a frame");
+  (* Byte-at-a-time delivery: Need_more until the last byte. *)
+  let n = String.length framed in
+  for k = 0 to n - 1 do
+    match Protocol.extract ~max_frame:4096 (String.sub framed 0 k) with
+    | Protocol.Need_more -> ()
+    | _ -> Alcotest.failf "prefix of %d bytes should need more" k
+  done;
+  (* Two frames back to back: the extractor consumes exactly one. *)
+  match Protocol.extract ~max_frame:4096 (framed ^ framed) with
+  | Protocol.Frame { consumed; _ } ->
+      Alcotest.(check int) "one frame consumed" n consumed
+  | _ -> Alcotest.fail "expected the first frame"
+
+let test_frame_oversized () =
+  let payload = String.make 100 'x' in
+  let framed = Protocol.encode_frame payload in
+  match Protocol.extract ~max_frame:10 framed with
+  | Protocol.Skip { consumed; discard; error } ->
+      Alcotest.(check int) "header consumed" 4 consumed;
+      Alcotest.(check int) "payload + newline discarded" 101 discard;
+      Alcotest.(check string) "code" "oversized" error.Protocol.code;
+      Alcotest.(check bool) "not fatal" false error.Protocol.fatal
+  | _ -> Alcotest.fail "expected an oversized skip"
+
+let test_frame_corrupt () =
+  let fatal s =
+    match Protocol.extract ~max_frame:4096 s with
+    | Protocol.Corrupt e ->
+        Alcotest.(check bool) ("fatal: " ^ String.escaped s) true
+          e.Protocol.fatal
+    | _ -> Alcotest.failf "%S should be corrupt" s
+  in
+  fatal "\nhello";
+  fatal "12x\n{}";
+  fatal "99999999999\n";
+  fatal "123456789012345";
+  fatal "2\n{}X";
+  match Protocol.extract ~max_frame:4096 "123" with
+  | Protocol.Need_more -> ()
+  | _ -> Alcotest.fail "short numeric prefix is just incomplete"
+
+let prop_extract_total =
+  Tutil.prop "extract never raises on garbage" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64))
+    (fun s ->
+      match Protocol.extract ~max_frame:16 s with
+      | Protocol.Need_more | Protocol.Frame _ | Protocol.Skip _
+      | Protocol.Corrupt _ ->
+          true)
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fake_clock step =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t step;
+    !t
+
+let test_admission_bounds () =
+  let q = Admission.create ~clock:(fake_clock 1000L) ~depth:2 ~servers:1 () in
+  let s = spec () in
+  Alcotest.(check bool) "accepting" true (Admission.accepting q);
+  (match Admission.submit q ~id:"a" ~spec:s with
+  | `Accepted 1 -> ()
+  | _ -> Alcotest.fail "first submit should be accepted at depth 1");
+  (match Admission.submit q ~id:"b" ~spec:s with
+  | `Accepted 2 -> ()
+  | _ -> Alcotest.fail "second submit should be accepted at depth 2");
+  Alcotest.(check bool) "full" false (Admission.accepting q);
+  (match Admission.submit q ~id:"c" ~spec:s with
+  | `Rejected ms -> Alcotest.(check bool) "positive hint" true (ms > 0)
+  | `Accepted _ -> Alcotest.fail "queue is full");
+  Alcotest.(check int) "queue length" 2 (Admission.queue_length q);
+  (* FIFO drain. *)
+  let a = Option.get (Admission.pop q) in
+  let b = Option.get (Admission.pop q) in
+  Alcotest.(check string) "fifo a" "a" a.Admission.id;
+  Alcotest.(check string) "fifo b" "b" b.Admission.id;
+  (* Close: pops yield None, submits are rejected. *)
+  Admission.close q;
+  Alcotest.(check bool) "pop after close" true (Admission.pop q = None);
+  match Admission.submit q ~id:"d" ~spec:s with
+  | `Rejected _ -> ()
+  | `Accepted _ -> Alcotest.fail "closed queue must reject"
+
+let test_admission_measurements () =
+  (* Clock ticks 1000 ns per reading; every duration is exact. *)
+  let q = Admission.create ~clock:(fake_clock 1000L) ~depth:8 ~servers:2 () in
+  let s = spec () in
+  ignore (Admission.submit q ~id:"a" ~spec:s);   (* t = 1000 *)
+  ignore (Admission.submit q ~id:"b" ~spec:s);   (* t = 2000 *)
+  let a = Option.get (Admission.pop q) in
+  let b = Option.get (Admission.pop q) in
+  Admission.note_started q a;                    (* t = 3000: wait 2000 *)
+  Admission.note_started q b;                    (* t = 4000: wait 2000 *)
+  Admission.note_done q a ~ok:true;              (* t = 5000: service 2000 *)
+  Admission.note_done q b ~ok:false;             (* t = 6000: service 2000 *)
+  let st = Admission.stats q in
+  Alcotest.(check int) "arrivals" 2 st.Admission.arrivals;
+  Alcotest.(check int) "completed" 1 st.Admission.completed;
+  Alcotest.(check int) "failed" 1 st.Admission.failed;
+  Alcotest.(check (array (float 0.)))
+    "waits" [| 2000.; 2000. |] st.Admission.wait_ns;
+  Alcotest.(check (array (float 0.)))
+    "services" [| 2000.; 2000. |] st.Admission.service_ns;
+  Alcotest.(check (array (float 0.)))
+    "sojourns" [| 4000.; 4000. |] st.Admission.sojourn_ns;
+  Alcotest.(check int64) "window start" 1000L st.Admission.first_arrival;
+  Alcotest.(check int64) "window end" 2000L st.Admission.last_arrival;
+  Admission.reset_stats q;
+  let st = Admission.stats q in
+  Alcotest.(check int) "reset arrivals" 0 st.Admission.arrivals;
+  Alcotest.(check int) "reset samples" 0 (Array.length st.Admission.wait_ns)
+
+let test_admission_resubmit_unbounded () =
+  let q = Admission.create ~clock:(fake_clock 1000L) ~depth:1 ~servers:1 () in
+  let s = spec () in
+  ignore (Admission.submit q ~id:"a" ~spec:s);
+  (* Depth exhausted, but recovery resubmits must never be refused. *)
+  Admission.resubmit q ~id:"b" ~spec:s;
+  Admission.resubmit q ~id:"c" ~spec:s;
+  Alcotest.(check int) "all queued" 3 (Admission.queue_length q);
+  Tutil.check_raises_invalid "depth 0" (fun () ->
+      Admission.create ~depth:0 ~servers:1 ());
+  Tutil.check_raises_invalid "servers 0" (fun () ->
+      Admission.create ~depth:1 ~servers:0 ())
+
+(* ------------------------------------------------------------------ *)
+(* Job: spec persistence and crash-safe execution                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_job_spec_roundtrip () =
+  with_temp_dir "rbb_serve_spec" (fun dir ->
+      let s = spec ~n:128 ~rounds:777 ~seed:99 ~init:"pile"
+                ~engine:Protocol.Counts () in
+      Job.write_spec ~state_dir:dir ~id:"job-000003" s;
+      (match Job.load_spec ~path:(Job.spec_path ~state_dir:dir ~id:"job-000003") with
+      | Ok (id, s') ->
+          Alcotest.(check string) "id" "job-000003" id;
+          Alcotest.(check bool) "spec" true (s = s')
+      | Error e -> Alcotest.fail e);
+      (* scan: pending job visible, finished job invisible. *)
+      Job.write_spec ~state_dir:dir ~id:"job-000010" (spec ());
+      Fileio.write_atomic ~path:(Job.result_path ~state_dir:dir ~id:"job-000010")
+        (fun oc -> output_string oc "{}\n");
+      let pending, next = Job.scan ~state_dir:dir in
+      Alcotest.(check (list string)) "pending ids" [ "job-000003" ]
+        (List.map fst pending);
+      Alcotest.(check int) "next id follows the max seen" 11 next;
+      match Job.load_spec ~path:(Filename.concat dir "nope.job") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "missing spec file must be an error")
+
+(* The heart of the PR: a job interrupted mid-run (after a checkpoint
+   was published) and then re-run produces a result document
+   byte-identical to an uninterrupted run's. *)
+let check_resume_identity engine =
+  let s = spec ~n:64 ~rounds:400 ~seed:11 ~init:"pile" ~engine () in
+  let uninterrupted =
+    with_temp_dir "rbb_serve_solid" (fun dir ->
+        ignore (Job.run ~state_dir:dir ~checkpoint_every:1000 ~id:"job-000001" s);
+        In_channel.with_open_text
+          (Job.result_path ~state_dir:dir ~id:"job-000001")
+          In_channel.input_all)
+  in
+  let resumed =
+    with_temp_dir "rbb_serve_crash" (fun dir ->
+        Job.write_spec ~state_dir:dir ~id:"job-000001" s;
+        (* "Crash" at the first checkpoint: the snapshot for round 100
+           is on disk, the rest of the run never happens. *)
+        (try
+           ignore
+             (Job.run
+                ~on_progress:(fun ~round:_ -> failwith "kill -9")
+                ~state_dir:dir ~checkpoint_every:100 ~id:"job-000001" s)
+         with Failure _ -> ());
+        Alcotest.(check bool)
+          "checkpoint survives the crash" true
+          (Sys.file_exists (Job.checkpoint_path ~state_dir:dir ~id:"job-000001"));
+        Alcotest.(check bool)
+          "no result yet" false
+          (Sys.file_exists (Job.result_path ~state_dir:dir ~id:"job-000001"));
+        (* Restart: resume from the checkpoint and finish. *)
+        ignore (Job.run ~state_dir:dir ~checkpoint_every:100 ~id:"job-000001" s);
+        Alcotest.(check bool)
+          "checkpoint removed after completion" false
+          (Sys.file_exists (Job.checkpoint_path ~state_dir:dir ~id:"job-000001"));
+        In_channel.with_open_text
+          (Job.result_path ~state_dir:dir ~id:"job-000001")
+          In_channel.input_all)
+  in
+  Alcotest.(check string) "byte-identical result" uninterrupted resumed
+
+let test_job_resume_identity_balls () = check_resume_identity Protocol.Balls
+let test_job_resume_identity_counts () = check_resume_identity Protocol.Counts
+
+let test_job_matches_direct_engine () =
+  (* The daemon's result must describe the same trajectory a direct
+     library run produces. *)
+  with_temp_dir "rbb_serve_direct" (fun dir ->
+      let s = spec ~n:128 ~rounds:300 ~seed:5 ~init:"uniform" () in
+      let fields =
+        Job.run ~state_dir:dir ~checkpoint_every:1000 ~id:"job-000001" s
+      in
+      let rng = Rbb_prng.Rng.create ~seed:5L () in
+      let p =
+        Rbb_core.Process.create ~rng ~init:(Rbb_core.Config.uniform ~n:128) ()
+      in
+      Rbb_core.Process.run p ~rounds:300;
+      let config = Rbb_core.Process.config p in
+      Alcotest.(check (option int))
+        "max load" (Some (Rbb_core.Config.max_load config))
+        (Jsonl.find_int fields "max_load");
+      Alcotest.(check (option int))
+        "empty bins" (Some (Rbb_core.Config.empty_bins config))
+        (Jsonl.find_int fields "empty_bins"))
+
+let test_job_validation () =
+  with_temp_dir "rbb_serve_bad" (fun dir ->
+      Tutil.check_raises_invalid "checkpoint_every 0" (fun () ->
+          Job.run ~state_dir:dir ~checkpoint_every:0 ~id:"x" (spec ()));
+      Tutil.check_raises_invalid "bad spec" (fun () ->
+          Job.run ~state_dir:dir ~checkpoint_every:10 ~id:"x"
+            (spec ~init:"sideways" ())))
+
+(* ------------------------------------------------------------------ *)
+(* Jsonl tail: incremental reads, torn tails                           *)
+(* ------------------------------------------------------------------ *)
+
+let append path s =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_jsonl_tail () =
+  let path = Filename.temp_file "rbb_tail" ".ndjson" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      let t = Jsonl.tail path in
+      Alcotest.(check (list string)) "empty file" [] (Jsonl.tail_poll t);
+      append path "{\"a\":1}\n{\"a\":2}\n";
+      Alcotest.(check (list string))
+        "two complete lines" [ "{\"a\":1}"; "{\"a\":2}" ] (Jsonl.tail_poll t);
+      Alcotest.(check (list string)) "nothing new" [] (Jsonl.tail_poll t);
+      (* A torn tail is withheld until its newline arrives. *)
+      append path "{\"a\":3";
+      Alcotest.(check (list string)) "torn tail withheld" [] (Jsonl.tail_poll t);
+      Alcotest.(check (option string))
+        "torn bytes visible" (Some "{\"a\":3") (Jsonl.tail_pending t);
+      append path "}\n";
+      Alcotest.(check (list string))
+        "completed line delivered" [ "{\"a\":3}" ] (Jsonl.tail_poll t);
+      Alcotest.(check (option string)) "no pending" None (Jsonl.tail_pending t);
+      Alcotest.(check int)
+        "offset tracks consumed bytes"
+        (String.length "{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n")
+        (Jsonl.tail_offset t))
+
+let test_jsonl_tail_missing_file () =
+  let path = Filename.temp_file "rbb_tail" ".ndjson" in
+  Sys.remove path;
+  let t = Jsonl.tail path in
+  Alcotest.(check (list string)) "absent file reads empty" [] (Jsonl.tail_poll t);
+  append path "{\"x\":1}\n";
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Alcotest.(check (list string))
+        "appears later" [ "{\"x\":1}" ] (Jsonl.tail_poll t))
+
+let test_fold_follow_static () =
+  let path = Filename.temp_file "rbb_follow" ".ndjson" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      append path "one\ntwo\nthree\ntorn";
+      let lines, pending =
+        Jsonl.fold_follow ~poll_interval_s:0.001 ~path ~init:[]
+          ~f:(fun acc l -> l :: acc)
+          ~finish:(fun acc pending -> (List.rev acc, pending))
+          ()
+      in
+      Alcotest.(check (list string)) "lines" [ "one"; "two"; "three" ] lines;
+      Alcotest.(check (option string)) "pending" (Some "torn") pending;
+      Tutil.check_raises_invalid "idle_polls 0" (fun () ->
+          Jsonl.fold_follow ~idle_polls:0 ~path ~init:()
+            ~f:(fun () _ -> ())
+            ~finish:(fun () _ -> ())
+            ()))
+
+let test_fold_follow_live_writer () =
+  (* A writer appending from another domain: the follower must deliver
+     every line exactly once, in order. *)
+  let path = Filename.temp_file "rbb_follow_live" ".ndjson" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      let writer =
+        Domain.spawn (fun () ->
+            for i = 1 to 50 do
+              append path (Printf.sprintf "{\"i\":%d}\n" i);
+              if i mod 10 = 0 then Unix.sleepf 0.002
+            done)
+      in
+      let lines =
+        Jsonl.fold_follow ~poll_interval_s:0.005 ~idle_polls:10 ~path ~init:[]
+          ~f:(fun acc l -> l :: acc)
+          ~finish:(fun acc _ -> List.rev acc)
+          ()
+      in
+      Domain.join writer;
+      Alcotest.(check int) "all 50 lines" 50 (List.length lines);
+      List.iteri
+        (fun i l ->
+          Alcotest.(check string)
+            "in order" (Printf.sprintf "{\"i\":%d}" (i + 1)) l)
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* Fileio locks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_lock_exclusion () =
+  with_temp_dir "rbb_lock" (fun dir ->
+      let path = Filename.concat dir "d.lock" in
+      let lock =
+        match Fileio.acquire_lock ~path with
+        | Ok l -> l
+        | Error e -> Alcotest.fail e
+      in
+      (match Fileio.acquire_lock ~path with
+      | Error e ->
+          Alcotest.(check bool)
+            "names the holder" true
+            (Tutil.contains_substring e (string_of_int (Unix.getpid ())))
+      | Ok _ -> Alcotest.fail "second acquire must fail while held");
+      Fileio.release_lock lock;
+      Alcotest.(check bool) "lock file removed" false (Sys.file_exists path);
+      match Fileio.acquire_lock ~path with
+      | Ok l -> Fileio.release_lock l
+      | Error e -> Alcotest.fail ("reacquire after release: " ^ e))
+
+let test_lock_stale_takeover () =
+  with_temp_dir "rbb_lock_stale" (fun dir ->
+      let path = Filename.concat dir "d.lock" in
+      (* A pid that certainly ran and certainly exited: our own child. *)
+      let dead_pid = Unix.create_process "/bin/true" [| "true" |]
+                       Unix.stdin Unix.stdout Unix.stderr in
+      ignore (Unix.waitpid [] dead_pid);
+      let oc = open_out path in
+      Printf.fprintf oc "%d\n" dead_pid;
+      close_out oc;
+      (match Fileio.acquire_lock ~path with
+      | Ok l ->
+          (* The stale lock was broken and replaced with our pid. *)
+          let ic = open_in path in
+          let holder = input_line ic in
+          close_in ic;
+          Alcotest.(check string)
+            "lock now ours" (string_of_int (Unix.getpid ())) holder;
+          Fileio.release_lock l
+      | Error e -> Alcotest.fail ("stale lock should be taken over: " ^ e));
+      (* Garbage contents are treated as stale, too. *)
+      let oc = open_out path in
+      output_string oc "not a pid";
+      close_out oc;
+      match Fileio.acquire_lock ~path with
+      | Ok l -> Fileio.release_lock l
+      | Error e -> Alcotest.fail ("garbage lock should be taken over: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end (in process)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let raw_connect socket =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX socket);
+  fd
+
+let raw_send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let raw_recv_frame fd =
+  let buf = ref "" in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Protocol.extract ~max_frame:Protocol.default_max_frame !buf with
+    | Protocol.Frame { payload; _ } -> payload
+    | Protocol.Need_more ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then Alcotest.fail "daemon closed the connection";
+        buf := !buf ^ Bytes.sub_string chunk 0 n;
+        go ()
+    | _ -> Alcotest.fail "corrupt frame from daemon"
+  in
+  go ()
+
+let expect_error_code fd code =
+  match Protocol.response_of_json (raw_recv_frame fd) with
+  | Ok (Protocol.Error_reply e) ->
+      Alcotest.(check string) "error code" code e.code
+  | _ -> Alcotest.failf "expected an %s error reply" code
+
+let test_daemon_end_to_end () =
+  with_temp_dir "rbb_e2e" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let state_dir = Filename.concat dir "state" in
+      let cfg =
+        {
+          (Daemon.default_config ~socket ~state_dir) with
+          Daemon.checkpoint_every = 64;
+          max_frame = 512;
+        }
+      in
+      let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+      let c = Client.connect ~socket () in
+      Client.ping c;
+      (* A subscriber on its own connection sees the whole lifecycle. *)
+      let sub = Client.connect ~socket () in
+      Client.subscribe sub ();
+      let s = spec ~n:64 ~rounds:200 ~seed:3 () in
+      let id =
+        match Client.submit c s with
+        | `Accepted id -> id
+        | `Rejected _ -> Alcotest.fail "idle daemon must accept"
+      in
+      Alcotest.(check string) "first id" "job-000001" id;
+      let body = Client.await_result c ~id in
+      (* The returned body is the exact bytes of the published file. *)
+      let on_disk =
+        In_channel.with_open_text
+          (Job.result_path ~state_dir ~id)
+          In_channel.input_line
+      in
+      Alcotest.(check (option string)) "body is the file" (Some body) on_disk;
+      (match Jsonl.parse body with
+      | Some fields ->
+          Alcotest.(check (option int)) "rounds" (Some 200)
+            (Jsonl.find_int fields "rounds")
+      | None -> Alcotest.fail "result body must parse");
+      (* Status of a finished job, and of nonsense. *)
+      (match Client.request c (Protocol.Status id) with
+      | Protocol.Job_status { state; round; _ } ->
+          Alcotest.(check string) "done" "done" state;
+          Alcotest.(check int) "round" 200 round
+      | _ -> Alcotest.fail "expected job status");
+      (match Client.request c (Protocol.Status "job-999999") with
+      | Protocol.Error_reply { code; _ } ->
+          Alcotest.(check string) "unknown job" "unknown_job" code
+      | _ -> Alcotest.fail "expected unknown_job");
+      (* Stats carry the measurement plane. *)
+      let st = Client.stats c in
+      Alcotest.(check (option int)) "one completion" (Some 1)
+        (Jsonl.find_int st "completed");
+      Alcotest.(check bool) "service sample present" true
+        (Jsonl.find_float st "service_mean_s" <> None);
+      (* The subscriber saw accepted -> started -> checkpoints -> done,
+         in order (200 rounds, checkpoints at 64 and 128 and 192). *)
+      let rec stream acc =
+        let ev = (Client.next_event sub).Protocol.ev in
+        if ev = "done" then List.rev (ev :: acc) else stream (ev :: acc)
+      in
+      Alcotest.(check (list string))
+        "lifecycle stream"
+        [ "accepted"; "started"; "checkpoint"; "checkpoint"; "checkpoint";
+          "done" ]
+        (stream []);
+      (* Malformed payload: structured error, connection survives. *)
+      let raw = raw_connect socket in
+      raw_send raw (Protocol.encode_frame "this is not json");
+      expect_error_code raw "bad_json";
+      (* Oversized frame: skipped, connection survives. *)
+      raw_send raw (Protocol.encode_frame (String.make 600 'x'));
+      expect_error_code raw "oversized";
+      (* Valid traffic still works on the same connection. *)
+      raw_send raw (Protocol.encode_frame (Protocol.request_to_json Protocol.Ping));
+      (match Protocol.response_of_json (raw_recv_frame raw) with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "connection should have survived the garbage");
+      (* Corrupt header: error reply, then the daemon hangs up. *)
+      raw_send raw "xyzzy\n";
+      expect_error_code raw "bad_frame";
+      Alcotest.(check int) "connection closed after corrupt header" 0
+        (Unix.read raw (Bytes.create 1) 0 1);
+      Unix.close raw;
+      (* Drain. *)
+      Client.shutdown c;
+      Client.close c;
+      Client.close sub;
+      Domain.join daemon;
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket);
+      Alcotest.(check bool)
+        "lock released" false
+        (Sys.file_exists (Filename.concat state_dir "daemon.lock"));
+      (* The event log is complete and well formed. *)
+      let events =
+        In_channel.with_open_text
+          (Filename.concat state_dir "events.ndjson")
+          In_channel.input_all
+      in
+      let kinds =
+        List.filter_map
+          (fun l ->
+            match Jsonl.parse l with
+            | Some fields -> Jsonl.find_string fields "event"
+            | None -> None)
+          (List.filter (fun l -> l <> "") (String.split_on_char '\n' events))
+      in
+      Alcotest.(check (list string))
+        "event log"
+        [ "accepted"; "started"; "checkpoint"; "checkpoint"; "checkpoint";
+          "done" ]
+        kinds)
+
+let test_daemon_rejects_second_instance () =
+  with_temp_dir "rbb_e2e_lock" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let state_dir = Filename.concat dir "state" in
+      let cfg = Daemon.default_config ~socket ~state_dir in
+      let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+      let c = Client.connect ~socket () in
+      Client.ping c;
+      (* Same state dir, different socket: must refuse to start. *)
+      (match
+         Daemon.run
+           {
+             cfg with
+             Daemon.socket = Filename.concat dir "d2.sock";
+           }
+       with
+      | () -> Alcotest.fail "second daemon must not start"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            "says who holds it" true
+            (Tutil.contains_substring msg "held by running process"));
+      Client.shutdown c;
+      Client.close c;
+      Domain.join daemon)
+
+let suite =
+  [
+    ( "serve.protocol",
+      [
+        Tutil.quick "request round-trips" test_request_roundtrips;
+        Tutil.quick "response round-trips" test_response_roundtrips;
+        Tutil.quick "decode rejections" test_decode_rejections;
+        prop_submit_roundtrip;
+        prop_error_roundtrip;
+      ] );
+    ( "serve.frames",
+      [
+        Tutil.quick "round-trip and reassembly" test_frame_roundtrip;
+        Tutil.quick "oversized is skipped" test_frame_oversized;
+        Tutil.quick "corrupt headers are fatal" test_frame_corrupt;
+        prop_extract_total;
+      ] );
+    ( "serve.admission",
+      [
+        Tutil.quick "bounded fifo with rejection" test_admission_bounds;
+        Tutil.quick "measurement plane" test_admission_measurements;
+        Tutil.quick "resubmit bypasses the bound" test_admission_resubmit_unbounded;
+      ] );
+    ( "serve.job",
+      [
+        Tutil.quick "spec round-trip and scan" test_job_spec_roundtrip;
+        Tutil.quick "resume byte-identity (balls)" test_job_resume_identity_balls;
+        Tutil.quick "resume byte-identity (counts)" test_job_resume_identity_counts;
+        Tutil.quick "matches a direct engine run" test_job_matches_direct_engine;
+        Tutil.quick "validation" test_job_validation;
+      ] );
+    ( "sim.jsonl.tail",
+      [
+        Tutil.quick "incremental polls, torn tails" test_jsonl_tail;
+        Tutil.quick "file may not exist yet" test_jsonl_tail_missing_file;
+        Tutil.quick "fold_follow on a finished file" test_fold_follow_static;
+        Tutil.quick "fold_follow races a live writer" test_fold_follow_live_writer;
+      ] );
+    ( "sim.fileio.lock",
+      [
+        Tutil.quick "mutual exclusion" test_lock_exclusion;
+        Tutil.quick "stale locks are broken" test_lock_stale_takeover;
+      ] );
+    ( "serve.daemon",
+      [
+        Tutil.quick "end to end" test_daemon_end_to_end;
+        Tutil.quick "state dir is exclusive" test_daemon_rejects_second_instance;
+      ] );
+  ]
