@@ -85,6 +85,14 @@ let retry_after_ms t =
 let accepting t =
   locked t (fun () -> (not t.closed) && Queue.length t.queue < t.depth)
 
+let try_reject t =
+  locked t (fun () ->
+      if t.closed || Queue.length t.queue >= t.depth then begin
+        t.rejected <- t.rejected + 1;
+        Some (retry_after_ms t)
+      end
+      else None)
+
 let submit t ~id ~spec =
   locked t (fun () ->
       if t.closed || Queue.length t.queue >= t.depth then begin

@@ -39,6 +39,19 @@ val accepting : t -> bool
     event loop): concurrent pops can only shrink the queue, so a [true]
     cannot turn into a rejection before that thread's {!submit}. *)
 
+val try_reject : t -> int option
+(** The submitting thread's load-shedding decision, made atomically:
+    when the queue is full (or closed), count a rejection and return
+    [Some retry_after_ms] under a single lock acquisition; return
+    [None] when a {!submit} issued now by that thread would be
+    accepted.  This is the safe way to reject — re-checking fullness
+    and counting happen together, so a worker popping between a
+    caller's {!accepting} probe and its decision can never turn a
+    planned rejection into an unintended enqueue.  After [None],
+    concurrent pops can only shrink the queue further, so the
+    follow-up {!submit} from the same (sole submitting) thread is
+    guaranteed to be accepted. *)
+
 val submit :
   t ->
   id:string ->

@@ -31,7 +31,11 @@ let default_config ~socket ~state_dir =
     telemetry_path = None;
   }
 
-type job_state = Queued | Running of int | Finished of int | Failed of string
+type job_state =
+  | Queued
+  | Running of int
+  | Finished of int
+  | Failed of int * string  (** last checkpointed round, error detail *)
 
 type conn = {
   fd : Unix.file_descr;
@@ -96,9 +100,11 @@ let worker_loop t _w =
         Telemetry.incr t.tel "serve.started";
         set_state t id (Running 0);
         push_event t { Protocol.ev = "started"; id; round = 0; detail = "" };
+        let last_round = ref 0 in
         (match
            Job.run
              ~on_progress:(fun ~round ->
+               last_round := round;
                set_state t id (Running round);
                push_event t
                  { Protocol.ev = "checkpoint"; id; round; detail = "" })
@@ -115,10 +121,15 @@ let worker_loop t _w =
             push_event t { Protocol.ev = "done"; id; round = rounds; detail = "" }
         | exception e ->
             let detail = Printexc.to_string e in
+            let round = !last_round in
             Admission.note_done t.admission entry ~ok:false;
             Telemetry.incr t.tel "serve.failed";
-            set_state t id (Failed detail);
-            push_event t { Protocol.ev = "failed"; id; round = 0; detail });
+            (* Durable failure record: without it, scan would resubmit
+               the job on every restart and it would re-fail forever. *)
+            (try Job.write_failed ~state_dir:t.cfg.state_dir ~id ~round ~detail
+             with Sys_error _ | Unix.Unix_error _ -> ());
+            set_state t id (Failed (round, detail));
+            push_event t { Protocol.ev = "failed"; id; round; detail });
         go ()
   in
   Fun.protect
@@ -196,31 +207,35 @@ let dispatch t conn req =
           Protocol.Error_reply
             { code = "shutting_down"; message = "daemon is draining" };
         ]
-      else if not (Admission.accepting t.admission) then begin
-        (* Rejection decided before anything becomes visible; submit
-           just counts it and computes the backoff hint. *)
-        match Admission.submit t.admission ~id:"" ~spec with
-        | `Rejected retry_after_ms ->
+      else begin
+        (* The full-queue decision is one atomic re-check-and-count:
+           workers pop concurrently, so a separate accepting() probe
+           followed by a counting submit could land in a freed slot and
+           enqueue a phantom job. *)
+        match Admission.try_reject t.admission with
+        | Some retry_after_ms ->
             Telemetry.incr t.tel "serve.rejected";
             [
               Protocol.Rejected
                 { retry_after_ms; queue_depth = t.cfg.queue_depth };
             ]
-        | `Accepted _ -> assert false (* only this thread enqueues *)
-      end
-      else begin
-        (* Publish everything about the job — durable spec, state,
-           lifecycle event — before the entry becomes poppable, so no
-           worker can emit "started" ahead of our "accepted". *)
-        let id = Job.fresh_id t.next_id in
-        t.next_id <- t.next_id + 1;
-        Job.write_spec ~state_dir:t.cfg.state_dir ~id spec;
-        set_state t id Queued;
-        Telemetry.incr t.tel "serve.accepted";
-        push_event t { Protocol.ev = "accepted"; id; round = 0; detail = "" };
-        match Admission.submit t.admission ~id ~spec with
-        | `Accepted queue_depth -> [ Protocol.Accepted { id; queue_depth } ]
-        | `Rejected _ -> assert false (* accepting() held; only we enqueue *)
+        | None -> (
+            (* Publish everything about the job — durable spec, state,
+               lifecycle event — before the entry becomes poppable, so no
+               worker can emit "started" ahead of our "accepted". *)
+            let id = Job.fresh_id t.next_id in
+            t.next_id <- t.next_id + 1;
+            Job.write_spec ~state_dir:t.cfg.state_dir ~id spec;
+            set_state t id Queued;
+            Telemetry.incr t.tel "serve.accepted";
+            push_event t { Protocol.ev = "accepted"; id; round = 0; detail = "" };
+            match Admission.submit t.admission ~id ~spec with
+            | `Accepted queue_depth -> [ Protocol.Accepted { id; queue_depth } ]
+            | `Rejected _ ->
+                (* Unreachable: try_reject saw room, only this thread
+                   enqueues, pops only shrink the queue, and close is
+                   issued from this thread too. *)
+                assert false)
       end
   | Status id -> (
       match get_state t id with
@@ -229,31 +244,36 @@ let dispatch t conn req =
           [ Protocol.Job_status { id; state = "running"; round } ]
       | Some (Finished round) ->
           [ Protocol.Job_status { id; state = "done"; round } ]
-      | Some (Failed _) ->
-          [ Protocol.Job_status { id; state = "failed"; round = 0 } ]
+      | Some (Failed (round, _)) ->
+          [ Protocol.Job_status { id; state = "failed"; round } ]
       | None -> (
           (* Not in this daemon's memory — but a previous life may have
-             finished it: the result file is the durable record. *)
+             finished (or failed) it: the result file and the failure
+             marker are the durable records. *)
           match read_result t id with
           | Some body ->
               [
                 Protocol.Job_status
                   { id; state = "done"; round = result_rounds body };
               ]
-          | None ->
-              [
-                Protocol.Error_reply
-                  {
-                    code = "unknown_job";
-                    message = Printf.sprintf "no job %S" id;
-                  };
-              ]))
+          | None -> (
+              match Job.read_failed ~state_dir:t.cfg.state_dir ~id with
+              | Some (round, _) ->
+                  [ Protocol.Job_status { id; state = "failed"; round } ]
+              | None ->
+                  [
+                    Protocol.Error_reply
+                      {
+                        code = "unknown_job";
+                        message = Printf.sprintf "no job %S" id;
+                      };
+                  ])))
   | Result id -> (
       match read_result t id with
       | Some body -> [ Protocol.Job_result { id; body } ]
       | None -> (
           match get_state t id with
-          | Some (Failed detail) ->
+          | Some (Failed (_, detail)) ->
               [ Protocol.Error_reply { code = "job_failed"; message = detail } ]
           | Some Queued -> [ Protocol.Job_status { id; state = "queued"; round = 0 } ]
           | Some (Running round) ->
@@ -262,14 +282,21 @@ let dispatch t conn req =
               (* done-state seen but the result read raced the rename;
                  report status, the client will re-ask. *)
               [ Protocol.Job_status { id; state = "done"; round } ]
-          | None ->
-              [
-                Protocol.Error_reply
-                  {
-                    code = "unknown_job";
-                    message = Printf.sprintf "no job %S" id;
-                  };
-              ]))
+          | None -> (
+              match Job.read_failed ~state_dir:t.cfg.state_dir ~id with
+              | Some (_, detail) ->
+                  [
+                    Protocol.Error_reply
+                      { code = "job_failed"; message = detail };
+                  ]
+              | None ->
+                  [
+                    Protocol.Error_reply
+                      {
+                        code = "unknown_job";
+                        message = Printf.sprintf "no job %S" id;
+                      };
+                  ])))
   | Subscribe sel ->
       conn.sub <- Some sel;
       [ Protocol.Ok_reply ]

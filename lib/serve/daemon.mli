@@ -17,7 +17,10 @@
     its state directory and re-enqueues every job with a spec but no
     result; those with a checkpoint resume {e bit-identically}
     ({!Rbb_sim.Checkpoint}), so an interrupted job's result is
-    byte-identical to an uninterrupted run's.
+    byte-identical to an uninterrupted run's.  A job whose run raises
+    gets a durable [<id>.failed] marker instead: later daemon lives
+    report the failure (status/result) rather than resubmitting a job
+    that would only re-fail on every restart.
 
     {b Observability.}  Every job lifecycle transition (accepted /
     started / checkpoint / done / failed) is appended to

@@ -13,8 +13,11 @@ let checkpoint_path ~state_dir ~id = Filename.concat state_dir (id ^ ".ckpt")
 
 let result_path ~state_dir ~id = Filename.concat state_dir (id ^ ".result")
 
+let failed_path ~state_dir ~id = Filename.concat state_dir (id ^ ".failed")
+
 let spec_schema = "rbb.job-spec/1"
 let result_schema = "rbb.job-result/1"
+let failed_schema = "rbb.job-failed/1"
 
 let write_spec ~state_dir ~id spec =
   let line =
@@ -30,6 +33,38 @@ let write_spec ~state_dir ~id spec =
   Rbb_sim.Fileio.write_atomic ~path:(spec_path ~state_dir ~id) (fun oc ->
       output_string oc line;
       output_char oc '\n')
+
+let write_failed ~state_dir ~id ~round ~detail =
+  let line =
+    Jsonl.obj
+      [
+        ("schema", Jsonl.String failed_schema);
+        ("id", Jsonl.String id);
+        ("round", Jsonl.Int round);
+        ("error", Jsonl.String detail);
+      ]
+  in
+  Rbb_sim.Fileio.write_atomic ~path:(failed_path ~state_dir ~id) (fun oc ->
+      output_string oc line;
+      output_char oc '\n')
+
+let read_failed ~state_dir ~id =
+  match open_in (failed_path ~state_dir ~id) with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let line =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> try Some (input_line ic) with End_of_file -> None)
+      in
+      (* The marker's presence is the fact; its fields are best-effort
+         detail, so an unreadable body still reads as a failure. *)
+      match Option.bind line Jsonl.parse with
+      | None -> Some (0, "failed (unreadable failure marker)")
+      | Some fields ->
+          Some
+            ( Option.value ~default:0 (Jsonl.find_int fields "round"),
+              Option.value ~default:"" (Jsonl.find_string fields "error") ))
 
 let load_spec ~path =
   match open_in path with
@@ -96,7 +131,10 @@ let scan ~state_dir =
         (match id_seq id with
         | Some k when k >= !next -> next := k + 1
         | _ -> ());
-        if not (Sys.file_exists (result_path ~state_dir ~id)) then
+        if
+          (not (Sys.file_exists (result_path ~state_dir ~id)))
+          && not (Sys.file_exists (failed_path ~state_dir ~id))
+        then
           match load_spec ~path:(Filename.concat state_dir name) with
           | Ok (id', spec) when id' = id -> pending := (id, spec) :: !pending
           | Ok _ | Error _ -> ()

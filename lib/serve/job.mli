@@ -9,6 +9,11 @@
       atomically every [checkpoint_every] rounds while running;
     - [<id>.result] — the one-line [rbb.job-result/1] document, written
       atomically on completion.  Its presence marks the job done.
+    - [<id>.failed] — a one-line [rbb.job-failed/1] marker (last
+      checkpointed round + error detail), written when a run raises.
+      Its presence marks the job permanently failed: {!scan} skips it,
+      so a restarted daemon does not resubmit a job that would only
+      re-fail forever.
 
     {!run} picks up whatever is on disk: with a checkpoint it resumes
     mid-trajectory (bit-identically — {!Rbb_sim.Checkpoint}'s exactness
@@ -20,18 +25,30 @@
 val spec_path : state_dir:string -> id:string -> string
 val checkpoint_path : state_dir:string -> id:string -> string
 val result_path : state_dir:string -> id:string -> string
+val failed_path : state_dir:string -> id:string -> string
 
 val write_spec : state_dir:string -> id:string -> Protocol.job_spec -> unit
 (** Publish [<id>.job] atomically (one [rbb.job-spec/1] line). *)
+
+val write_failed :
+  state_dir:string -> id:string -> round:int -> detail:string -> unit
+(** Publish [<id>.failed] atomically: the job's durable failure record
+    ([round] is the last checkpointed round the run reached). *)
+
+val read_failed : state_dir:string -> id:string -> (int * string) option
+(** [(round, detail)] from the failure marker, if one exists.  An
+    existing but unreadable marker still counts as a failure (with
+    placeholder detail): presence is the fact. *)
 
 val load_spec : path:string -> (string * Protocol.job_spec, string) result
 (** Read back a spec file: [(id, spec)]. *)
 
 val scan :
   state_dir:string -> (string * Protocol.job_spec) list * int
-(** All jobs on disk with a spec but no result — the work a restarted
-    daemon must finish — sorted by id, plus the successor of the
-    largest job sequence number seen (for fresh id allocation). *)
+(** All jobs on disk with a spec but neither a result nor a failure
+    marker — the work a restarted daemon must finish — sorted by id,
+    plus the successor of the largest job sequence number seen (for
+    fresh id allocation; failed jobs still advance the sequence). *)
 
 val fresh_id : int -> string
 (** ["job-%06d"]. *)

@@ -84,7 +84,21 @@ let run cfg =
           cfg.rho_target *. float_of_int cfg.workers
           /. Float.max calib_service_s 1e-6
       in
-      (* Phase 2: clean measurement window. *)
+      (* Phase 2: clean measurement window.  await_result returns as
+         soon as the result file is visible, which can precede the
+         worker's completion accounting (note_done) — resetting inside
+         that window would let a stray calibration sample leak into the
+         measured stats and leave the drain gate below one job short.
+         Wait for every calibration job to be fully accounted first. *)
+      let rec settle () =
+        let fields = Client.stats client in
+        if get_i fields "completed" + get_i fields "failed" < cfg.calibrate
+        then begin
+          Unix.sleepf 0.005;
+          settle ()
+        end
+      in
+      settle ();
       Client.reset_stats client;
       (* Phase 3: offer Poisson arrivals, open loop. *)
       let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int cfg.arrival_seed) () in

@@ -225,6 +225,29 @@ let test_admission_bounds () =
   | `Rejected _ -> ()
   | `Accepted _ -> Alcotest.fail "closed queue must reject"
 
+let test_admission_try_reject () =
+  let q = Admission.create ~clock:(fake_clock 1000L) ~depth:1 ~servers:1 () in
+  let s = spec () in
+  Alcotest.(check (option int)) "room: no rejection" None
+    (Admission.try_reject q);
+  ignore (Admission.submit q ~id:"a" ~spec:s);
+  (match Admission.try_reject q with
+  | Some ms -> Alcotest.(check bool) "positive hint" true (ms > 0)
+  | None -> Alcotest.fail "full queue must reject");
+  (* A pop freeing a slot flips the decision back to acceptance — and
+     the rejection path never enqueued anything (the TOCTOU the
+     accepting-then-submit pattern allowed). *)
+  ignore (Admission.pop q);
+  Alcotest.(check (option int)) "slot freed: accept again" None
+    (Admission.try_reject q);
+  let st = Admission.stats q in
+  Alcotest.(check int) "one rejection counted" 1 st.Admission.rejected;
+  Alcotest.(check int) "no phantom entry" 0 st.Admission.queue_len;
+  Admission.close q;
+  match Admission.try_reject q with
+  | Some _ -> ()
+  | None -> Alcotest.fail "closed queue must reject"
+
 let test_admission_measurements () =
   (* Clock ticks 1000 ns per reading; every duration is exact. *)
   let q = Admission.create ~clock:(fake_clock 1000L) ~depth:8 ~servers:2 () in
@@ -292,6 +315,26 @@ let test_job_spec_roundtrip () =
       match Job.load_spec ~path:(Filename.concat dir "nope.job") with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "missing spec file must be an error")
+
+let test_job_failed_marker () =
+  with_temp_dir "rbb_serve_failed" (fun dir ->
+      Job.write_spec ~state_dir:dir ~id:"job-000004" (spec ());
+      Job.write_failed ~state_dir:dir ~id:"job-000004" ~round:128
+        ~detail:"checkpoint engine kind does not match the spec";
+      Alcotest.(check (option (pair int string)))
+        "marker round-trips"
+        (Some (128, "checkpoint engine kind does not match the spec"))
+        (Job.read_failed ~state_dir:dir ~id:"job-000004");
+      Alcotest.(check (option (pair int string)))
+        "absent marker" None
+        (Job.read_failed ~state_dir:dir ~id:"job-000099");
+      (* A failed job is not pending work: scan must not resubmit it
+         (it would only re-fail forever), but its sequence number still
+         drives fresh-id allocation. *)
+      let pending, next = Job.scan ~state_dir:dir in
+      Alcotest.(check (list string)) "not pending" []
+        (List.map fst pending);
+      Alcotest.(check int) "sequence advances past it" 5 next)
 
 (* The heart of the PR: a job interrupted mid-run (after a checkpoint
    was published) and then re-run produces a result document
@@ -646,6 +689,60 @@ let test_daemon_end_to_end () =
           "done" ]
         kinds)
 
+let test_daemon_failed_job_is_durable () =
+  with_temp_dir "rbb_e2e_fail" (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let state_dir = Filename.concat dir "state" in
+      Unix.mkdir state_dir 0o755;
+      (* A job admitted by a previous life whose checkpoint is garbage:
+         resuming it must fail, durably. *)
+      Job.write_spec ~state_dir ~id:"job-000001" (spec ());
+      let oc = open_out (Job.checkpoint_path ~state_dir ~id:"job-000001") in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      let cfg = Daemon.default_config ~socket ~state_dir in
+      let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+      let c = Client.connect ~socket () in
+      let rec wait_failed k =
+        if k = 0 then Alcotest.fail "job never reported failed"
+        else
+          match Client.request c (Protocol.Status "job-000001") with
+          | Protocol.Job_status { state = "failed"; _ } -> ()
+          | _ ->
+              Unix.sleepf 0.02;
+              wait_failed (k - 1)
+      in
+      wait_failed 250;
+      (match Client.request c (Protocol.Result "job-000001") with
+      | Protocol.Error_reply { code; _ } ->
+          Alcotest.(check string) "result is job_failed" "job_failed" code
+      | _ -> Alcotest.fail "expected a job_failed error");
+      Client.shutdown c;
+      Client.close c;
+      Domain.join daemon;
+      Alcotest.(check bool) "durable failure marker" true
+        (Sys.file_exists (Job.failed_path ~state_dir ~id:"job-000001"));
+      (* Second life: the failed job must not be resubmitted (it would
+         re-fail forever), yet its failure stays reportable. *)
+      let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+      let c = Client.connect ~socket () in
+      (match Client.request c (Protocol.Status "job-000001") with
+      | Protocol.Job_status { state; _ } ->
+          Alcotest.(check string) "failed across restart" "failed" state
+      | _ -> Alcotest.fail "expected a failed status");
+      (match Client.request c (Protocol.Result "job-000001") with
+      | Protocol.Error_reply { code; _ } ->
+          Alcotest.(check string) "job_failed across restart" "job_failed" code
+      | _ -> Alcotest.fail "expected a job_failed error");
+      (* A fresh submit is unaffected and gets the next sequence id. *)
+      (match Client.submit c (spec ~rounds:50 ()) with
+      | `Accepted id -> Alcotest.(check string) "next id" "job-000002" id
+      | `Rejected _ -> Alcotest.fail "idle daemon must accept");
+      ignore (Client.await_result c ~id:"job-000002" : string);
+      Client.shutdown c;
+      Client.close c;
+      Domain.join daemon)
+
 let test_daemon_rejects_second_instance () =
   with_temp_dir "rbb_e2e_lock" (fun dir ->
       let socket = Filename.concat dir "d.sock" in
@@ -691,12 +788,14 @@ let suite =
     ( "serve.admission",
       [
         Tutil.quick "bounded fifo with rejection" test_admission_bounds;
+        Tutil.quick "atomic reject decision" test_admission_try_reject;
         Tutil.quick "measurement plane" test_admission_measurements;
         Tutil.quick "resubmit bypasses the bound" test_admission_resubmit_unbounded;
       ] );
     ( "serve.job",
       [
         Tutil.quick "spec round-trip and scan" test_job_spec_roundtrip;
+        Tutil.quick "durable failure marker" test_job_failed_marker;
         Tutil.quick "resume byte-identity (balls)" test_job_resume_identity_balls;
         Tutil.quick "resume byte-identity (counts)" test_job_resume_identity_counts;
         Tutil.quick "matches a direct engine run" test_job_matches_direct_engine;
@@ -717,6 +816,7 @@ let suite =
     ( "serve.daemon",
       [
         Tutil.quick "end to end" test_daemon_end_to_end;
+        Tutil.quick "failed jobs stay failed" test_daemon_failed_job_is_durable;
         Tutil.quick "state dir is exclusive" test_daemon_rejects_second_instance;
       ] );
   ]
