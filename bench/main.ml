@@ -13,6 +13,9 @@
                               (emits BENCH_recovery.json)
      main.exe serve           daemon throughput under Poisson load and
                               kill -9 recovery (emits BENCH_serve.json)
+     main.exe mn              stationary max load vs m/n against the
+                              Theta((m/n) ln n) law, plus a d=1 vs d=2
+                              crossover (emits BENCH_mn_scaling.json)
      main.exe list            list experiment ids and claims
 
    Every experiment id maps to a row of the per-experiment index in
@@ -32,7 +35,8 @@ let list_experiments () =
   print_endline "  speedup  sequential vs sharded wall-clock comparison";
   print_endline "  kernel  per-ball vs count-based round kernel";
   print_endline "  recovery  rounds-to-relegitimacy after transient faults";
-  print_endline "  serve  daemon throughput under Poisson load + kill -9 recovery"
+  print_endline "  serve  daemon throughput under Poisson load + kill -9 recovery";
+  print_endline "  mn  stationary max load vs m/n + d=1 vs d=2 crossover"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -45,6 +49,7 @@ let () =
   | [ "kernel" ] -> Kernel.run ~quick ()
   | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
   | [ "serve" ] -> Serve.run ~quick ()
+  | [ "mn" ] -> Mn.run ~quick ()
   | [] ->
       Printf.printf
         "Repeated balls-into-bins: full experiment suite%s (use 'list' for ids)\n"

@@ -68,6 +68,7 @@ let run ?(quick = false) () =
         spec =
           {
             Protocol.n = 128;
+            m = 128;
             rounds = job_rounds;
             seed = 42;
             init = "uniform";
@@ -95,6 +96,7 @@ let run ?(quick = false) () =
   let spec =
     {
       Protocol.n = 256;
+      m = 256;
       rounds = crash_rounds;
       seed = 7;
       init = "pile";

@@ -37,22 +37,47 @@ let rng_of_seed seed = Rbb_prng.Rng.create ~seed:(Int64.of_int seed) ()
 let init_conv =
   let parse s =
     match s with
-    | "uniform" | "pile" | "random" -> Ok s
-    | _ -> Error (`Msg "expected one of: uniform, pile, random")
+    | "uniform" | "balanced" | "pile" | "random" -> Ok s
+    | _ -> Error (`Msg "expected one of: uniform, balanced, pile, random")
   in
   Arg.conv (parse, Format.pp_print_string)
 
 let init_t =
   let doc =
-    "Initial configuration: $(b,uniform) (one ball per bin), $(b,pile) (all \
-     balls in bin 0), or $(b,random) (balls thrown u.a.r.)."
+    "Initial configuration: $(b,uniform) (one ball per bin; requires m = n), \
+     $(b,balanced) (m balls spread as evenly as possible), $(b,pile) (all \
+     balls in bin 0), or $(b,random) (balls thrown u.a.r.).  Default: \
+     $(b,uniform), or $(b,balanced) when --balls differs from the bin count."
   in
-  Arg.(value & opt init_conv "uniform" & info [ "init" ] ~docv:"INIT" ~doc)
+  Arg.(value & opt (some init_conv) None & info [ "init" ] ~docv:"INIT" ~doc)
+
+(* The default start depends on the ball count: "uniform" (the paper's
+   one-ball-per-bin start) only exists at m = n, so an m <> n run
+   defaults to its even-spread generalisation instead. *)
+let init_default init ~n ~m =
+  match init with
+  | Some s -> s
+  | None -> if m = n then "uniform" else "balanced"
+
+let balls_t =
+  let doc =
+    "Number of balls m (default: n, the paper's regime).  The legitimacy \
+     threshold scales with the ball count: ceil(beta * max(1, m/n) * ln n)."
+  in
+  Arg.(value & opt (some int) None & info [ "balls"; "m" ] ~docv:"M" ~doc)
 
 let make_init name rng ~n ~m =
   match name with
   | "uniform" when m = n -> Config.uniform ~n
-  | "uniform" -> Config.balanced ~n ~m
+  | "uniform" ->
+      (* Refuse rather than silently degrade: "uniform" promises one
+         ball per bin, which no m <> n configuration can honour. *)
+      invalid_arg
+        (Printf.sprintf
+           "init: \"uniform\" means one ball per bin and requires m = n \
+            (got m=%d, n=%d); use \"balanced\" for the even spread of m \
+            balls" m n)
+  | "balanced" -> Config.balanced ~n ~m
   | "pile" -> Config.all_in_one ~n ~m ()
   | "random" -> Config.random rng ~n ~m
   | _ -> assert false
@@ -133,14 +158,14 @@ let chrome_trace_t =
   in
   Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"PATH" ~doc)
 
-let tracer_of ~n ~every ~ndjson ~chrome =
+let tracer_of ?m ~n ~every ~ndjson ~chrome () =
   match (ndjson, chrome) with
   | None, None ->
       if every <> 1 then
         invalid_arg "--trace-every requires --trace-ndjson or --chrome-trace";
       Rbb_sim.Tracer.noop
   | _ ->
-      Rbb_sim.Tracer.create ~every
+      Rbb_sim.Tracer.create ~every ?m
         ?ndjson:(Option.map (fun p -> `File p) ndjson)
         ?chrome:(Option.map (fun p -> `File p) chrome)
         ~n ()
@@ -178,9 +203,9 @@ let checkpoint_every_t =
 let resume_from_t =
   let doc =
     "Resume from the checkpoint at $(docv) instead of starting fresh.  \
-     $(b,--rounds) stays the total round target; $(b,-n), $(b,--seed), \
-     $(b,--init) and $(b,-d) are taken from the checkpoint.  The resumed \
-     trajectory is bit-identical to the run that never stopped."
+     $(b,--rounds) stays the total round target; $(b,-n), $(b,--balls), \
+     $(b,--seed), $(b,--init) and $(b,-d) are taken from the checkpoint.  \
+     The resumed trajectory is bit-identical to the run that never stopped."
   in
   Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"PATH" ~doc)
 
@@ -219,7 +244,7 @@ let load_checkpoint path =
 
 (* simulate ----------------------------------------------------------- *)
 
-let simulate n rounds seed init_name engine d shards domains report_every
+let simulate n balls rounds seed init_name engine d shards domains report_every
     telemetry_path trace_ndjson trace_every chrome_trace checkpoint_path
     checkpoint_every resume_from failpoint_specs =
   if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
@@ -247,8 +272,15 @@ let simulate n rounds seed init_name engine d shards domains report_every
          "simulate: --rounds %d is the total target, below the checkpoint's \
           %d completed rounds"
          rounds start_round);
-  (* On resume the checkpoint is authoritative for the process law. *)
+  (* On resume the checkpoint is authoritative for the process law —
+     including the ball count, which it carries in its header. *)
   let n = match snap with None -> n | Some s -> Config.n s.config in
+  let m =
+    match snap with
+    | None -> Option.value ~default:n balls
+    | Some s -> Config.balls s.config
+  in
+  let init_name = init_default init_name ~n ~m in
   let d = match snap with None -> d | Some s -> s.d_choices in
   (* The checkpoint is authoritative for the engine family too: the two
      families consume randomness under different laws, so switching
@@ -283,7 +315,8 @@ let simulate n rounds seed init_name engine d shards domains report_every
   | None -> ()
   | Some s -> Rbb_sim.Checkpoint.restore_counters tel s);
   let tracer =
-    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+    tracer_of ~m ~n ~every:trace_every ~ndjson:trace_ndjson
+      ~chrome:chrome_trace ()
   in
   let observe r ~max_load ~empty_bins =
     Metrics.observe metrics ~max_load ~empty_bins;
@@ -326,7 +359,7 @@ let simulate n rounds seed init_name engine d shards domains report_every
       | Some s -> Rbb_sim.Checkpoint.to_sharded_counts ~telemetry:tel ~tracer ~domains s
       | None ->
           let rng = rng_of_seed seed in
-          let init = make_init init_name rng ~n ~m:n in
+          let init = make_init init_name rng ~n ~m in
           Rbb_sim.Sharded_counts.create ~telemetry:tel ~tracer ~domains ~rng
             ~init ()
     in
@@ -342,7 +375,7 @@ let simulate n rounds seed init_name engine d shards domains report_every
       | Some s -> Rbb_sim.Checkpoint.to_counts s
       | None ->
           let rng = rng_of_seed seed in
-          let init = make_init init_name rng ~n ~m:n in
+          let init = make_init init_name rng ~n ~m in
           Counts_process.create ~rng ~init ()
     in
     let probe =
@@ -363,7 +396,7 @@ let simulate n rounds seed init_name engine d shards domains report_every
             ~supervisor ~shards ~domains s
       | None ->
           let rng = rng_of_seed seed in
-          let init = make_init init_name rng ~n ~m:n in
+          let init = make_init init_name rng ~n ~m in
           Rbb_sim.Sharded.create ~telemetry:tel ~tracer ~failpoints ~supervisor
             ~d_choices:d ~shards ~domains ~rng ~init ()
     in
@@ -379,7 +412,7 @@ let simulate n rounds seed init_name engine d shards domains report_every
       | Some s -> Rbb_sim.Checkpoint.to_process s
       | None ->
           let rng = rng_of_seed seed in
-          let init = make_init init_name rng ~n ~m:n in
+          let init = make_init init_name rng ~n ~m in
           Process.create ~d_choices:d ~rng ~init ()
     in
     let probe =
@@ -391,19 +424,24 @@ let simulate n rounds seed init_name engine d shards domains report_every
       ~empty_bins:(fun () -> Process.empty_bins p)
       ~capture:(fun () -> Rbb_sim.Checkpoint.capture_process ~telemetry:tel p)
   end;
+  (* The m = n rendering (no " m=" token, "(4 ln n)" label) is pinned
+     by cram tests; m only surfaces when it differs. *)
   Printf.printf
-    "\nn=%d rounds=%d d=%d engine=%s init=%s seed=%d\n\
+    "\nn=%d%s rounds=%d d=%d engine=%s init=%s seed=%d\n\
      running max load       : %d\n\
      mean max load          : %.3f\n\
-     legitimacy threshold   : %d (4 ln n)\n\
+     legitimacy threshold   : %d (%s)\n\
      min empty-bin fraction : %.4f\n\
      rounds below n/4 empty : %d\n"
-    n rounds d
+    n
+    (if m <> n then Printf.sprintf " m=%d" m else "")
+    rounds d
     (if counts then "counts" else "balls")
     init_name seed
     (Metrics.running_max_load metrics)
     (Metrics.mean_max_load metrics)
-    (Config.legitimacy_threshold n)
+    (Config.legitimacy_threshold ~m n)
+    (if m <> n then "4 max(1, m/n) ln n" else "4 ln n")
     (Metrics.min_empty_fraction metrics)
     (Metrics.rounds_below_quarter metrics);
   Rbb_sim.Telemetry.set_gauge tel "simulate.running_max_load"
@@ -443,10 +481,10 @@ let simulate_cmd =
   in
   let doc = "Run the repeated balls-into-bins process and report load metrics." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ n_t $ rounds_t $ seed_t $ init_t $ engine_t $ d_t
-          $ shards_t $ domains_t $ report_t $ telemetry_t $ trace_ndjson_t
-          $ trace_every_t $ chrome_trace_t $ checkpoint_t $ checkpoint_every_t
-          $ resume_from_t $ failpoint_t)
+    Term.(const simulate $ n_t $ balls_t $ rounds_t $ seed_t $ init_t
+          $ engine_t $ d_t $ shards_t $ domains_t $ report_t $ telemetry_t
+          $ trace_ndjson_t $ trace_every_t $ chrome_trace_t $ checkpoint_t
+          $ checkpoint_every_t $ resume_from_t $ failpoint_t)
 
 (* tetris -------------------------------------------------------------- *)
 
@@ -454,6 +492,7 @@ let tetris n rounds seed init_name lambda telemetry_path trace_ndjson
     trace_every chrome_trace =
   if rounds < 0 then invalid_arg "tetris: --rounds must be nonnegative";
   let rng = rng_of_seed seed in
+  let init_name = init_default init_name ~n ~m:n in
   let init = make_init init_name rng ~n ~m:n in
   let arrivals =
     match lambda with
@@ -463,7 +502,7 @@ let tetris n rounds seed init_name lambda telemetry_path trace_ndjson
   let t = Tetris.create ~arrivals ~rng ~init () in
   let tel = telemetry_of_path telemetry_path in
   let tracer =
-    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace ()
   in
   let probe =
     Probe.compose (Rbb_sim.Telemetry.probe tel) (Rbb_sim.Tracer.probe tracer)
@@ -508,14 +547,16 @@ let tetris_cmd =
 
 (* converge ------------------------------------------------------------ *)
 
-let converge n trials seed domains telemetry_path trace_ndjson trace_every
-    chrome_trace =
+let converge n balls trials seed domains telemetry_path trace_ndjson
+    trace_every chrome_trace =
+  let m = Option.value ~default:n balls in
   let tel = telemetry_of_path telemetry_path in
   let tracer =
-    tracer_of ~n ~every:trace_every ~ndjson:trace_ndjson ~chrome:chrome_trace
+    tracer_of ~m ~n ~every:trace_every ~ndjson:trace_ndjson
+      ~chrome:chrome_trace ()
   in
   let measure rng =
-    let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m:n ()) () in
+    let p = Process.create ~rng ~init:(Config.all_in_one ~n ~m ()) () in
     match Process.run_until_legitimate p ~max_rounds:(100 * n) with
     | Some r -> r
     | None -> failwith "no convergence within 100n rounds"
@@ -540,11 +581,11 @@ let converge n trials seed domains telemetry_path trace_ndjson trace_every
      mean rounds : %.1f  (%.3f n)\n\
      max rounds  : %.0f  (%.3f n)\n\
      threshold   : max load <= %d\n"
-    n trials samples.Rbb_stats.Summary.mean
+    m trials samples.Rbb_stats.Summary.mean
     (samples.Rbb_stats.Summary.mean /. fi n)
     samples.Rbb_stats.Summary.max
     (samples.Rbb_stats.Summary.max /. fi n)
-    (Config.legitimacy_threshold n);
+    (Config.legitimacy_threshold ~m n);
   Rbb_sim.Telemetry.set_gauge tel "converge.mean_rounds"
     samples.Rbb_stats.Summary.mean;
   Rbb_sim.Telemetry.set_gauge tel "converge.max_rounds"
@@ -562,8 +603,8 @@ let converge_cmd =
   in
   let doc = "Measure Theorem 1's O(n) convergence time from the worst start." in
   Cmd.v (Cmd.info "converge" ~doc)
-    Term.(const converge $ n_t $ trials_t $ seed_t $ domains_t $ telemetry_t
-          $ trace_ndjson_t $ trace_every_t $ chrome_trace_t)
+    Term.(const converge $ n_t $ balls_t $ trials_t $ seed_t $ domains_t
+          $ telemetry_t $ trace_ndjson_t $ trace_every_t $ chrome_trace_t)
 
 (* cover --------------------------------------------------------------- *)
 
@@ -665,7 +706,9 @@ let recover n balls seed action_name target shift episodes max_recovery beta
     | _ -> assert false
   in
   let rng = rng_of_seed seed in
-  let init = make_init "uniform" rng ~n ~m:balls in
+  (* Balanced start: identical to "uniform" at m = n, and the natural
+     legitimate baseline for any other ball count. *)
+  let init = Config.balanced ~n ~m:balls in
   (* The measurement is engine-generic; both drivers produce identical
      episode series from the same creation rng state, so the engine
      choice mirrors `simulate`'s: parallel only when asked for. *)
@@ -681,9 +724,10 @@ let recover n balls seed action_name target shift episodes max_recovery beta
   in
   Printf.printf
     "recovery after transient faults (Theorem 1 says O(n) w.h.p.)\n\
-     n=%d balls=%d action=%s threshold=%d (ceil %.1f ln n)\n"
+     n=%d balls=%d action=%s threshold=%d (ceil %.1f %sln n)\n"
     r.Rbb_sim.Recovery.n r.Rbb_sim.Recovery.balls r.Rbb_sim.Recovery.action
-    r.Rbb_sim.Recovery.threshold beta;
+    r.Rbb_sim.Recovery.threshold beta
+    (if balls <> n then "(m/n) " else "");
   List.iteri
     (fun i (e : Rbb_sim.Recovery.episode) ->
       Printf.printf "  episode %2d: spike max load %4d -> %s\n" (i + 1)
@@ -725,10 +769,6 @@ let recover_cmd =
     in
     Arg.conv (parse, Format.pp_print_string)
   in
-  let balls_t =
-    Arg.(value & opt (some int) None
-         & info [ "balls" ] ~docv:"M" ~doc:"Number of balls (default n).")
-  in
   let action_t =
     Arg.(value & opt action_conv "pile"
          & info [ "action" ] ~docv:"A"
@@ -751,7 +791,9 @@ let recover_cmd =
   let max_recovery_t =
     Arg.(value & opt int 0
          & info [ "max-recovery" ] ~docv:"T"
-             ~doc:"Round budget per episode (default 100n).")
+             ~doc:"Round budget per episode (default 100·max(n, m): with \
+                   m > n balls a pile drains at most one ball per round, \
+                   so recovery needs Ω(m) rounds, not O(n)).")
   in
   let beta_t =
     Arg.(value & opt float 4.0
@@ -775,7 +817,11 @@ let recover_cmd =
   in
   let wrap n balls seed action target shift episodes max_recovery beta shards
       domains json =
-    let max_recovery = if max_recovery = 0 then 100 * n else max_recovery in
+    let max_recovery =
+      if max_recovery = 0 then
+        100 * Stdlib.max n (Option.value ~default:n balls)
+      else max_recovery
+    in
     recover n balls seed action target shift episodes max_recovery beta shards
       domains json
   in
@@ -1033,6 +1079,7 @@ let ij_cmd =
 
 let profile n rounds seed init_name =
   let rng = rng_of_seed seed in
+  let init_name = init_default init_name ~n ~m:n in
   let init = make_init init_name rng ~n ~m:n in
   let p = Process.create ~rng ~init () in
   let trace = Trace.create ~capacity:4096 () in
@@ -1109,6 +1156,7 @@ let spectral_cmd =
 
 let trace n rounds seed init_name csv_path =
   let rng = rng_of_seed seed in
+  let init_name = init_default init_name ~n ~m:n in
   let init = make_init init_name rng ~n ~m:n in
   let p = Process.create ~rng ~init () in
   let trace = Trace.create ~capacity:8192 () in
@@ -1273,8 +1321,8 @@ let serve_cmd =
       const serve $ socket_t $ state_dir_t $ workers_t $ queue_depth_t
       $ checkpoint_every_t $ max_frame_t $ telemetry_t)
 
-let submit socket n rounds seed init_name engine wait status_of result_of stats
-    shutdown =
+let submit socket n balls rounds seed init_name engine wait status_of
+    result_of stats shutdown =
   let client = Rbb_serve.Client.connect ~socket () in
   Fun.protect
     ~finally:(fun () -> Rbb_serve.Client.close client)
@@ -1295,8 +1343,16 @@ let submit socket n rounds seed init_name engine wait status_of result_of stats
           Rbb_serve.Client.shutdown client;
           print_endline "shutdown requested"
       | None, None, false, false -> (
+          let m = Option.value ~default:n balls in
           let spec =
-            { Rbb_serve.Protocol.n; rounds; seed; init = init_name; engine }
+            {
+              Rbb_serve.Protocol.n;
+              m;
+              rounds;
+              seed;
+              init = init_default init_name ~n ~m;
+              engine;
+            }
           in
           match Rbb_serve.Client.submit client spec with
           | `Rejected retry_after_ms ->
@@ -1345,7 +1401,7 @@ let submit_cmd =
   in
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
-      const submit $ socket_t $ n_t $ rounds_t $ seed_t $ init_t
+      const submit $ socket_t $ n_t $ balls_t $ rounds_t $ seed_t $ init_t
       $ job_engine_t $ wait_t $ status_t $ result_t $ stats_t $ shutdown_t)
 
 let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
@@ -1358,7 +1414,15 @@ let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
         rate;
         rho_target = rho;
         calibrate;
-        spec = { Rbb_serve.Protocol.n; rounds; seed; init = init_name; engine };
+        spec =
+          {
+            Rbb_serve.Protocol.n;
+            m = n;
+            rounds;
+            seed;
+            init = init_default init_name ~n ~m:n;
+            engine;
+          };
         arrival_seed = seed;
         workers;
       }

@@ -93,6 +93,27 @@ threshold=$(grep -o 'legitimacy threshold   : [0-9]*' "$tracedir/counts.out" | g
 [ "$counts_max" -le "$threshold" ] && [ "$balls_max" -le "$threshold" ] \
   || { echo "check.sh: an engine left the legitimate band (counts $counts_max, balls $balls_max, threshold $threshold)"; exit 1; }
 
+# m != n smoke: both engines at m = 4n, a checkpoint/resume byte
+# comparison at m != n, and a recover run whose m-aware threshold makes
+# relegitimization reachable (the old n-only threshold sat below the
+# m/n conservation floor, so no m >> n episode could ever succeed).
+"$rbb" simulate --bins 512 --balls 2048 --rounds 200 --seed 7 > "$tracedir/mn_balls.out"
+grep -q 'm=2048' "$tracedir/mn_balls.out" \
+  || { echo "check.sh: m != n run did not report its ball count"; exit 1; }
+"$rbb" simulate --bins 512 --balls 2048 --rounds 200 --seed 7 --engine counts \
+  --checkpoint "$tracedir/mn.ckpt" > /dev/null
+grep -q '"balls":2048' "$tracedir/mn.ckpt" \
+  || { echo "check.sh: checkpoint dropped the m != n ball count"; exit 1; }
+"$rbb" simulate --rounds 260 --resume-from "$tracedir/mn.ckpt" \
+  --checkpoint "$tracedir/mn_resumed.ckpt" > /dev/null
+"$rbb" simulate --bins 512 --balls 2048 --rounds 260 --seed 7 --engine counts \
+  --checkpoint "$tracedir/mn_clean.ckpt" > /dev/null
+cmp -s "$tracedir/mn_resumed.ckpt" "$tracedir/mn_clean.ckpt" \
+  || { echo "check.sh: m != n resume diverged from the uninterrupted run"; exit 1; }
+"$rbb" recover --bins 16 --balls 256 --episodes 1 --action pile \
+  | grep -q 'relegitimized' \
+  || { echo "check.sh: m >> n recovery never relegitimized"; exit 1; }
+
 # Serve smoke: start the daemon, submit a checkpointing job, SIGKILL
 # the daemon mid-job, restart it against the same state directory
 # (stale-lock takeover + resume), and demand the recovered result is

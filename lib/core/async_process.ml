@@ -72,7 +72,9 @@ let run_rounds t ~rounds =
   done
 
 let run_until_legitimate ?beta t ~max_rounds =
-  let threshold = Config.legitimacy_threshold ?beta (Array.length t.loads) in
+  let threshold =
+    Config.legitimacy_threshold ?beta ~m:t.m (Array.length t.loads)
+  in
   let rec go r =
     if max_load t <= threshold then Some r
     else if r >= max_rounds then None

@@ -53,11 +53,25 @@ let empty_bins t =
 
 let nonempty_bins t = n t - empty_bins t
 
-let legitimacy_threshold ?(beta = 4.0) bins =
+let legitimacy_threshold ?(beta = 4.0) ?m bins =
   if bins <= 0 then invalid_arg "Config.legitimacy_threshold: n <= 0";
-  Stdlib.max 1 (int_of_float (Float.ceil (beta *. Float.log (float_of_int bins))))
+  if (not (Float.is_finite beta)) || beta <= 0.0 then
+    invalid_arg "Config.legitimacy_threshold: beta must be finite and positive";
+  (* Los & Sauerwald: max load is Θ((m/n) log n) once m ≥ n, so the
+     cut-off scales by max(1, m/n); at m = n the factor is exactly 1.0
+     and the value matches the historical n-only form bit for bit. *)
+  let ratio =
+    match m with
+    | None -> 1.0
+    | Some m ->
+        if m < 0 then invalid_arg "Config.legitimacy_threshold: m < 0";
+        Stdlib.max 1.0 (float_of_int m /. float_of_int bins)
+  in
+  Stdlib.max 1
+    (int_of_float (Float.ceil (beta *. ratio *. Float.log (float_of_int bins))))
 
-let is_legitimate ?beta t = max_load t <= legitimacy_threshold ?beta (n t)
+let is_legitimate ?beta t =
+  max_load t <= legitimacy_threshold ?beta ~m:t.m (n t)
 
 let loads t = Array.copy t.loads
 let unsafe_loads t = t.loads

@@ -43,14 +43,19 @@ val max_load : t -> int
 val empty_bins : t -> int
 val nonempty_bins : t -> int
 
-val legitimacy_threshold : ?beta:float -> int -> int
-(** [legitimacy_threshold ~beta n] is [⌈beta · ln n⌉] (at least 1): the
-    concrete [β log n] cut-off used by all experiments.  The default
+val legitimacy_threshold : ?beta:float -> ?m:int -> int -> int
+(** [legitimacy_threshold ~beta ~m n] is [⌈beta · max(1, m/n) · ln n⌉]
+    (at least 1): the concrete [β (m/n) log n] cut-off used by all
+    experiments.  [m] defaults to [n], reducing to the paper's
+    [⌈beta · ln n⌉]; for [m > n] the factor [m/n] follows Los &
+    Sauerwald's tight Θ((m/n) log n) max-load bound.  The default
     [beta = 4.0] is calibrated so that legitimate configurations
-    regenerate themselves (Theorem 1) at the simulated sizes. *)
+    regenerate themselves (Theorem 1) at the simulated sizes.
+    @raise Invalid_argument if [n <= 0], [m < 0], or [beta] is not
+    finite and positive. *)
 
 val is_legitimate : ?beta:float -> t -> bool
-(** Whether [max_load q <= legitimacy_threshold ~beta (n q)]. *)
+(** Whether [max_load q <= legitimacy_threshold ~beta ~m:(balls q) (n q)]. *)
 
 val loads : t -> int array
 (** A fresh copy of the load vector. *)

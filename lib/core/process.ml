@@ -263,5 +263,5 @@ let run_until ?(probe = Probe.noop) t ~max_rounds ~stop =
   end
 
 let run_until_legitimate ?probe ?beta t ~max_rounds =
-  let threshold = Config.legitimacy_threshold ?beta (n t) in
+  let threshold = Config.legitimacy_threshold ?beta ~m:t.m (n t) in
   run_until ?probe t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)

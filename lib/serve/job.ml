@@ -25,10 +25,13 @@ let write_spec ~state_dir ~id spec =
       (("schema", Jsonl.String spec_schema)
        :: ("id", Jsonl.String id)
        :: ("n", Jsonl.Int spec.Protocol.n)
-       :: ("rounds", Jsonl.Int spec.Protocol.rounds)
-       :: ("seed", Jsonl.Int spec.Protocol.seed)
-       :: ("init", Jsonl.String spec.Protocol.init)
-       :: [ ("engine", Jsonl.String (Protocol.engine_name spec.Protocol.engine)) ])
+       :: (if spec.Protocol.m <> spec.Protocol.n then
+             [ ("m", Jsonl.Int spec.Protocol.m) ]
+           else [])
+      @ ("rounds", Jsonl.Int spec.Protocol.rounds)
+        :: ("seed", Jsonl.Int spec.Protocol.seed)
+        :: ("init", Jsonl.String spec.Protocol.init)
+        :: [ ("engine", Jsonl.String (Protocol.engine_name spec.Protocol.engine)) ])
   in
   Rbb_sim.Fileio.write_atomic ~path:(spec_path ~state_dir ~id) (fun oc ->
       output_string oc line;
@@ -98,14 +101,17 @@ let load_spec ~path =
                   Some init,
                   Some engine )
                 when schema = spec_schema -> (
+                  (* "m" is optional in the spec file, exactly as on the
+                     wire: absent means m = n. *)
+                  let m = Option.value ~default:n (Jsonl.find_int fields "m") in
                   match
                     (engine, Protocol.validate_spec
-                               { n; rounds; seed; init; engine = Balls })
+                               { n; m; rounds; seed; init; engine = Balls })
                   with
                   | "balls", Ok () ->
-                      Ok (id, { Protocol.n; rounds; seed; init; engine = Balls })
+                      Ok (id, { Protocol.n; m; rounds; seed; init; engine = Balls })
                   | "counts", Ok () ->
-                      Ok (id, { Protocol.n; rounds; seed; init; engine = Counts })
+                      Ok (id, { Protocol.n; m; rounds; seed; init; engine = Counts })
                   | _, Error e -> Error (Printf.sprintf "%s: %s" path e)
                   | e, Ok () ->
                       Error (Printf.sprintf "%s: unknown engine %S" path e))
@@ -209,9 +215,10 @@ let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
     let rng = Rbb_prng.Rng.create ~seed:(Int64.of_int spec.seed) () in
     let init =
       match spec.init with
-      | "uniform" -> Config.uniform ~n:spec.n
-      | "pile" -> Config.all_in_one ~n:spec.n ~m:spec.n ()
-      | "random" -> Config.random rng ~n:spec.n ~m:spec.n
+      | "uniform" -> Config.uniform ~n:spec.n (* validate_spec: m = n *)
+      | "balanced" -> Config.balanced ~n:spec.n ~m:spec.m
+      | "pile" -> Config.all_in_one ~n:spec.n ~m:spec.m ()
+      | "random" -> Config.random rng ~n:spec.n ~m:spec.m
       | _ -> assert false (* validated above *)
     in
     (rng, init)

@@ -13,6 +13,7 @@ type engine = Balls | Counts
 
 type job_spec = {
   n : int;
+  m : int;  (* ball count; m = n is the paper's (and the wire) default *)
   rounds : int;
   seed : int;
   init : string;
@@ -28,10 +29,13 @@ let engine_of_name = function
 
 let validate_spec spec =
   if spec.n < 1 then Error "job spec: n must be at least 1"
+  else if spec.m < 0 then Error "job spec: m must be nonnegative"
   else if spec.rounds < 0 then Error "job spec: rounds must be nonnegative"
   else
     match spec.init with
-    | "uniform" | "pile" | "random" -> Ok ()
+    | "uniform" when spec.m <> spec.n ->
+        Error "job spec: init \"uniform\" requires m = n (use \"balanced\")"
+    | "uniform" | "balanced" | "pile" | "random" -> Ok ()
     | s -> Error (Printf.sprintf "job spec: unknown init %S" s)
 
 type request =
@@ -63,14 +67,17 @@ let obj ty fields =
   Jsonl.obj
     (("schema", Jsonl.String schema) :: ("type", Jsonl.String ty) :: fields)
 
+(* "m" travels only when it differs from n: old decoders keep working
+   and every m = n spec encodes to its historical bytes. *)
 let spec_fields spec =
-  [
-    ("n", Jsonl.Int spec.n);
-    ("rounds", Jsonl.Int spec.rounds);
-    ("seed", Jsonl.Int spec.seed);
-    ("init", Jsonl.String spec.init);
-    ("engine", Jsonl.String (engine_name spec.engine));
-  ]
+  ("n", Jsonl.Int spec.n)
+  :: (if spec.m <> spec.n then [ ("m", Jsonl.Int spec.m) ] else [])
+  @ [
+      ("rounds", Jsonl.Int spec.rounds);
+      ("seed", Jsonl.Int spec.seed);
+      ("init", Jsonl.String spec.init);
+      ("engine", Jsonl.String (engine_name spec.engine));
+    ]
 
 let request_to_json = function
   | Ping -> obj "ping" []
@@ -144,6 +151,7 @@ let ( let* ) = Result.bind
 
 let spec_of_fields fields =
   let* n = need_int fields "n" in
+  let m = Option.value ~default:n (Jsonl.find_int fields "m") in
   let* rounds = need_int fields "rounds" in
   let* seed = need_int fields "seed" in
   let* init = need_string fields "init" in
@@ -153,7 +161,7 @@ let spec_of_fields fields =
     | Some e -> Ok e
     | None -> Error (Printf.sprintf "job spec: unknown engine %S" engine_s)
   in
-  let spec = { n; rounds; seed; init; engine } in
+  let spec = { n; m; rounds; seed; init; engine } in
   let* () = validate_spec spec in
   Ok spec
 

@@ -30,15 +30,24 @@ val default_max_frame : int
 type engine = Balls | Counts
 
 type job_spec = {
-  n : int;  (** bins (= balls: the paper's m = n regime) *)
+  n : int;  (** bins *)
+  m : int;
+      (** balls.  On the wire ["m"] is optional and defaults to [n]
+          (the paper's m = n regime); encoders emit it only when
+          [m <> n], so m = n specs keep their historical bytes and old
+          clients keep working. *)
   rounds : int;  (** rounds to run *)
   seed : int;  (** PRNG seed; jobs are deterministic in it *)
-  init : string;  (** ["uniform"], ["pile"] or ["random"] *)
+  init : string;
+      (** ["uniform"] (m = n only), ["balanced"], ["pile"] or
+          ["random"] *)
   engine : engine;
 }
 
 val validate_spec : job_spec -> (unit, string) result
-(** Field validation ([n >= 1], [rounds >= 0], known [init]). *)
+(** Field validation ([n >= 1], [m >= 0], [rounds >= 0], known [init];
+    ["uniform"] additionally requires [m = n] — use ["balanced"] for
+    the even spread of an arbitrary ball count). *)
 
 val engine_name : engine -> string
 

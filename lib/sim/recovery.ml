@@ -48,7 +48,11 @@ let measure ?(beta = 4.0) ~(driver : 'a Adversary.driver) ~action ~episodes
   if episodes < 1 then invalid_arg "Recovery.measure: episodes < 1";
   if max_recovery < 1 then invalid_arg "Recovery.measure: max_recovery < 1";
   let n = driver.n engine in
-  let threshold = Config.legitimacy_threshold ~beta n in
+  (* The threshold must reflect the engine's actual ball count: with
+     m ≫ n the max load can never drop below ⌈m/n⌉, so an n-only
+     threshold would make every episode falsely report failure. *)
+  let m = Config.balls (driver.config engine) in
+  let threshold = Config.legitimacy_threshold ~beta ~m n in
   (* Settle into the legitimate band first, so every episode starts from
      a legitimate configuration and measures pure fault recovery. *)
   ignore (rounds_to_legit driver ~threshold ~cap:max_recovery engine);

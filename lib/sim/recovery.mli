@@ -4,7 +4,10 @@
     A recovery measurement drives an engine through repeated
     fault-and-recover episodes: perturb with an {!Rbb_core.Adversary}
     action, then count rounds until the max load re-enters the
-    legitimate band [max_load <= ceil (beta ln n)].  Theorem 1 bounds
+    legitimate band [max_load <= ceil (beta · max(1, m/n) · ln n)] —
+    the threshold is derived from the engine's bin count {e and} ball
+    count, so [m ≫ n] runs measure against a reachable band (Los &
+    Sauerwald's Θ((m/n) log n)).  Theorem 1 bounds
     convergence from {e any} configuration — the adversary's included —
     by O(n) rounds w.h.p., so the JSON report normalizes recovery times
     by [n] ([mean_recovery_over_n]).

@@ -492,7 +492,7 @@ let run_until t ~max_rounds ~stop =
   end
 
 let run_until_legitimate ?beta t ~max_rounds =
-  let threshold = Config.legitimacy_threshold ?beta (n t) in
+  let threshold = Config.legitimacy_threshold ?beta ~m:t.m (n t) in
   run_until t ~max_rounds ~stop:(fun t -> t.max_load <= threshold)
 
 (* The §4.1 adversary, generalized: with the same creation rng object

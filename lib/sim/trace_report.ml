@@ -6,6 +6,7 @@
 type t = {
   header : (string * Jsonl.value) list option;
   n : int option;
+  m : int option;  (* header ball count; absent on m = n traces *)
   threshold : int option;
   every : int option;
   observables : int;
@@ -30,6 +31,7 @@ type t = {
 type state = {
   mutable s_header : (string * Jsonl.value) list option;
   mutable s_n : int option;
+  mutable s_m : int option;
   mutable s_threshold : int option;
   mutable s_every : int option;
   mutable s_observables : int;
@@ -56,6 +58,7 @@ let fresh_state () =
   {
     s_header = None;
     s_n = None;
+    s_m = None;
     s_threshold = None;
     s_every = None;
     s_observables = 0;
@@ -92,6 +95,7 @@ let feed st line =
         | Some "header" ->
             st.s_header <- Some fields;
             st.s_n <- Jsonl.find_int fields "n";
+            st.s_m <- Jsonl.find_int fields "m";
             st.s_threshold <- Jsonl.find_int fields "threshold";
             st.s_every <- Jsonl.find_int fields "every"
         | Some "observable" -> (
@@ -158,6 +162,7 @@ let finish st =
   {
     header = st.s_header;
     n = st.s_n;
+    m = st.s_m;
     threshold = st.s_threshold;
     every = st.s_every;
     observables = st.s_observables;
@@ -249,8 +254,11 @@ let render ?(plot = true) r =
     (match r.header with
     | Some h -> Option.value ~default:"no schema" (Jsonl.find_string h "schema")
     | None -> "no header");
-  line "  n=%s  threshold=%s  every=%s" (int_opt r.n) (int_opt r.threshold)
-    (int_opt r.every);
+  (* m is shown only when the header carried one (m ≠ n traces), so
+     m = n reports keep their historical bytes. *)
+  line "  n=%s%s  threshold=%s  every=%s" (int_opt r.n)
+    (match r.m with Some m -> Printf.sprintf "  m=%d" m | None -> "")
+    (int_opt r.threshold) (int_opt r.every);
   (match (r.first_round, r.last_round) with
   | Some f, Some l -> line "  observable rounds : %d (rounds %d..%d)" r.observables f l
   | _ -> line "  observable rounds : %d" r.observables);

@@ -11,6 +11,8 @@
 type t = {
   header : (string * Jsonl.value) list option;  (** the header record *)
   n : int option;
+  m : int option;
+      (** header ball count; [None] on m = n traces (no ["m"] field). *)
   threshold : int option;
   every : int option;
   observables : int;  (** number of observable records *)

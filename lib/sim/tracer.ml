@@ -15,6 +15,7 @@ type active = {
   beta : float;
   threshold : int;
   n : int;
+  m : int;
   lock : Mutex.t;
   ndjson : out_sink option;
   chrome : out_sink option;
@@ -82,11 +83,13 @@ let chrome_instant a ~name =
         ("ts", Jsonl.Float (us (a.clock ())));
       ]
 
-let create ?(clock = Monotonic_clock.now) ?(every = 1) ?(beta = 4.0) ?ndjson
+let create ?(clock = Monotonic_clock.now) ?(every = 1) ?(beta = 4.0) ?m ?ndjson
     ?chrome ~n () =
   if every < 1 then invalid_arg "Tracer.create: every < 1";
   if n <= 0 then invalid_arg "Tracer.create: n <= 0";
-  let threshold = Rbb_core.Config.legitimacy_threshold ~beta n in
+  let m = Option.value ~default:n m in
+  if m < 0 then invalid_arg "Tracer.create: m < 0";
+  let threshold = Rbb_core.Config.legitimacy_threshold ~beta ~m n in
   let a =
     {
       clock;
@@ -94,6 +97,7 @@ let create ?(clock = Monotonic_clock.now) ?(every = 1) ?(beta = 4.0) ?ndjson
       beta;
       threshold;
       n;
+      m;
       lock = Mutex.create ();
       ndjson = Option.map make_sink ndjson;
       chrome = Option.map make_sink chrome;
@@ -108,16 +112,20 @@ let create ?(clock = Monotonic_clock.now) ?(every = 1) ?(beta = 4.0) ?ndjson
   (match a.ndjson with
   | None -> ()
   | Some sink ->
+      (* "m" appears only when it differs from n, so every pre-existing
+         m = n trace keeps its exact header bytes (same idiom as the
+         checkpoint's engine_kind field). *)
       sink_add sink
         (Jsonl.obj
-           [
-             ("beta", Jsonl.Float a.beta);
-             ("every", Jsonl.Int a.every);
-             ("n", Jsonl.Int a.n);
-             ("schema", Jsonl.String "rbb.trace/1");
-             ("threshold", Jsonl.Int a.threshold);
-             ("type", Jsonl.String "header");
-           ]);
+           (("beta", Jsonl.Float a.beta)
+            :: ("every", Jsonl.Int a.every)
+            :: (if a.m <> a.n then [ ("m", Jsonl.Int a.m) ] else [])
+           @ [
+               ("n", Jsonl.Int a.n);
+               ("schema", Jsonl.String "rbb.trace/1");
+               ("threshold", Jsonl.Int a.threshold);
+               ("type", Jsonl.String "header");
+             ]));
       sink_add sink "\n");
   (match a.chrome with
   | None -> ()

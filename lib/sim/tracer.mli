@@ -45,6 +45,7 @@ val create :
   ?clock:(unit -> int64) ->
   ?every:int ->
   ?beta:float ->
+  ?m:int ->
   ?ndjson:sink_spec ->
   ?chrome:sink_spec ->
   n:int ->
@@ -54,11 +55,15 @@ val create :
     process-wide monotonic clock, nanoseconds) exists so tests can
     inject a deterministic clock and pin complete trace documents.
     [every] (default 1) is the reporting stride for observables and
-    spans; [beta] (default 4.0) sets the legitimacy threshold
-    [Rbb_core.Config.legitimacy_threshold ~beta n].  The NDJSON header
-    line (and the Chrome preamble) are written immediately.
+    spans; [beta] (default 4.0) and [m] (the ball count, default [n])
+    set the legitimacy threshold
+    [Rbb_core.Config.legitimacy_threshold ~beta ~m n].  The NDJSON
+    header line (and the Chrome preamble) are written immediately; the
+    header carries an ["m"] field only when [m <> n], so m = n traces
+    keep their historical bytes.
 
-    @raise Invalid_argument if [every < 1] or [n <= 0]. *)
+    @raise Invalid_argument if [every < 1], [n <= 0], [m < 0], or
+    [beta] is not finite and positive. *)
 
 val enabled : t -> bool
 val now : t -> int64

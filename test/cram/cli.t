@@ -370,3 +370,65 @@ report:
   $ rbb recover --episodes 0
   rbb: error: recover: --episodes must be at least 1
   [2]
+
+Arbitrary ball counts (--balls/-m).  The legitimacy threshold follows
+the Los & Sauerwald band ceil(4 max(1, m/n) ln n); with m = 4n both
+engines start from the even spread (the default init generalizes from
+uniform to balanced when m differs from n):
+
+  $ rbb simulate --bins 64 --balls 256 --rounds 1000
+  
+  n=64 m=256 rounds=1000 d=1 engine=balls init=balanced seed=42
+  running max load       : 34
+  mean max load          : 19.183
+  legitimacy threshold   : 67 (4 max(1, m/n) ln n)
+  min empty-bin fraction : 0.0000
+  rounds below n/4 empty : 1000
+
+  $ rbb simulate --bins 64 --balls 256 --rounds 1000 --engine counts
+  
+  n=64 m=256 rounds=1000 d=1 engine=counts init=balanced seed=42
+  running max load       : 27
+  mean max load          : 17.527
+  legitimacy threshold   : 67 (4 max(1, m/n) ln n)
+  min empty-bin fraction : 0.0000
+  rounds below n/4 empty : 1000
+
+A checkpoint carries the ball count, so an m != n resume needs no
+flags and reproduces the uninterrupted run bit for bit:
+
+  $ rbb simulate --bins 64 --balls 256 --rounds 100 --checkpoint mn.ckpt > /dev/null
+  $ grep -o '"balls":256' mn.ckpt | head -1
+  "balls":256
+  $ rbb simulate --rounds 200 --resume-from mn.ckpt --checkpoint mn_resumed.ckpt | head -1
+  resumed from mn.ckpt at round 100
+  $ rbb simulate --bins 64 --balls 256 --rounds 200 --checkpoint mn_full.ckpt > /dev/null
+  $ cmp mn_resumed.ckpt mn_full.ckpt && echo identical
+  identical
+
+An explicit "uniform" start promises one ball per bin, which no m != n
+configuration can honour — it is refused rather than silently changed:
+
+  $ rbb simulate --bins 64 --balls 256 --init uniform
+  rbb: error: init: "uniform" means one ball per bin and requires m = n (got m=256, n=64); use "balanced" for the even spread of m balls
+  [2]
+
+A non-positive (or non-finite) beta cannot define a legitimacy band:
+
+  $ rbb recover --bins 64 --beta 0
+  rbb: error: Config.legitimacy_threshold: beta must be finite and positive
+  [2]
+
+Recovery at m >> n: the m-aware threshold makes relegitimization
+reachable (with m balls in n bins the max load can never drop below
+m/n, so the old n-only band was unsatisfiable), and the pile drains
+slowly — at most one ball a round, then diffusively — so recovery is
+Omega(m) rounds, not the O(n) of the m = n theorem:
+
+  $ rbb recover --bins 16 --balls 256 --episodes 2 --action pile
+  recovery after transient faults (Theorem 1 says O(n) w.h.p.)
+  n=16 balls=256 action=pile_into(0) threshold=178 (ceil 4.0 (m/n) ln n)
+    episode  1: spike max load  256 -> relegitimized in 544 rounds (34.000 n)
+    episode  2: spike max load  256 -> relegitimized in 920 rounds (57.500 n)
+    mean recovery : 732.0 rounds (45.750 n)
+    worst recovery: 920 rounds (57.500 n)

@@ -163,6 +163,51 @@ let config_legitimacy () =
   Alcotest.(check bool) "custom beta" false
     (Config.is_legitimate ~beta:0.1 (Config.of_array [| 3; 0; 0; 0 |]))
 
+(* The m-aware band ⌈β max(1, m/n) ln n⌉ (Los & Sauerwald): at m = n
+   it multiplies by exactly 1.0, so every historical value is
+   unchanged; above m = n it scales linearly with m/n; below m = n it
+   clamps at the m = n band rather than shrinking. *)
+let config_legitimacy_m_aware () =
+  let n = 1024 in
+  Alcotest.(check int) "m = n is the historical value" 28
+    (Config.legitimacy_threshold ~m:n n);
+  Alcotest.(check int) "m omitted = m = n"
+    (Config.legitimacy_threshold n)
+    (Config.legitimacy_threshold ~m:n n);
+  (* ceil(4 * 2 * ln 1024) = ceil(55.45) = 56. *)
+  Alcotest.(check int) "m = 2n doubles the band" 56
+    (Config.legitimacy_threshold ~m:(2 * n) n);
+  (* ceil(4 * 8 * ln 1024) = ceil(221.8) = 222. *)
+  Alcotest.(check int) "m = 8n" 222
+    (Config.legitimacy_threshold ~m:(8 * n) n);
+  Alcotest.(check int) "m < n clamps to the m = n band" 28
+    (Config.legitimacy_threshold ~m:(n / 2) n);
+  Alcotest.(check int) "m = 0 clamps too" 28
+    (Config.legitimacy_threshold ~m:0 n);
+  (* is_legitimate derives m from the configuration itself: a balanced
+     64n configuration (every bin at load 64) is flagrantly
+     illegitimate against the n-only band of 28 but comfortably inside
+     the m-aware one. *)
+  let fat = Config.balanced ~n ~m:(64 * n) in
+  Alcotest.(check bool) "max load above the n-only band" true
+    (Config.max_load fat > Config.legitimacy_threshold n);
+  Alcotest.(check bool) "balanced 64n is legitimate" true
+    (Config.is_legitimate fat)
+
+let config_legitimacy_errors () =
+  Tutil.check_raises_invalid "beta = 0" (fun () ->
+      ignore (Config.legitimacy_threshold ~beta:0.0 64));
+  Tutil.check_raises_invalid "beta < 0" (fun () ->
+      ignore (Config.legitimacy_threshold ~beta:(-1.0) 64));
+  Tutil.check_raises_invalid "beta nan" (fun () ->
+      ignore (Config.legitimacy_threshold ~beta:Float.nan 64));
+  Tutil.check_raises_invalid "beta infinite" (fun () ->
+      ignore (Config.legitimacy_threshold ~beta:Float.infinity 64));
+  Tutil.check_raises_invalid "n = 0" (fun () ->
+      ignore (Config.legitimacy_threshold 0));
+  Tutil.check_raises_invalid "m < 0" (fun () ->
+      ignore (Config.legitimacy_threshold ~m:(-1) 64))
+
 let config_histogram_and_copy () =
   let c = Config.of_array [| 0; 2; 2; 1 |] in
   let h = Config.load_histogram c in
@@ -825,6 +870,8 @@ let suite =
         Tutil.quick "constructors" config_constructors;
         Tutil.quick "random conserves" config_random_conserves;
         Tutil.quick "legitimacy" config_legitimacy;
+        Tutil.quick "legitimacy: m-aware band" config_legitimacy_m_aware;
+        Tutil.quick "legitimacy: invalid arguments" config_legitimacy_errors;
         Tutil.quick "histogram/copy" config_histogram_and_copy;
         Tutil.quick "errors" config_errors;
       ] );

@@ -92,6 +92,97 @@ let counts_vs_balls_arrival_homogeneity () =
     Alcotest.failf "counts vs balls arrival histograms: chi2 = %.2f (df %d), p = %.5f"
       stat df p
 
+(* m ≠ n arrival laws.  With capacity 1 every nonempty bin releases a
+   single ball, so a balanced m > n start still moves only n balls a
+   round and the arrival law stays Bin(n, 1/n) — NOT Bin(m, 1/n).  To
+   test the full-throw law we raise the per-bin capacity to m/n: from
+   the balanced start every bin then releases exactly m/n balls, all m
+   balls move, and arrivals into a fixed bin are exactly Bin(m, 1/n)
+   on both engines. *)
+let arrivals_hist_mn ~counts_engine ~n ~ratio ~trials ~cap =
+  let m = ratio * n in
+  let hist = Array.make (cap + 2) 0 in
+  for i = 0 to trials - 1 do
+    let rng = Rng.create ~seed:(Int64.of_int (0x3B1E5 + i)) () in
+    let init = Config.balanced ~n ~m in
+    let a =
+      if counts_engine then begin
+        let c = Counts_process.create ~capacity:ratio ~rng ~init () in
+        Counts_process.step c;
+        Counts_process.last_arrivals c 0
+      end
+      else begin
+        let p = Process.create ~capacity:ratio ~rng ~init () in
+        Process.step p;
+        Process.last_arrivals p 0
+      end
+    in
+    let cell = if a > cap then cap + 1 else a in
+    hist.(cell) <- hist.(cell) + 1
+  done;
+  hist
+
+let mn_arrivals_match_exact_pmf ~counts_engine ~ratio () =
+  let cap = (2 * ratio) + 5 in
+  let observed =
+    arrivals_hist_mn ~counts_engine ~n:small_n ~ratio ~trials ~cap
+  in
+  let m = ratio * small_n in
+  let probabilities = binomial_cells ~n:m ~p:(1. /. fi small_n) ~cap in
+  let stat, df, p = Gof.chi2_gof_test ~observed ~probabilities in
+  if p < 0.01 then
+    Alcotest.failf
+      "%s arrival law at m = %dn vs Bin(%d, 1/%d): chi2 = %.2f (df %d), p = %.5f"
+      (if counts_engine then "counts" else "balls")
+      ratio m small_n stat df p
+
+let mn_counts_vs_balls_homogeneity ~ratio () =
+  let cap = (2 * ratio) + 5 in
+  let a = arrivals_hist_mn ~counts_engine:true ~n:small_n ~ratio ~trials ~cap in
+  let b = arrivals_hist_mn ~counts_engine:false ~n:small_n ~ratio ~trials ~cap in
+  let stat, df, p = Gof.chi2_homogeneity_test ~a ~b in
+  if p < 0.01 then
+    Alcotest.failf
+      "counts vs balls arrivals at m = %dn: chi2 = %.2f (df %d), p = %.5f"
+      ratio stat df p
+
+(* The load-capped regime (capacity 1, random m ≠ n start): no clean
+   closed form for the arrival law, but the two engines must still
+   agree in distribution.  Each trial seeds both engines with the same
+   random configuration so only the engine law differs. *)
+let mn_random_start_homogeneity () =
+  let n = small_n and ratio = 2 and cap = 5 in
+  let m = ratio * n in
+  let one ~counts_engine =
+    let hist = Array.make (cap + 2) 0 in
+    for i = 0 to trials - 1 do
+      let rng = Rng.create ~seed:(Int64.of_int (0xD1CE5 + i)) () in
+      let init = Config.random rng ~n ~m in
+      let a =
+        if counts_engine then begin
+          let c = Counts_process.create ~rng ~init () in
+          Counts_process.step c;
+          Counts_process.last_arrivals c 0
+        end
+        else begin
+          let p = Process.create ~rng ~init () in
+          Process.step p;
+          Process.last_arrivals p 0
+        end
+      in
+      let cell = if a > cap then cap + 1 else a in
+      hist.(cell) <- hist.(cell) + 1
+    done;
+    hist
+  in
+  let a = one ~counts_engine:true in
+  let b = one ~counts_engine:false in
+  let stat, df, p = Gof.chi2_homogeneity_test ~a ~b in
+  if p < 0.01 then
+    Alcotest.failf
+      "counts vs balls arrivals from random m = 2n starts: chi2 = %.2f (df %d), p = %.5f"
+      stat df p
+
 (* The splitter's per-bin marginal is the exact binomial too — the
    dyadic decomposition must not distort any single bin's law. *)
 let split_marginal_matches_binomial () =
@@ -259,6 +350,40 @@ let prop_balls_conserves =
       && check_aggregates ~max_load:(Process.max_load p)
            ~empty:(Process.empty_bins p) ~load:(Process.load p) ~n)
 
+(* Conservation must hold for an arbitrary ball count, not just the
+   paper's m = n: a random m (including 0 and m ≫ n) from a balanced
+   start stays exactly conserved on both engines. *)
+let gen_run_mn =
+  QCheck2.Gen.(
+    quad (int_range 16 2000) (int_range 0 50_000) (int_range 0 30)
+      (int_range 0 1_000_000))
+
+let prop_counts_conserves_mn =
+  Tutil.prop "counts engine conserves an arbitrary m" ~count:40 gen_run_mn
+    (fun (n, m, rounds, salt) ->
+      let rng = Rng.create ~seed:(Int64.of_int salt) () in
+      let c = Counts_process.create ~rng ~init:(Config.balanced ~n ~m) () in
+      Counts_process.run c ~rounds;
+      sum_loads_counts c = m
+      && Config.balls (Counts_process.config c) = m
+      && check_aggregates ~max_load:(Counts_process.max_load c)
+           ~empty:(Counts_process.empty_bins c)
+           ~load:(Counts_process.load c) ~n)
+
+let prop_balls_conserves_mn =
+  Tutil.prop "balls engine conserves an arbitrary m" ~count:25
+    QCheck2.Gen.(
+      quad (int_range 16 2000) (int_range 0 10_000) (int_range 0 30)
+        (int_range 0 1_000_000))
+    (fun (n, m, rounds, salt) ->
+      let rng = Rng.create ~seed:(Int64.of_int salt) () in
+      let p = Process.create ~rng ~init:(Config.balanced ~n ~m) () in
+      Process.run p ~rounds;
+      sum_loads_process p = m
+      && Config.balls (Process.config p) = m
+      && check_aggregates ~max_load:(Process.max_load p)
+           ~empty:(Process.empty_bins p) ~load:(Process.load p) ~n)
+
 (* Adversarial perturbations (the Section 4.1 move: overwrite the
    configuration, keep the generator) must leave conservation and the
    aggregate counters exact on both engines. *)
@@ -341,6 +466,21 @@ let suite =
         Tutil.slow "counts vs balls homogeneity" counts_vs_balls_arrival_homogeneity;
         Tutil.slow "split marginal vs binomial" split_marginal_matches_binomial;
       ] );
+    ( "distributional.arrival_law_mn",
+      [
+        Tutil.slow "counts at m=2n vs exact Bin(2n, 1/n)"
+          (mn_arrivals_match_exact_pmf ~counts_engine:true ~ratio:2);
+        Tutil.slow "balls at m=2n vs exact Bin(2n, 1/n)"
+          (mn_arrivals_match_exact_pmf ~counts_engine:false ~ratio:2);
+        Tutil.slow "counts at m=8n vs exact Bin(8n, 1/n)"
+          (mn_arrivals_match_exact_pmf ~counts_engine:true ~ratio:8);
+        Tutil.slow "balls at m=8n vs exact Bin(8n, 1/n)"
+          (mn_arrivals_match_exact_pmf ~counts_engine:false ~ratio:8);
+        Tutil.slow "counts vs balls homogeneity at m=8n"
+          (mn_counts_vs_balls_homogeneity ~ratio:8);
+        Tutil.slow "counts vs balls homogeneity, random m=2n starts"
+          mn_random_start_homogeneity;
+      ] );
     ( "distributional.trajectories",
       [
         Tutil.slow "max-load KS" max_load_trajectories_ks;
@@ -350,6 +490,8 @@ let suite =
       [
         prop_counts_conserves;
         prop_balls_conserves;
+        prop_counts_conserves_mn;
+        prop_balls_conserves_mn;
         prop_conserves_under_adversary;
         prop_counts_checkpoint_resume_exact;
         prop_sharded_counts_matches_sequential;

@@ -234,6 +234,42 @@ let test_tracer_golden_chrome () =
     "empty chrome document" "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n"
     (Buffer.contents buf2)
 
+(* The m-aware header: with m <> n the header carries "m" and the
+   legitimacy threshold scales by m/n; with m = n (or omitted) the
+   header keeps its historical bytes — the golden test above pins
+   that.  n = 16, m = 128: threshold = ceil(4 * 8 * ln 16) = 89. *)
+let test_tracer_m_aware_header () =
+  let buf = Buffer.create 512 in
+  let tr =
+    Tracer.create ~clock:(fake_clock ()) ~m:128 ~ndjson:(`Buffer buf) ~n:16 ()
+  in
+  Tracer.observe tr ~round:1 ~max_load:90 ~empty_bins:4 ~balls:128;
+  Tracer.observe tr ~round:2 ~max_load:89 ~empty_bins:4 ~balls:128;
+  Tracer.close tr;
+  let expected =
+    String.concat "\n"
+      [
+        "{\"beta\":4.0,\"every\":1,\"m\":128,\"n\":16,\"schema\":\"rbb.trace/1\",\"threshold\":89,\"type\":\"header\"}";
+        "{\"balls\":128,\"empty_bins\":4,\"max_load\":90,\"round\":1,\"type\":\"observable\"}";
+        "{\"balls\":128,\"empty_bins\":4,\"max_load\":89,\"round\":2,\"type\":\"observable\"}";
+        "{\"max_load\":89,\"round\":2,\"threshold\":89,\"type\":\"legitimacy_enter\"}";
+        "{\"round\":2,\"threshold\":89,\"type\":\"convergence\"}";
+        "";
+      ]
+  in
+  Alcotest.(check string) "m-aware document" expected (Buffer.contents buf);
+  (* An explicit ~m equal to n is the same as omitting it. *)
+  let buf_explicit = Buffer.create 512 in
+  let tr =
+    Tracer.create ~clock:(fake_clock ()) ~m:16 ~ndjson:(`Buffer buf_explicit)
+      ~n:16 ()
+  in
+  golden_script tr;
+  Alcotest.(check string) "explicit m = n keeps historical bytes"
+    golden_ndjson
+    (Buffer.contents buf_explicit);
+  Tutil.check_raises_invalid "m < 0" (fun () -> Tracer.create ~m:(-1) ~n:16 ())
+
 (* ------------------------------------------------------------------ *)
 (* Tracer semantics                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -526,7 +562,19 @@ let test_trace_report_render () =
         "";
       ]
   in
-  Alcotest.(check string) "render" expected (Trace_report.render ~plot:false r)
+  Alcotest.(check string) "render" expected (Trace_report.render ~plot:false r);
+  (* A header carrying "m" surfaces it in the summary line. *)
+  let r =
+    Trace_report.of_lines
+      [
+        "{\"beta\":4.0,\"every\":1,\"m\":128,\"n\":16,\"schema\":\"rbb.trace/1\",\"threshold\":89,\"type\":\"header\"}";
+        "{\"balls\":128,\"empty_bins\":0,\"max_load\":90,\"round\":1,\"type\":\"observable\"}";
+      ]
+  in
+  Alcotest.(check bool) "m on the summary line" true
+    (Tutil.contains_substring
+       (Trace_report.render ~plot:false r)
+       "n=16  m=128  threshold=89")
 
 let test_trace_report_excursion_and_skips () =
   let r =
@@ -722,6 +770,7 @@ let suite =
       [
         Tutil.quick "golden NDJSON (fake clock)" test_tracer_golden_ndjson;
         Tutil.quick "golden chrome trace" test_tracer_golden_chrome;
+        Tutil.quick "m-aware header and threshold" test_tracer_m_aware_header;
         Tutil.quick "stride vs threshold events" test_tracer_stride;
         Tutil.quick "legitimacy transitions" test_tracer_transitions;
         Tutil.quick "noop and close" test_tracer_noop_and_close;

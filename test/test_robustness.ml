@@ -656,6 +656,62 @@ let recovery_measures_relegitimacy () =
         ~action:Adversary.Reshuffle ~episodes:0 ~max_recovery:10
         (Process.create ~rng:(mk_rng 9L) ~init:(Config.uniform ~n) ()))
 
+(* Regression for the m = n lock-in: Recovery.measure used to derive
+   its legitimacy threshold from n alone, so with m ≫ n every episode
+   was doomed before it started — with m balls in n bins the max load
+   can never drop below ⌈m/n⌉, and the n-only threshold sits far under
+   that floor.  The fix derives the threshold from n AND m. *)
+let recovery_threshold_is_m_aware () =
+  let n = 64 and m = 8192 in
+  let floor_load = (m + n - 1) / n in
+  let old_threshold = Config.legitimacy_threshold n in
+  (* The arithmetic that proves the old behaviour could never succeed:
+     the n-only threshold is below the conservation floor. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "n-only threshold %d < unavoidable max load %d"
+       old_threshold floor_load)
+    true
+    (old_threshold < floor_load);
+  let threshold = Config.legitimacy_threshold ~m n in
+  Alcotest.(check bool) "m-aware threshold clears the floor" true
+    (threshold >= floor_load);
+  (* With the fix a reshuffled m ≫ n configuration is recognised as
+     legitimate: a uniform throw of m balls sits well inside the
+     ⌈4 (m/n) ln n⌉ band. *)
+  let r =
+    Rbb_sim.Recovery.measure ~driver:Adversary.process_driver
+      ~action:Adversary.Reshuffle ~episodes:2 ~max_recovery:(100 * n)
+      (Process.create ~rng:(mk_rng 21L) ~init:(Config.balanced ~n ~m) ())
+  in
+  Alcotest.(check int) "record carries m" m r.Rbb_sim.Recovery.balls;
+  Alcotest.(check int) "record carries the m-aware threshold" threshold
+    r.Rbb_sim.Recovery.threshold;
+  List.iter
+    (fun (e : Rbb_sim.Recovery.episode) ->
+      match e.recovery_rounds with
+      | Some _ -> ()
+      | None -> Alcotest.fail "reshuffle episode did not relegitimize")
+    r.episodes;
+  (* And a genuine pile of m ≫ n balls drains back into the band —
+     slowly (the pile sheds at most one ball a round, then decays
+     diffusively: Ω(m) rounds), but it gets there.  Small sizes keep
+     the test fast. *)
+  let n = 16 and m = 256 in
+  let r =
+    Rbb_sim.Recovery.measure ~driver:Counts_process.adversary_driver
+      ~action:(Adversary.Pile_into 0) ~episodes:1
+      ~max_recovery:(100 * Stdlib.max n m)
+      (Counts_process.create ~rng:(mk_rng 22L) ~init:(Config.balanced ~n ~m) ())
+  in
+  List.iter
+    (fun (e : Rbb_sim.Recovery.episode) ->
+      Alcotest.(check int) "spike is the full pile" m e.spike_max_load;
+      match e.recovery_rounds with
+      | Some k ->
+          Alcotest.(check bool) "pile recovery is slower than O(n)" true (k > n)
+      | None -> Alcotest.fail "m >> n pile episode did not relegitimize")
+    r.episodes
+
 let suite =
   [
     ( "robustness",
@@ -686,5 +742,7 @@ let suite =
         Tutil.quick "trace-report: truncated tail" truncated_trace_tolerated;
         Tutil.quick "recovery: rounds-to-relegitimacy"
           recovery_measures_relegitimacy;
+        Tutil.quick "recovery: m-aware threshold (m >> n regression)"
+          recovery_threshold_is_m_aware;
       ] );
   ]

@@ -34,9 +34,9 @@ let with_temp_dir prefix f =
 (* Protocol: payload codec                                             *)
 (* ------------------------------------------------------------------ *)
 
-let spec ?(n = 64) ?(rounds = 100) ?(seed = 7) ?(init = "uniform")
+let spec ?(n = 64) ?m ?(rounds = 100) ?(seed = 7) ?(init = "uniform")
     ?(engine = Protocol.Balls) () =
-  { Protocol.n; rounds; seed; init; engine }
+  { Protocol.n; m = Option.value ~default:n m; rounds; seed; init; engine }
 
 let check_req_roundtrip req =
   match Protocol.request_of_json (Protocol.request_to_json req) with
@@ -108,9 +108,15 @@ let gen_spec =
     let* n = int_range 1 100_000 in
     let* rounds = int_range 0 1_000_000 in
     let* seed = int_range 0 1_000_000_000 in
-    let* init = oneofl [ "uniform"; "pile"; "random" ] in
+    let* init = oneofl [ "uniform"; "balanced"; "pile"; "random" ] in
+    (* "uniform" requires m = n; every other init draws an arbitrary
+       ball count (sometimes far above n, sometimes 0). *)
+    let* m =
+      if init = "uniform" then return n
+      else oneof [ return n; int_range 0 10_000_000 ]
+    in
     let* engine = oneofl [ Protocol.Balls; Protocol.Counts ] in
-    return { Protocol.n; rounds; seed; init; engine })
+    return { Protocol.n; m; rounds; seed; init; engine })
 
 let prop_submit_roundtrip =
   Tutil.prop "submit round-trips any valid spec" ~count:300 gen_spec (fun s ->
@@ -125,6 +131,36 @@ let prop_error_roundtrip =
       Protocol.response_of_json
         (Protocol.response_to_json (Protocol.Error_reply { code; message }))
       = Ok (Protocol.Error_reply { code; message }))
+
+(* "m" on the wire: optional, default n, emitted only when it differs
+   — so every m = n submit keeps the exact bytes it had before the
+   field existed, and old clients never see it. *)
+let test_spec_m_wire () =
+  Alcotest.(check string) "m = n submit keeps its historical bytes"
+    "{\"engine\":\"balls\",\"init\":\"uniform\",\"n\":64,\"rounds\":100,\"schema\":\"rbb.job/1\",\"seed\":7,\"type\":\"submit\"}"
+    (Protocol.request_to_json (Protocol.Submit (spec ())));
+  let fat = spec ~m:4096 ~init:"balanced" () in
+  let encoded = Protocol.request_to_json (Protocol.Submit fat) in
+  Alcotest.(check bool) "m <> n is on the wire" true
+    (Tutil.contains_substring encoded "\"m\":4096");
+  Alcotest.(check bool) "m <> n round-trips" true
+    (Protocol.request_of_json encoded = Ok (Protocol.Submit fat));
+  (* Absent "m" decodes as m = n. *)
+  (match
+     Protocol.request_of_json
+       "{\"engine\":\"counts\",\"init\":\"pile\",\"n\":32,\"rounds\":5,\"schema\":\"rbb.job/1\",\"seed\":1,\"type\":\"submit\"}"
+   with
+  | Ok (Protocol.Submit s) -> Alcotest.(check int) "default m = n" 32 s.Protocol.m
+  | _ -> Alcotest.fail "submit without m must decode");
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "negative m rejected" true
+    (is_error
+       (Protocol.request_of_json
+          "{\"engine\":\"balls\",\"init\":\"pile\",\"m\":-1,\"n\":32,\"rounds\":5,\"schema\":\"rbb.job/1\",\"seed\":1,\"type\":\"submit\"}"));
+  Alcotest.(check bool) "uniform with m <> n rejected" true
+    (is_error (Protocol.validate_spec (spec ~m:128 ~init:"uniform" ())));
+  Alcotest.(check bool) "balanced with m <> n accepted" true
+    (Protocol.validate_spec (spec ~m:128 ~init:"balanced" ()) = Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Protocol: frame codec                                               *)
@@ -315,6 +351,28 @@ let test_job_spec_roundtrip () =
       match Job.load_spec ~path:(Filename.concat dir "nope.job") with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "missing spec file must be an error")
+
+(* The spec file mirrors the wire: "m" only when m <> n, absent means
+   m = n, and an m <> n spec survives the disk round trip. *)
+let test_job_spec_m_file () =
+  with_temp_dir "rbb_serve_spec_m" (fun dir ->
+      let read id =
+        In_channel.with_open_text
+          (Job.spec_path ~state_dir:dir ~id)
+          In_channel.input_all
+      in
+      Job.write_spec ~state_dir:dir ~id:"job-000001" (spec ());
+      Alcotest.(check bool) "m = n spec file has no m field" false
+        (Tutil.contains_substring (read "job-000001") "\"m\":");
+      let fat = spec ~m:4096 ~init:"balanced" ~engine:Protocol.Counts () in
+      Job.write_spec ~state_dir:dir ~id:"job-000002" fat;
+      Alcotest.(check bool) "m <> n spec file carries m" true
+        (Tutil.contains_substring (read "job-000002") "\"m\":4096");
+      match
+        Job.load_spec ~path:(Job.spec_path ~state_dir:dir ~id:"job-000002")
+      with
+      | Ok (_, s') -> Alcotest.(check bool) "m survives the round trip" true (fat = s')
+      | Error e -> Alcotest.fail e)
 
 let test_job_failed_marker () =
   with_temp_dir "rbb_serve_failed" (fun dir ->
@@ -775,6 +833,7 @@ let suite =
         Tutil.quick "request round-trips" test_request_roundtrips;
         Tutil.quick "response round-trips" test_response_roundtrips;
         Tutil.quick "decode rejections" test_decode_rejections;
+        Tutil.quick "optional m on the wire" test_spec_m_wire;
         prop_submit_roundtrip;
         prop_error_roundtrip;
       ] );
@@ -795,6 +854,7 @@ let suite =
     ( "serve.job",
       [
         Tutil.quick "spec round-trip and scan" test_job_spec_roundtrip;
+        Tutil.quick "optional m in the spec file" test_job_spec_m_file;
         Tutil.quick "durable failure marker" test_job_failed_marker;
         Tutil.quick "resume byte-identity (balls)" test_job_resume_identity_balls;
         Tutil.quick "resume byte-identity (counts)" test_job_resume_identity_counts;
