@@ -13,6 +13,8 @@
                               (emits BENCH_recovery.json)
      main.exe serve           daemon throughput under Poisson load and
                               kill -9 recovery (emits BENCH_serve.json)
+     main.exe obs             metrics registry overhead + scrape latency
+                              under slam load (emits BENCH_obs.json)
      main.exe mn              stationary max load vs m/n against the
                               Theta((m/n) ln n) law, plus a d=1 vs d=2
                               crossover (emits BENCH_mn_scaling.json)
@@ -36,6 +38,7 @@ let list_experiments () =
   print_endline "  kernel  per-ball vs count-based round kernel";
   print_endline "  recovery  rounds-to-relegitimacy after transient faults";
   print_endline "  serve  daemon throughput under Poisson load + kill -9 recovery";
+  print_endline "  obs  metrics registry overhead + scrape latency under slam load";
   print_endline "  mn  stationary max load vs m/n + d=1 vs d=2 crossover"
 
 let () =
@@ -49,6 +52,7 @@ let () =
   | [ "kernel" ] -> Kernel.run ~quick ()
   | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
   | [ "serve" ] -> Serve.run ~quick ()
+  | [ "obs" ] -> Obs.run ~quick ()
   | [ "mn" ] -> Mn.run ~quick ()
   | [] ->
       Printf.printf

@@ -148,6 +148,26 @@ let noop_overhead_guard () =
          "noop tracer probe is not free: bare step loop %.3f ms, run with \
           noop tracer %.3f ms"
          (1e3 *. bare) (1e3 *. traced));
+  (* Same guard for the metrics registry: driving a run through the
+     noop registry's probe must leave the loop on the fast path. *)
+  let rprobe = Rbb_obs.Registry.probe Rbb_obs.Registry.noop in
+  let metered =
+    best (fun p ->
+        for r = 1 to rounds do
+          Process.step p;
+          if Probe.live rprobe then
+            rprobe.Probe.on_round ~round:r ~max_load:(Process.max_load p)
+              ~empty_bins:(Process.empty_bins p) ~balls:n
+        done)
+  in
+  Printf.printf "noop-registry overhead : bare %.1f ms, metered-run %.1f ms (%.2fx)\n%!"
+    (1e3 *. bare) (1e3 *. metered) (metered /. bare);
+  if metered > (1.5 *. bare) +. 0.005 then
+    failwith
+      (Printf.sprintf
+         "noop registry probe is not free: bare step loop %.3f ms, metered \
+          loop %.3f ms"
+         (1e3 *. bare) (1e3 *. metered));
   (* Same guard for the fault-tolerance path: the sharded engine's
      phase guards (failpoint trip + supervisor wrap) must be inert
      pattern matches when both hooks are the noop, so an engine created

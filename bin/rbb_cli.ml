@@ -12,6 +12,7 @@
      serve      crash-safe simulation daemon (rbb.job/1 over a Unix socket)
      submit     submit a job to / query a running daemon
      slam       open-loop Poisson load harness with an M/M/c fit
+     top        live dashboard over a running daemon
 
    simulate additionally supports crash-safe checkpoint/resume
    (--checkpoint / --checkpoint-every / --resume-from) and deterministic
@@ -122,6 +123,21 @@ let telemetry_t =
 let telemetry_of_path = function
   | None -> Rbb_sim.Telemetry.noop
   | Some _ -> Rbb_sim.Telemetry.create ()
+
+(* Metrics export: [--metrics-prom PATH] keeps a labeled registry fed
+   from the driving loop (round gauges, legitimacy dwell/excursion,
+   per-round latency) plus the telemetry re-export, and writes the
+   Prometheus text exposition at the end.  Works uniformly across all
+   four engine variants because the loop, not the engine, feeds it. *)
+
+let metrics_prom_t =
+  let doc =
+    "Write Prometheus text-format metrics (round/max-load/empty-bins \
+     gauges, legitimacy dwell and excursion counters, a per-round \
+     latency histogram, and the engine telemetry re-exported) to \
+     $(docv) when the run completes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-prom" ] ~docv:"PATH" ~doc)
 
 let write_telemetry tel = function
   | None -> ()
@@ -245,8 +261,8 @@ let load_checkpoint path =
 (* simulate ----------------------------------------------------------- *)
 
 let simulate n balls rounds seed init_name engine d shards domains report_every
-    telemetry_path trace_ndjson trace_every chrome_trace checkpoint_path
-    checkpoint_every resume_from failpoint_specs =
+    telemetry_path metrics_prom trace_ndjson trace_every chrome_trace
+    checkpoint_path checkpoint_every resume_from failpoint_specs =
   if rounds < 0 then invalid_arg "simulate: --rounds must be nonnegative";
   if shards < 1 then invalid_arg "simulate: --shards must be at least 1";
   if domains < 1 then invalid_arg "simulate: --domains must be at least 1";
@@ -310,7 +326,27 @@ let simulate n balls rounds seed init_name engine d shards domains report_every
       "simulate: failpoints guard the per-ball sharded engine; the counts \
        engine has no failpoint surface";
   let metrics = Metrics.create ~n in
-  let tel = telemetry_of_path telemetry_path in
+  (* The registry re-exports the telemetry counters at the end, so
+     --metrics-prom forces an active telemetry sink even without
+     --telemetry-json. *)
+  let tel =
+    if telemetry_path <> None || metrics_prom <> None then
+      Rbb_sim.Telemetry.create ()
+    else Rbb_sim.Telemetry.noop
+  in
+  let registry =
+    match metrics_prom with
+    | None -> Rbb_obs.Registry.noop
+    | Some _ -> Rbb_obs.Registry.create ()
+  in
+  (* Fed from the driving loop below rather than composed into the
+     engine probes: the loop sees every variant (sequential and
+     sharded, both families) identically, and feeding on_round exactly
+     once per round keeps the dwell/excursion counters honest. *)
+  let rprobe =
+    Rbb_obs.Registry.probe ~threshold:(Config.legitimacy_threshold ~m n)
+      registry
+  in
   (match snap with
   | None -> ()
   | Some s -> Rbb_sim.Checkpoint.restore_counters tel s);
@@ -320,6 +356,8 @@ let simulate n balls rounds seed init_name engine d shards domains report_every
   in
   let observe r ~max_load ~empty_bins =
     Metrics.observe metrics ~max_load ~empty_bins;
+    if Probe.live rprobe then
+      rprobe.Probe.on_round ~round:r ~max_load ~empty_bins ~balls:m;
     if report_every > 0 && r mod report_every = 0 then
       Printf.printf "round %8d: max load %3d, empty bins %d (%.3f)\n" r max_load
         empty_bins
@@ -337,6 +375,16 @@ let simulate n balls rounds seed init_name engine d shards domains report_every
       Option.iter
         (fun path -> Rbb_sim.Checkpoint.save ~path (capture ()))
         checkpoint_path
+    in
+    (* Per-round latency for the registry is timed here, around the
+       whole step, so every engine variant lands in the same
+       rbb_round_seconds histogram. *)
+    let step =
+      if Rbb_obs.Registry.enabled registry then fun () ->
+        let t0 = rprobe.Probe.now () in
+        step ();
+        rprobe.Probe.latency (Int64.sub (rprobe.Probe.now ()) t0)
+      else step
     in
     for r = start_round + 1 to rounds do
       step ();
@@ -451,6 +499,12 @@ let simulate n balls rounds seed init_name engine d shards domains report_every
   Rbb_sim.Telemetry.set_gauge tel "simulate.min_empty_fraction"
     (Metrics.min_empty_fraction metrics);
   write_telemetry tel telemetry_path;
+  (match metrics_prom with
+  | None -> ()
+  | Some path ->
+      Rbb_obs.Registry.import_telemetry registry tel;
+      Rbb_obs.Prometheus.write_file registry ~path;
+      Printf.printf "wrote metrics to %s\n" path);
   close_tracer tracer ~ndjson:trace_ndjson ~chrome:chrome_trace
 
 let simulate_cmd =
@@ -483,8 +537,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate $ n_t $ balls_t $ rounds_t $ seed_t $ init_t
           $ engine_t $ d_t $ shards_t $ domains_t $ report_t $ telemetry_t
-          $ trace_ndjson_t $ trace_every_t $ chrome_trace_t $ checkpoint_t
-          $ checkpoint_every_t $ resume_from_t $ failpoint_t)
+          $ metrics_prom_t $ trace_ndjson_t $ trace_every_t $ chrome_trace_t
+          $ checkpoint_t $ checkpoint_every_t $ resume_from_t $ failpoint_t)
 
 (* tetris -------------------------------------------------------------- *)
 
@@ -1197,7 +1251,25 @@ let trace_cmd =
 
 let trace_report path no_plot follow =
   let r =
-    if follow then Rbb_sim.Trace_report.follow_file path
+    if follow then begin
+      (* One live summary line per poll that delivered lines; the
+         rounds/s rate is the only wall-clock-dependent part. *)
+      let last = ref (Unix.gettimeofday (), 0) in
+      let live l =
+        let now = Unix.gettimeofday () in
+        let t0, r0 = !last in
+        let dt = now -. t0 in
+        let rate =
+          if dt > 0. then
+            fi (l.Rbb_sim.Trace_report.live_rounds - r0) /. dt
+          else 0.
+        in
+        last := (now, l.Rbb_sim.Trace_report.live_rounds);
+        print_endline (Rbb_sim.Trace_report.live_line ~rate l);
+        flush stdout
+      in
+      Rbb_sim.Trace_report.follow_file ~live path
+    end
     else Rbb_sim.Trace_report.read_file path
   in
   print_string (Rbb_sim.Trace_report.render ~plot:(not no_plot) r)
@@ -1322,27 +1394,34 @@ let serve_cmd =
       $ checkpoint_every_t $ max_frame_t $ telemetry_t)
 
 let submit socket n balls rounds seed init_name engine wait status_of
-    result_of stats shutdown =
-  let client = Rbb_serve.Client.connect ~socket () in
+    result_of stats metrics shutdown =
+  (* A metrics exposition can exceed the default frame limit, so the
+     scraping path connects with a roomier one. *)
+  let max_frame =
+    if metrics then 1 lsl 22 else Rbb_serve.Protocol.default_max_frame
+  in
+  let client = Rbb_serve.Client.connect ~socket ~max_frame () in
   Fun.protect
     ~finally:(fun () -> Rbb_serve.Client.close client)
     (fun () ->
-      match (status_of, result_of, stats, shutdown) with
-      | Some id, _, _, _ -> (
+      match (status_of, result_of, stats, metrics, shutdown) with
+      | Some id, _, _, _, _ -> (
           match Rbb_serve.Client.request client (Rbb_serve.Protocol.Status id) with
           | Rbb_serve.Protocol.Job_status { state; round; _ } ->
               Printf.printf "%s %s round=%d\n" id state round
           | Rbb_serve.Protocol.Error_reply { code; message } ->
               failwith (Printf.sprintf "%s (%s)" message code)
           | _ -> failwith "unexpected response")
-      | None, Some id, _, _ ->
+      | None, Some id, _, _, _ ->
           print_endline (Rbb_serve.Client.await_result client ~id)
-      | None, None, true, _ ->
+      | None, None, true, _, _ ->
           print_endline (Rbb_sim.Jsonl.obj (Rbb_serve.Client.stats client))
-      | None, None, false, true ->
+      | None, None, false, true, _ ->
+          print_string (Rbb_serve.Client.metrics client)
+      | None, None, false, false, true ->
           Rbb_serve.Client.shutdown client;
           print_endline "shutdown requested"
-      | None, None, false, false -> (
+      | None, None, false, false, false -> (
           let m = Option.value ~default:n balls in
           let spec =
             {
@@ -1390,6 +1469,12 @@ let submit_cmd =
       value & flag
       & info [ "stats" ] ~doc:"Print the daemon's measured statistics instead.")
   in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Scrape the daemon's Prometheus text exposition instead.")
+  in
   let shutdown_t =
     Arg.(
       value & flag
@@ -1397,12 +1482,14 @@ let submit_cmd =
   in
   let doc =
     "Submit a job to a running $(b,rbb serve) daemon (or query it: \
-     $(b,--status), $(b,--result), $(b,--stats), $(b,--shutdown))."
+     $(b,--status), $(b,--result), $(b,--stats), $(b,--metrics), \
+     $(b,--shutdown))."
   in
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const submit $ socket_t $ n_t $ balls_t $ rounds_t $ seed_t $ init_t
-      $ job_engine_t $ wait_t $ status_t $ result_t $ stats_t $ shutdown_t)
+      $ job_engine_t $ wait_t $ status_t $ result_t $ stats_t $ metrics_t
+      $ shutdown_t)
 
 let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
     json_path =
@@ -1500,6 +1587,50 @@ let slam_cmd =
       const slam $ socket_t $ jobs_t $ rate_t $ rho_t $ calibrate_t $ n_t
       $ rounds_t $ seed_t $ init_t $ job_engine_t $ workers_t $ json_t)
 
+(* top ----------------------------------------------------------------------- *)
+
+let top socket state_dir interval frames once =
+  if interval <= 0. then invalid_arg "top: --interval must be positive";
+  if frames < 0 then invalid_arg "top: --frames must be nonnegative";
+  Rbb_serve.Top.run ?state_dir ~interval_s:interval ~frames ~once ~socket ()
+
+let top_cmd =
+  let state_dir_t =
+    let doc =
+      "The daemon's state directory; enables the per-job progress table \
+       (tails its events.ndjson)."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let interval_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between frames.")
+  in
+  let frames_t =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"K"
+          ~doc:"Stop after $(docv) frames (0 = run until interrupted).")
+  in
+  let once_t =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single frame without clearing the screen and exit \
+                (the scriptable mode).")
+  in
+  let doc =
+    "Live dashboard over a running $(b,rbb serve) daemon: queue depth, \
+     estimated load, throughput, job sojourn quantiles from the scraped \
+     metrics next to the M/M/c predicted wait, and per-job progress."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const top $ socket_t $ state_dir_t $ interval_t $ frames_t $ once_t)
+
 (* mixing -------------------------------------------------------------------- *)
 
 let mixing n m epsilon =
@@ -1545,7 +1676,7 @@ let () =
         simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
         recover_cmd; markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd;
         mixing_cmd; rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
-        serve_cmd; submit_cmd; slam_cmd;
+        serve_cmd; submit_cmd; slam_cmd; top_cmd;
       ]
   in
   match Cmd.eval_value ~catch:false group with

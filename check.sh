@@ -154,4 +154,30 @@ wait "$pid"
 cmp -s "$servedir/resumed.txt" "$servedir/solid.txt" \
   || { echo "check.sh: daemon crash-resume result diverged from the uninterrupted run"; exit 1; }
 
+# Observability smoke: one job through a fresh daemon, then scrape the
+# Prometheus exposition over the socket and check the published
+# metrics.prom parses and the job sojourn histogram counted the job.
+"$rbb" serve --socket "$tracedir/m.sock" --state-dir "$servedir/m" > /dev/null 2>&1 &
+pid=$!
+sleep 0.2
+"$rbb" submit --socket "$tracedir/m.sock" --bins 64 --rounds 500 --seed 9 \
+  --wait > /dev/null
+"$rbb" submit --socket "$tracedir/m.sock" --metrics > "$servedir/scrape.txt"
+"$rbb" submit --socket "$tracedir/m.sock" --shutdown > /dev/null
+wait "$pid"
+grep -q '^rbb_jobs_completed_total 1$' "$servedir/scrape.txt" \
+  || { echo "check.sh: scraped exposition missing the completed-jobs counter"; exit 1; }
+[ -s "$servedir/m/metrics.prom" ] \
+  || { echo "check.sh: daemon never published metrics.prom"; exit 1; }
+# Every line must be a comment or "name[{labels}] value" — i.e. the file
+# parses as Prometheus text format v0.0.4.
+if grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+)$' \
+    "$servedir/m/metrics.prom" | grep -q .; then
+  echo "check.sh: metrics.prom has unparseable lines"; exit 1
+fi
+sojourns=$(grep -o 'rbb_job_sojourn_seconds_count{outcome="ok"} [0-9]*' \
+  "$servedir/m/metrics.prom" | grep -o '[0-9]*$')
+[ -n "$sojourns" ] && [ "$sojourns" -ge 1 ] \
+  || { echo "check.sh: job sojourn histogram counted ${sojourns:-nothing}"; exit 1; }
+
 echo "check.sh: all green"

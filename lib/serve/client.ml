@@ -112,6 +112,11 @@ let stats t =
   | Protocol.Stats_reply fields -> fields
   | resp -> fail_reply "stats" resp
 
+let metrics t =
+  match request t Protocol.Metrics with
+  | Protocol.Metrics_reply { body } -> body
+  | resp -> fail_reply "metrics" resp
+
 let reset_stats t =
   match request t Protocol.Reset_stats with
   | Protocol.Ok_reply -> ()

@@ -42,6 +42,13 @@ val await_result : ?poll_s:float -> t -> id:string -> string
     @raise Failure if the job failed or is unknown. *)
 
 val stats : t -> (string * Rbb_sim.Jsonl.value) list
+
+val metrics : t -> string
+(** Scrape the daemon's Prometheus exposition (the [metrics.prom]
+    bytes).  The body can exceed {!Protocol.default_max_frame} on a
+    busy daemon — scraping connections should pass a roomier
+    [max_frame] to {!connect}. *)
+
 val reset_stats : t -> unit
 
 val shutdown : t -> unit

@@ -7,6 +7,8 @@
 module Jsonl = Rbb_sim.Jsonl
 module Telemetry = Rbb_sim.Telemetry
 module Fileio = Rbb_sim.Fileio
+module Registry = Rbb_obs.Registry
+module Prometheus = Rbb_obs.Prometheus
 
 type config = {
   socket : string;
@@ -52,6 +54,7 @@ type t = {
   cfg : config;
   admission : Admission.t;
   tel : Telemetry.t;
+  registry : Registry.t;
   lock : Mutex.t;  (** guards [states], [events] and [workers_live] *)
   states : (string, job_state) Hashtbl.t;
   events : Protocol.event Queue.t;
@@ -90,6 +93,22 @@ let logf t fmt =
 
 (* Workers ------------------------------------------------------------- *)
 
+(* Per-job latency histograms, labeled by outcome.  These are the
+   scrapable counterpart of Admission's raw sample arrays: slam's
+   measured quantiles and the scraped ones must agree because both see
+   the same entry timestamps (modulo the nanoseconds between
+   note_done's clock read and ours). *)
+let observe_job t entry ~outcome =
+  let now = Monotonic_clock.now () in
+  let sec a b = Int64.to_float (Int64.sub a b) /. 1e9 in
+  let labels = [ ("outcome", outcome) ] in
+  Registry.observe t.registry ~labels "rbb_job_wait_seconds"
+    (sec entry.Admission.t_start entry.Admission.t_submit);
+  Registry.observe t.registry ~labels "rbb_job_service_seconds"
+    (sec now entry.Admission.t_start);
+  Registry.observe t.registry ~labels "rbb_job_sojourn_seconds"
+    (sec now entry.Admission.t_submit)
+
 let worker_loop t _w =
   let rec go () =
     match Admission.pop t.admission with
@@ -113,6 +132,7 @@ let worker_loop t _w =
          with
         | (_ : (string * Jsonl.value) list) ->
             Admission.note_done t.admission entry ~ok:true;
+            observe_job t entry ~outcome:"ok";
             Telemetry.incr t.tel "serve.completed";
             Telemetry.record_latency t.tel
               (Int64.sub (Monotonic_clock.now ()) entry.Admission.t_submit);
@@ -123,6 +143,7 @@ let worker_loop t _w =
             let detail = Printexc.to_string e in
             let round = !last_round in
             Admission.note_done t.admission entry ~ok:false;
+            observe_job t entry ~outcome:"error";
             Telemetry.incr t.tel "serve.failed";
             (* Durable failure record: without it, scan would resubmit
                the job on every restart and it would re-fail forever. *)
@@ -181,6 +202,54 @@ let stats_fields t =
   @ sample_fields "wait" s.Admission.wait_ns
   @ sample_fields "service" s.Admission.service_ns
   @ sample_fields "sojourn" s.Admission.sojourn_ns
+
+(* Bring the registry's counters and gauges up to date with the
+   admission plane and the lifetime telemetry before every exposition.
+   Everything here is set-semantics, so refreshing is idempotent; the
+   job histograms are the only push-style series and the workers feed
+   those directly. *)
+let refresh_registry t =
+  let r = t.registry in
+  let s = Admission.stats t.admission in
+  Registry.set_gauge r "rbb_workers" (float_of_int t.cfg.workers);
+  Registry.set_gauge r "rbb_queue_capacity" (float_of_int t.cfg.queue_depth);
+  Registry.set_gauge r "rbb_queue_len" (float_of_int s.Admission.queue_len);
+  Registry.set_gauge r "rbb_jobs_running"
+    (float_of_int (s.Admission.started - s.Admission.completed - s.Admission.failed));
+  Registry.set_counter r "rbb_jobs_accepted_total"
+    (float_of_int s.Admission.arrivals);
+  Registry.set_counter r "rbb_jobs_rejected_total"
+    (float_of_int s.Admission.rejected);
+  Registry.set_counter r "rbb_jobs_started_total"
+    (float_of_int s.Admission.started);
+  Registry.set_counter r "rbb_jobs_completed_total"
+    (float_of_int s.Admission.completed);
+  Registry.set_counter r "rbb_jobs_failed_total"
+    (float_of_int s.Admission.failed);
+  let window_ns =
+    Int64.to_float (Int64.sub s.Admission.last_arrival s.Admission.first_arrival)
+  in
+  let lambda_hat =
+    if s.Admission.arrivals >= 2 && window_ns > 0. then
+      float_of_int (s.Admission.arrivals - 1) /. (window_ns /. 1e9)
+    else 0.
+  in
+  Registry.set_gauge r "rbb_lambda_hat_per_s" lambda_hat;
+  let mu_hat =
+    if Array.length s.Admission.service_ns > 0 then
+      1e9 /. mean s.Admission.service_ns
+    else 0.
+  in
+  Registry.set_gauge r "rbb_mu_hat_per_s" mu_hat;
+  Registry.set_gauge r "rbb_utilization"
+    (if mu_hat > 0. then
+       lambda_hat /. (float_of_int t.cfg.workers *. mu_hat)
+     else 0.);
+  Registry.import_telemetry r t.tel
+
+let metrics_body t =
+  refresh_registry t;
+  Prometheus.render_registry t.registry
 
 (* Requests ------------------------------------------------------------ *)
 
@@ -301,8 +370,13 @@ let dispatch t conn req =
       conn.sub <- Some sel;
       [ Protocol.Ok_reply ]
   | Stats -> [ Protocol.Stats_reply (stats_fields t) ]
+  | Metrics -> [ Protocol.Metrics_reply { body = metrics_body t } ]
   | Reset_stats ->
       Admission.reset_stats t.admission;
+      (* Job histograms must cover the same window as Admission's
+         sample arrays, or a slam run's scraped quantiles would mix in
+         settle-phase jobs that slam excluded from its own samples. *)
+      Registry.reset_histograms t.registry;
       [ Protocol.Ok_reply ]
   | Shutdown ->
       if not t.draining then begin
@@ -437,11 +511,24 @@ let run cfg =
     | Error e -> invalid_arg e
   in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let registry = Registry.create () in
+  List.iter
+    (fun (name, text) -> Registry.help registry ~name text)
+    [
+      ("rbb_job_wait_seconds", "Queue wait per job, admission to start.");
+      ("rbb_job_service_seconds", "Service time per job, start to done.");
+      ("rbb_job_sojourn_seconds", "Total time in system per job.");
+      ("rbb_queue_len", "Jobs waiting in the admission queue.");
+      ("rbb_jobs_running", "Jobs currently being served.");
+      ("rbb_utilization", "Estimated rho = lambda / (c * mu).");
+      ("rbb_jobs_rejected_total", "Jobs turned away by admission control.");
+    ];
   let t =
     {
       cfg;
       admission = Admission.create ~depth:cfg.queue_depth ~servers:cfg.workers ();
       tel = Telemetry.create ();
+      registry;
       lock = Mutex.create ();
       states = Hashtbl.create 64;
       events = Queue.create ();
@@ -518,9 +605,20 @@ let run cfg =
           evs;
         flush events_oc
   in
+  let prom_path = Filename.concat cfg.state_dir "metrics.prom" in
+  let write_prom () =
+    refresh_registry t;
+    Prometheus.write_file t.registry ~path:prom_path
+  in
+  let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9 in
+  let next_prom = ref (now_s ()) in
   let flush_spins = ref 0 in
   let rec loop () =
     pump_events ();
+    if now_s () >= !next_prom then begin
+      write_prom ();
+      next_prom := now_s () +. 1.
+    end;
     t.conns <- List.filter (fun c -> c.alive) t.conns;
     let finished =
       t.draining && workers_done ()
@@ -559,6 +657,7 @@ let run cfg =
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
       close_out_noerr events_oc;
+      (try write_prom () with Sys_error _ | Unix.Unix_error _ -> ());
       (match cfg.telemetry_path with
       | Some path -> Telemetry.write_json t.tel ~path
       | None -> ());

@@ -28,7 +28,17 @@
     {!Rbb_sim.Jsonl.tail} can follow it live) and streamed as [event]
     frames to connected subscribers.  The [stats] request returns the
     measured arrival/service statistics ({!Admission.stats}) that
-    [rbb slam] fits against the {!Rbb_queueing.Mmc} model. *)
+    [rbb slam] fits against the {!Rbb_queueing.Mmc} model.
+
+    The daemon also keeps a {!Rbb_obs.Registry}: per-job
+    wait/service/sojourn histograms labeled by outcome, queue/worker
+    gauges, estimated λ̂/μ̂/ρ̂ and lifetime counters.  The [metrics]
+    request returns the Prometheus text exposition, and the same bytes
+    are republished atomically to [metrics.prom] in the state directory
+    about once a second and at shutdown.  [reset-stats] zeroes the job
+    histograms together with {!Admission.reset_stats}, so a measurement
+    window scraped after a reset covers exactly the jobs the admission
+    samples do. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)

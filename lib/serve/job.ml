@@ -163,7 +163,7 @@ let fnv64 loads =
     loads;
   Printf.sprintf "%016Lx" !h
 
-let result_fields ~id ~(spec : Protocol.job_spec) ~round ~config ~counters =
+let result_fields ~id ~(spec : Protocol.job_spec) ~round ~config ~telemetry =
   [
     ("schema", Jsonl.String result_schema);
     ("id", Jsonl.String id);
@@ -176,8 +176,16 @@ let result_fields ~id ~(spec : Protocol.job_spec) ~round ~config ~counters =
     ("empty_bins", Jsonl.Int (Config.empty_bins config));
     ("balls", Jsonl.Int (Config.balls config));
     ("loads_fnv64", Jsonl.String (fnv64 (Config.loads config)));
+    (* The embedded snapshot is the counters-only telemetry document:
+       counters are deterministic per seed and restored across resume,
+       so this field — like everything above — is byte-stable between a
+       resumed job and one that never crashed.  Timers/latency are
+       wall-clock and deliberately excluded. *)
+    ("telemetry", Jsonl.String (Telemetry.counters_json telemetry));
   ]
-  @ List.map (fun (k, v) -> ("c." ^ k, Jsonl.Int v)) counters
+  @ List.map
+      (fun (k, v) -> ("c." ^ k, Jsonl.Int v))
+      (Telemetry.counters telemetry)
 
 let result_body fields = Jsonl.obj fields
 
@@ -260,7 +268,7 @@ let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
   done;
   let fields =
     result_fields ~id ~spec ~round:spec.rounds ~config:(config ())
-      ~counters:(Telemetry.counters tel)
+      ~telemetry:tel
   in
   Rbb_sim.Fileio.write_atomic ~path:(result_path ~state_dir ~id) (fun oc ->
       output_string oc (result_body fields);

@@ -45,6 +45,7 @@ type request =
   | Result of string
   | Subscribe of string option
   | Stats
+  | Metrics
   | Reset_stats
   | Shutdown
 
@@ -58,6 +59,7 @@ type response =
   | Job_status of { id : string; state : string; round : int }
   | Job_result of { id : string; body : string }
   | Stats_reply of (string * Jsonl.value) list
+  | Metrics_reply of { body : string }
   | Event of event
   | Error_reply of { code : string; message : string }
 
@@ -87,6 +89,7 @@ let request_to_json = function
   | Subscribe None -> obj "subscribe" []
   | Subscribe (Some id) -> obj "subscribe" [ ("id", Jsonl.String id) ]
   | Stats -> obj "stats" []
+  | Metrics -> obj "metrics" []
   | Reset_stats -> obj "reset-stats" []
   | Shutdown -> obj "shutdown" []
 
@@ -112,6 +115,7 @@ let response_to_json = function
   | Job_result { id; body } ->
       obj "job-result" [ ("id", Jsonl.String id); ("body", Jsonl.String body) ]
   | Stats_reply fields -> obj "stats" fields
+  | Metrics_reply { body } -> obj "metrics" [ ("body", Jsonl.String body) ]
   | Event { ev; id; round; detail } ->
       obj "event"
         (("event", Jsonl.String ev)
@@ -180,6 +184,7 @@ let request_of_json line =
       Ok (Result id)
   | "subscribe" -> Ok (Subscribe (Jsonl.find_string fields "id"))
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "reset-stats" -> Ok Reset_stats
   | "shutdown" -> Ok Shutdown
   | ty -> Error (Printf.sprintf "unknown request type %S" ty)
@@ -210,6 +215,9 @@ let response_of_json line =
       let* body = need_string fields "body" in
       Ok (Job_result { id; body })
   | "stats" -> Ok (Stats_reply (strip_envelope fields))
+  | "metrics" ->
+      let* body = need_string fields "body" in
+      Ok (Metrics_reply { body })
   | "event" ->
       let* ev = need_string fields "event" in
       let* id = need_string fields "id" in

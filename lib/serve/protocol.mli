@@ -60,6 +60,7 @@ type request =
   | Result of string  (** job id *)
   | Subscribe of string option  (** [None] = all jobs *)
   | Stats
+  | Metrics  (** scrape the daemon's Prometheus exposition *)
   | Reset_stats
   | Shutdown
 
@@ -86,6 +87,11 @@ type response =
           published, so a client can compare results byte for byte *)
   | Stats_reply of (string * Rbb_sim.Jsonl.value) list
       (** measured service statistics, as flat fields (see {!Daemon}) *)
+  | Metrics_reply of { body : string }
+      (** the Prometheus text-format exposition, verbatim — the same
+          bytes the daemon publishes to [metrics.prom].  Can exceed
+          {!default_max_frame} on a busy daemon; scraping clients
+          should connect with a roomier [max_frame] *)
   | Event of event  (** streamed to subscribers *)
   | Error_reply of { code : string; message : string }
       (** structured rejection: [code] is machine-readable

@@ -1,0 +1,226 @@
+(* `rbb top`: a live terminal dashboard over one daemon.  Each frame is
+   assembled from three sources — the `stats` request (admission
+   plane), a `metrics` scrape (latency quantiles from the job
+   histograms) and the state directory's events.ndjson tailed with
+   Jsonl.tail (per-job progress) — and rendered as plain text, so the
+   assembly and rendering stay pure and testable; only [run] owns a
+   clock and a connection. *)
+
+module Jsonl = Rbb_sim.Jsonl
+module Prometheus = Rbb_obs.Prometheus
+
+type job_row = { id : string; state : string; round : int }
+
+type view = {
+  queue_len : int;
+  queue_capacity : int;
+  workers : int;
+  running : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  jobs_per_s : float;  (* completions per second over the last poll *)
+  lambda_hat : float;
+  utilization : float;
+  sojourn_p50_s : float option;
+  sojourn_p95_s : float option;
+  sojourn_p99_s : float option;
+  mmc_wait_s : float option;  (* M/M/c predicted mean wait at lambda-hat *)
+  jobs : job_row list;  (* most recent first *)
+}
+
+let get_i fields key =
+  match Jsonl.find_int fields key with Some v -> v | None -> 0
+
+let get_f fields key =
+  match Jsonl.find_float fields key with Some v -> v | None -> nan
+
+(* Per-job progress, folded from lifecycle events (newest state wins). *)
+type tracker = {
+  rows : (string, job_row) Hashtbl.t;
+  mutable order : string list;  (* most recently updated first *)
+}
+
+let tracker () = { rows = Hashtbl.create 32; order = [] }
+
+let note_event tr (ev : Protocol.event) =
+  let state =
+    match ev.Protocol.ev with
+    | "accepted" -> "queued"
+    | "started" | "checkpoint" -> "running"
+    | "done" -> "done"
+    | "failed" -> "failed"
+    | s -> s
+  in
+  let round =
+    match Hashtbl.find_opt tr.rows ev.Protocol.id with
+    | Some old -> Stdlib.max old.round ev.Protocol.round
+    | None -> ev.Protocol.round
+  in
+  Hashtbl.replace tr.rows ev.Protocol.id { id = ev.Protocol.id; state; round };
+  tr.order <- ev.Protocol.id :: List.filter (fun i -> i <> ev.Protocol.id) tr.order
+
+let note_event_line tr line =
+  match Protocol.response_of_json line with
+  | Ok (Protocol.Event ev) -> note_event tr ev
+  | Ok _ | Error _ -> ()
+
+let jobs_of_tracker ?(limit = 8) tr =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | id :: rest -> (
+        match Hashtbl.find_opt tr.rows id with
+        | Some row -> row :: take (k - 1) rest
+        | None -> take k rest)
+  in
+  take limit tr.order
+
+let assemble ~stats ~metrics_body ~completed_delta ~dt ~jobs =
+  let lambda_hat =
+    let v = get_f stats "lambda_hat_per_s" in
+    if Float.is_nan v then 0. else v
+  in
+  let workers = Stdlib.max 1 (get_i stats "workers") in
+  let mu_hat =
+    let mean_s = get_f stats "service_mean_s" in
+    if Float.is_finite mean_s && mean_s > 0. then 1. /. mean_s else 0.
+  in
+  let utilization =
+    if mu_hat > 0. then lambda_hat /. (float_of_int workers *. mu_hat) else 0.
+  in
+  let mmc_wait_s =
+    if lambda_hat > 0. && mu_hat > 0. && utilization < 1. then
+      Some
+        (Rbb_queueing.Mmc.mean_waiting_time ~lambda:lambda_hat ~mu:mu_hat
+           ~c:workers)
+    else None
+  in
+  let q p =
+    Prometheus.scraped_quantile
+      ~labels:[ ("outcome", "ok") ]
+      metrics_body "rbb_job_sojourn_seconds" p
+  in
+  {
+    queue_len = get_i stats "queue_len";
+    queue_capacity = get_i stats "queue_depth";
+    workers;
+    running =
+      get_i stats "started" - get_i stats "completed" - get_i stats "failed";
+    completed = get_i stats "completed";
+    failed = get_i stats "failed";
+    rejected = get_i stats "rejected";
+    jobs_per_s =
+      (if dt > 0. then float_of_int completed_delta /. dt else 0.);
+    lambda_hat;
+    utilization;
+    sojourn_p50_s = q 0.5;
+    sojourn_p95_s = q 0.95;
+    sojourn_p99_s = q 0.99;
+    mmc_wait_s;
+    jobs;
+  }
+
+(* Rendering ---------------------------------------------------------- *)
+
+let fmt_s = function
+  | None -> "-"
+  | Some v ->
+      if Float.is_nan v then "-"
+      else if v < 1e-3 then Printf.sprintf "%.0fus" (v *. 1e6)
+      else if v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
+      else Printf.sprintf "%.2fs" v
+
+let bar ~width frac =
+  let frac = Float.max 0. (Float.min 1. frac) in
+  let full = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.make full '#' ^ String.make (width - full) '.'
+
+let render v =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "rbb top - daemon";
+  line "";
+  line "queue   [%s] %d/%d" (bar ~width:20
+    (if v.queue_capacity > 0 then
+       float_of_int v.queue_len /. float_of_int v.queue_capacity
+     else 0.))
+    v.queue_len v.queue_capacity;
+  line "load    [%s] rho=%.2f  lambda=%.2f/s" (bar ~width:20 v.utilization)
+    v.utilization v.lambda_hat;
+  line "workers %d  running %d  jobs/s %.2f" v.workers v.running v.jobs_per_s;
+  line "totals  completed %d  failed %d  rejected %d" v.completed v.failed
+    v.rejected;
+  line "";
+  line "sojourn p50 %s  p95 %s  p99 %s  (M/M/c wait %s)"
+    (fmt_s v.sojourn_p50_s) (fmt_s v.sojourn_p95_s) (fmt_s v.sojourn_p99_s)
+    (fmt_s v.mmc_wait_s);
+  (match v.jobs with
+  | [] -> ()
+  | jobs ->
+      line "";
+      line "%-12s %-8s %s" "job" "state" "round";
+      List.iter
+        (fun r -> line "%-12s %-8s %d" r.id r.state r.round)
+        jobs);
+  Buffer.contents b
+
+(* The live loop ------------------------------------------------------ *)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let clear_screen = "\027[H\027[2J"
+
+let run ?state_dir ?(interval_s = 1.0) ?(frames = 0) ?(once = false)
+    ?(out = stdout) ~socket () =
+  let client =
+    Client.connect ~max_frame:(1 lsl 22) ~socket ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      let tr = tracker () in
+      let tail =
+        Option.map
+          (fun dir -> Jsonl.tail (Filename.concat dir "events.ndjson"))
+          state_dir
+      in
+      let poll_tail () =
+        match tail with
+        | None -> ()
+        | Some tail ->
+            List.iter (note_event_line tr) (Jsonl.tail_poll tail)
+      in
+      let prev_completed = ref 0 in
+      let prev_t = ref (now_s ()) in
+      let frame k =
+        poll_tail ();
+        let stats = Client.stats client in
+        let metrics_body = Client.metrics client in
+        let t = now_s () in
+        let completed = get_i stats "completed" in
+        let v =
+          assemble ~stats ~metrics_body
+            ~completed_delta:(if k = 0 then 0 else completed - !prev_completed)
+            ~dt:(t -. !prev_t)
+            ~jobs:(jobs_of_tracker tr)
+        in
+        prev_completed := completed;
+        prev_t := t;
+        if not once then output_string out clear_screen;
+        output_string out (render v);
+        flush out
+      in
+      if once then frame 0
+      else begin
+        let k = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          (match frame !k with
+          | () -> ()
+          | exception Failure _ when !k > 0 -> stop := true);
+          Stdlib.incr k;
+          if frames > 0 && !k >= frames then stop := true
+          else if not !stop then Unix.sleepf interval_s
+        done
+      end)

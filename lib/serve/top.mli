@@ -1,0 +1,78 @@
+(** The [rbb top] live dashboard.
+
+    Polls a daemon's [stats] and [metrics] requests and (when the state
+    directory is known) tails its [events.ndjson] with
+    {!Rbb_sim.Jsonl.tail}, rendering queue depth, estimated load,
+    throughput, sojourn quantiles from the scraped job histograms next
+    to the {!Rbb_queueing.Mmc} predicted wait, and per-job progress.
+
+    Frame assembly ({!assemble}) and rendering ({!render}) are pure —
+    tests feed them canned stats fields and scraped bodies; only {!run}
+    owns a connection and a clock. *)
+
+type job_row = { id : string; state : string; round : int }
+
+type view = {
+  queue_len : int;
+  queue_capacity : int;
+  workers : int;
+  running : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  jobs_per_s : float;
+  lambda_hat : float;
+  utilization : float;
+  sojourn_p50_s : float option;
+  sojourn_p95_s : float option;
+  sojourn_p99_s : float option;
+  mmc_wait_s : float option;
+  jobs : job_row list;
+}
+
+(** {2 Pure assembly} *)
+
+type tracker
+(** Per-job progress state, folded from lifecycle events. *)
+
+val tracker : unit -> tracker
+val note_event : tracker -> Protocol.event -> unit
+
+val note_event_line : tracker -> string -> unit
+(** Feed one [events.ndjson] line (non-event or unparseable lines are
+    ignored). *)
+
+val jobs_of_tracker : ?limit:int -> tracker -> job_row list
+(** Most recently updated jobs first, at most [limit] (default 8). *)
+
+val assemble :
+  stats:(string * Rbb_sim.Jsonl.value) list ->
+  metrics_body:string ->
+  completed_delta:int ->
+  dt:float ->
+  jobs:job_row list ->
+  view
+(** Build one frame from a [stats] reply, a scraped exposition body,
+    and the completion delta over the [dt] seconds since the previous
+    frame. *)
+
+val render : view -> string
+(** One plain-text frame, newline-terminated lines, no escape codes. *)
+
+(** {2 The live loop} *)
+
+val run :
+  ?state_dir:string ->
+  ?interval_s:float ->
+  ?frames:int ->
+  ?once:bool ->
+  ?out:out_channel ->
+  socket:string ->
+  unit ->
+  unit
+(** Poll every [interval_s] (default 1 s) and repaint [out] (default
+    stdout; cleared with ANSI escapes between frames).  [frames > 0]
+    stops after that many frames; [once] prints a single frame with no
+    screen clearing — the scriptable/testable mode.  [state_dir]
+    enables the per-job progress table.  @raise Failure when the
+    daemon cannot be reached at all. *)

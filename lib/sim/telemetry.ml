@@ -149,6 +149,28 @@ let counters t =
       Mutex.unlock s.lock;
       List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
 
+let gauges t =
+  match t with
+  | Noop -> []
+  | Active s ->
+      Mutex.lock s.lock;
+      let kvs = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.gauges [] in
+      Mutex.unlock s.lock;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
+let timers t =
+  match t with
+  | Noop -> []
+  | Active s ->
+      Mutex.lock s.lock;
+      let kvs =
+        Hashtbl.fold
+          (fun k tm acc -> (k, (tm.calls, tm.total_ns)) :: acc)
+          s.timers []
+      in
+      Mutex.unlock s.lock;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) kvs
+
 (* JSON rendering ----------------------------------------------------- *)
 
 let json_escape s =
@@ -238,6 +260,22 @@ let write_json t ~path =
   Fileio.write_atomic ~path (fun oc ->
       output_string oc (to_json_string t);
       output_char oc '\n')
+
+(* One-line document holding only the deterministic slice of the
+   registry: counters are seed-stable and restored across a resume
+   (see {!counters}), so this string is byte-identical between a
+   resumed job and one that never crashed — which is what lets it be
+   embedded in pinned result files. *)
+let counters_json t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    (counters t);
+  Buffer.add_string b "},\"schema\":\"rbb.telemetry-counters/1\"}";
+  Buffer.contents b
 
 (* Bridge to the core engines' instrumentation interface. *)
 let probe t =

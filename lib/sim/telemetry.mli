@@ -86,6 +86,13 @@ val counters : t -> (string * int) list
     histogram are wall-clock measurements and are deliberately not
     carried across a resume). *)
 
+val gauges : t -> (string * float) list
+(** All gauges, sorted by name ([[]] on {!noop}). *)
+
+val timers : t -> (string * (int * int64)) list
+(** All timers as [(name, (calls, total_ns))], sorted by name ([[]] on
+    {!noop}). *)
+
 (** {2 Export} *)
 
 val to_json_string : t -> string
@@ -98,6 +105,13 @@ val to_json_string : t -> string
 val write_json : t -> path:string -> unit
 (** Write {!to_json_string} (plus a trailing newline) to [path],
     atomically ({!Fileio.write_atomic}). *)
+
+val counters_json : t -> string
+(** One-line JSON document ([{"counters":{...},"schema":
+    "rbb.telemetry-counters/1"}], keys sorted) holding only the
+    counters — the deterministic, resume-stable slice of the registry.
+    Embedded in daemon job-result files, where byte-stability between a
+    resumed and an uninterrupted job is asserted. *)
 
 val probe : t -> Rbb_core.Probe.t
 (** A probe feeding this sink, for instrumenting core engines

@@ -38,6 +38,7 @@ type state = {
   mutable s_first_round : int option;
   mutable s_last_round : int option;
   mutable s_peak : int option;
+  mutable s_current : int option;  (* max load of the newest observable *)
   mutable s_min_empty_frac : float option;
   mutable s_min_balls : int option;
   mutable s_max_balls : int option;
@@ -65,6 +66,7 @@ let fresh_state () =
     s_first_round = None;
     s_last_round = None;
     s_peak = None;
+    s_current = None;
     s_min_empty_frac = None;
     s_min_balls = None;
     s_max_balls = None;
@@ -109,6 +111,7 @@ let feed st line =
                 if st.s_first_round = None then st.s_first_round <- Some round;
                 st.s_last_round <- Some round;
                 st.s_peak <- opt_max st.s_peak max_load;
+                st.s_current <- Some max_load;
                 (match st.s_n with
                 | Some n when n > 0 ->
                     st.s_min_empty_frac <-
@@ -221,24 +224,69 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ic)
 
-(* Live tailing: fold the stream through Jsonl's following reader until
-   the producer goes quiet, then treat whatever unterminated bytes
-   remain exactly as read_channel treats a torn final line.  This is
-   what lets `rbb trace-report --follow` watch a simulation that is
-   still writing. *)
-let follow_file ?poll_interval_s ?idle_polls path =
-  Jsonl.fold_follow ?poll_interval_s ?idle_polls ~path ~init:(fresh_state ())
-    ~f:(fun st line ->
-      feed st line;
-      st)
-    ~finish:(fun st pending ->
-      (match pending with
-      | Some line when String.trim line <> "" ->
-          if Jsonl.parse line = None then st.s_truncated_tail <- true
-          else feed st line
-      | Some _ | None -> ());
-      finish st)
-    ()
+(* Live tailing: fold the stream via Jsonl's tail until the producer
+   goes quiet, then treat whatever unterminated bytes remain exactly as
+   read_channel treats a torn final line.  This is what lets
+   `rbb trace-report --follow` watch a simulation that is still
+   writing.  [live] (when given) observes the summary-so-far after each
+   poll that delivered lines — the hook behind the one-line progress
+   reports `--follow` prints while it pairs with `rbb top`. *)
+
+type live = {
+  live_rounds : int;
+  live_last_round : int option;
+  live_max_load : int option;
+  live_legitimate : bool option;
+}
+
+let live_of st =
+  {
+    live_rounds = st.s_observables;
+    live_last_round = st.s_last_round;
+    live_max_load = st.s_current;
+    live_legitimate =
+      (match (st.s_threshold, st.s_current) with
+      | Some thr, Some ml -> Some (ml <= thr)
+      | _ -> None);
+  }
+
+(* The pinnable live-line format; the rate is the only wall-clock part
+   and cram tests normalise it away. *)
+let live_line ?rate l =
+  Printf.sprintf "live: round=%s max_load=%s legitimate=%s%s"
+    (match l.live_last_round with Some r -> string_of_int r | None -> "?")
+    (match l.live_max_load with Some m -> string_of_int m | None -> "?")
+    (match l.live_legitimate with
+    | Some true -> "yes"
+    | Some false -> "no"
+    | None -> "-")
+    (match rate with
+    | Some r -> Printf.sprintf " (%.1f rounds/s)" r
+    | None -> "")
+
+let follow_file ?(poll_interval_s = 0.05) ?(idle_polls = 3) ?live path =
+  if poll_interval_s < 0. then
+    invalid_arg "Trace_report.follow_file: poll_interval_s must be >= 0";
+  if idle_polls < 1 then
+    invalid_arg "Trace_report.follow_file: idle_polls must be >= 1";
+  let st = fresh_state () in
+  let tl = Jsonl.tail path in
+  let idle = ref 0 in
+  while !idle < idle_polls do
+    (match Jsonl.tail_poll tl with
+    | [] -> Stdlib.incr idle
+    | lines ->
+        idle := 0;
+        List.iter (feed st) lines;
+        match live with Some f -> f (live_of st) | None -> ());
+    if !idle < idle_polls then Unix.sleepf poll_interval_s
+  done;
+  (match Jsonl.tail_pending tl with
+  | Some line when String.trim line <> "" ->
+      if Jsonl.parse line = None then st.s_truncated_tail <- true
+      else feed st line
+  | Some _ | None -> ());
+  finish st
 
 (* Deterministic rendering for a deterministic trace: everything shown
    is derived from record contents, never wall-clock durations, so cram

@@ -48,14 +48,33 @@ val of_lines : string list -> t
 val read_channel : in_channel -> t
 val read_file : string -> t
 
-val follow_file : ?poll_interval_s:float -> ?idle_polls:int -> string -> t
-(** Tail a trace that may still be written to ({!Jsonl.fold_follow}):
-    complete lines are folded as they appear; the read finishes once
-    [idle_polls] consecutive polls (every [poll_interval_s] seconds)
-    see no growth.  An unterminated final line is then classified
-    exactly as in {!read_channel}: fed if it parses, flagged as a
-    truncated tail otherwise.  On an already-complete file this returns
-    {!read_file}'s result after the idle wait. *)
+type live = {
+  live_rounds : int;  (** observable records folded so far *)
+  live_last_round : int option;
+  live_max_load : int option;  (** the {e newest} observable's, not the peak *)
+  live_legitimate : bool option;
+      (** current max load vs the header threshold; [None] without both *)
+}
+(** Progress snapshot handed to the [?live] callback of {!follow_file}
+    after each poll that delivered lines. *)
+
+val live_line : ?rate:float -> live -> string
+(** The one-line summary `--follow` prints:
+    [live: round=200 max_load=3 legitimate=yes (812.5 rounds/s)] —
+    [rate] (rounds per wall-clock second, measured by the caller) is
+    the only nondeterministic part, so cram tests pin the format after
+    normalising the parenthesised rate.  No trailing newline. *)
+
+val follow_file :
+  ?poll_interval_s:float -> ?idle_polls:int -> ?live:(live -> unit) -> string -> t
+(** Tail a trace that may still be written to ({!Jsonl.tail}): complete
+    lines are folded as they appear; the read finishes once
+    [idle_polls] consecutive polls (every [poll_interval_s] seconds,
+    default 0.05/3) see no growth.  An unterminated final line is then
+    classified exactly as in {!read_channel}: fed if it parses, flagged
+    as a truncated tail otherwise.  On an already-complete file this
+    returns {!read_file}'s result after the idle wait, with [live]
+    called once (the whole file arrives in the first poll). *)
 
 val render : ?plot:bool -> t -> string
 (** Terminal rendering of the summary — deterministic for a fixed

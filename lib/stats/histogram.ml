@@ -60,6 +60,14 @@ module Int_hist = struct
     Format.fprintf ppf "@[<h>{";
     List.iter (fun (v, c) -> Format.fprintf ppf " %d:%d" v c) (to_list t);
     Format.fprintf ppf " }@]"
+
+  (* Exact counts make merging exact: the merged histogram is
+     indistinguishable from one fed the concatenated observations. *)
+  let merge a b =
+    let t = create ~initial_capacity:(Stdlib.max 1 (Stdlib.max a.max_v b.max_v + 1)) () in
+    List.iter (fun (v, c) -> add_many t v c) (to_list a);
+    List.iter (fun (v, c) -> add_many t v c) (to_list b);
+    t
 end
 
 module Float_hist = struct
@@ -125,4 +133,18 @@ module Float_hist = struct
       end
     in
     scan 0 t.underflow
+
+  (* Bucket-wise sum; both operands must share the geometry, since
+     counts in differently-cut buckets cannot be combined without
+     losing the quantile guarantee. *)
+  let merge a b =
+    if a.lo <> b.lo || a.hi <> b.hi
+       || Array.length a.counts <> Array.length b.counts
+    then invalid_arg "Float_hist.merge: geometry mismatch";
+    let t = create ~lo:a.lo ~hi:a.hi ~buckets:(Array.length a.counts) in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.underflow <- a.underflow + b.underflow;
+    t.overflow <- a.overflow + b.overflow;
+    t.total <- a.total + b.total;
+    t
 end

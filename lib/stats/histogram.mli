@@ -33,6 +33,11 @@ module Int_hist : sig
   (** [(value, count)] pairs for non-zero counts, ascending. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val merge : t -> t -> t
+  (** A fresh histogram holding both operands' observations.  Exact:
+      indistinguishable from one fed the concatenated inputs, so totals
+      add and every per-value count adds. *)
 end
 
 module Float_hist : sig
@@ -56,4 +61,11 @@ module Float_hist : sig
   (** [quantile t q] approximates the [q]-quantile by linear
       interpolation within the containing bucket.
       @raise Invalid_argument unless [0 <= q <= 1] and [t] non-empty. *)
+
+  val merge : t -> t -> t
+  (** Bucket-wise sum of two histograms with identical geometry
+      ([lo], [hi], bucket count): totals, per-bucket counts and
+      under/overflow all add, so quantiles of the merge equal quantiles
+      of the concatenated observations within one bucket width.
+      @raise Invalid_argument on a geometry mismatch. *)
 end

@@ -36,3 +36,27 @@ let iqr samples =
   match quantiles samples [ 0.25; 0.75 ] with
   | [ q25; q75 ] -> q75 -. q25
   | _ -> assert false
+
+(* Quantile of the union of two already-sorted samples, via a linear
+   merge instead of concatenate-and-resort.  Exact: equals
+   [quantile (Array.append a b) q]. *)
+let merged_quantile a b q =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then of_sorted (sorted_copy b) q
+  else if nb = 0 then of_sorted (sorted_copy a) q
+  else begin
+    let sa = sorted_copy a and sb = sorted_copy b in
+    let merged = Array.make (na + nb) 0. in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !i < na && (!j >= nb || Float.compare sa.(!i) sb.(!j) <= 0) then begin
+        merged.(k) <- sa.(!i);
+        Stdlib.incr i
+      end
+      else begin
+        merged.(k) <- sb.(!j);
+        Stdlib.incr j
+      end
+    done;
+    of_sorted merged q
+  end

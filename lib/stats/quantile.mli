@@ -16,3 +16,9 @@ val quantiles : float array -> float list -> float list
 
 val iqr : float array -> float
 (** Interquartile range, [q75 - q25]. *)
+
+val merged_quantile : float array -> float array -> float -> float
+(** [merged_quantile a b q] is the [q]-quantile of the union of the two
+    samples, computed by a linear merge — exactly
+    [quantile (Array.append a b) q].  Raises like {!quantile} (the
+    union must be non-empty). *)

@@ -19,7 +19,7 @@ A daemon session: submit-and-wait, then query the finished job.
 
   $ rbb submit --socket d.sock --bins 64 --rounds 500 --seed 9 --init pile --wait
   accepted job-000001
-  {"balls":64,"c.process.launch.blocks":500,"c.process.rounds":500,"empty_bins":24,"engine":"balls","id":"job-000001","init":"pile","loads_fnv64":"f0e846775071339b","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9}
+  {"balls":64,"c.process.launch.blocks":500,"c.process.rounds":500,"empty_bins":24,"engine":"balls","id":"job-000001","init":"pile","loads_fnv64":"f0e846775071339b","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9,"telemetry":"{\"counters\":{\"process.launch.blocks\":500,\"process.rounds\":500},\"schema\":\"rbb.telemetry-counters/1\"}"}
 
   $ rbb submit --socket d.sock --status job-000001
   job-000001 done round=500
@@ -34,7 +34,7 @@ The count-based engine runs behind the same protocol:
 
   $ rbb submit --socket d.sock --bins 64 --rounds 500 --seed 9 --init pile --engine counts --wait
   accepted job-000002
-  {"balls":64,"c.counts.release.blocks":500,"c.counts.rounds":500,"empty_bins":27,"engine":"counts","id":"job-000002","init":"pile","loads_fnv64":"3a00f64aa642a7d9","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9}
+  {"balls":64,"c.counts.release.blocks":500,"c.counts.rounds":500,"empty_bins":27,"engine":"counts","id":"job-000002","init":"pile","loads_fnv64":"3a00f64aa642a7d9","max_load":5,"n":64,"rounds":500,"schema":"rbb.job-result/1","seed":9,"telemetry":"{\"counters\":{\"counts.release.blocks\":500,\"counts.rounds\":500},\"schema\":\"rbb.telemetry-counters/1\"}"}
 
 Unknown jobs are a structured error:
 
@@ -70,11 +70,15 @@ The event log recorded every lifecycle transition, in order:
   job-000002 checkpoint
   job-000002 done
 
-trace-report --follow tails a live file and reports once the writer
-goes idle; on an already-complete trace it reports exactly what the
-one-shot reader does:
+trace-report --follow tails a live file, printing a one-line summary
+per delivery (the rate is wall-clock, so the pin normalises it); once
+the writer goes idle the final report is exactly what the one-shot
+reader produces:
 
   $ rbb simulate --bins 32 --rounds 200 --trace-ndjson t.ndjson > /dev/null
   $ rbb trace-report t.ndjson --no-plot > oneshot.txt
   $ rbb trace-report t.ndjson --no-plot --follow > followed.txt
-  $ cmp oneshot.txt followed.txt
+  $ grep '^live: ' followed.txt | sed 's/(.* rounds\/s)/(RATE)/' | sort -u
+  live: round=200 max_load=4 legitimate=yes (RATE)
+  $ grep -v '^live: ' followed.txt > followed-report.txt
+  $ cmp oneshot.txt followed-report.txt

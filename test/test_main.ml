@@ -28,4 +28,5 @@ let () =
          Test_distributional.suite;
          Test_engines.suite;
          Test_serve.suite;
+         Test_obs.suite;
        ])

@@ -59,6 +59,7 @@ let test_request_roundtrips () =
       Protocol.Subscribe None;
       Protocol.Subscribe (Some "job-000007");
       Protocol.Stats;
+      Protocol.Metrics;
       Protocol.Reset_stats;
       Protocol.Shutdown;
     ]
@@ -80,6 +81,8 @@ let test_response_roundtrips () =
       Protocol.Error_reply { code = "bad_json"; message = "nope" };
       Protocol.Stats_reply
         [ ("arrivals", Jsonl.Int 3); ("wait_mean_s", Jsonl.Float 0.25) ];
+      Protocol.Metrics_reply
+        { body = "# TYPE rbb_jobs_total counter\nrbb_jobs_total 1\n" };
     ]
 
 let test_decode_rejections () =
@@ -671,7 +674,16 @@ let test_daemon_end_to_end () =
       (match Jsonl.parse body with
       | Some fields ->
           Alcotest.(check (option int)) "rounds" (Some 200)
-            (Jsonl.find_int fields "rounds")
+            (Jsonl.find_int fields "rounds");
+          (* The result embeds the job's final telemetry counters as a
+             schema-versioned snapshot. *)
+          (match Jsonl.find_string fields "telemetry" with
+          | None -> Alcotest.fail "result must embed a telemetry snapshot"
+          | Some tel_json ->
+              Alcotest.(check bool) "telemetry schema" true
+                (Tutil.contains_substring tel_json "rbb.telemetry-counters/1");
+              Alcotest.(check bool) "telemetry counters" true
+                (Tutil.contains_substring tel_json "\"counters\":{"))
       | None -> Alcotest.fail "result body must parse");
       (* Status of a finished job, and of nonsense. *)
       (match Client.request c (Protocol.Status id) with
@@ -689,6 +701,36 @@ let test_daemon_end_to_end () =
         (Jsonl.find_int st "completed");
       Alcotest.(check bool) "service sample present" true
         (Jsonl.find_float st "service_mean_s" <> None);
+      (* The metrics request returns a Prometheus exposition whose job
+         histograms cover the completed job. *)
+      let exposition = Client.metrics c in
+      Alcotest.(check (option (float 1e-9)))
+        "completed counter scraped" (Some 1.)
+        (Rbb_obs.Prometheus.sample_value exposition "rbb_jobs_completed_total");
+      let sojourn =
+        Rbb_obs.Prometheus.parse_histogram
+          ~labels:[ ("outcome", "ok") ]
+          exposition "rbb_job_sojourn_seconds"
+      in
+      (match List.rev sojourn with
+      | (le, count) :: _ ->
+          Alcotest.(check bool) "+Inf bucket last" true (le = Float.infinity);
+          Alcotest.(check int) "one ok job observed" 1 count
+      | [] -> Alcotest.fail "sojourn histogram missing from the scrape");
+      (* One `rbb top` frame against the live daemon (the scriptable
+         --once mode). *)
+      let top_out = Filename.temp_file "rbb_top" ".txt" in
+      Out_channel.with_open_text top_out (fun oc ->
+          Rbb_serve.Top.run ~state_dir ~once:true ~out:oc ~socket ());
+      let frame = In_channel.with_open_text top_out In_channel.input_all in
+      Sys.remove top_out;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "top frame mentions %S" needle)
+            true
+            (Tutil.contains_substring frame needle))
+        [ "rbb top"; "sojourn"; "job-000001"; "done" ];
       (* The subscriber saw accepted -> started -> checkpoints -> done,
          in order (200 rounds, checkpoints at 64 and 128 and 192). *)
       let rec stream acc =
@@ -727,6 +769,15 @@ let test_daemon_end_to_end () =
       Alcotest.(check bool)
         "lock released" false
         (Sys.file_exists (Filename.concat state_dir "daemon.lock"));
+      (* The exposition was republished to metrics.prom at shutdown. *)
+      let prom =
+        In_channel.with_open_text
+          (Filename.concat state_dir "metrics.prom")
+          In_channel.input_all
+      in
+      Alcotest.(check (option (float 1e-9)))
+        "metrics.prom republished at shutdown" (Some 1.)
+        (Rbb_obs.Prometheus.sample_value prom "rbb_jobs_completed_total");
       (* The event log is complete and well formed. *)
       let events =
         In_channel.with_open_text

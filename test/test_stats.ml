@@ -363,6 +363,82 @@ let prop_summary_bounds =
       let s = Summary.of_list xs in
       s.min <= s.median && s.median <= s.max && s.min <= s.mean && s.mean <= s.max)
 
+(* Exact-count histograms make merging lossless: the merge must be
+   indistinguishable from a histogram fed the concatenated stream. *)
+let prop_int_hist_merge =
+  Tutil.prop "int merge = histogram of concatenation" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (int_range 0 40))
+        (list_size (int_range 0 60) (int_range 0 40)))
+    (fun (xs, ys) ->
+      let open Histogram.Int_hist in
+      let of_list l =
+        let h = create () in
+        List.iter (add h) l;
+        h
+      in
+      let m = merge (of_list xs) (of_list ys)
+      and whole = of_list (xs @ ys) in
+      total m = total whole && to_list m = to_list whole)
+
+let prop_float_hist_merge =
+  Tutil.prop "float merge adds bucket-wise" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (float_range (-2.) 12.))
+        (list_size (int_range 0 60) (float_range (-2.) 12.)))
+    (fun (xs, ys) ->
+      let open Histogram.Float_hist in
+      let of_list l =
+        let h = create ~lo:0. ~hi:10. ~buckets:16 in
+        List.iter (add h) l;
+        h
+      in
+      let ha = of_list xs and hb = of_list ys in
+      let m = merge ha hb
+      and whole = of_list (xs @ ys) in
+      let buckets_agree = ref true in
+      for i = 0 to 15 do
+        if bucket_count m i <> bucket_count whole i then buckets_agree := false
+      done;
+      !buckets_agree
+      && total m = total whole
+      && underflow m = underflow whole
+      && overflow m = overflow whole)
+
+let float_hist_merge_geometry () =
+  let open Histogram.Float_hist in
+  let a = create ~lo:0. ~hi:10. ~buckets:16 in
+  Tutil.check_raises_invalid "lo mismatch" (fun () ->
+      ignore (merge a (create ~lo:1. ~hi:10. ~buckets:16)));
+  Tutil.check_raises_invalid "hi mismatch" (fun () ->
+      ignore (merge a (create ~lo:0. ~hi:20. ~buckets:16)));
+  Tutil.check_raises_invalid "bucket-count mismatch" (fun () ->
+      ignore (merge a (create ~lo:0. ~hi:10. ~buckets:8)))
+
+(* merged_quantile is a streaming-friendly two-way merge; it must agree
+   exactly with sorting the concatenation, for every interpolation
+   point. *)
+let prop_merged_quantile =
+  Tutil.prop "merged_quantile = quantile of concatenation" ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 50) (float_range (-100.) 100.))
+        (list_size (int_range 0 50) (float_range (-100.) 100.))
+        (float_bound_inclusive 1.))
+    (fun (xs, ys, q) ->
+      if xs = [] && ys = [] then true
+      else begin
+        let a = Array.of_list xs and b = Array.of_list ys in
+        let whole = Array.append a b in
+        List.for_all
+          (fun q ->
+            Float.equal (Quantile.merged_quantile a b q)
+              (Quantile.quantile whole q))
+          [ 0.; q; 0.5; 1. ]
+      end)
+
 (* ------------------------------------------------------------------ *)
 (* Gof: goodness-of-fit numerics against textbook golden values        *)
 (* ------------------------------------------------------------------ *)
@@ -495,6 +571,9 @@ let suite =
         Tutil.quick "float buckets" float_hist_buckets;
         Tutil.slow "float quantile" float_hist_quantile;
         Tutil.quick "float invalid" float_hist_invalid;
+        Tutil.quick "float merge geometry" float_hist_merge_geometry;
+        prop_int_hist_merge;
+        prop_float_hist_merge;
       ] );
     ( "stats.quantile",
       [
@@ -506,6 +585,7 @@ let suite =
         Tutil.quick "rejects NaN" quantile_rejects_nan;
         prop_quantile_monotone;
         prop_quantile_agrees_with_old_path;
+        prop_merged_quantile;
       ] );
     ( "stats.regression",
       [
