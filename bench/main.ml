@@ -15,6 +15,9 @@
                               kill -9 recovery (emits BENCH_serve.json)
      main.exe obs             metrics registry overhead + scrape latency
                               under slam load (emits BENCH_obs.json)
+     main.exe chaos           kill -9 + corruption + injected I/O fault
+                              campaign vs the storage contracts
+                              (emits BENCH_chaos.json)
      main.exe mn              stationary max load vs m/n against the
                               Theta((m/n) ln n) law, plus a d=1 vs d=2
                               crossover (emits BENCH_mn_scaling.json)
@@ -39,6 +42,8 @@ let list_experiments () =
   print_endline "  recovery  rounds-to-relegitimacy after transient faults";
   print_endline "  serve  daemon throughput under Poisson load + kill -9 recovery";
   print_endline "  obs  metrics registry overhead + scrape latency under slam load";
+  print_endline
+    "  chaos  kill -9 + corruption + injected I/O fault campaign vs storage contracts";
   print_endline "  mn  stationary max load vs m/n + d=1 vs d=2 crossover"
 
 let () =
@@ -53,6 +58,7 @@ let () =
   | [ "recover" ] | [ "recovery" ] -> Recovery.run ~quick ()
   | [ "serve" ] -> Serve.run ~quick ()
   | [ "obs" ] -> Obs.run ~quick ()
+  | [ "chaos" ] -> Chaos.run ~quick ()
   | [ "mn" ] -> Mn.run ~quick ()
   | [] ->
       Printf.printf

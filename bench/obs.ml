@@ -129,6 +129,7 @@ let run ?(quick = false) () =
             seed = 42;
             init = "uniform";
             engine = Protocol.Balls;
+            deadline_s = infinity;
           };
         arrival_seed = 2026;
         workers = cfg.Daemon.workers;

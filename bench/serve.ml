@@ -73,6 +73,7 @@ let run ?(quick = false) () =
             seed = 42;
             init = "uniform";
             engine = Protocol.Balls;
+            deadline_s = infinity;
           };
         arrival_seed = 2026;
         workers = cfg.Daemon.workers;
@@ -101,6 +102,7 @@ let run ?(quick = false) () =
       seed = 7;
       init = "pile";
       engine = Protocol.Balls;
+      deadline_s = infinity;
     }
   in
   let crash_socket = Filename.concat dir "crash.sock" in

@@ -254,7 +254,11 @@ let failpoints_of specs =
   Rbb_sim.Failpoint.of_specs (List.map parse specs)
 
 let load_checkpoint path =
-  match Rbb_sim.Checkpoint.load ~path with
+  match
+    Rbb_sim.Checkpoint.load
+      ~on_warning:(fun msg -> Printf.eprintf "rbb: warning: %s\n%!" msg)
+      ~path ()
+  with
   | Ok snap -> snap
   | Error msg -> invalid_arg msg
 
@@ -1328,7 +1332,7 @@ let job_engine_t =
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let serve socket state_dir workers queue_depth checkpoint_every max_frame
-    telemetry =
+    telemetry failpoint_specs =
   Rbb_serve.Daemon.run
     {
       Rbb_serve.Daemon.socket;
@@ -1339,6 +1343,7 @@ let serve socket state_dir workers queue_depth checkpoint_every max_frame
       max_frame;
       log = Some stdout;
       telemetry_path = telemetry;
+      io_failpoints = failpoints_of failpoint_specs;
     }
 
 let serve_cmd =
@@ -1383,6 +1388,17 @@ let serve_cmd =
       & info [ "telemetry" ] ~docv:"PATH"
           ~doc:"Write the daemon's telemetry JSON here at shutdown.")
   in
+  let serve_failpoint_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "failpoint" ] ~docv:"SPEC"
+          ~doc:
+            "Arm an I/O failpoint in the daemon's storage layer \
+             (repeatable; chaos testing): $(b,NAME@round=K,fails=F) or \
+             $(b,NAME@p=P,seed=S) with NAME one of $(b,io.write), \
+             $(b,io.fsync), $(b,io.rename), $(b,io.lock).  The round \
+             coordinate counts faultable operations since startup.")
+  in
   let doc =
     "Run the crash-safe simulation daemon: accepts rbb.job/1 jobs over a \
      Unix-domain socket, checkpoints every running job, streams lifecycle \
@@ -1391,9 +1407,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_t $ state_dir_t $ workers_t $ queue_depth_t
-      $ checkpoint_every_t $ max_frame_t $ telemetry_t)
+      $ checkpoint_every_t $ max_frame_t $ telemetry_t $ serve_failpoint_t)
 
-let submit socket n balls rounds seed init_name engine wait status_of
+let submit socket n balls rounds seed init_name engine deadline wait status_of
     result_of stats metrics shutdown =
   (* A metrics exposition can exceed the default frame limit, so the
      scraping path connects with a roomier one. *)
@@ -1431,6 +1447,7 @@ let submit socket n balls rounds seed init_name engine wait status_of
               seed;
               init = init_default init_name ~n ~m;
               engine;
+              deadline_s = Option.value ~default:infinity deadline;
             }
           in
           match Rbb_serve.Client.submit client spec with
@@ -1452,6 +1469,16 @@ let submit_cmd =
       value & flag
       & info [ "wait" ]
           ~doc:"Block until the job finishes and print its result document.")
+  in
+  let deadline_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:
+            "Wall-clock budget in seconds, measured from dispatch to a \
+             worker; the daemon's watchdog fails the job durably once it \
+             expires.  Default: no deadline.")
   in
   let status_t =
     Arg.(
@@ -1488,8 +1515,8 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const submit $ socket_t $ n_t $ balls_t $ rounds_t $ seed_t $ init_t
-      $ job_engine_t $ wait_t $ status_t $ result_t $ stats_t $ metrics_t
-      $ shutdown_t)
+      $ job_engine_t $ deadline_t $ wait_t $ status_t $ result_t $ stats_t
+      $ metrics_t $ shutdown_t)
 
 let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
     json_path =
@@ -1509,6 +1536,7 @@ let slam socket jobs rate rho calibrate n rounds seed init_name engine workers
             seed;
             init = init_default init_name ~n ~m:n;
             engine;
+            deadline_s = infinity;
           };
         arrival_seed = seed;
         workers;
@@ -1586,6 +1614,154 @@ let slam_cmd =
     Term.(
       const slam $ socket_t $ jobs_t $ rate_t $ rho_t $ calibrate_t $ n_t
       $ rounds_t $ seed_t $ init_t $ job_engine_t $ workers_t $ json_t)
+
+(* chaos --------------------------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let chaos dir cycles jobs rounds workers seed fault_p min_faults
+    recovery_bound json_path keep =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+        let d = Filename.temp_file "rbb_chaos" "" in
+        Sys.remove d;
+        Unix.mkdir d 0o755;
+        d
+  in
+  let cfg =
+    {
+      (Rbb_serve.Chaos.default_config ~dir) with
+      Rbb_serve.Chaos.cycles;
+      max_cycles = max (3 * cycles) 12;
+      jobs_per_cycle = jobs;
+      rounds;
+      workers;
+      seed;
+      io_fault_p = fault_p;
+      min_faults;
+      recovery_bound_s = recovery_bound;
+      log = Some stdout;
+    }
+  in
+  let r = Rbb_serve.Chaos.run cfg in
+  Printf.printf
+    "chaos   : %d cycle(s): %d kill(s), %d corruption(s), %d injected I/O \
+     fault(s) — %d fault(s) total\n\
+     jobs    : %d acked = %d done + %d durably failed + %d LOST\n\
+     identity: %d result(s) checked, %d violation(s)\n\
+     recovery: %d restart(s), mean %.3f s, p99 %.3f s (bound %.1f s: %s)\n\
+     evidence: %d quarantined file(s) under %s\n"
+    r.Rbb_serve.Chaos.cycles_run r.Rbb_serve.Chaos.kills
+    r.Rbb_serve.Chaos.corruptions r.Rbb_serve.Chaos.io_faults
+    r.Rbb_serve.Chaos.faults_total r.Rbb_serve.Chaos.jobs_acked
+    r.Rbb_serve.Chaos.jobs_done r.Rbb_serve.Chaos.jobs_failed
+    r.Rbb_serve.Chaos.acked_jobs_lost r.Rbb_serve.Chaos.identity_checked
+    r.Rbb_serve.Chaos.identity_violations
+    (Array.length r.Rbb_serve.Chaos.recovery_s)
+    (Array.fold_left ( +. ) 0. r.Rbb_serve.Chaos.recovery_s
+     /. float_of_int (max 1 (Array.length r.Rbb_serve.Chaos.recovery_s)))
+    (Rbb_stats.Quantile.quantile r.Rbb_serve.Chaos.recovery_s 0.99)
+    r.Rbb_serve.Chaos.recovery_bound_s
+    (if r.Rbb_serve.Chaos.recovery_ok then "ok" else "BLOWN")
+    r.Rbb_serve.Chaos.quarantined_files
+    (Filename.concat (Filename.concat dir "state") "quarantine");
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      Rbb_sim.Fileio.write_atomic ~path (fun oc ->
+          output_string oc (Rbb_sim.Jsonl.obj (Rbb_serve.Chaos.to_fields r));
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path);
+  if not keep then (try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ());
+  if not (Rbb_serve.Chaos.passed r) then exit 1
+
+let chaos_cmd =
+  let dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Scratch directory (default: a fresh temp dir).")
+  in
+  let cycles_t =
+    Arg.(
+      value & opt int 4
+      & info [ "cycles" ] ~docv:"C" ~doc:"Kill/corrupt/restart cycles.")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt int 6
+      & info [ "jobs" ] ~docv:"J" ~doc:"Jobs submitted per cycle.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 4000
+      & info [ "rounds" ] ~docv:"T" ~doc:"Rounds per job.")
+  in
+  let workers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"K" ~doc:"Daemon worker domains.")
+  in
+  let seed_chaos_t =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Campaign seed: job specs, kill delays, corruption targets \
+                and failpoint seeds all derive from it.")
+  in
+  let fault_p_t =
+    Arg.(
+      value & opt float 0.02
+      & info [ "fault-p" ] ~docv:"P"
+          ~doc:"Per-operation probability of each injected io.* fault.")
+  in
+  let min_faults_t =
+    Arg.(
+      value & opt int 0
+      & info [ "min-faults" ] ~docv:"F"
+          ~doc:"Keep cycling (up to 3x $(b,--cycles), at least 12) until \
+                this many faults have landed.")
+  in
+  let recovery_bound_t =
+    Arg.(
+      value & opt float 30.
+      & info [ "recovery-bound" ] ~docv:"S"
+          ~doc:"Hard bound on every restart-to-ping recovery.")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the campaign record (schema rbb.bench-chaos/1) here.")
+  in
+  let keep_t =
+    Arg.(
+      value & flag
+      & info [ "keep" ]
+          ~doc:"Keep the scratch directory (state, quarantine evidence) \
+                instead of deleting it.")
+  in
+  let doc =
+    "Run a chaos campaign against the serve daemon: seeded schedules of \
+     kill -9, checkpoint/spec bit-flips and truncations, and injected I/O \
+     faults under closed-loop load — then audit the durable record: no \
+     acknowledged job lost, every result byte-identical to a clean re-run, \
+     recovery bounded.  Exits nonzero if any invariant broke."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const chaos $ dir_t $ cycles_t $ jobs_t $ rounds_t $ workers_t
+      $ seed_chaos_t $ fault_p_t $ min_faults_t $ recovery_bound_t $ json_t
+      $ keep_t)
 
 (* top ----------------------------------------------------------------------- *)
 
@@ -1676,7 +1852,7 @@ let () =
         simulate_cmd; tetris_cmd; converge_cmd; cover_cmd; adversary_cmd;
         recover_cmd; markov_cmd; sweep_cmd; trace_cmd; trace_report_cmd;
         mixing_cmd; rumor_cmd; ij_cmd; profile_cmd; spectral_cmd;
-        serve_cmd; submit_cmd; slam_cmd; top_cmd;
+        serve_cmd; submit_cmd; slam_cmd; top_cmd; chaos_cmd;
       ]
   in
   match Cmd.eval_value ~catch:false group with

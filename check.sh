@@ -180,4 +180,52 @@ sojourns=$(grep -o 'rbb_job_sojourn_seconds_count{outcome="ok"} [0-9]*' \
 [ -n "$sojourns" ] && [ "$sojourns" -ge 1 ] \
   || { echo "check.sh: job sojourn histogram counted ${sojourns:-nothing}"; exit 1; }
 
+# Chaos smoke, directed half: SIGKILL a daemon mid-job, corrupt the
+# surviving checkpoint in place, and restart with a probabilistic fsync
+# fault injected into the storage shim.  The poison must land in
+# quarantine/ (never deleted), the job must restart from its durable
+# spec, and the recovered result must still be byte-identical to the
+# uninterrupted daemon's.
+"$rbb" serve --socket "$tracedir/c.sock" --state-dir "$servedir/c" \
+  --checkpoint-every 50 > /dev/null 2>&1 &
+pid=$!
+sleep 0.2
+"$rbb" submit --socket "$tracedir/c.sock" --bins 256 --rounds 60000 --seed 7 \
+  --init pile > /dev/null
+for _ in $(seq 1 400); do
+  [ -s "$servedir/c/job-000001.ckpt" ] && break
+  sleep 0.05
+done
+kill -9 "$pid" 2> /dev/null || true
+wait "$pid" 2> /dev/null || true
+[ -s "$servedir/c/job-000001.ckpt" ] \
+  || { echo "check.sh: no checkpoint survived to corrupt"; exit 1; }
+printf 'XX' | dd of="$servedir/c/job-000001.ckpt" bs=1 seek=40 conv=notrunc 2> /dev/null
+"$rbb" serve --socket "$tracedir/c.sock" --state-dir "$servedir/c" \
+  --checkpoint-every 50 --failpoint 'io.fsync@p=0.05,seed=3' \
+  > "$servedir/c.log" 2>&1 &
+pid=$!
+"$rbb" submit --socket "$tracedir/c.sock" --result job-000001 > "$servedir/chaotic.txt"
+"$rbb" submit --socket "$tracedir/c.sock" --stats > "$servedir/cstats.json"
+"$rbb" submit --socket "$tracedir/c.sock" --shutdown > /dev/null
+wait "$pid"
+[ -n "$(ls -A "$servedir/c/quarantine" 2> /dev/null)" ] \
+  || { echo "check.sh: corrupted checkpoint was not quarantined"; exit 1; }
+grep -q '"quarantined":[1-9]' "$servedir/cstats.json" \
+  || { echo "check.sh: daemon stats did not count the quarantine"; exit 1; }
+cmp -s "$servedir/chaotic.txt" "$servedir/solid.txt" \
+  || { echo "check.sh: corrupted-checkpoint recovery diverged from the uninterrupted run"; exit 1; }
+
+# Chaos smoke, campaign half: a short seeded rbb chaos run (real
+# kill -9 cycles, bit flips, injected I/O faults) must report zero
+# acked jobs lost and zero identity violations, and exits nonzero on
+# any invariant breach.
+mkdir -p "$tracedir/chaos"
+"$rbb" chaos --dir "$tracedir/chaos" --cycles 2 --jobs 3 --rounds 1500 \
+  --seed 13 --fault-p 0.04 --json "$tracedir/chaos.json" > /dev/null \
+  || { echo "check.sh: chaos campaign reported an invariant violation"; exit 1; }
+grep -q '"acked_jobs_lost":0' "$tracedir/chaos.json" \
+  && grep -q '"identity_violations":0' "$tracedir/chaos.json" \
+  || { echo "check.sh: chaos campaign JSON missing clean verdicts"; exit 1; }
+
 echo "check.sh: all green"

@@ -1,0 +1,452 @@
+(* Chaos campaign: a seeded schedule of kill -9, on-disk corruption and
+   injected I/O faults thrown at a live daemon under closed-loop load,
+   with the storage contracts asserted at the end.
+
+   Each cycle: spawn a daemon (forked child, so SIGKILL is the real
+   thing) with probabilistic io.* failpoints armed, submit a batch of
+   jobs, let it run for a seeded random interval while sampling the
+   injected-fault counter, SIGKILL it, then — while it is down — flip
+   bits in (or truncate) surviving checkpoints and occasionally a
+   pending spec.  The next cycle's daemon must take over the stale
+   lock, quarantine whatever is poisoned, and keep going.
+
+   The invariants checked after the final drain are exactly the
+   storage layer's promises:
+
+   - {e no acked job lost}: every id the client saw [Accepted] has a
+     durable result or a durable failure marker on disk;
+   - {e identity}: every result document is byte-identical to a solo
+     re-execution of the same spec in a clean directory — crashes,
+     quarantined checkpoints and retried writes never change bytes;
+   - {e bounded recovery}: every daemon (re)start answered a ping
+     within the configured bound. *)
+
+module Failpoint = Rbb_sim.Failpoint
+module Jsonl = Rbb_sim.Jsonl
+module Rng = Rbb_prng.Rng
+
+type config = {
+  dir : string;  (** scratch directory (state dir, sockets) *)
+  cycles : int;  (** kill/corrupt/restart cycles (minimum) *)
+  max_cycles : int;  (** hard stop while chasing [min_faults] *)
+  min_faults : int;  (** keep cycling until this many faults landed *)
+  jobs_per_cycle : int;
+  rounds : int;  (** rounds per job *)
+  n : int;  (** bins per job *)
+  workers : int;
+  checkpoint_every : int;
+  seed : int;  (** drives the whole schedule *)
+  io_fault_p : float;  (** per-operation probability for io.* points *)
+  kill_delay_s : float * float;  (** uniform range: load time before kill *)
+  deadline_every : int;  (** every k-th job gets a tight deadline; 0 never *)
+  corrupt_spec_every : int;  (** every k-th cycle poisons one spec; 0 never *)
+  recovery_bound_s : float;
+  log : out_channel option;
+}
+
+let default_config ~dir =
+  {
+    dir;
+    cycles = 4;
+    max_cycles = 12;
+    min_faults = 0;
+    jobs_per_cycle = 6;
+    rounds = 4000;
+    n = 64;
+    workers = 2;
+    checkpoint_every = 16;
+    seed = 42;
+    io_fault_p = 0.02;
+    kill_delay_s = (0.10, 0.45);
+    deadline_every = 5;
+    corrupt_spec_every = 3;
+    recovery_bound_s = 30.;
+    log = None;
+  }
+
+type result = {
+  cycles_run : int;
+  kills : int;
+  corruptions : int;
+  io_faults : int;
+      (** injected shim faults observed via stats polling — a lower
+          bound: faults landing after the last poll of a killed life go
+          uncounted *)
+  faults_total : int;
+  jobs_acked : int;
+  jobs_done : int;
+  jobs_failed : int;
+  acked_jobs_lost : int;
+  identity_checked : int;
+  identity_violations : int;
+  quarantined_files : int;
+  recovery_s : float array;  (** one sample per daemon (re)start *)
+  recovery_bound_s : float;
+  recovery_ok : bool;
+}
+
+let logf cfg fmt =
+  Printf.ksprintf
+    (fun line ->
+      match cfg.log with
+      | None -> ()
+      | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    fmt
+
+(* ---------------------------------------------------------------- *)
+(* Daemon lifecycle                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let socket_of cfg = Filename.concat cfg.dir "chaos.sock"
+let state_of cfg = Filename.concat cfg.dir "state"
+
+let daemon_config cfg ~failpoints =
+  {
+    (Daemon.default_config ~socket:(socket_of cfg) ~state_dir:(state_of cfg))
+    with
+    Daemon.workers = cfg.workers;
+    queue_depth = 2 * cfg.jobs_per_cycle;
+    checkpoint_every = cfg.checkpoint_every;
+    io_failpoints = failpoints;
+  }
+
+(* Forked child, so SIGKILL is a machine-failure-grade stop: no atexit,
+   no finalizers, no flush. *)
+let spawn_daemon dcfg =
+  match Unix.fork () with
+  | 0 ->
+      (try Daemon.run dcfg with _ -> ());
+      Stdlib.exit 0
+  | pid -> pid
+
+(* Probabilistic io.* failpoints for one daemon life.  rename gets half
+   the rate of write/fsync: a failed rename aborts the whole atomic
+   publication, so it is the most disruptive trip. *)
+let life_failpoints cfg ~life =
+  if cfg.io_fault_p <= 0. then Failpoint.noop
+  else
+    let seed name =
+      Int64.of_int ((cfg.seed * 1_000_003) + (life * 7919) + Hashtbl.hash name)
+    in
+    Failpoint.of_specs
+      [
+        {
+          Failpoint.name = "io.write";
+          trigger = Prob { p = cfg.io_fault_p; seed = seed "io.write" };
+        };
+        {
+          Failpoint.name = "io.fsync";
+          trigger = Prob { p = cfg.io_fault_p; seed = seed "io.fsync" };
+        };
+        {
+          Failpoint.name = "io.rename";
+          trigger = Prob { p = cfg.io_fault_p /. 2.; seed = seed "io.rename" };
+        };
+      ]
+
+(* Spawn + wait until the daemon answers, returning (pid, client,
+   recovery seconds).  The connect retry window is the recovery bound:
+   blowing it is a campaign failure, not a hang. *)
+let start_and_time cfg ~failpoints =
+  let t0 = Unix.gettimeofday () in
+  let pid = spawn_daemon (daemon_config cfg ~failpoints) in
+  let c =
+    Client.connect ~retry_for:cfg.recovery_bound_s ~socket:(socket_of cfg) ()
+  in
+  Client.ping c;
+  (pid, c, Unix.gettimeofday () -. t0)
+
+let reap pid = ignore (Unix.waitpid [] pid)
+
+let stats_int c key =
+  match List.assoc_opt key (Client.stats c) with
+  | Some (Jsonl.Int k) -> k
+  | _ -> 0
+
+(* ---------------------------------------------------------------- *)
+(* Corruption                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let flip_bit ~rng path =
+  let body = read_file path in
+  if String.length body = 0 then false
+  else begin
+    let i = Rng.int_below rng (String.length body) in
+    let bytes = Bytes.of_string body in
+    Bytes.set bytes i
+      (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl Rng.int_below rng 8)));
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_bytes oc bytes);
+    true
+  end
+
+let truncate_file ~rng path =
+  match (Unix.stat path).Unix.st_size with
+  | 0 -> false
+  | size ->
+      Unix.truncate path (Rng.int_below rng size);
+      true
+
+(* While the daemon is dead: poison surviving checkpoints (each with
+   probability 1/2 — flip a bit or cut the tail) and, on scheduled
+   cycles, one pending spec.  Returns how many files were damaged. *)
+let corrupt_state cfg ~rng ~cycle =
+  let state_dir = state_of cfg in
+  let entries = try Sys.readdir state_dir with Sys_error _ -> [||] in
+  let damaged = ref 0 in
+  let damage path =
+    let did =
+      if Rng.bool rng then flip_bit ~rng path else truncate_file ~rng path
+    in
+    if did then incr damaged;
+    did
+  in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".ckpt" && Rng.bool rng then
+        ignore (damage (Filename.concat state_dir name)))
+    entries;
+  if cfg.corrupt_spec_every > 0 && (cycle + 1) mod cfg.corrupt_spec_every = 0
+  then begin
+    (* One acked-but-unfinished spec: the restarted daemon must turn it
+       into a durable failure, never a silent disappearance. *)
+    let pending =
+      Array.to_list entries
+      |> List.filter (fun name ->
+             Filename.check_suffix name ".job"
+             && not
+                  (Sys.file_exists
+                     (Filename.concat state_dir
+                        (Filename.chop_suffix name ".job" ^ ".result"))))
+      |> List.sort String.compare
+    in
+    match pending with
+    | [] -> ()
+    | names ->
+        let name = List.nth names (Rng.int_below rng (List.length names)) in
+        ignore (damage (Filename.concat state_dir name))
+  end;
+  !damaged
+
+(* ---------------------------------------------------------------- *)
+(* Workload                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let job_spec cfg ~rng ~index =
+  let n = cfg.n in
+  let init, m =
+    match Rng.int_below rng 4 with
+    | 0 -> ("uniform", n)
+    | 1 -> ("pile", Rng.int_in_range rng ~lo:1 ~hi:(2 * n))
+    | 2 -> ("balanced", Rng.int_in_range rng ~lo:1 ~hi:(2 * n))
+    | _ -> ("random", n)
+  in
+  let engine = if Rng.bool rng then Protocol.Balls else Protocol.Counts in
+  let deadline_s =
+    (* An occasional tight deadline: whichever way the race between the
+       watchdog and job completion goes, the job must stay accounted. *)
+    if cfg.deadline_every > 0 && (index + 1) mod cfg.deadline_every = 0 then
+      0.05 +. (0.1 *. Rng.float_unit rng)
+    else infinity
+  in
+  {
+    Protocol.n;
+    m;
+    rounds = cfg.rounds;
+    seed = Rng.int_below rng 1_000_000_000;
+    init;
+    engine;
+    deadline_s;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Verification                                                      *)
+(* ---------------------------------------------------------------- *)
+
+(* Solo re-execution in a clean directory: the reference bytes a
+   daemon-produced result must match.  Runs in this (fault-free)
+   process — deterministic, so one run suffices. *)
+let solo_result ~scratch ~id spec =
+  let state_dir = Filename.concat scratch ("solo-" ^ id) in
+  (try Unix.mkdir state_dir 0o755 with Unix.Unix_error _ -> ());
+  let fields = Job.run ~state_dir ~checkpoint_every:max_int ~id spec in
+  ignore fields;
+  let body = read_file (Job.result_path ~state_dir ~id) in
+  (try Sys.remove (Job.result_path ~state_dir ~id) with Sys_error _ -> ());
+  (try Sys.remove (Job.spec_path ~state_dir ~id) with Sys_error _ -> ());
+  (try Unix.rmdir state_dir with Unix.Unix_error _ -> ());
+  body
+
+(* ---------------------------------------------------------------- *)
+(* The campaign                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let run cfg =
+  if cfg.cycles < 1 then invalid_arg "Chaos.run: cycles must be at least 1";
+  if cfg.jobs_per_cycle < 1 then
+    invalid_arg "Chaos.run: jobs_per_cycle must be at least 1";
+  if cfg.max_cycles < cfg.cycles then
+    invalid_arg "Chaos.run: max_cycles must be at least cycles";
+  let rng = Rng.create ~seed:(Int64.of_int cfg.seed) () in
+  (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error _ -> ());
+  let acked = ref [] in
+  (* id -> spec *)
+  let kills = ref 0 in
+  let corruptions = ref 0 in
+  let io_faults = ref 0 in
+  let recovery = ref [] in
+  let faults_total () = !kills + !corruptions + !io_faults in
+  let cycle = ref 0 in
+  while
+    !cycle < cfg.cycles
+    || (faults_total () < cfg.min_faults && !cycle < cfg.max_cycles)
+  do
+    let life = !cycle in
+    let pid, c, rec_s =
+      start_and_time cfg ~failpoints:(life_failpoints cfg ~life)
+    in
+    recovery := rec_s :: !recovery;
+    logf cfg "chaos: cycle %d: daemon up in %.3f s" life rec_s;
+    (* Closed-loop batch: every ack is a durability promise we hold the
+       store to at the end. *)
+    for j = 0 to cfg.jobs_per_cycle - 1 do
+      let spec = job_spec cfg ~rng ~index:((life * cfg.jobs_per_cycle) + j) in
+      match Client.submit_wait c spec with
+      | id -> acked := (id, spec) :: !acked
+      | exception Failure _ -> ()
+    done;
+    (* Let it burn for a seeded interval, sampling the fault counter as
+       we go (the counter dies with the process). *)
+    let lo, hi = cfg.kill_delay_s in
+    let delay = lo +. ((hi -. lo) *. Rng.float_unit rng) in
+    let seen = ref 0 in
+    let slices = 5 in
+    (try
+       for _ = 1 to slices do
+         Unix.sleepf (delay /. float_of_int slices);
+         seen := max !seen (stats_int c "io_faults_injected")
+       done
+     with Failure _ -> ());
+    io_faults := !io_faults + !seen;
+    (* The hammer. *)
+    Unix.kill pid Sys.sigkill;
+    reap pid;
+    (try Client.close c with Failure _ -> ());
+    incr kills;
+    let damaged = corrupt_state cfg ~rng ~cycle:life in
+    corruptions := !corruptions + damaged;
+    logf cfg "chaos: cycle %d: killed after %.2f s, %d file(s) corrupted"
+      life delay damaged;
+    incr cycle
+  done;
+  (* Final life, fault-free: recover everything and drain. *)
+  let pid, c, rec_s = start_and_time cfg ~failpoints:Failpoint.noop in
+  recovery := rec_s :: !recovery;
+  logf cfg "chaos: final daemon up in %.3f s; draining %d acked job(s)"
+    rec_s (List.length !acked);
+  let deadline = Unix.gettimeofday () +. (4. *. cfg.recovery_bound_s) in
+  let state_dir = state_of cfg in
+  let terminal id =
+    Sys.file_exists (Job.result_path ~state_dir ~id)
+    || Sys.file_exists (Job.failed_path ~state_dir ~id)
+  in
+  let rec drain ids =
+    match List.filter (fun (id, _) -> not (terminal id)) ids with
+    | [] -> ()
+    | left when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        drain left
+    | _ -> () (* timed out: the disk check below records the loss *)
+  in
+  drain !acked;
+  io_faults := !io_faults + stats_int c "io_faults_injected";
+  Client.shutdown c;
+  Client.close c;
+  reap pid;
+  (* Invariant sweep over the durable record. *)
+  let jobs_done = ref 0 in
+  let jobs_failed = ref 0 in
+  let lost = ref 0 in
+  let identity_checked = ref 0 in
+  let identity_violations = ref 0 in
+  List.iter
+    (fun (id, spec) ->
+      if Sys.file_exists (Job.result_path ~state_dir ~id) then begin
+        incr jobs_done;
+        incr identity_checked;
+        let daemon_body = read_file (Job.result_path ~state_dir ~id) in
+        let solo_body = solo_result ~scratch:cfg.dir ~id spec in
+        if not (String.equal daemon_body solo_body) then begin
+          incr identity_violations;
+          logf cfg "chaos: IDENTITY VIOLATION on %s" id
+        end
+      end
+      else if Sys.file_exists (Job.failed_path ~state_dir ~id) then
+        incr jobs_failed
+      else begin
+        incr lost;
+        logf cfg "chaos: ACKED JOB LOST: %s" id
+      end)
+    (List.rev !acked);
+  let quarantined_files =
+    match Sys.readdir (Job.quarantine_dir ~state_dir) with
+    | entries -> Array.length entries
+    | exception Sys_error _ -> 0
+  in
+  let recovery_s = Array.of_list (List.rev !recovery) in
+  {
+    cycles_run = !cycle;
+    kills = !kills;
+    corruptions = !corruptions;
+    io_faults = !io_faults;
+    faults_total = faults_total ();
+    jobs_acked = List.length !acked;
+    jobs_done = !jobs_done;
+    jobs_failed = !jobs_failed;
+    acked_jobs_lost = !lost;
+    identity_checked = !identity_checked;
+    identity_violations = !identity_violations;
+    quarantined_files;
+    recovery_s;
+    recovery_bound_s = cfg.recovery_bound_s;
+    recovery_ok =
+      Array.for_all (fun s -> s <= cfg.recovery_bound_s) recovery_s;
+  }
+
+let quantile arr q =
+  if Array.length arr = 0 then nan else Rbb_stats.Quantile.quantile arr q
+
+let mean arr =
+  if Array.length arr = 0 then nan
+  else Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
+
+let to_fields r =
+  [
+    ("schema", Jsonl.String "rbb.bench-chaos/1");
+    ("cycles", Jsonl.Int r.cycles_run);
+    ("kills", Jsonl.Int r.kills);
+    ("corruptions", Jsonl.Int r.corruptions);
+    ("io_faults", Jsonl.Int r.io_faults);
+    ("faults_total", Jsonl.Int r.faults_total);
+    ("jobs_acked", Jsonl.Int r.jobs_acked);
+    ("jobs_done", Jsonl.Int r.jobs_done);
+    ("jobs_failed", Jsonl.Int r.jobs_failed);
+    ("acked_jobs_lost", Jsonl.Int r.acked_jobs_lost);
+    ("identity_checked", Jsonl.Int r.identity_checked);
+    ("identity_violations", Jsonl.Int r.identity_violations);
+    ("quarantined_files", Jsonl.Int r.quarantined_files);
+    ("recovery_samples", Jsonl.Int (Array.length r.recovery_s));
+    ("recovery_mean_s", Jsonl.Float (mean r.recovery_s));
+    ("recovery_p50_s", Jsonl.Float (quantile r.recovery_s 0.5));
+    ("recovery_p99_s", Jsonl.Float (quantile r.recovery_s 0.99));
+    ("recovery_bound_s", Jsonl.Float r.recovery_bound_s);
+    ("recovery_ok", Jsonl.Bool r.recovery_ok);
+  ]
+
+let passed r =
+  r.acked_jobs_lost = 0 && r.identity_violations = 0 && r.recovery_ok

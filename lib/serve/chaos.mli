@@ -1,0 +1,88 @@
+(** Chaos campaign harness: randomized, seeded fault schedules against
+    a live daemon, with the storage layer's contracts asserted at the
+    end.
+
+    One campaign is a sequence of cycles.  Each cycle spawns a real
+    daemon process (fork, so SIGKILL is machine-failure-grade) with
+    probabilistic [io.*] failpoints armed in its storage shim, submits
+    a batch of closed-loop jobs (some with tight deadlines), lets the
+    system run for a seeded random interval, SIGKILLs the daemon, and
+    — while it is down — flips bits in or truncates surviving
+    checkpoint files and occasionally a pending spec.  A final
+    fault-free daemon recovers and drains everything, and the campaign
+    then audits the durable record:
+
+    - {b no acked job lost} — every id acknowledged to the client ends
+      with a durable result or a durable [.failed] marker;
+    - {b identity} — every published result is byte-identical to a solo
+      re-execution of its spec in a clean directory;
+    - {b bounded recovery} — every daemon (re)start answered a ping
+      within [recovery_bound_s].
+
+    The whole schedule (job specs, kill delays, corruption targets,
+    failpoint seeds) derives from [seed]; wall-clock racing makes the
+    {e trajectory} nondeterministic, but the invariants hold for every
+    trajectory — that is what makes it a chaos test rather than a
+    flake. *)
+
+type config = {
+  dir : string;  (** scratch directory (state dir, sockets) *)
+  cycles : int;  (** kill/corrupt/restart cycles (minimum) *)
+  max_cycles : int;  (** hard stop while chasing [min_faults] *)
+  min_faults : int;
+      (** keep cycling (up to [max_cycles]) until kills + corruptions +
+          observed injected I/O faults reach this count *)
+  jobs_per_cycle : int;
+  rounds : int;  (** rounds per job *)
+  n : int;  (** bins per job *)
+  workers : int;  (** daemon worker domains *)
+  checkpoint_every : int;
+  seed : int;  (** drives the whole schedule *)
+  io_fault_p : float;  (** per-operation probability for io.* points *)
+  kill_delay_s : float * float;
+      (** uniform range: seconds of load before each SIGKILL *)
+  deadline_every : int;
+      (** every k-th job gets a tight (~0.1 s) deadline; 0 = never *)
+  corrupt_spec_every : int;
+      (** every k-th cycle also poisons one pending spec; 0 = never *)
+  recovery_bound_s : float;
+  log : out_channel option;  (** progress lines; [None] silent *)
+}
+
+val default_config : dir:string -> config
+(** 4 cycles (up to 12), 6 jobs/cycle of 4000 rounds at n = 64,
+    2 workers, checkpoint every 16 rounds, 2% I/O fault rate,
+    0.10–0.45 s kill delays, every 5th job deadlined, every 3rd cycle a
+    spec poisoned, 30 s recovery bound, silent. *)
+
+type result = {
+  cycles_run : int;
+  kills : int;
+  corruptions : int;  (** files bit-flipped or truncated *)
+  io_faults : int;
+      (** injected shim faults observed via stats polling — a lower
+          bound (faults after a life's last poll die with the process) *)
+  faults_total : int;  (** kills + corruptions + io_faults *)
+  jobs_acked : int;
+  jobs_done : int;
+  jobs_failed : int;  (** durable failures: deadlines, poisoned specs *)
+  acked_jobs_lost : int;  (** MUST be 0 *)
+  identity_checked : int;  (** results compared against solo re-runs *)
+  identity_violations : int;  (** MUST be 0 *)
+  quarantined_files : int;
+  recovery_s : float array;  (** one sample per daemon (re)start *)
+  recovery_bound_s : float;
+  recovery_ok : bool;  (** all recovery samples within the bound *)
+}
+
+val run : config -> result
+(** Execute the campaign.  Runs real processes ([fork] / [SIGKILL])
+    under [dir]; the state directory is left in place as evidence.
+    @raise Invalid_argument on nonsensical config values. *)
+
+val to_fields : result -> (string * Rbb_sim.Jsonl.value) list
+(** Flat JSON fields (schema [rbb.bench-chaos/1]) for [BENCH_chaos.json]
+    and the CLI's summary line. *)
+
+val passed : result -> bool
+(** [acked_jobs_lost = 0 && identity_violations = 0 && recovery_ok]. *)

@@ -3,18 +3,25 @@
 
 module Jsonl = Rbb_sim.Jsonl
 
-type t = { fd : Unix.file_descr; mutable inbuf : string; max_frame : int }
+type t = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;
+  max_frame : int;
+  read_timeout_s : float;
+}
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let connect ?(retry_for = 5.) ?(max_frame = Protocol.default_max_frame)
-    ~socket () =
+    ?(read_timeout_s = 30.) ~socket () =
+  if Float.is_nan read_timeout_s || read_timeout_s <= 0. then
+    invalid_arg "Client.connect: read_timeout_s must be positive";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let deadline = now_s () +. retry_for in
   let rec go () =
     let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
     match Unix.connect fd (ADDR_UNIX socket) with
-    | () -> { fd; inbuf = ""; max_frame }
+    | () -> { fd; inbuf = ""; max_frame; read_timeout_s }
     | exception Unix.Unix_error ((ENOENT | ECONNREFUSED | EAGAIN), _, _)
       when now_s () < deadline ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -43,23 +50,43 @@ let write_all fd s =
 let send t req =
   write_all t.fd (Protocol.encode_frame (Protocol.request_to_json req))
 
-let rec recv t =
+(* One response, or Failure once [deadline] passes with no complete
+   frame: a wedged (but not dead) daemon must not hang the caller.
+   [deadline = infinity] blocks forever — that is what event streaming
+   wants, and a *dead* daemon still can't hang it (EOF). *)
+let rec recv_until t ~deadline =
   match Protocol.extract ~max_frame:t.max_frame t.inbuf with
   | Protocol.Frame { payload; consumed } -> (
       t.inbuf <- String.sub t.inbuf consumed (String.length t.inbuf - consumed);
       match Protocol.response_of_json payload with
       | Ok resp -> resp
       | Error e -> failwith ("client: unintelligible response: " ^ e))
-  | Protocol.Need_more -> (
-      let buf = Bytes.create 4096 in
-      match Unix.read t.fd buf 0 (Bytes.length buf) with
-      | 0 -> failwith "client: connection closed by daemon"
-      | n ->
-          t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
-          recv t
-      | exception Unix.Unix_error (EINTR, _, _) -> recv t)
+  | Protocol.Need_more ->
+      let timeout =
+        if deadline = infinity then -1.
+        else
+          let r = deadline -. now_s () in
+          if r <= 0. then
+            failwith "client: daemon did not respond within the read timeout"
+          else r
+      in
+      let rs, _, _ =
+        try Unix.select [ t.fd ] [] [] timeout
+        with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      in
+      if rs = [] then recv_until t ~deadline
+      else begin
+        let buf = Bytes.create 4096 in
+        (match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> failwith "client: connection closed by daemon"
+        | n -> t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n
+        | exception Unix.Unix_error (EINTR, _, _) -> ());
+        recv_until t ~deadline
+      end
   | Protocol.Skip _ | Protocol.Corrupt _ ->
       failwith "client: corrupt frame from daemon"
+
+let recv t = recv_until t ~deadline:(now_s () +. t.read_timeout_s)
 
 let request t req =
   send t req;
@@ -133,6 +160,6 @@ let subscribe t ?id () =
   | resp -> fail_reply "subscribe" resp
 
 let rec next_event t =
-  match recv t with
+  match recv_until t ~deadline:infinity with
   | Protocol.Event ev -> ev
   | _ -> next_event t

@@ -12,10 +12,23 @@
 
 type t
 
-val connect : ?retry_for:float -> ?max_frame:int -> socket:string -> unit -> t
+val connect :
+  ?retry_for:float ->
+  ?max_frame:int ->
+  ?read_timeout_s:float ->
+  socket:string ->
+  unit ->
+  t
 (** Connect, retrying for up to [retry_for] seconds (default 5) while
     the socket does not exist yet or refuses — covers the daemon's
-    startup window.  @raise Failure when the window closes. *)
+    startup window.  [read_timeout_s] (default 30) bounds every
+    request/response wait: a daemon that accepts the request but never
+    answers — wedged, not dead — raises [Failure] instead of hanging
+    the client forever.  {!next_event} is exempt (an idle subscription
+    legitimately waits arbitrarily long; a {e dead} daemon still cannot
+    hang it, because the kernel delivers EOF).
+    @raise Failure when the window closes.
+    @raise Invalid_argument if [read_timeout_s <= 0]. *)
 
 val close : t -> unit
 

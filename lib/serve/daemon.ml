@@ -7,6 +7,7 @@
 module Jsonl = Rbb_sim.Jsonl
 module Telemetry = Rbb_sim.Telemetry
 module Fileio = Rbb_sim.Fileio
+module Failpoint = Rbb_sim.Failpoint
 module Registry = Rbb_obs.Registry
 module Prometheus = Rbb_obs.Prometheus
 
@@ -19,6 +20,7 @@ type config = {
   max_frame : int;
   log : out_channel option;
   telemetry_path : string option;
+  io_failpoints : Failpoint.t;
 }
 
 let default_config ~socket ~state_dir =
@@ -31,6 +33,7 @@ let default_config ~socket ~state_dir =
     max_frame = Protocol.default_max_frame;
     log = None;
     telemetry_path = None;
+    io_failpoints = Failpoint.noop;
   }
 
 type job_state =
@@ -55,9 +58,16 @@ type t = {
   admission : Admission.t;
   tel : Telemetry.t;
   registry : Registry.t;
-  lock : Mutex.t;  (** guards [states], [events] and [workers_live] *)
+  lock : Mutex.t;
+      (** guards [states], [events], [workers_live], [deadlines] and the
+          quarantine / deadline counters *)
   states : (string, job_state) Hashtbl.t;
   events : Protocol.event Queue.t;
+  deadlines : (string, float * bool Atomic.t) Hashtbl.t;
+      (** running jobs with a finite deadline: absolute monotonic expiry
+          plus the cancel flag the owning worker polls each round *)
+  mutable quarantined : int;
+  mutable deadlined : int;
   mutable workers_live : int;
   (* event-loop-domain state: *)
   mutable draining : bool;
@@ -79,6 +89,8 @@ let drain_events t =
       let evs = List.of_seq (Queue.to_seq t.events) in
       Queue.clear t.events;
       evs)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let logf t fmt =
   Printf.ksprintf
@@ -109,6 +121,40 @@ let observe_job t entry ~outcome =
   Registry.observe t.registry ~labels "rbb_job_sojourn_seconds"
     (sec now entry.Admission.t_submit)
 
+(* Register a running job with the deadline watchdog.  The returned
+   [should_stop] closure is what Job.run polls each round; the watchdog
+   (event-loop domain) flips the flag once the wall clock passes the
+   absolute expiry, so enforcement needs no per-round clock reads in
+   the worker and one source of truth decides lateness. *)
+let arm_deadline t ~id spec =
+  let deadline_s = spec.Protocol.deadline_s in
+  if not (Float.is_finite deadline_s) then fun () -> None
+  else begin
+    let flag = Atomic.make false in
+    with_lock t (fun () ->
+        Hashtbl.replace t.deadlines id (now_s () +. deadline_s, flag));
+    fun () ->
+      if Atomic.get flag then
+        Some
+          (Printf.sprintf "deadline of %ss exceeded"
+             (Jsonl.float_repr deadline_s))
+      else None
+  end
+
+let disarm_deadline t ~id = with_lock t (fun () -> Hashtbl.remove t.deadlines id)
+
+let fail_job t entry ~round ~detail ~outcome =
+  let id = entry.Admission.id in
+  Admission.note_done t.admission entry ~ok:false;
+  observe_job t entry ~outcome;
+  Telemetry.incr t.tel "serve.failed";
+  (* Durable failure record: without it, scan would resubmit the job on
+     every restart and it would re-fail forever. *)
+  (try Job.write_failed ~state_dir:t.cfg.state_dir ~id ~round ~detail
+   with Sys_error _ | Unix.Unix_error _ | Failpoint.Injected _ -> ());
+  set_state t id (Failed (round, detail));
+  push_event t { Protocol.ev = "failed"; id; round; detail }
+
 let worker_loop t _w =
   let rec go () =
     match Admission.pop t.admission with
@@ -120,6 +166,7 @@ let worker_loop t _w =
         set_state t id (Running 0);
         push_event t { Protocol.ev = "started"; id; round = 0; detail = "" };
         let last_round = ref 0 in
+        let should_stop = arm_deadline t ~id entry.Admission.spec in
         (match
            Job.run
              ~on_progress:(fun ~round ->
@@ -127,10 +174,23 @@ let worker_loop t _w =
                set_state t id (Running round);
                push_event t
                  { Protocol.ev = "checkpoint"; id; round; detail = "" })
-             ~state_dir:t.cfg.state_dir
+             ~on_quarantine:(fun ~path ~reason ->
+               with_lock t (fun () -> t.quarantined <- t.quarantined + 1);
+               Telemetry.incr t.tel "serve.quarantined";
+               push_event t
+                 {
+                   Protocol.ev = "quarantined";
+                   id;
+                   round = 0;
+                   detail = Printf.sprintf "%s: %s" path reason;
+                 })
+             ~on_save_error:(fun ~round:_ ~error:_ ->
+               Telemetry.incr t.tel "serve.checkpoint_save_errors")
+             ~should_stop ~state_dir:t.cfg.state_dir
              ~checkpoint_every:t.cfg.checkpoint_every ~id entry.Admission.spec
          with
         | (_ : (string * Jsonl.value) list) ->
+            disarm_deadline t ~id;
             Admission.note_done t.admission entry ~ok:true;
             observe_job t entry ~outcome:"ok";
             Telemetry.incr t.tel "serve.completed";
@@ -139,18 +199,15 @@ let worker_loop t _w =
             let rounds = entry.Admission.spec.Protocol.rounds in
             set_state t id (Finished rounds);
             push_event t { Protocol.ev = "done"; id; round = rounds; detail = "" }
+        | exception Job.Canceled { round; reason; _ } ->
+            disarm_deadline t ~id;
+            with_lock t (fun () -> t.deadlined <- t.deadlined + 1);
+            Telemetry.incr t.tel "serve.deadlined";
+            fail_job t entry ~round ~detail:reason ~outcome:"deadline"
         | exception e ->
-            let detail = Printexc.to_string e in
-            let round = !last_round in
-            Admission.note_done t.admission entry ~ok:false;
-            observe_job t entry ~outcome:"error";
-            Telemetry.incr t.tel "serve.failed";
-            (* Durable failure record: without it, scan would resubmit
-               the job on every restart and it would re-fail forever. *)
-            (try Job.write_failed ~state_dir:t.cfg.state_dir ~id ~round ~detail
-             with Sys_error _ | Unix.Unix_error _ -> ());
-            set_state t id (Failed (round, detail));
-            push_event t { Protocol.ev = "failed"; id; round; detail });
+            disarm_deadline t ~id;
+            fail_job t entry ~round:!last_round
+              ~detail:(Printexc.to_string e) ~outcome:"error");
         go ()
   in
   Fun.protect
@@ -197,6 +254,11 @@ let stats_fields t =
     ("started", Jsonl.Int s.Admission.started);
     ("completed", Jsonl.Int s.Admission.completed);
     ("failed", Jsonl.Int s.Admission.failed);
+    ( "deadlined",
+      Jsonl.Int (with_lock t (fun () -> t.deadlined)) );
+    ( "quarantined",
+      Jsonl.Int (with_lock t (fun () -> t.quarantined)) );
+    ("io_faults_injected", Jsonl.Int (Fileio.injected_faults ()));
   ]
   @ rate_fields
   @ sample_fields "wait" s.Admission.wait_ns
@@ -226,6 +288,13 @@ let refresh_registry t =
     (float_of_int s.Admission.completed);
   Registry.set_counter r "rbb_jobs_failed_total"
     (float_of_int s.Admission.failed);
+  let deadlined, quarantined =
+    with_lock t (fun () -> (t.deadlined, t.quarantined))
+  in
+  Registry.set_counter r "rbb_jobs_deadlined_total" (float_of_int deadlined);
+  Registry.set_counter r "rbb_quarantined_total" (float_of_int quarantined);
+  Registry.set_counter r "rbb_io_faults_injected_total"
+    (float_of_int (Fileio.injected_faults ()));
   let window_ns =
     Int64.to_float (Int64.sub s.Admission.last_arrival s.Admission.first_arrival)
   in
@@ -294,7 +363,22 @@ let dispatch t conn req =
                worker can emit "started" ahead of our "accepted". *)
             let id = Job.fresh_id t.next_id in
             t.next_id <- t.next_id + 1;
-            Job.write_spec ~state_dir:t.cfg.state_dir ~id spec;
+            match Job.write_spec ~state_dir:t.cfg.state_dir ~id spec with
+            | exception e ->
+                (* The spec never became durable, so the job must not be
+                   acknowledged: an ack is a promise the job survives a
+                   crash.  The id is burned, nothing else happened. *)
+                Telemetry.incr t.tel "serve.spec_write_errors";
+                [
+                  Protocol.Error_reply
+                    {
+                      code = "io_error";
+                      message =
+                        Printf.sprintf "could not persist job spec: %s"
+                          (Printexc.to_string e);
+                    };
+                ]
+            | () ->
             set_state t id Queued;
             Telemetry.incr t.tel "serve.accepted";
             push_event t { Protocol.ev = "accepted"; id; round = 0; detail = "" };
@@ -505,11 +589,15 @@ let run cfg =
   mkdir_p cfg.state_dir;
   let lock =
     match
-      Fileio.acquire_lock ~path:(Filename.concat cfg.state_dir "daemon.lock")
+      Fileio.acquire_lock ~path:(Filename.concat cfg.state_dir "daemon.lock") ()
     with
     | Ok lock -> lock
     | Error e -> invalid_arg e
   in
+  (* Arm the I/O fault plane only after the daemon owns its lock: chaos
+     campaigns want startup to succeed and the *serving* daemon's
+     writes to trip. *)
+  Fileio.set_failpoints cfg.io_failpoints;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let registry = Registry.create () in
   List.iter
@@ -532,6 +620,9 @@ let run cfg =
       lock = Mutex.create ();
       states = Hashtbl.create 64;
       events = Queue.create ();
+      deadlines = Hashtbl.create 8;
+      quarantined = 0;
+      deadlined = 0;
       workers_live = cfg.workers;
       draining = false;
       next_id = 1;
@@ -542,7 +633,17 @@ let run cfg =
   logf t "rbb serve: state dir %s" cfg.state_dir;
   (* Crash recovery: anything with a spec but no result was admitted by
      a previous life of this daemon and must be finished. *)
-  let pending, next = Job.scan ~state_dir:cfg.state_dir in
+  let pending, next =
+    Job.scan
+      ~on_quarantine:(fun ~id ~reason ->
+        t.quarantined <- t.quarantined + 1;
+        Telemetry.incr t.tel "serve.quarantined";
+        set_state t id (Failed (0, reason));
+        push_event t
+          { Protocol.ev = "quarantined"; id; round = 0; detail = reason };
+        logf t "rbb serve: quarantined spec of %s (%s)" id reason)
+      ~state_dir:cfg.state_dir ()
+  in
   t.next_id <- next;
   List.iter
     (fun (id, spec) ->
@@ -610,13 +711,29 @@ let run cfg =
     refresh_registry t;
     Prometheus.write_file t.registry ~path:prom_path
   in
-  let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9 in
+  (* Deadline watchdog: flip the cancel flag of every running job whose
+     wall-clock budget has expired.  The owning worker observes the flag
+     at its next round boundary and fails the job through the durable
+     .failed machinery. *)
+  let check_deadlines () =
+    let now = now_s () in
+    with_lock t (fun () ->
+        Hashtbl.iter
+          (fun _id (expiry, flag) -> if now >= expiry then Atomic.set flag true)
+          t.deadlines)
+  in
   let next_prom = ref (now_s ()) in
   let flush_spins = ref 0 in
   let rec loop () =
     pump_events ();
+    check_deadlines ();
     if now_s () >= !next_prom then begin
-      write_prom ();
+      (* The exposition write goes through the faultable I/O shim; an
+         injected (or real) failure there must not kill the daemon —
+         metrics are best-effort, jobs are not. *)
+      (try write_prom ()
+       with Sys_error _ | Unix.Unix_error _ | Failpoint.Injected _ -> ());
+      Fileio.refresh_lock lock;
       next_prom := now_s () +. 1.
     end;
     t.conns <- List.filter (fun c -> c.alive) t.conns;
@@ -657,9 +774,12 @@ let run cfg =
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
       close_out_noerr events_oc;
-      (try write_prom () with Sys_error _ | Unix.Unix_error _ -> ());
+      (try write_prom ()
+       with Sys_error _ | Unix.Unix_error _ | Failpoint.Injected _ -> ());
       (match cfg.telemetry_path with
-      | Some path -> Telemetry.write_json t.tel ~path
+      | Some path -> (
+          try Telemetry.write_json t.tel ~path
+          with Sys_error _ | Unix.Unix_error _ | Failpoint.Injected _ -> ())
       | None -> ());
       Fileio.release_lock lock)
     (fun () ->

@@ -22,6 +22,23 @@
     report the failure (status/result) rather than resubmitting a job
     that would only re-fail on every restart.
 
+    {b Corruption.}  Artifacts that fail to load — a checkpoint whose
+    CRC trailer disagrees with its content, a spec that no longer
+    parses — are {e quarantined} ({!Job.quarantine_file}): moved under
+    [state_dir/quarantine/], counted, and reported as ["quarantined"]
+    events.  A corrupt checkpoint costs only the checkpointed progress
+    (the job restarts from its durable spec and, being deterministic,
+    republishes a byte-identical result); a corrupt spec fails the job
+    durably rather than letting an acknowledged job vanish.
+
+    {b Deadlines.}  A spec may carry a finite [deadline_s]: the event
+    loop's watchdog flips a per-job cancel flag once the wall-clock
+    budget (measured from dispatch to a worker) expires, the worker
+    observes it at the next round boundary, and the job fails through
+    the same durable [.failed] machinery — freeing the worker for
+    queued work.  Deadline kills are counted separately ([deadlined]
+    in stats, outcome ["deadline"] in the job histograms).
+
     {b Observability.}  Every job lifecycle transition (accepted /
     started / checkpoint / done / failed) is appended to
     [events.ndjson] in the state directory (flushed per line, so
@@ -50,11 +67,18 @@ type config = {
   log : out_channel option;  (** startup/shutdown lines; [None] silent *)
   telemetry_path : string option;
       (** write the daemon's telemetry JSON here at shutdown *)
+  io_failpoints : Rbb_sim.Failpoint.t;
+      (** I/O fault plane, armed process-wide
+          ({!Rbb_sim.Fileio.set_failpoints}) once the daemon owns its
+          lock — [io.write] / [io.fsync] / [io.rename] / [io.lock]
+          triggers then fire inside every durable write.  This is the
+          chaos harness's hook; production daemons leave the default
+          {!Rbb_sim.Failpoint.noop}. *)
 }
 
 val default_config : socket:string -> state_dir:string -> config
 (** workers 1, queue depth 16, checkpoint every 256 rounds, default
-    frame limit, silent, no telemetry export. *)
+    frame limit, silent, no telemetry export, no injected faults. *)
 
 val run : config -> unit
 (** Run until a [shutdown] request arrives, then drain: in-flight jobs

@@ -15,6 +15,40 @@ let result_path ~state_dir ~id = Filename.concat state_dir (id ^ ".result")
 
 let failed_path ~state_dir ~id = Filename.concat state_dir (id ^ ".failed")
 
+let quarantine_dir ~state_dir = Filename.concat state_dir "quarantine"
+
+(* Corrupt artifacts are moved aside, not deleted: the quarantined file
+   is the evidence (operators diff it against a clean snapshot; the
+   chaos harness asserts it exists).  The move is a same-filesystem
+   rename; a numbered suffix keeps repeat offenders from clobbering
+   each other. *)
+let quarantine_file ~state_dir ~path =
+  let dir = quarantine_dir ~state_dir in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  let base = Filename.basename path in
+  let rec attempt k =
+    if k > 999 then None
+    else
+      let dest =
+        Filename.concat dir
+          (if k = 0 then base else Printf.sprintf "%s.%d" base k)
+      in
+      if Sys.file_exists dest then attempt (k + 1)
+      else
+        match Sys.rename path dest with
+        | () -> Some dest
+        | exception Sys_error _ -> None
+  in
+  attempt 0
+
+exception Canceled of { id : string; round : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Canceled { id; round; reason } ->
+        Some (Printf.sprintf "Job.Canceled(%s, round=%d, %s)" id round reason)
+    | _ -> None)
+
 let spec_schema = "rbb.job-spec/1"
 let result_schema = "rbb.job-result/1"
 let failed_schema = "rbb.job-failed/1"
@@ -28,6 +62,9 @@ let write_spec ~state_dir ~id spec =
        :: (if spec.Protocol.m <> spec.Protocol.n then
              [ ("m", Jsonl.Int spec.Protocol.m) ]
            else [])
+      @ (if Float.is_finite spec.Protocol.deadline_s then
+           [ ("deadline_s", Jsonl.Float spec.Protocol.deadline_s) ]
+         else [])
       @ ("rounds", Jsonl.Int spec.Protocol.rounds)
         :: ("seed", Jsonl.Int spec.Protocol.seed)
         :: ("init", Jsonl.String spec.Protocol.init)
@@ -101,17 +138,20 @@ let load_spec ~path =
                   Some init,
                   Some engine )
                 when schema = spec_schema -> (
-                  (* "m" is optional in the spec file, exactly as on the
-                     wire: absent means m = n. *)
+                  (* "m" and "deadline_s" are optional in the spec file,
+                     exactly as on the wire: absent means m = n and no
+                     deadline. *)
                   let m = Option.value ~default:n (Jsonl.find_int fields "m") in
-                  match
-                    (engine, Protocol.validate_spec
-                               { n; m; rounds; seed; init; engine = Balls })
-                  with
-                  | "balls", Ok () ->
-                      Ok (id, { Protocol.n; m; rounds; seed; init; engine = Balls })
-                  | "counts", Ok () ->
-                      Ok (id, { Protocol.n; m; rounds; seed; init; engine = Counts })
+                  let deadline_s =
+                    Option.value ~default:infinity
+                      (Jsonl.find_float fields "deadline_s")
+                  in
+                  let mk engine =
+                    { Protocol.n; m; rounds; seed; init; engine; deadline_s }
+                  in
+                  match (engine, Protocol.validate_spec (mk Balls)) with
+                  | "balls", Ok () -> Ok (id, mk Protocol.Balls)
+                  | "counts", Ok () -> Ok (id, mk Protocol.Counts)
                   | _, Error e -> Error (Printf.sprintf "%s: %s" path e)
                   | e, Ok () ->
                       Error (Printf.sprintf "%s: unknown engine %S" path e))
@@ -126,24 +166,54 @@ let id_seq id =
   | true -> int_of_string_opt (String.sub id 4 (String.length id - 4))
   | false -> None
 
-let scan ~state_dir =
+let scan ?(on_quarantine = fun ~id:_ ~reason:_ -> ()) ~state_dir () =
   let entries = try Sys.readdir state_dir with Sys_error _ -> [||] in
   let pending = ref [] in
   let next = ref 1 in
+  (* The sequence advances past every id with *any* artifact — spec,
+     result or failure marker.  A quarantined spec leaves only its
+     .failed marker behind, and reissuing that id to a fresh submit
+     would collide the new job with the old failure record. *)
+  let advance id =
+    match id_seq id with
+    | Some k when k >= !next -> next := k + 1
+    | _ -> ()
+  in
   Array.iter
     (fun name ->
+      List.iter
+        (fun suffix ->
+          if Filename.check_suffix name suffix then
+            advance (Filename.chop_suffix name suffix))
+        [ ".result"; ".failed" ];
       if Filename.check_suffix name ".job" then begin
         let id = Filename.chop_suffix name ".job" in
-        (match id_seq id with
-        | Some k when k >= !next -> next := k + 1
-        | _ -> ());
+        advance id;
         if
           (not (Sys.file_exists (result_path ~state_dir ~id)))
           && not (Sys.file_exists (failed_path ~state_dir ~id))
         then
+          let quarantine reason =
+            (* An acknowledged job whose durable spec went bad must stay
+               accounted: the spec moves to quarantine/ as evidence and
+               a durable .failed marker records the loss, so the job
+               reads as permanently failed — never as silently absent.
+               Both writes are best-effort: if they fail too (injected
+               I/O faults), the next restart simply re-encounters the
+               bad spec. *)
+            ignore
+              (quarantine_file ~state_dir
+                 ~path:(Filename.concat state_dir name));
+            (try write_failed ~state_dir ~id ~round:0 ~detail:reason
+             with _ -> ());
+            on_quarantine ~id ~reason
+          in
           match load_spec ~path:(Filename.concat state_dir name) with
           | Ok (id', spec) when id' = id -> pending := (id, spec) :: !pending
-          | Ok _ | Error _ -> ()
+          | Ok (id', _) ->
+              quarantine
+                (Printf.sprintf "spec corrupted: file %s names id %s" name id')
+          | Error e -> quarantine (Printf.sprintf "spec corrupted: %s" e)
       end)
     entries;
   ( List.sort (fun (a, _) (b, _) -> String.compare a b) !pending,
@@ -189,7 +259,10 @@ let result_fields ~id ~(spec : Protocol.job_spec) ~round ~config ~telemetry =
 
 let result_body fields = Jsonl.obj fields
 
-let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
+let run ?(on_progress = fun ~round:_ -> ())
+    ?(on_quarantine = fun ~path:_ ~reason:_ -> ())
+    ?(on_save_error = fun ~round:_ ~error:_ -> ())
+    ?(should_stop = fun () -> None) ~state_dir ~checkpoint_every ~id
     (spec : Protocol.job_spec) =
   if checkpoint_every < 1 then
     invalid_arg "Job.run: checkpoint_every must be at least 1";
@@ -199,9 +272,25 @@ let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
   let ckpt = checkpoint_path ~state_dir ~id in
   let tel = Telemetry.create () in
   let probe = Telemetry.probe tel in
+  (* The quarantine-and-fall-back chain: a checkpoint that fails to
+     load (CRC mismatch, truncation, schema damage) or belongs to the
+     wrong engine family is moved to quarantine/ and the job restarts
+     from its durable spec.  Every result field is a deterministic
+     function of (final state, spec), so the fresh run publishes bytes
+     identical to what the poisoned resume would have produced — the
+     corruption costs recomputation, never correctness. *)
+  let quarantined reason =
+    let dest = quarantine_file ~state_dir ~path:ckpt in
+    (* If the move itself failed, still never resume from poison. *)
+    if Sys.file_exists ckpt then (try Sys.remove ckpt with Sys_error _ -> ());
+    on_quarantine
+      ~path:(Option.value dest ~default:(quarantine_dir ~state_dir))
+      ~reason;
+    None
+  in
   let snap =
     if Sys.file_exists ckpt then
-      match Checkpoint.load ~path:ckpt with
+      match Checkpoint.load ~path:ckpt () with
       | Ok snap ->
           let kind_matches =
             match (snap.Checkpoint.kind, spec.engine) with
@@ -210,13 +299,13 @@ let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
                 true
             | _ -> false
           in
-          if not kind_matches then
-            failwith
-              (Printf.sprintf
-                 "job %s: checkpoint engine kind does not match the spec" id);
-          Checkpoint.restore_counters tel snap;
-          Some snap
-      | Error e -> failwith (Printf.sprintf "job %s: %s" id e)
+          if kind_matches then begin
+            Checkpoint.restore_counters tel snap;
+            Some snap
+          end
+          else
+            quarantined "checkpoint engine kind does not match the spec"
+      | Error e -> quarantined e
     else None
   in
   let fresh () =
@@ -260,19 +349,42 @@ let run ?(on_progress = fun ~round:_ -> ()) ~state_dir ~checkpoint_every ~id
           fun () -> Checkpoint.capture_counts ~telemetry:tel p )
   in
   for r = start_round + 1 to spec.rounds do
+    (match should_stop () with
+    | Some reason -> raise (Canceled { id; round = r - 1; reason })
+    | None -> ());
     step ();
     if r mod checkpoint_every = 0 && r < spec.rounds then begin
-      Checkpoint.save ~path:ckpt (capture ());
-      on_progress ~round:r
+      (* A failed checkpoint save (disk full, injected I/O fault) is
+         degradation, not death: the previous snapshot is still whole
+         on disk — atomic publication — so the job keeps computing and
+         merely risks more recomputation after a crash. *)
+      match Checkpoint.save ~path:ckpt (capture ()) with
+      | () -> on_progress ~round:r
+      | exception e -> on_save_error ~round:r ~error:(Printexc.to_string e)
     end
   done;
   let fields =
     result_fields ~id ~spec ~round:spec.rounds ~config:(config ())
       ~telemetry:tel
   in
-  Rbb_sim.Fileio.write_atomic ~path:(result_path ~state_dir ~id) (fun oc ->
-      output_string oc (result_body fields);
-      output_char oc '\n');
+  (* The result is the one artifact that must land: retry transient
+     write failures (under probabilistic fault injection each retry
+     draws fresh luck) before letting the exception fail the job. *)
+  let rec publish attempt =
+    match
+      Rbb_sim.Fileio.write_atomic ~path:(result_path ~state_dir ~id) (fun oc ->
+          output_string oc (result_body fields);
+          output_char oc '\n')
+    with
+    | () -> ()
+    | exception e ->
+        if attempt >= 5 then raise e
+        else begin
+          Unix.sleepf 0.002;
+          publish (attempt + 1)
+        end
+  in
+  publish 0;
   (* The checkpoint has served its purpose; the result now marks the
      job done (and a stale checkpoint must not shadow a future job that
      reuses the id in a wiped directory). *)

@@ -18,6 +18,9 @@ type job_spec = {
   seed : int;
   init : string;
   engine : engine;
+  deadline_s : float;
+      (* wall-clock budget from dispatch; infinity (the wire default)
+         means the job may run forever *)
 }
 
 let engine_name = function Balls -> "balls" | Counts -> "counts"
@@ -31,6 +34,8 @@ let validate_spec spec =
   if spec.n < 1 then Error "job spec: n must be at least 1"
   else if spec.m < 0 then Error "job spec: m must be nonnegative"
   else if spec.rounds < 0 then Error "job spec: rounds must be nonnegative"
+  else if Float.is_nan spec.deadline_s || spec.deadline_s <= 0. then
+    Error "job spec: deadline_s must be a positive number of seconds"
   else
     match spec.init with
     | "uniform" when spec.m <> spec.n ->
@@ -69,11 +74,15 @@ let obj ty fields =
   Jsonl.obj
     (("schema", Jsonl.String schema) :: ("type", Jsonl.String ty) :: fields)
 
-(* "m" travels only when it differs from n: old decoders keep working
-   and every m = n spec encodes to its historical bytes. *)
+(* "m" travels only when it differs from n, and "deadline_s" only when
+   finite: old decoders keep working and every default-valued spec
+   encodes to its historical bytes. *)
 let spec_fields spec =
   ("n", Jsonl.Int spec.n)
   :: (if spec.m <> spec.n then [ ("m", Jsonl.Int spec.m) ] else [])
+  @ (if Float.is_finite spec.deadline_s then
+       [ ("deadline_s", Jsonl.Float spec.deadline_s) ]
+     else [])
   @ [
       ("rounds", Jsonl.Int spec.rounds);
       ("seed", Jsonl.Int spec.seed);
@@ -165,7 +174,10 @@ let spec_of_fields fields =
     | Some e -> Ok e
     | None -> Error (Printf.sprintf "job spec: unknown engine %S" engine_s)
   in
-  let spec = { n; m; rounds; seed; init; engine } in
+  let deadline_s =
+    Option.value ~default:infinity (Jsonl.find_float fields "deadline_s")
+  in
+  let spec = { n; m; rounds; seed; init; engine; deadline_s } in
   let* () = validate_spec spec in
   Ok spec
 

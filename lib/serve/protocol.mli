@@ -42,12 +42,20 @@ type job_spec = {
       (** ["uniform"] (m = n only), ["balanced"], ["pile"] or
           ["random"] *)
   engine : engine;
+  deadline_s : float;
+      (** wall-clock budget, measured from dispatch to a worker.  On
+          the wire ["deadline_s"] is optional and defaults to
+          [infinity] (no deadline); encoders emit it only when finite,
+          so deadline-less specs keep their historical bytes.  The
+          daemon's watchdog fails an over-deadline job through the
+          durable [.failed] machinery and frees the worker. *)
 }
 
 val validate_spec : job_spec -> (unit, string) result
-(** Field validation ([n >= 1], [m >= 0], [rounds >= 0], known [init];
-    ["uniform"] additionally requires [m = n] — use ["balanced"] for
-    the even spread of an arbitrary ball count). *)
+(** Field validation ([n >= 1], [m >= 0], [rounds >= 0],
+    [deadline_s > 0] and not NaN, known [init]; ["uniform"]
+    additionally requires [m = n] — use ["balanced"] for the even
+    spread of an arbitrary ball count). *)
 
 val engine_name : engine -> string
 
@@ -65,7 +73,9 @@ type request =
   | Shutdown
 
 type event = {
-  ev : string;  (** ["accepted"], ["started"], ["checkpoint"], ["done"], ["failed"] *)
+  ev : string;
+      (** ["accepted"], ["started"], ["checkpoint"], ["quarantined"],
+          ["done"], ["failed"] *)
   id : string;
   round : int;  (** progress round; 0 when not meaningful *)
   detail : string;  (** free prose; [""] when absent *)

@@ -16,8 +16,12 @@ open Rbb_core
    deterministic byte-for-byte for a fixed state and diffable by eye.
    Int64 values (master key, seed, raw generator words) are hex strings
    — OCaml's native int, Jsonl's integer type, has only 63 bits.
-   Publication is atomic (Fileio), and a record-count trailer detects
-   out-of-band truncation anyway. *)
+   Publication is atomic (Fileio); the end record carries a record
+   count (detects out-of-band truncation) and a CRC-32 over every
+   preceding byte (detects corruption: a single flipped bit anywhere in
+   the file surfaces as a load error instead of a silently different
+   resumed trajectory).  Trailer-less files from before the CRC are
+   still accepted — with a warning — so old checkpoints stay loadable. *)
 
 let schema = "rbb.checkpoint/1"
 
@@ -142,8 +146,11 @@ let save ~path snap =
   let n = Array.length loads in
   Fileio.write_atomic ~path (fun oc ->
       let records = ref 0 in
+      let crc = ref Integrity.start in
       let line fields =
-        output_string oc (Jsonl.obj fields);
+        let s = Jsonl.obj fields in
+        crc := Integrity.feed_char (Integrity.feed !crc s) '\n';
+        output_string oc s;
         output_char oc '\n';
         incr records
       in
@@ -199,7 +206,16 @@ let save ~path snap =
               ("value", Jsonl.Int v);
             ])
         snap.counters;
-      line [ ("records", Jsonl.Int !records); ("type", Jsonl.String "end") ])
+      (* The trailer checksums everything above it, so it cannot go
+         through [line] (which would fold it into its own digest). *)
+      output_string oc
+        (Jsonl.obj
+           [
+             ("crc32", Jsonl.String (Integrity.to_hex !crc));
+             ("records", Jsonl.Int !records);
+             ("type", Jsonl.String "end");
+           ]);
+      output_char oc '\n')
 
 (* Parsing ------------------------------------------------------------ *)
 
@@ -212,6 +228,8 @@ type partial = {
   mutable ctrs : (string * int) list;  (* reverse order *)
   mutable finished : bool;
   mutable lines : int;  (* records before the end line *)
+  mutable crc : Integrity.t;  (* over every line before the end record *)
+  mutable legacy : bool;  (* end record carried no crc32 trailer *)
 }
 
 let ( let* ) = Result.bind
@@ -240,6 +258,8 @@ let parse_line st lineno line =
     | Some fields -> (
         st.lines <- st.lines + 1;
         let* ty = field_string fields "type" in
+        if ty <> "end" then
+          st.crc <- Integrity.feed_char (Integrity.feed st.crc line) '\n';
         match ty with
         | "header" ->
             let* s = field_string fields "schema" in
@@ -342,10 +362,25 @@ let parse_line st lineno line =
             let* records = field_int fields "records" in
             if records <> st.lines - 1 then
               Error "checkpoint: record count mismatch (truncated file?)"
-            else begin
+            else
+              let* () =
+                match Jsonl.find_string fields "crc32" with
+                | None ->
+                    (* Pre-integrity trailer: loadable, but the caller
+                       is warned that the content went unverified. *)
+                    st.legacy <- true;
+                    Ok ()
+                | Some hex ->
+                    if Integrity.equal_hex st.crc hex then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf
+                           "checkpoint: crc32 mismatch (trailer %s, content %s \
+                            — corrupt file?)"
+                           hex (Integrity.to_hex st.crc))
+              in
               st.finished <- true;
               Ok ()
-            end
         | other -> Error (Printf.sprintf "checkpoint: unknown record type %S" other))
 
 let finish st =
@@ -383,7 +418,7 @@ let finish st =
                   }
           end
 
-let load ~path =
+let load ?(on_warning = fun (_ : string) -> ()) ~path () =
   match open_in path with
   | exception Sys_error msg -> Error (Printf.sprintf "checkpoint: %s" msg)
   | ic ->
@@ -396,6 +431,8 @@ let load ~path =
           ctrs = [];
           finished = false;
           lines = 0;
+          crc = Integrity.start;
+          legacy = false;
         }
       in
       let rec go lineno =
@@ -408,4 +445,10 @@ let load ~path =
       in
       let result = go 1 in
       close_in_noerr ic;
+      if Result.is_ok result && st.legacy then
+        on_warning
+          (Printf.sprintf
+             "checkpoint %s: no integrity trailer (pre-crc32 format), content \
+              loaded unverified"
+             path);
       result

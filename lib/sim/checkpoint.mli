@@ -64,12 +64,21 @@ val capture_sharded_counts : Sharded_counts.t -> snapshot
 val save : path:string -> snapshot -> unit
 (** Write atomically: the file at [path] is either the complete old
     content or the complete new one, never a torn mixture, even across
-    power loss (the temp file is fsynced before the rename). *)
+    power loss (the temp file is fsynced before the rename).  The end
+    record carries a CRC-32 trailer ({!Integrity}) over every
+    preceding byte, so {!load} detects any in-place corruption. *)
 
-val load : path:string -> (snapshot, string) result
-(** Parse and validate.  Errors are prose (unreadable file, schema
-    mismatch, truncation, inconsistent loads, invalid PRNG state...)
-    suitable for printing verbatim; the CLI pins them in cram tests. *)
+val load :
+  ?on_warning:(string -> unit) ->
+  path:string ->
+  unit ->
+  (snapshot, string) result
+(** Parse, checksum and validate.  Errors are prose (unreadable file,
+    schema mismatch, truncation, CRC mismatch, inconsistent loads,
+    invalid PRNG state...) suitable for printing verbatim; the CLI pins
+    them in cram tests.  A trailer-less file from before the CRC-32
+    era still loads, and [on_warning] (default: ignore) is told its
+    content went unverified. *)
 
 val to_process : snapshot -> Rbb_core.Process.t
 (** Rebuild the sequential engine, consuming no randomness

@@ -33,10 +33,22 @@ let noop = Noop
 let of_specs = function [] -> Noop | specs -> Active specs
 let enabled = function Noop -> false | Active _ -> true
 
-(* The points the engines actually guard; the CLI rejects anything
-   else so a typo cannot silently inject nothing. *)
+(* The points the engines and the I/O shim actually guard; the CLI
+   rejects anything else so a typo cannot silently inject nothing.
+   For the io.* points (guarded inside Fileio) the coordinates are
+   reinterpreted: "round" is the 0-based index of the faultable
+   operation since the shim was armed, shard and attempt are 0. *)
 let known_names =
-  [ "sharded.launch"; "sharded.merge"; "sharded.settle"; "parallel.task" ]
+  [
+    "sharded.launch";
+    "sharded.merge";
+    "sharded.settle";
+    "parallel.task";
+    "io.write";
+    "io.fsync";
+    "io.rename";
+    "io.lock";
+  ]
 
 (* FNV-1a, 64-bit: a stable string hash that does not depend on
    OCaml's seeded [Hashtbl.hash], so probabilistic firing decisions

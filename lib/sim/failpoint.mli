@@ -45,9 +45,21 @@ val of_specs : spec list -> t
 val enabled : t -> bool
 
 val known_names : string list
-(** The names the engines actually guard ([sharded.launch],
-    [sharded.merge], [sharded.settle], [parallel.task]); the CLI
-    rejects other names so a typo cannot silently inject nothing. *)
+(** The names actually guarded: the engine phases ([sharded.launch],
+    [sharded.merge], [sharded.settle], [parallel.task]) and the
+    {!Fileio} syscall shim ([io.write], [io.fsync], [io.rename],
+    [io.lock] — for these, [round] is the 0-based index of the
+    faultable operation since {!Fileio.set_failpoints} armed the shim,
+    and [shard] and [attempt] are always [0]).  The CLI rejects other
+    names so a typo cannot silently inject nothing. *)
+
+val hash_unit :
+  seed:int64 -> name:string -> round:int -> shard:int -> attempt:int -> float
+(** The stable uniform-[0,1)] hash behind [Prob] triggers, exported for
+    other deterministic per-coordinate draws (e.g. {!Supervisor}'s
+    decorrelated backoff jitter): FNV-1a over [name] folded with the
+    coordinates through SplitMix64 finalizers, identical across builds
+    and platforms. *)
 
 val fires : t -> name:string -> round:int -> shard:int -> attempt:int -> bool
 (** Pure firing decision for one guard evaluation.  [round] is the

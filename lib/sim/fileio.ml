@@ -4,7 +4,16 @@
    truncated artifact behind under the published name.  The temp file is
    fsynced before the rename: without it a power loss shortly after
    commit can publish a name whose blocks never hit the disk, which is
-   exactly the window a crash-safe checkpoint must not have. *)
+   exactly the window a crash-safe checkpoint must not have.
+
+   The write/fsync/rename/lock syscalls run behind a faultable shim: a
+   process-global failpoint set (io.write, io.fsync, io.rename, io.lock)
+   can make any of them fail deterministically, so the never-a-torn-file
+   contract is provable under injected faults, not just asserted.  The
+   shim coordinates map the failpoint "round" to the 0-based index of
+   the faultable operation since the set was armed (shard = attempt = 0),
+   so "io.fsync@round=4" is "the fifth fsync from now" and
+   "io.fsync@p=0.01,seed=9" is a reproducible per-operation coin. *)
 
 type writer = {
   oc : out_channel;
@@ -12,6 +21,47 @@ type writer = {
   path : string;
   mutable open_ : bool;
 }
+
+(* ---- faultable syscall shim ------------------------------------- *)
+
+let failpoints = Atomic.make Failpoint.noop
+let fault_count = Atomic.make 0
+let write_ops = Atomic.make 0
+let fsync_ops = Atomic.make 0
+let rename_ops = Atomic.make 0
+let lock_ops = Atomic.make 0
+
+let set_failpoints fp =
+  (* Re-arming resets the operation indices, so deterministic specs
+     address "the k-th operation from now" regardless of history. *)
+  Atomic.set write_ops 0;
+  Atomic.set fsync_ops 0;
+  Atomic.set rename_ops 0;
+  Atomic.set lock_ops 0;
+  Atomic.set failpoints fp
+
+let injected_faults () = Atomic.get fault_count
+
+(* Returns [Some op] when the named point fires for this operation.
+   Disabled sets skip the counters entirely: the unfaulted hot path
+   costs one atomic load and a pattern match. *)
+let io_check counter ~name =
+  let fp = Atomic.get failpoints in
+  if not (Failpoint.enabled fp) then None
+  else
+    let op = Atomic.fetch_and_add counter 1 in
+    if Failpoint.fires fp ~name ~round:op ~shard:0 ~attempt:0 then begin
+      Atomic.incr fault_count;
+      Some op
+    end
+    else None
+
+let io_trip counter ~name =
+  match io_check counter ~name with
+  | None -> ()
+  | Some op -> raise (Failpoint.Injected { name; round = op; shard = 0; attempt = 0 })
+
+(* ---- atomic writers --------------------------------------------- *)
 
 (* Suffix the temp name with the pid so two processes (a run and its
    resumed successor, or parallel bench invocations) targeting the same
@@ -36,18 +86,35 @@ let channel w = w.oc
 
 let fsync_out oc =
   flush oc;
+  io_trip fsync_ops ~name:"io.fsync";
   try Unix.fsync (Unix.descr_of_out_channel oc) with
   | Unix.Unix_error ((EINVAL | EOPNOTSUPP | ENOSYS), _, _) -> ()
   (* e.g. /dev/null or pipes: nothing durable to sync *)
+
+(* An injected io.write is a short write: flush what is buffered, chop
+   the temp file to half its length, and fail.  The temp really is torn
+   on disk — the point is that the published path never sees it. *)
+let write_trip w =
+  match io_check write_ops ~name:"io.write" with
+  | None -> ()
+  | Some op ->
+      flush w.oc;
+      let fd = Unix.descr_of_out_channel w.oc in
+      let len = (Unix.fstat fd).st_size in
+      (try Unix.ftruncate fd (len / 2) with Unix.Unix_error _ -> ());
+      raise (Failpoint.Injected { name = "io.write"; round = op; shard = 0; attempt = 0 })
 
 let commit w =
   if w.open_ then begin
     w.open_ <- false;
     match
+      write_trip w;
       fsync_out w.oc;
-      close_out w.oc
+      close_out w.oc;
+      io_trip rename_ops ~name:"io.rename";
+      Sys.rename w.tmp w.path
     with
-    | () -> Sys.rename w.tmp w.path
+    | () -> ()
     | exception e ->
         (try close_out_noerr w.oc with _ -> ());
         (try Sys.remove w.tmp with Sys_error _ -> ());
@@ -61,15 +128,25 @@ let abort w =
     try Sys.remove w.tmp with Sys_error _ -> ()
   end
 
-(* Exclusive pid lock files.  O_CREAT|O_EXCL is the atomicity primitive:
-   exactly one process can create the file, and it writes its pid into
-   it so a later contender can tell a live owner from a stale corpse.
-   A lock whose pid no longer exists (the owner was SIGKILLed and could
-   not clean up) is broken and re-taken; the remove-then-recreate window
-   is itself closed by O_EXCL — when two takers race, exactly one
-   creation succeeds and the loser reports the new owner. *)
+(* ---- exclusive locks -------------------------------------------- *)
 
-type lock = { lock_path : string; lock_fd : Unix.file_descr }
+(* Exclusive pid:token lock files.  O_CREAT|O_EXCL is the atomicity
+   primitive: exactly one process can create the file, and it writes
+   "pid:token" into it (token = random 64-bit hex) so a later contender
+   can tell a live owner from a stale corpse.  A dead pid is always
+   stale.  A live pid alone is NOT proof of ownership — pids recycle,
+   and under the old bare-pid format a recycled pid made a stale lock
+   look held forever — so ownership additionally requires a fresh
+   heartbeat: the owner periodically rewrites "<path>.hb" containing its
+   token ({!refresh_lock}), and a contender finding a live pid breaks
+   the lock anyway when the heartbeat file is missing, carries a
+   different token, or has not been touched within the staleness
+   window.  Old bare-pid lock files (no token) keep the conservative
+   pre-token behavior: live pid means held.  The remove-then-recreate
+   window is itself closed by O_EXCL — when two takers race, exactly
+   one creation succeeds and the loser reports the new owner. *)
+
+type lock = { lock_path : string; lock_fd : Unix.file_descr; lock_token : string }
 
 let process_alive pid =
   match Unix.kill pid 0 with
@@ -78,7 +155,19 @@ let process_alive pid =
   (* EPERM means "exists but not ours": alive. *)
   | exception Unix.Unix_error (EPERM, _, _) -> true
 
-let read_lock_pid path =
+let hb_path path = path ^ ".hb"
+
+(* Uniqueness, not secrecy: mix wall clock, pid and a counter through
+   SplitMix64 so two lock incarnations never share a token. *)
+let random_token () =
+  let mix = Rbb_prng.Splitmix64.mix in
+  let h = mix (Int64.bits_of_float (Unix.gettimeofday ())) in
+  let h = mix (Int64.logxor h (Int64.of_int (Unix.getpid ()))) in
+  let h = mix (Int64.logxor h (Int64.of_int (Atomic.fetch_and_add tmp_counter 1))) in
+  Printf.sprintf "%016Lx" h
+
+(* "pid:token" (current format) or a bare "pid" (pre-token files). *)
+let read_lock_owner path =
   match open_in path with
   | exception Sys_error _ -> None
   | ic ->
@@ -86,42 +175,101 @@ let read_lock_pid path =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match input_line ic with
-          | line -> int_of_string_opt (String.trim line)
-          | exception End_of_file -> None)
+          | exception End_of_file -> None
+          | line -> (
+              let line = String.trim line in
+              match String.index_opt line ':' with
+              | None ->
+                  Option.map (fun pid -> (pid, None)) (int_of_string_opt line)
+              | Some i ->
+                  let tok =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  Option.map
+                    (fun pid -> (pid, Some tok))
+                    (int_of_string_opt (String.sub line 0 i))))
 
-let acquire_lock ~path =
-  let rec attempt retries =
-    match
-      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
-    with
-    | fd ->
-        let line = string_of_int (Unix.getpid ()) ^ "\n" in
-        let n = Unix.write_substring fd line 0 (String.length line) in
-        if n <> String.length line then begin
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          (try Sys.remove path with Sys_error _ -> ());
-          Error (Printf.sprintf "lock %s: short write" path)
-        end
-        else Ok { lock_path = path; lock_fd = fd }
-    | exception Unix.Unix_error (EEXIST, _, _) -> (
-        match read_lock_pid path with
-        | Some pid when pid > 0 && process_alive pid ->
-            Error
-              (Printf.sprintf "lock %s: held by running process %d" path pid)
-        | _ when retries = 0 ->
-            Error (Printf.sprintf "lock %s: stale but cannot be reclaimed" path)
-        | _ ->
-            (* Stale (dead pid) or unreadable: break it and race for the
-               recreation; O_EXCL arbitrates the race. *)
-            (try Sys.remove path with Sys_error _ -> ());
-            attempt (retries - 1))
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "lock %s: %s" path (Unix.error_message e))
-  in
-  attempt 3
+let write_heartbeat ~path ~token =
+  (* Plain (non-atomic, non-faultable) write on purpose: a torn
+     heartbeat only makes the lock breakable after its owner stops
+     refreshing, which is the safe direction, and the refresh must not
+     become an injected-fault crash vector inside the daemon loop. *)
+  try
+    let oc = open_out (hb_path path) in
+    output_string oc (token ^ "\n");
+    close_out oc
+  with Sys_error _ -> ()
+
+let refresh_lock l = write_heartbeat ~path:l.lock_path ~token:l.lock_token
+
+let heartbeat_fresh ~path ~token ~stale_s =
+  let hb = hb_path path in
+  match open_in hb with
+  | exception Sys_error _ -> false
+  | ic ->
+      let tok =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> match input_line ic with
+            | line -> String.trim line
+            | exception End_of_file -> "")
+      in
+      String.equal tok token
+      &&
+      (match Unix.stat hb with
+      | st -> Unix.gettimeofday () -. st.Unix.st_mtime <= stale_s
+      | exception Unix.Unix_error _ -> false)
+
+let acquire_lock ?(heartbeat_stale_s = 30.) ~path () =
+  match io_check lock_ops ~name:"io.lock" with
+  | Some op -> Error (Printf.sprintf "lock %s: injected fault (io.lock, op %d)" path op)
+  | None ->
+      let rec attempt retries =
+        match
+          Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+        with
+        | fd ->
+            let token = random_token () in
+            let line = Printf.sprintf "%d:%s\n" (Unix.getpid ()) token in
+            let n = Unix.write_substring fd line 0 (String.length line) in
+            if n <> String.length line then begin
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              (try Sys.remove path with Sys_error _ -> ());
+              Error (Printf.sprintf "lock %s: short write" path)
+            end
+            else begin
+              write_heartbeat ~path ~token;
+              Ok { lock_path = path; lock_fd = fd; lock_token = token }
+            end
+        | exception Unix.Unix_error (EEXIST, _, _) -> (
+            match read_lock_owner path with
+            | Some (pid, None) when pid > 0 && process_alive pid ->
+                (* Pre-token file: no heartbeat to consult, so a live
+                   pid must be presumed the owner. *)
+                Error
+                  (Printf.sprintf "lock %s: held by running process %d" path pid)
+            | Some (pid, Some token)
+              when pid > 0 && process_alive pid
+                   && heartbeat_fresh ~path ~token ~stale_s:heartbeat_stale_s ->
+                Error
+                  (Printf.sprintf "lock %s: held by running process %d" path pid)
+            | _ when retries = 0 ->
+                Error (Printf.sprintf "lock %s: stale but cannot be reclaimed" path)
+            | _ ->
+                (* Stale: dead pid, unreadable file, or a live pid that
+                   never heartbeats this token (pid reuse).  Break it and
+                   race for the recreation; O_EXCL arbitrates the race. *)
+                (try Sys.remove (hb_path path) with Sys_error _ -> ());
+                (try Sys.remove path with Sys_error _ -> ());
+                attempt (retries - 1))
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "lock %s: %s" path (Unix.error_message e))
+      in
+      attempt 3
 
 let release_lock l =
   (try Unix.close l.lock_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove (hb_path l.lock_path) with Sys_error _ -> ());
   try Sys.remove l.lock_path with Sys_error _ -> ()
 
 let write_atomic ~path f =

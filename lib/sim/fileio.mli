@@ -1,4 +1,5 @@
-(** Atomic file writes: temp-file-then-rename publication.
+(** Atomic file writes: temp-file-then-rename publication, behind a
+    faultable syscall shim.
 
     Every exported artifact (CSV series, telemetry JSON, NDJSON traces,
     checkpoints) goes through this module so that a process dying
@@ -7,36 +8,79 @@
     ([path ^ ".tmp.<pid>.<k>"], so a crashed run and its resumed
     successor never clobber each other's in-flight temp), the temp is
     fsynced, and the [Sys.rename] in {!commit} / {!write_atomic} is the
-    only point at which [path] (re)appears. *)
+    only point at which [path] (re)appears.
+
+    The write/fsync/rename/lock syscalls are guarded by {!Failpoint}
+    trip points ([io.write], [io.fsync], [io.rename], [io.lock]), armed
+    process-globally with {!set_failpoints}, so short writes, failed
+    fsyncs and failed renames are injectable deterministically and the
+    never-a-torn-file contract is testable under every fault.  For
+    these points the failpoint [round] coordinate is the 0-based index
+    of the faultable operation since the shim was armed ([shard] and
+    [attempt] are [0]): ["io.fsync@round=4"] fails the fifth fsync from
+    now, ["io.write@p=0.01,seed=9"] is a reproducible per-operation
+    coin. *)
 
 val write_atomic : path:string -> (out_channel -> unit) -> unit
 (** [write_atomic ~path f] runs [f] on a channel writing to a unique
     temp file next to [path], then fsyncs, closes and renames onto
-    [path].  If [f] (or the close/sync) raises, the temp file is
-    removed, the exception re-raised, and a pre-existing [path] is left
-    untouched. *)
+    [path].  If [f] (or the short-write/sync/rename step, injected or
+    real) raises, the temp file is removed, the exception re-raised,
+    and a pre-existing [path] is left untouched. *)
 
-(** {2 Exclusive pid lock files}
+(** {2 Fault injection} *)
+
+val set_failpoints : Failpoint.t -> unit
+(** Arm (or, with {!Failpoint.noop}, disarm) the process-global I/O
+    failpoint set and reset the per-point operation indices.  The
+    disarmed hot path costs one atomic load per guarded syscall. *)
+
+val injected_faults : unit -> int
+(** Total I/O faults injected by the shim since process start — the
+    chaos harness's ground truth for "faults actually fired" (exposed
+    by the daemon in its stats reply). *)
+
+(** {2 Exclusive pid:token lock files}
 
     Single-owner mutual exclusion between processes sharing a resource
     (the serve daemon's state directory): the lock file is created with
     [O_CREAT|O_EXCL] — so exactly one process can take it — and holds
-    the owner's pid.  A contender finding the file checks whether that
-    pid is still alive; a dead owner (SIGKILL leaves the file behind)
-    makes the lock {e stale}, and it is broken and re-taken.  The
-    remove-then-recreate race between two takers is itself arbitrated
-    by [O_EXCL]: exactly one wins, the other reports the new owner. *)
+    ["pid:token"] where the token is a random 64-bit hex string.  A
+    contender finding the file checks whether that pid is still alive;
+    a dead owner (SIGKILL leaves the file behind) makes the lock
+    {e stale}, and it is broken and re-taken.
+
+    A live pid alone is not proof of ownership: pids recycle, and a
+    bare-pid lock would make a recycled pid look like a live owner
+    forever.  Ownership therefore also requires a fresh {e heartbeat}
+    — the owner periodically rewrites [path ^ ".hb"] containing its
+    token via {!refresh_lock} — and a contender breaks a live-pid lock
+    whose heartbeat is missing, token-mismatched, or older than the
+    staleness window.  Legacy bare-pid lock files keep the conservative
+    pre-token behavior (live pid ⇒ held).  The remove-then-recreate
+    race between two takers is arbitrated by [O_EXCL]: exactly one
+    wins, the other reports the new owner. *)
 
 type lock
 
-val acquire_lock : path:string -> (lock, string) result
+val acquire_lock :
+  ?heartbeat_stale_s:float -> path:string -> unit -> (lock, string) result
 (** Take the exclusive lock at [path], breaking a stale one (owner pid
-    dead or file unreadable).  [Error] is prose suitable for printing:
-    the lock is held by a running process, or cannot be created. *)
+    dead, file unreadable, or live pid without a fresh matching
+    heartbeat within [heartbeat_stale_s] — default 30 s).  Writes an
+    initial heartbeat.  [Error] is prose suitable for printing: the
+    lock is held by a running process, cannot be created, or an
+    [io.lock] fault was injected. *)
+
+val refresh_lock : lock -> unit
+(** Rewrite the heartbeat file, proving to contenders that the owner is
+    still this process and not a pid recycler.  Call roughly once per
+    second from the owner's main loop; errors are swallowed (a missed
+    beat only makes the lock breakable sooner, the safe direction). *)
 
 val release_lock : lock -> unit
-(** Close and remove the lock file.  Safe to call once; a crashed owner
-    that never calls it leaves a stale lock the next
+(** Close and remove the lock and heartbeat files.  Safe to call once;
+    a crashed owner that never calls it leaves a stale lock the next
     {!acquire_lock} breaks. *)
 
 (** {2 Streaming writers}
@@ -54,8 +98,11 @@ val channel : writer -> out_channel
 
 val commit : writer -> unit
 (** Flush, fsync, close, and rename the temp file onto the target path;
-    on failure of any of those steps the temp file is removed and the
-    error re-raised.  Idempotent (as is {!abort} after it). *)
+    on failure of any of those steps — including injected [io.write]
+    (which really truncates the temp first, simulating a short write),
+    [io.fsync] and [io.rename] faults — the temp file is removed, the
+    error re-raised, and the published path left untouched.  Idempotent
+    (as is {!abort} after it). *)
 
 val abort : writer -> unit
 (** Close and delete the temp file without publishing.  Idempotent. *)

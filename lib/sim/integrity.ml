@@ -1,0 +1,44 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven,
+   one byte per step.  The running state carries the conventional
+   pre/post-XOR with 0xFFFFFFFF internally, so [start] is all-ones and
+   [digest] applies the final complement. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+type t = int32
+
+let start = 0xFFFFFFFFl
+
+let feed_char crc c =
+  let table = Lazy.force table in
+  let i = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int (Char.code c))) 0xFFl) in
+  Int32.logxor (Int32.shift_right_logical crc 8) table.(i)
+
+let feed crc s =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  String.iter
+    (fun c ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code c))) 0xFFl)
+      in
+      crc := Int32.logxor (Int32.shift_right_logical !crc 8) table.(i))
+    s;
+  !crc
+
+let digest crc = Int32.logxor crc 0xFFFFFFFFl
+let to_hex crc = Printf.sprintf "%08lx" (digest crc)
+let string s = digest (feed start s)
+
+let equal_hex crc hex =
+  String.equal (to_hex crc) (String.lowercase_ascii hex)

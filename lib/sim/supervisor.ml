@@ -40,6 +40,7 @@ type active = {
   retries : int;
   backoff_ns : int64;
   max_backoff_ns : int64;
+  jitter : int64 option;  (* seed for decorrelated backoff jitter *)
   sleep : int64 -> unit;
   on_event : event -> unit;
 }
@@ -52,12 +53,12 @@ let default_sleep ns =
   if Int64.compare ns 0L > 0 then Unix.sleepf (Int64.to_float ns *. 1e-9)
 
 let create ?(retries = 3) ?(backoff_ns = 1_000_000L)
-    ?(max_backoff_ns = 100_000_000L) ?(sleep = default_sleep)
+    ?(max_backoff_ns = 100_000_000L) ?jitter ?(sleep = default_sleep)
     ?(on_event = fun _ -> ()) () =
   if retries < 0 then invalid_arg "Supervisor.create: retries < 0";
   if Int64.compare backoff_ns 0L < 0 then
     invalid_arg "Supervisor.create: backoff_ns < 0";
-  Active { retries; backoff_ns; max_backoff_ns; sleep; on_event }
+  Active { retries; backoff_ns; max_backoff_ns; jitter; sleep; on_event }
 
 let enabled = function Noop -> false | Active _ -> true
 let retries = function Noop -> 0 | Active a -> a.retries
@@ -76,13 +77,28 @@ let with_on_event t hook =
               hook e);
         }
 
-(* backoff_ns * 2^attempt, saturating at max_backoff_ns. *)
-let backoff_for a ~attempt =
+(* backoff_ns * 2^attempt, saturating at max_backoff_ns.  With a jitter
+   seed the exponential step is scaled by a uniform factor in [0.5, 1.5)
+   drawn by hashing (seed, name, round, shard, attempt) — each failed
+   slice backs off on its own decorrelated schedule, so a whole pool of
+   workers tripped by one fault does not retry in lockstep and re-storm
+   the shared resource.  The draw is the same stable hash Failpoint
+   uses, so jittered schedules replay identically run-to-run and are
+   pinnable in golden tests. *)
+let backoff_for a ~name ~round ~shard ~attempt =
   let shift = Stdlib.min attempt 20 in
   let b = Int64.shift_left a.backoff_ns shift in
-  if Int64.compare b a.max_backoff_ns > 0 || Int64.compare b 0L < 0 then
-    a.max_backoff_ns
-  else b
+  let b =
+    if Int64.compare b a.max_backoff_ns > 0 || Int64.compare b 0L < 0 then
+      a.max_backoff_ns
+    else b
+  in
+  match a.jitter with
+  | None -> b
+  | Some seed ->
+      let u = Failpoint.hash_unit ~seed ~name ~round ~shard ~attempt in
+      let j = Int64.of_float (Int64.to_float b *. (0.5 +. u)) in
+      if Int64.compare j a.max_backoff_ns > 0 then a.max_backoff_ns else j
 
 let supervise t ~name ~round ~shard f =
   match t with
@@ -94,7 +110,7 @@ let supervise t ~name ~round ~shard f =
         | exception exn ->
             let giving_up = attempt >= a.retries in
             let backoff_ns =
-              if giving_up then 0L else backoff_for a ~attempt
+              if giving_up then 0L else backoff_for a ~name ~round ~shard ~attempt
             in
             a.on_event
               {

@@ -44,6 +44,7 @@ val create :
   ?retries:int ->
   ?backoff_ns:int64 ->
   ?max_backoff_ns:int64 ->
+  ?jitter:int64 ->
   ?sleep:(int64 -> unit) ->
   ?on_event:(event -> unit) ->
   unit ->
@@ -51,12 +52,17 @@ val create :
 (** An active supervisor.  [retries] (default 3) is the number of
     re-executions after the first failure; [backoff_ns] (default 1 ms)
     the base backoff, doubled per attempt and capped at
-    [max_backoff_ns] (default 100 ms); [sleep] (default a real
-    [Unix.sleepf]) is injectable so tests retry instantly; [on_event]
-    observes every failure — engines feed it into {!Tracer.fault} and
-    {!Telemetry} counters.  [on_event] and [sleep] may be called from
-    worker domains concurrently; the sinks they feed must be
-    domain-safe (ours are).
+    [max_backoff_ns] (default 100 ms); [jitter] (default: none) seeds
+    deterministic decorrelated jitter — each failed
+    [(name, round, shard, attempt)] scales its exponential step by an
+    independent uniform factor in [[0.5, 1.5)] drawn from
+    {!Failpoint.hash_unit}, so a worker pool tripped by one fault does
+    not retry in lockstep, yet every run replays the same schedule;
+    [sleep] (default a real [Unix.sleepf]) is injectable so tests retry
+    instantly; [on_event] observes every failure — engines feed it into
+    {!Tracer.fault} and {!Telemetry} counters.  [on_event] and [sleep]
+    may be called from worker domains concurrently; the sinks they feed
+    must be domain-safe (ours are; the jitter draw is stateless).
     @raise Invalid_argument if [retries < 0] or [backoff_ns < 0]. *)
 
 val enabled : t -> bool

@@ -1,0 +1,70 @@
+(* End-to-end mini chaos campaign, in its own executable because it
+   forks real daemon processes and OCaml 5 forbids fork once domains
+   have been spawned — which the main test runner's earlier suites do.
+   One full cycle: fork a daemon with io.* faults armed, load it,
+   SIGKILL it, corrupt what it left behind, recover and audit.  The
+   full-size campaign runs in bench/chaos.ml and check.sh. *)
+
+module Chaos = Rbb_serve.Chaos
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let test_mini_campaign () =
+  let dir = temp_dir "rbb_mini" in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ())
+    (fun () ->
+      let cfg =
+        {
+          (Chaos.default_config ~dir) with
+          Chaos.cycles = 1;
+          max_cycles = 1;
+          jobs_per_cycle = 3;
+          rounds = 800;
+          workers = 2;
+          checkpoint_every = 8;
+          seed = 4242;
+          io_fault_p = 0.02;
+          kill_delay_s = (0.05, 0.12);
+          recovery_bound_s = 30.;
+        }
+      in
+      let r = Chaos.run cfg in
+      Alcotest.(check int) "one cycle" 1 r.Chaos.cycles_run;
+      Alcotest.(check int) "one kill" 1 r.Chaos.kills;
+      Alcotest.(check bool) "work was acked" true (r.Chaos.jobs_acked > 0);
+      Alcotest.(check int) "no acked job lost" 0 r.Chaos.acked_jobs_lost;
+      Alcotest.(check int) "no identity violation" 0 r.Chaos.identity_violations;
+      Alcotest.(check bool) "accounting closes" true
+        (r.Chaos.jobs_done + r.Chaos.jobs_failed = r.Chaos.jobs_acked);
+      Alcotest.(check int) "kill + restart recoveries" 2
+        (Array.length r.Chaos.recovery_s);
+      Alcotest.(check bool) "campaign passed" true (Chaos.passed r);
+      (* The JSON rendering carries the verdict fields the bench and the
+         CLI assert on. *)
+      let fields = Chaos.to_fields r in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("field " ^ k) true (List.mem_assoc k fields))
+        [
+          "schema"; "faults_total"; "acked_jobs_lost"; "identity_violations";
+          "recovery_p99_s"; "recovery_ok";
+        ])
+
+let () =
+  Alcotest.run "rbb-chaos-e2e"
+    [
+      ( "chaos-e2e",
+        [ Alcotest.test_case "mini campaign" `Slow test_mini_campaign ] );
+    ]

@@ -316,7 +316,7 @@ Failpoint specs are validated up front — unknown names and malformed
 triggers cannot silently inject nothing:
 
   $ rbb simulate --bins 64 --failpoint bogus
-  rbb: error: failpoint: unknown name "bogus" (known: sharded.launch, sharded.merge, sharded.settle, parallel.task)
+  rbb: error: failpoint: unknown name "bogus" (known: sharded.launch, sharded.merge, sharded.settle, parallel.task, io.write, io.fsync, io.rename, io.lock)
   [2]
 
   $ rbb simulate --bins 64 --failpoint 'sharded.launch@p=0.5,round=3'

@@ -196,7 +196,7 @@ let test_tracer_parity_counts () =
 let roundtrip_bytes snap restore capture =
   let path1 = temp_path ".ckpt" and path2 = temp_path ".ckpt" in
   Checkpoint.save ~path:path1 snap;
-  (match Checkpoint.load ~path:path1 with
+  (match Checkpoint.load ~path:path1 () with
   | Error e -> Alcotest.failf "load failed: %s" e
   | Ok snap' -> Checkpoint.save ~path:path2 (capture (restore snap')));
   let a = read_file path1 and b = read_file path2 in
@@ -276,7 +276,7 @@ let test_checkpoint_counts_resume_trajectory () =
   let part = Counts_process.create ~rng:(rng 9L) ~init:(Config.uniform ~n:800) () in
   Counts_process.run part ~rounds:6;
   Checkpoint.save ~path (Checkpoint.capture_counts part);
-  match Checkpoint.load ~path with
+  match Checkpoint.load ~path () with
   | Error e -> Alcotest.failf "load failed: %s" e
   | Ok snap ->
       let resumed = Checkpoint.to_counts snap in

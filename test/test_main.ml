@@ -29,4 +29,5 @@ let () =
          Test_engines.suite;
          Test_serve.suite;
          Test_obs.suite;
+         Test_chaos.suite;
        ])

@@ -192,7 +192,7 @@ let checkpoint_roundtrip () =
   let snap = Checkpoint.capture_process ~telemetry:tel p in
   let path = temp_path ".ckpt" in
   Checkpoint.save ~path snap;
-  match Checkpoint.load ~path with
+  match Checkpoint.load ~path () with
   | Error e -> Alcotest.failf "load: %s" e
   | Ok snap' ->
       Alcotest.(check int) "round" 37 snap'.Checkpoint.round;
@@ -221,7 +221,7 @@ let checkpoint_rejects_weighted () =
       Checkpoint.capture_sharded s)
 
 let checkpoint_load_errors () =
-  (match Checkpoint.load ~path:"/nonexistent/rbb.ckpt" with
+  (match Checkpoint.load ~path:"/nonexistent/rbb.ckpt" () with
   | Error e ->
       Alcotest.(check bool) "unreadable is prose" true
         (Tutil.contains_substring e "/nonexistent/rbb.ckpt")
@@ -238,7 +238,7 @@ let checkpoint_load_errors () =
       (List.filteri (fun i _ -> i < List.length lines - 2) lines)
   in
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc truncated);
-  (match Checkpoint.load ~path with
+  (match Checkpoint.load ~path () with
   | Error e ->
       Alcotest.(check bool) "truncation detected" true
         (Tutil.contains_substring e "truncated")
@@ -246,7 +246,7 @@ let checkpoint_load_errors () =
   (* Garbage content fails with prose, not an exception. *)
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc "not a checkpoint\n");
-  match Checkpoint.load ~path with
+  match Checkpoint.load ~path () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage must not load"
 
@@ -263,7 +263,7 @@ let resume_process_golden () =
   let path = temp_path ".ckpt" in
   Checkpoint.save ~path (Checkpoint.capture_process part);
   let resumed =
-    match Checkpoint.load ~path with
+    match Checkpoint.load ~path () with
     | Ok snap -> Checkpoint.to_process snap
     | Error e -> Alcotest.failf "load: %s" e
   in
@@ -293,7 +293,7 @@ let resume_sharded_golden () =
   let path = temp_path ".ckpt" in
   Checkpoint.save ~path (Checkpoint.capture_sharded part);
   let snap =
-    match Checkpoint.load ~path with
+    match Checkpoint.load ~path () with
     | Ok s -> s
     | Error e -> Alcotest.failf "load: %s" e
   in
@@ -332,7 +332,7 @@ let prop_resume_bit_identical (n, k1, k2, seed) =
       Process.run part ~rounds:k1;
       Checkpoint.save ~path (Checkpoint.capture_process part);
       let resumed =
-        match Checkpoint.load ~path with
+        match Checkpoint.load ~path () with
         | Ok snap -> Checkpoint.to_process snap
         | Error e -> failwith e
       in
@@ -346,7 +346,7 @@ let prop_resume_bit_identical (n, k1, k2, seed) =
       Sharded.run spart ~rounds:k1;
       Checkpoint.save ~path (Checkpoint.capture_sharded spart);
       let sresumed =
-        match Checkpoint.load ~path with
+        match Checkpoint.load ~path () with
         | Ok snap -> Checkpoint.to_sharded ~shards:3 ~domains:1 snap
         | Error e -> failwith e
       in
@@ -441,8 +441,11 @@ let budget_exhaustion_degrades () =
     (Config.equal reference (Sharded.config p));
   Alcotest.(check int) "round completed" rounds (Sharded.round p);
   Alcotest.(check int) "degradations" 1 (Telemetry.counter tel "sharded.degraded");
-  Alcotest.(check int) "giving up" 1
-    (Telemetry.counter tel "sharded.fault.giving_up");
+  (* With several in-flight shard tasks, more than one can exhaust its
+     budget before the engine observes the first exhaustion and
+     degrades — the count is timing-dependent but never zero. *)
+  Alcotest.(check bool) "giving up" true
+    (Telemetry.counter tel "sharded.fault.giving_up" >= 1);
   Alcotest.(check int) "rounds counter exact" rounds
     (Telemetry.counter tel "sharded.rounds")
 

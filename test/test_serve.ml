@@ -35,8 +35,16 @@ let with_temp_dir prefix f =
 (* ------------------------------------------------------------------ *)
 
 let spec ?(n = 64) ?m ?(rounds = 100) ?(seed = 7) ?(init = "uniform")
-    ?(engine = Protocol.Balls) () =
-  { Protocol.n; m = Option.value ~default:n m; rounds; seed; init; engine }
+    ?(engine = Protocol.Balls) ?(deadline_s = infinity) () =
+  {
+    Protocol.n;
+    m = Option.value ~default:n m;
+    rounds;
+    seed;
+    init;
+    engine;
+    deadline_s;
+  }
 
 let check_req_roundtrip req =
   match Protocol.request_of_json (Protocol.request_to_json req) with
@@ -119,7 +127,10 @@ let gen_spec =
       else oneof [ return n; int_range 0 10_000_000 ]
     in
     let* engine = oneofl [ Protocol.Balls; Protocol.Counts ] in
-    return { Protocol.n; m; rounds; seed; init; engine })
+    (* Finite deadlines drawn from values Jsonl.float_repr round-trips
+       exactly (the wire carries decimal text, not bits). *)
+    let* deadline_s = oneofl [ infinity; 0.5; 1.5; 30.; 86400. ] in
+    return { Protocol.n; m; rounds; seed; init; engine; deadline_s })
 
 let prop_submit_roundtrip =
   Tutil.prop "submit round-trips any valid spec" ~count:300 gen_spec (fun s ->
@@ -347,7 +358,7 @@ let test_job_spec_roundtrip () =
       Job.write_spec ~state_dir:dir ~id:"job-000010" (spec ());
       Fileio.write_atomic ~path:(Job.result_path ~state_dir:dir ~id:"job-000010")
         (fun oc -> output_string oc "{}\n");
-      let pending, next = Job.scan ~state_dir:dir in
+      let pending, next = Job.scan ~state_dir:dir () in
       Alcotest.(check (list string)) "pending ids" [ "job-000003" ]
         (List.map fst pending);
       Alcotest.(check int) "next id follows the max seen" 11 next;
@@ -392,7 +403,7 @@ let test_job_failed_marker () =
       (* A failed job is not pending work: scan must not resubmit it
          (it would only re-fail forever), but its sequence number still
          drives fresh-id allocation. *)
-      let pending, next = Job.scan ~state_dir:dir in
+      let pending, next = Job.scan ~state_dir:dir () in
       Alcotest.(check (list string)) "not pending" []
         (List.map fst pending);
       Alcotest.(check int) "sequence advances past it" 5 next)
@@ -563,11 +574,11 @@ let test_lock_exclusion () =
   with_temp_dir "rbb_lock" (fun dir ->
       let path = Filename.concat dir "d.lock" in
       let lock =
-        match Fileio.acquire_lock ~path with
+        match Fileio.acquire_lock ~path () with
         | Ok l -> l
         | Error e -> Alcotest.fail e
       in
-      (match Fileio.acquire_lock ~path with
+      (match Fileio.acquire_lock ~path () with
       | Error e ->
           Alcotest.(check bool)
             "names the holder" true
@@ -575,7 +586,7 @@ let test_lock_exclusion () =
       | Ok _ -> Alcotest.fail "second acquire must fail while held");
       Fileio.release_lock lock;
       Alcotest.(check bool) "lock file removed" false (Sys.file_exists path);
-      match Fileio.acquire_lock ~path with
+      match Fileio.acquire_lock ~path () with
       | Ok l -> Fileio.release_lock l
       | Error e -> Alcotest.fail ("reacquire after release: " ^ e))
 
@@ -589,21 +600,26 @@ let test_lock_stale_takeover () =
       let oc = open_out path in
       Printf.fprintf oc "%d\n" dead_pid;
       close_out oc;
-      (match Fileio.acquire_lock ~path with
+      (match Fileio.acquire_lock ~path () with
       | Ok l ->
-          (* The stale lock was broken and replaced with our pid. *)
+          (* The stale lock was broken and replaced with our pid:token. *)
           let ic = open_in path in
           let holder = input_line ic in
           close_in ic;
+          let holder_pid =
+            match String.index_opt holder ':' with
+            | Some i -> String.sub holder 0 i
+            | None -> holder
+          in
           Alcotest.(check string)
-            "lock now ours" (string_of_int (Unix.getpid ())) holder;
+            "lock now ours" (string_of_int (Unix.getpid ())) holder_pid;
           Fileio.release_lock l
       | Error e -> Alcotest.fail ("stale lock should be taken over: " ^ e));
       (* Garbage contents are treated as stale, too. *)
       let oc = open_out path in
       output_string oc "not a pid";
       close_out oc;
-      match Fileio.acquire_lock ~path with
+      match Fileio.acquire_lock ~path () with
       | Ok l -> Fileio.release_lock l
       | Error e -> Alcotest.fail ("garbage lock should be taken over: " ^ e))
 
@@ -803,11 +819,14 @@ let test_daemon_failed_job_is_durable () =
       let socket = Filename.concat dir "d.sock" in
       let state_dir = Filename.concat dir "state" in
       Unix.mkdir state_dir 0o755;
-      (* A job admitted by a previous life whose checkpoint is garbage:
-         resuming it must fail, durably. *)
-      Job.write_spec ~state_dir ~id:"job-000001" (spec ());
-      let oc = open_out (Job.checkpoint_path ~state_dir ~id:"job-000001") in
-      output_string oc "not a checkpoint\n";
+      (* A job acknowledged by a previous life whose durable spec is now
+         garbage: the startup scan must quarantine it and fail the job
+         durably — an acked job may corrupt to *failed* but never to
+         silently absent.  (A garbage *checkpoint*, by contrast, is
+         recoverable: the job restarts from its spec — covered in
+         test_chaos.) *)
+      let oc = open_out (Job.spec_path ~state_dir ~id:"job-000001") in
+      output_string oc "not a job spec\n";
       close_out oc;
       let cfg = Daemon.default_config ~socket ~state_dir in
       let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
